@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks for the performance-critical pieces:
+//! estimator updates, statistical fits, the planner, sampling, and the
+//! end-to-end engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use approxhadoop_core::job::AggregationJob;
+use approxhadoop_core::spec::{ApproxSpec, ErrorTarget};
+use approxhadoop_core::target::{plan, TimingModel};
+use approxhadoop_runtime::engine::JobConfig;
+use approxhadoop_runtime::input::VecSource;
+use approxhadoop_stats::dist::{ContinuousDistribution, StudentT};
+use approxhadoop_stats::gev::fit_gev_maxima;
+use approxhadoop_stats::multistage::{ClusterObservation, TwoStageEstimator, WaveStatistics};
+use approxhadoop_stats::sampling::Zipf;
+
+fn bench_two_stage_estimator(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let observations: Vec<ClusterObservation> = (0..1_000)
+        .map(|i| ClusterObservation {
+            cluster_id: i,
+            total_units: 10_000,
+            sampled_units: 1_000,
+            sum: rng.gen_range(400.0..600.0),
+            sum_sq: rng.gen_range(400.0..700.0),
+        })
+        .collect();
+    c.bench_function("two_stage_estimate_1000_clusters", |b| {
+        b.iter(|| {
+            let mut est = TwoStageEstimator::new(2_000);
+            for obs in &observations {
+                est.push(*obs);
+            }
+            black_box(est.estimate(0.95).unwrap())
+        })
+    });
+}
+
+fn bench_student_t_quantile(c: &mut Criterion) {
+    c.bench_function("student_t_quantile", |b| {
+        let t = StudentT::new(29.0);
+        b.iter(|| black_box(t.quantile(black_box(0.975))))
+    });
+}
+
+fn bench_gev_fit(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let maxima: Vec<f64> = (0..100)
+        .map(|_| {
+            (0..200)
+                .map(|_| rng.gen_range(0.0..100.0))
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    c.bench_function("gev_mle_fit_100_maxima", |b| {
+        b.iter(|| black_box(fit_gev_maxima(black_box(&maxima)).unwrap()))
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    // The year-scale planning problem: 37k remaining tasks.
+    let wave = WaveStatistics {
+        total_clusters: 37_684,
+        completed_clusters: 240,
+        inter_cluster_var: 4.0e9,
+        mean_cluster_size: 6_200_000.0,
+        mean_within_var: 0.25,
+        completed_within_term: 0.0,
+        estimate: 1.17e11,
+    };
+    let timing = TimingModel {
+        t0: 2.0,
+        tr: 1.5e-5,
+        tp: 2.5e-5,
+    };
+    c.bench_function("planner_year_scale", |b| {
+        b.iter(|| {
+            black_box(plan(
+                black_box(&wave),
+                &timing,
+                ErrorTarget::Relative(0.01),
+                0.95,
+                37_444,
+            ))
+        })
+    });
+}
+
+fn bench_zipf_sampling(c: &mut Criterion) {
+    let z = Zipf::new(1_000_000, 1.01);
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("zipf_sample_1m_catalogue", |b| {
+        b.iter(|| black_box(z.sample(&mut rng)))
+    });
+}
+
+fn bench_engine_word_count(c: &mut Criterion) {
+    let blocks: Vec<Vec<String>> = (0..16)
+        .map(|b| {
+            (0..500)
+                .map(|i| format!("w{} w{} w{}", (b + i) % 50, i % 20, i % 7))
+                .collect()
+        })
+        .collect();
+    let input = VecSource::new(blocks);
+    c.bench_function("engine_word_count_8000_lines", |b| {
+        b.iter(|| {
+            let r = AggregationJob::count(|line: &String, emit: &mut dyn FnMut(String, f64)| {
+                for w in line.split_whitespace() {
+                    emit(w.to_string(), 1.0);
+                }
+            })
+            .spec(ApproxSpec::Precise)
+            .config(JobConfig {
+                map_slots: 4,
+                ..Default::default()
+            })
+            .run(&input)
+            .unwrap();
+            black_box(r.outputs.len())
+        })
+    });
+}
+
+fn bench_sampled_read(c: &mut Criterion) {
+    use approxhadoop_runtime::input::{InputSource, VecSource};
+    let src = VecSource::new(vec![(0..100_000).collect::<Vec<u32>>()]);
+    c.bench_function("systematic_sample_100k_at_1pct", |b| {
+        b.iter(|| black_box(src.read_split(0, 0.01, 42).unwrap().sampled))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_two_stage_estimator,
+    bench_student_t_quantile,
+    bench_gev_fit,
+    bench_planner,
+    bench_zipf_sampling,
+    bench_engine_word_count,
+    bench_sampled_read,
+);
+criterion_main!(benches);

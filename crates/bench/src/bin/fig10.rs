@@ -1,0 +1,93 @@
+//! Figure 10: departmental web-server log results — (a) hourly request
+//! rates across a week, (b) hourly rates in descending order, (c) attack
+//! frequencies per client — precise vs 10% input sampling.
+
+use approxhadoop_bench::header;
+use approxhadoop_core::spec::ApproxSpec;
+use approxhadoop_runtime::engine::JobConfig;
+use approxhadoop_workloads::apps;
+use approxhadoop_workloads::deptlog::DeptLog;
+
+fn main() {
+    header(
+        "Figure 10",
+        "Departmental web-server log, precise vs 10% input sampling",
+    );
+    let log = DeptLog {
+        weeks: 80,
+        requests_per_week: 5_000,
+        clients: 20_000,
+        attack_fraction: 1e-3,
+        seed: 10,
+    };
+    let config = JobConfig {
+        reduce_tasks: 2,
+        ..Default::default()
+    };
+    let spec = ApproxSpec::ratios(0.0, 0.10);
+
+    // (a) Request rate per hour of the week (print every 12th hour).
+    let precise = apps::dept_request_rate(&log, ApproxSpec::Precise, config.clone()).unwrap();
+    let approx = apps::dept_request_rate(&log, spec, config.clone()).unwrap();
+    println!("\n--- (a) Requests per hour-of-week (every 12th hour) ---");
+    println!(
+        "{:>5} | {:>9} | {:>20} | {:>7}",
+        "hour", "precise", "approx (95% CI)", "err%"
+    );
+    for (hour, truth) in precise.outputs.iter().step_by(12) {
+        if let Some((_, iv)) = approx.outputs.iter().find(|(h, _)| h == hour) {
+            println!(
+                "{:>5} | {:>9.0} | {:>10.0} ± {:>7.0} | {:>6.2}%",
+                hour,
+                truth.estimate,
+                iv.estimate,
+                iv.half_width,
+                iv.actual_error(truth.estimate) * 100.0
+            );
+        }
+    }
+
+    // (b) Hourly rates in descending order: stable distribution.
+    let mut sorted: Vec<f64> = precise.outputs.iter().map(|(_, iv)| iv.estimate).collect();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    println!("\n--- (b) Hourly rates, descending ---");
+    println!(
+        "max {:.0}, median {:.0}, min {:.0}  (spread {:.0}% — a stable distribution,\n\
+         unlike the Zipf page popularity of Figure 5)",
+        sorted[0],
+        sorted[sorted.len() / 2],
+        sorted[sorted.len() - 1],
+        (sorted[0] / sorted[sorted.len() - 1] - 1.0) * 100.0
+    );
+
+    // (c) Attack frequencies: rare values, wide intervals.
+    let precise = apps::attack_frequencies(&log, ApproxSpec::Precise, config.clone()).unwrap();
+    let approx = apps::attack_frequencies(&log, spec, config).unwrap();
+    println!("\n--- (c) Attacks per client (top attackers) ---");
+    println!(
+        "{:>8} | {:>9} | {:>20} | {:>7}",
+        "client", "precise", "approx (95% CI)", "err%"
+    );
+    let mut top: Vec<_> = precise.outputs.iter().collect();
+    top.sort_by(|a, b| b.1.estimate.total_cmp(&a.1.estimate));
+    for (client, truth) in top.into_iter().take(8) {
+        match approx.outputs.iter().find(|(c, _)| c == client) {
+            Some((_, iv)) => println!(
+                "{:>8} | {:>9.0} | {:>10.0} ± {:>7.0} | {:>6.1}%",
+                client,
+                truth.estimate,
+                iv.estimate,
+                iv.half_width,
+                iv.actual_error(truth.estimate) * 100.0
+            ),
+            None => println!(
+                "{:>8} | {:>9.0} | {:>20} |     n/a",
+                client, truth.estimate, "(missed by sampling)"
+            ),
+        }
+    }
+    println!(
+        "\nShape check (paper Fig. 10): request rates estimate tightly; attack counts\n\
+         are rare values with visibly larger errors and wider intervals."
+    );
+}

@@ -1,0 +1,37 @@
+//! Table 1: the evaluated applications, their approximation mechanisms
+//! and error-estimation approaches.
+
+use approxhadoop_bench::header;
+use approxhadoop_workloads::APPLICATIONS;
+
+fn main() {
+    header(
+        "Table 1",
+        "List of evaluated applications (S = sample input data, \
+         D = drop computation, U = user-defined; MS = multi-stage, GEV)",
+    );
+    println!(
+        "{:<20} {:<22} {:<14} {:^7} {:^5}",
+        "Application", "Input data", "Size", "Approx.", "Err."
+    );
+    for app in APPLICATIONS {
+        let mut mech = String::new();
+        if app.mechanisms.sampling {
+            mech.push('S');
+        }
+        if app.mechanisms.dropping {
+            mech.push('D');
+        }
+        if app.mechanisms.user_defined {
+            mech.push('U');
+        }
+        println!(
+            "{:<20} {:<22} {:<14} {:^7} {:^5}",
+            app.name,
+            app.input,
+            app.paper_size,
+            mech,
+            app.error.to_string()
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Table 2: sizes of the Wikipedia access log for different periods and
+//! the resulting map-task counts (one per 64 MB compressed block).
+
+use approxhadoop_bench::header;
+use approxhadoop_workloads::wikilog::LOG_PERIODS;
+
+fn main() {
+    header(
+        "Table 2",
+        "Wikipedia access log sizes per period (starting Jan 1 2013)",
+    );
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>8}",
+        "Period", "Accesses", "Compress", "Uncompress", "#Maps"
+    );
+    for p in LOG_PERIODS {
+        let accesses = if p.accesses_millions >= 1000.0 {
+            format!("{:.1}G", p.accesses_millions / 1000.0)
+        } else {
+            format!("{:.0}M", p.accesses_millions)
+        };
+        let fmt_size = |gb: f64| {
+            if gb >= 1024.0 {
+                format!("{:.1} TB", gb / 1024.0)
+            } else {
+                format!("{:.1} GB", gb)
+            }
+        };
+        println!(
+            "{:<10} {:>10} {:>12} {:>12} {:>8}",
+            p.name,
+            accesses,
+            fmt_size(p.compressed_gb),
+            fmt_size(p.uncompressed_gb),
+            p.num_maps()
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Library surface of the `approxhadoop` CLI (exposed so the command
+//! logic is integration-testable).
+
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod run;

@@ -1,0 +1,76 @@
+//! `approxhadoop` — command-line front end for ApproxHadoop-RS.
+//!
+//! ```text
+//! approxhadoop list
+//! approxhadoop run <app> [--drop R] [--sample R] [--target X%]
+//!                        [--confidence C] [--pilot-tasks N] [--pilot-sample R]
+//!                        [--scale small|medium|large] [--seed N]
+//!                        [--reduce-tasks N] [--top K]
+//! approxhadoop simulate [--maps N] [--records M] [--servers S]
+//!                        [--atom] [--s3] [--drop R] [--sample R]
+//!                        [--target X%] [--seed N]
+//! ```
+
+use approxhadoop_cli::args::{Args, UsageError};
+use approxhadoop_cli::run;
+
+const USAGE: &str = "approxhadoop — approximation-enabled MapReduce (ASPLOS'15 reproduction)
+
+USAGE:
+  approxhadoop list
+      Print the application inventory (paper Table 1).
+
+  approxhadoop run <app> [options]
+      Run one application on its synthetic dataset.
+      apps: wiki-length | wiki-page-rank | project-popularity |
+            page-popularity | request-rate | page-traffic |
+            bytes-per-access | total-size | request-size | clients |
+            client-browser | attack-frequencies | dept-request-rate |
+            mentions-per-paragraph | dc-placement | video-encoding | kmeans
+      options:
+        --drop R             fraction of map tasks to drop (0..1)
+        --sample R           within-block sampling ratio (0..1]
+        --target X[%]        target error bound (selects target mode)
+        --confidence C       confidence level (default 0.95)
+        --pilot-tasks N      pilot wave size (target mode)
+        --pilot-sample R     pilot sampling ratio (target mode)
+        --scale small|medium|large   dataset size (default small)
+        --seed N             RNG seed (default 0)
+        --reduce-tasks N     reduce tasks (default 2)
+        --top K              keys to print (default 10)
+
+  approxhadoop simulate [options]
+      Discrete-event cluster simulation (runtime + energy).
+      options:
+        --maps N --records M --servers S --atom --s3
+        --drop R --sample R --target X[%] --seed N
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(raw) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn dispatch(raw: Vec<String>) -> Result<(), UsageError> {
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        "list" => {
+            run::list();
+            Ok(())
+        }
+        "run" => run::run_app(&args),
+        "simulate" => run::simulate(&args),
+        other => Err(UsageError(format!("unknown command `{other}`"))),
+    }
+}

@@ -1,0 +1,307 @@
+//! Subcommand implementations.
+
+use approxhadoop_cluster::{simulate as sim, ClusterSpec, SimApprox, SimJobSpec};
+use approxhadoop_core::job::ApproxResult;
+use approxhadoop_core::spec::{ApproxSpec, ErrorTarget};
+use approxhadoop_runtime::engine::JobConfig;
+use approxhadoop_runtime::metrics::JobMetrics;
+use approxhadoop_stats::Interval;
+use approxhadoop_workloads::apps;
+use approxhadoop_workloads::dcgrid::{AnnealConfig, Grid};
+use approxhadoop_workloads::deptlog::DeptLog;
+use approxhadoop_workloads::kmeans::DocVectors;
+use approxhadoop_workloads::wikidump::WikiDump;
+use approxhadoop_workloads::wikilog::WikiLog;
+use approxhadoop_workloads::APPLICATIONS;
+
+use crate::args::{Args, UsageError};
+
+/// `approxhadoop list`
+pub fn list() {
+    println!(
+        "{:<22} {:<22} {:^7} {:^5}",
+        "Application", "Input", "Approx.", "Err."
+    );
+    for app in APPLICATIONS {
+        let mut mech = String::new();
+        if app.mechanisms.sampling {
+            mech.push('S');
+        }
+        if app.mechanisms.dropping {
+            mech.push('D');
+        }
+        if app.mechanisms.user_defined {
+            mech.push('U');
+        }
+        println!(
+            "{:<22} {:<22} {:^7} {:^5}",
+            app.name,
+            app.input,
+            mech,
+            app.error.to_string()
+        );
+    }
+}
+
+/// Dataset scale factors.
+struct Scale {
+    mult: u64,
+}
+
+fn scale(args: &Args) -> Result<Scale, UsageError> {
+    match args.get("scale").unwrap_or("small") {
+        "small" => Ok(Scale { mult: 1 }),
+        "medium" => Ok(Scale { mult: 4 }),
+        "large" => Ok(Scale { mult: 16 }),
+        other => Err(UsageError(format!("unknown --scale `{other}`"))),
+    }
+}
+
+fn job_config(args: &Args) -> Result<JobConfig, UsageError> {
+    Ok(JobConfig {
+        reduce_tasks: args.get_parsed("reduce-tasks", 2usize)?,
+        seed: args.get_parsed("seed", 0u64)?,
+        ..Default::default()
+    })
+}
+
+fn print_outputs<K: std::fmt::Display>(result: &ApproxResult<(K, Interval)>, top: usize) {
+    let mut rows: Vec<&(K, Interval)> = result.outputs.iter().collect();
+    rows.sort_by(|a, b| b.1.estimate.total_cmp(&a.1.estimate));
+    println!(
+        "{:>16} | {:>14} | {:>12} | {:>8}",
+        "key", "estimate", "±95% CI", "rel%"
+    );
+    for (k, iv) in rows.into_iter().take(top) {
+        println!(
+            "{:>16} | {:>14.2} | {:>12.2} | {:>7.2}%",
+            k,
+            iv.estimate,
+            iv.half_width,
+            iv.relative_error() * 100.0
+        );
+    }
+    print_metrics(&result.metrics, result.outputs.len());
+}
+
+fn print_metrics(m: &JobMetrics, keys: usize) {
+    println!(
+        "\n{} keys; {} maps executed, {} dropped, {} killed; sampling ratio {:.1}%; {:.3}s",
+        keys,
+        m.executed_maps,
+        m.dropped_maps,
+        m.killed_maps,
+        m.effective_sampling_ratio() * 100.0,
+        m.wall_secs
+    );
+}
+
+/// `approxhadoop run <app> [options]`
+pub fn run_app(args: &Args) -> Result<(), UsageError> {
+    let app = args
+        .positional
+        .first()
+        .ok_or_else(|| UsageError("run requires an application name".into()))?
+        .as_str();
+    let spec = args.approx_spec()?;
+    let config = job_config(args)?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    let sc = scale(args)?;
+    let top = args.get_parsed("top", 10usize)?;
+
+    let dump = WikiDump {
+        articles: 50_000 * sc.mult,
+        articles_per_block: 1_000,
+        seed,
+    };
+    let log = WikiLog {
+        days: 7,
+        entries_per_block: 4_000 * sc.mult,
+        blocks_per_day: 12,
+        pages: 100_000,
+        projects: 500,
+        seed,
+    };
+    let dept = DeptLog {
+        weeks: 80,
+        requests_per_week: 4_000 * sc.mult,
+        clients: 20_000,
+        attack_fraction: 1e-3,
+        seed,
+    };
+    let fail = |e: approxhadoop_core::CoreError| UsageError(e.to_string());
+
+    match app {
+        "wiki-length" => print_outputs(&apps::wiki_length(&dump, spec, config).map_err(fail)?, top),
+        "wiki-page-rank" => print_outputs(
+            &apps::wiki_page_rank(&dump, spec, config).map_err(fail)?,
+            top,
+        ),
+        "project-popularity" => print_outputs(
+            &apps::project_popularity(&log, spec, config).map_err(fail)?,
+            top,
+        ),
+        "page-popularity" => print_outputs(
+            &apps::page_popularity(&log, spec, config).map_err(fail)?,
+            top,
+        ),
+        "request-rate" => print_outputs(
+            &apps::wiki_request_rate(&log, spec, config).map_err(fail)?,
+            top,
+        ),
+        "page-traffic" => {
+            print_outputs(&apps::page_traffic(&log, spec, config).map_err(fail)?, top)
+        }
+        "bytes-per-access" => print_outputs(
+            &apps::bytes_per_access(&log, spec, config).map_err(fail)?,
+            top,
+        ),
+        "total-size" => print_outputs(&apps::total_size(&dept, spec, config).map_err(fail)?, top),
+        "request-size" => {
+            print_outputs(&apps::request_size(&dept, spec, config).map_err(fail)?, top)
+        }
+        "clients" => print_outputs(&apps::clients(&dept, spec, config).map_err(fail)?, top),
+        "client-browser" => print_outputs(
+            &apps::client_browser(&dept, spec, config).map_err(fail)?,
+            top,
+        ),
+        "attack-frequencies" => print_outputs(
+            &apps::attack_frequencies(&dept, spec, config).map_err(fail)?,
+            top,
+        ),
+        "dept-request-rate" => print_outputs(
+            &apps::dept_request_rate(&dept, spec, config).map_err(fail)?,
+            top,
+        ),
+        "mentions-per-paragraph" => {
+            let (drop, sample) = match spec {
+                ApproxSpec::Precise => (0.0, 1.0),
+                ApproxSpec::Ratios {
+                    drop_ratio,
+                    sampling_ratio,
+                } => (drop_ratio, sampling_ratio),
+                ApproxSpec::Target { .. } => {
+                    return Err(UsageError(
+                        "mentions-per-paragraph supports --drop/--sample only".into(),
+                    ))
+                }
+            };
+            let r = apps::mentions_per_paragraph(&dump, drop, sample, config).map_err(fail)?;
+            print_outputs(&r, top);
+        }
+        "dc-placement" => {
+            let grid = Grid::us_like(16, seed);
+            let anneal = AnnealConfig::default();
+            let maps = (40 * sc.mult) as usize;
+            let r = apps::dc_placement(&grid, &anneal, maps, 2, spec, config).map_err(fail)?;
+            let out = &r.outputs[0];
+            println!("best placement cost found: {:.2}", out.observed);
+            match out.estimated {
+                Some(iv) => println!("GEV estimate of the optimum: {iv}"),
+                None => println!("(too few maps for a GEV fit)"),
+            }
+            print_metrics(&r.metrics, 1);
+        }
+        "video-encoding" => {
+            let approx_fraction = args.get_parsed("approx-fraction", 0.5f64)?;
+            let r = apps::video_encoding(
+                32,
+                (16 * sc.mult) as usize,
+                4,
+                approx_fraction,
+                seed,
+                config,
+            )
+            .map_err(fail)?;
+            println!(
+                "{} frames; {} coefficients; mean PSNR {:.2} dB; {:.0}% chunks approximate",
+                r.frames,
+                r.coefficients,
+                r.mean_psnr_db,
+                r.approx_chunk_fraction * 100.0
+            );
+        }
+        "kmeans" => {
+            let sample = match spec {
+                ApproxSpec::Precise => 1.0,
+                ApproxSpec::Ratios { sampling_ratio, .. } => sampling_ratio,
+                ApproxSpec::Target { .. } => {
+                    return Err(UsageError("kmeans supports --sample only".into()))
+                }
+            };
+            let data = DocVectors {
+                points: 10_000 * sc.mult,
+                points_per_block: 2_000,
+                dims: 8,
+                true_clusters: 5,
+                seed,
+            };
+            let r = apps::kmeans(&data, 5, 8, sample, config).map_err(fail)?;
+            println!(
+                "k-means inertia {:.0} at sampling ratio {:.1}%",
+                r.inertia,
+                r.sampling_ratio * 100.0
+            );
+        }
+        other => return Err(UsageError(format!("unknown application `{other}`"))),
+    }
+    Ok(())
+}
+
+/// `approxhadoop simulate [options]`
+pub fn simulate(args: &Args) -> Result<(), UsageError> {
+    let maps = args.get_parsed("maps", 740usize)?;
+    let records = args.get_parsed("records", 2_600_000u64)?;
+    let servers = args.get_parsed("servers", 10usize)?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    let mut cluster = if args.flag("atom") {
+        ClusterSpec::atom(servers)
+    } else {
+        ClusterSpec::xeon(servers)
+    };
+    if args.flag("s3") {
+        cluster = cluster.with_s3();
+    }
+    let approx = match args.approx_spec()? {
+        ApproxSpec::Precise => SimApprox::Precise,
+        ApproxSpec::Ratios {
+            drop_ratio,
+            sampling_ratio,
+        } => SimApprox::Ratios {
+            drop_ratio,
+            sampling_ratio,
+        },
+        ApproxSpec::Target {
+            target: ErrorTarget::Relative(t),
+            pilot,
+            ..
+        } => match pilot {
+            Some(p) => SimApprox::TargetWithPilot {
+                relative_error: t,
+                pilot: p,
+            },
+            None => SimApprox::Target { relative_error: t },
+        },
+        ApproxSpec::Target { .. } => {
+            return Err(UsageError("simulate supports relative targets only".into()))
+        }
+    };
+    let job = SimJobSpec::log_processing(maps, records);
+    let r = sim(&cluster, &job, approx, seed).map_err(|e| UsageError(e.to_string()))?;
+    println!(
+        "wall {:.0}s | energy {:.1}Wh | maps: {} run, {} dropped, {} killed | sampling {:.1}%",
+        r.wall_secs,
+        r.energy_wh,
+        r.executed_maps,
+        r.dropped_maps,
+        r.killed_maps,
+        r.effective_sampling_ratio * 100.0
+    );
+    println!(
+        "estimate {:.3e} | 95% bound {:.3}% | actual error {:.3}%",
+        r.estimate,
+        r.bound_rel * 100.0,
+        r.actual_error_rel * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! A minimal discrete-event queue over `f64` timestamps.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheduled<E> {
+    /// Simulated timestamp in seconds.
+    pub time: f64,
+    /// Tie-break sequence number (FIFO for equal times).
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E: PartialEq> Eq for Scheduled<E> {}
+
+impl<E: PartialEq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E: PartialEq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap becomes a min-heap on (time, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E: PartialEq> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+}
+
+impl<E: PartialEq> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN.
+    pub fn push(&mut self, time: f64, event: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop()
+    }
+
+    /// Whether any events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<E: PartialEq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.pop().unwrap().event, "c");
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 1);
+        q.push(1.0, 2);
+        q.push(1.0, 3);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_time_rejected() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+}

@@ -1,0 +1,74 @@
+//! The per-server power model (paper Section 5.1): 60 W idle, 150 W at
+//! peak, linear in slot utilisation, plus an ACPI-S3 sleep state.
+
+/// Linear utilisation→power model for one server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Power when idle (all slots empty) in watts.
+    pub idle_watts: f64,
+    /// Power at full utilisation in watts.
+    pub peak_watts: f64,
+    /// Power in the ACPI-S3 sleep state in watts.
+    pub sleep_watts: f64,
+}
+
+impl PowerModel {
+    /// The paper's measured Xeon server: 60 W idle / 150 W peak.
+    pub fn xeon() -> Self {
+        PowerModel {
+            idle_watts: 60.0,
+            peak_watts: 150.0,
+            sleep_watts: 5.0,
+        }
+    }
+
+    /// A low-power Atom server (used for the 12.5 TB experiments).
+    pub fn atom() -> Self {
+        PowerModel {
+            idle_watts: 22.0,
+            peak_watts: 42.0,
+            sleep_watts: 3.0,
+        }
+    }
+
+    /// Instantaneous power at `busy` of `slots` occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `busy > slots` or `slots == 0`.
+    pub fn watts(&self, busy: usize, slots: usize) -> f64 {
+        assert!(slots > 0, "server must have slots");
+        assert!(busy <= slots, "busy slots exceed capacity");
+        self.idle_watts + (self.peak_watts - self.idle_watts) * busy as f64 / slots as f64
+    }
+
+    /// Energy in watt-hours for `watts` drawn over `secs`.
+    pub fn wh(watts: f64, secs: f64) -> f64 {
+        watts * secs / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let p = PowerModel::xeon();
+        assert_eq!(p.watts(0, 8), 60.0);
+        assert_eq!(p.watts(8, 8), 150.0);
+        assert_eq!(p.watts(4, 8), 105.0);
+    }
+
+    #[test]
+    fn energy_units() {
+        // 150 W for one hour = 150 Wh.
+        assert!((PowerModel::wh(150.0, 3600.0) - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn busy_cannot_exceed_slots() {
+        PowerModel::xeon().watts(9, 8);
+    }
+}

@@ -1,0 +1,561 @@
+//! The simulator core.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use approxhadoop_core::multistage::{Aggregation, BoundMonitor, MultiStageReducer};
+use approxhadoop_core::spec::ErrorTarget;
+use approxhadoop_core::target::{SharedApproxState, TargetErrorCoordinator};
+use approxhadoop_core::KeyStat;
+use approxhadoop_runtime::control::{Coordinator, FixedCoordinator, JobControl, MapDirective};
+use approxhadoop_runtime::input::SplitMeta;
+use approxhadoop_runtime::metrics::MapStats;
+use approxhadoop_runtime::reducer::{MapOutputMeta, ReduceContext, Reducer};
+use approxhadoop_runtime::types::TaskId;
+use approxhadoop_stats::sampling::random_order;
+
+use crate::event::EventQueue;
+use crate::spec::{ClusterSpec, SimApprox, SimJobSpec};
+
+/// Errors from the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An input parameter was out of range.
+    Invalid {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Invalid { reason } => write!(f, "invalid simulation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of one simulated job execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Simulated wall-clock job time in seconds.
+    pub wall_secs: f64,
+    /// Simulated cluster energy in watt-hours.
+    pub energy_wh: f64,
+    /// Maps that ran to completion.
+    pub executed_maps: usize,
+    /// Maps dropped before launch.
+    pub dropped_maps: usize,
+    /// Maps killed mid-flight.
+    pub killed_maps: usize,
+    /// Effective within-block sampling ratio over executed maps.
+    pub effective_sampling_ratio: f64,
+    /// The final estimate of the watched key's total.
+    pub estimate: f64,
+    /// The achieved relative error bound (half-width / estimate).
+    pub bound_rel: f64,
+    /// The actual relative error against the synthetic ground truth.
+    pub actual_error_rel: f64,
+}
+
+#[derive(Debug, PartialEq)]
+struct FinishEvent {
+    task: usize,
+    server: usize,
+    sampled: u64,
+    duration: f64,
+}
+
+/// Draws a standard normal via Box–Muller.
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Simulates one job execution on the cluster.
+///
+/// The approximation stack is the real one: a
+/// [`MultiStageReducer`] receives synthetic per-block statistics for the
+/// watched key, publishes bounds, and the chosen coordinator
+/// ([`FixedCoordinator`] or [`TargetErrorCoordinator`]) makes the same
+/// decisions it makes in live runs.
+pub fn simulate(
+    cluster: &ClusterSpec,
+    job: &SimJobSpec,
+    approx: SimApprox,
+    seed: u64,
+) -> Result<SimResult, SimError> {
+    if cluster.servers == 0 || cluster.map_slots_per_server == 0 {
+        return Err(SimError::Invalid {
+            reason: "cluster must have servers and slots".into(),
+        });
+    }
+    if job.num_maps == 0 || job.records_per_map == 0 {
+        return Err(SimError::Invalid {
+            reason: "job must have maps and records".into(),
+        });
+    }
+    if let SimApprox::Ratios {
+        drop_ratio,
+        sampling_ratio,
+    } = approx
+    {
+        let ratios_ok =
+            (0.0..1.0).contains(&drop_ratio) && sampling_ratio > 0.0 && sampling_ratio <= 1.0;
+        if !ratios_ok {
+            return Err(SimError::Invalid {
+                reason: format!("bad ratios: drop {drop_ratio}, sampling {sampling_ratio}"),
+            });
+        }
+    }
+
+    let total = job.num_maps;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Ground truth: the *realized* per-block mean of the watched key's
+    // per-item value — the superpopulation block mean plus the finite
+    // block's own sampling deviation, so a census is exactly right.
+    let m_total = job.records_per_map as f64;
+    let block_mu: Vec<f64> = (0..total)
+        .map(|_| {
+            job.stats.item_mean
+                + job.stats.block_std * normal(&mut rng)
+                + job.stats.item_std / m_total.sqrt() * normal(&mut rng)
+        })
+        .collect();
+    let truth: f64 = block_mu
+        .iter()
+        .map(|mu| mu * job.records_per_map as f64)
+        .sum();
+
+    // The real approximation stack.
+    let control = Arc::new(JobControl::new(1));
+    let shared = Arc::new(SharedApproxState::new(1));
+    let mut reducer =
+        MultiStageReducer::<u8>::new(Aggregation::Sum, job.confidence).with_monitor(BoundMonitor {
+            shared: Arc::clone(&shared),
+            report_absolute: false,
+            check_every: (total / 200).max(1),
+            freeze_threshold: match approx {
+                SimApprox::Target { relative_error }
+                | SimApprox::TargetWithPilot { relative_error, .. } => Some(relative_error),
+                _ => None,
+            },
+            min_maps_before_freeze: match approx {
+                SimApprox::TargetWithPilot { pilot, .. } => pilot.tasks.min(total),
+                _ => cluster.total_slots().max(2).min(total),
+            },
+        });
+    let mut rctx = ReduceContext::new(0, total, Arc::clone(&control));
+    let mut coordinator: Box<dyn Coordinator> = match approx {
+        SimApprox::Precise => Box::new(FixedCoordinator::new(total, 1.0, 0.0, seed)),
+        SimApprox::Ratios {
+            drop_ratio,
+            sampling_ratio,
+        } => Box::new(FixedCoordinator::new(
+            total,
+            sampling_ratio,
+            drop_ratio,
+            seed,
+        )),
+        SimApprox::Target { relative_error } => Box::new(TargetErrorCoordinator::new(
+            total,
+            ErrorTarget::Relative(relative_error),
+            job.confidence,
+            cluster.total_slots(),
+            None,
+            Arc::clone(&shared),
+        )),
+        SimApprox::TargetWithPilot {
+            relative_error,
+            pilot,
+        } => Box::new(TargetErrorCoordinator::new(
+            total,
+            ErrorTarget::Relative(relative_error),
+            job.confidence,
+            cluster.total_slots(),
+            Some(pilot),
+            Arc::clone(&shared),
+        )),
+    };
+
+    // Scheduling state.
+    let mut pending: VecDeque<usize> = random_order(&mut rng, total).into_iter().collect();
+    let mut busy = vec![0usize; cluster.servers];
+    let mut running: HashMap<usize, usize> = HashMap::new(); // task -> server
+    let mut killed_set: HashSet<usize> = HashSet::new();
+    let mut events = EventQueue::<FinishEvent>::new();
+    let meta_template = SplitMeta {
+        index: 0,
+        records: job.records_per_map,
+        bytes: 0,
+        locations: vec![],
+    };
+
+    let mut time = 0.0f64;
+    let mut energy_wh = 0.0f64;
+    let mut executed = 0usize;
+    let mut dropped = 0usize;
+    let mut killed = 0usize;
+    let mut total_records_exec = 0u64;
+    let mut sampled_records_exec = 0u64;
+    let mut dropping = false;
+
+    // Energy between two instants given current busy counts.
+    let integrate = |energy: &mut f64,
+                     from: f64,
+                     to: f64,
+                     busy: &[usize],
+                     can_sleep: bool,
+                     cluster: &ClusterSpec| {
+        if to <= from {
+            return;
+        }
+        let secs = to - from;
+        for &b in busy {
+            let watts = if b == 0 && can_sleep && cluster.s3_enabled {
+                cluster.power.sleep_watts
+            } else {
+                cluster.power.watts(b, cluster.map_slots_per_server)
+            };
+            *energy += watts * secs / 3600.0;
+        }
+    };
+
+    loop {
+        // 1. Early-termination check.
+        if !dropping && (control.drop_requested() || coordinator.want_drop_remaining(&control)) {
+            dropping = true;
+        }
+        if dropping {
+            while let Some(t) = pending.pop_front() {
+                dropped += 1;
+                rctx.note_map();
+                reducer.on_map_dropped(TaskId(t), &mut rctx);
+            }
+            // Kill running tasks immediately: slots free now.
+            for (t, server) in running.drain() {
+                killed += 1;
+                killed_set.insert(t);
+                busy[server] = busy[server].saturating_sub(1);
+                rctx.note_map();
+                reducer.on_map_dropped(TaskId(t), &mut rctx);
+            }
+        }
+
+        // 2. Dispatch to free slots.
+        if !dropping {
+            #[allow(clippy::needless_range_loop)] // `busy[server]` is mutated inside
+            'dispatch: for server in 0..cluster.servers {
+                while busy[server] < cluster.map_slots_per_server {
+                    let Some(t) = pending.pop_front() else {
+                        break 'dispatch;
+                    };
+                    match coordinator.directive(TaskId(t), &meta_template) {
+                        MapDirective::Drop => {
+                            dropped += 1;
+                            rctx.note_map();
+                            reducer.on_map_dropped(TaskId(t), &mut rctx);
+                        }
+                        MapDirective::Run { sampling_ratio } => {
+                            let m = ((job.records_per_map as f64 * sampling_ratio).round() as u64)
+                                .clamp(1, job.records_per_map);
+                            let noise = (job.straggler_std * normal(&mut rng)).exp();
+                            let duration = job.timing.t_map(job.records_per_map as f64, m as f64)
+                                / cluster.speed
+                                * noise;
+                            busy[server] += 1;
+                            running.insert(t, server);
+                            events.push(
+                                time + duration,
+                                FinishEvent {
+                                    task: t,
+                                    server,
+                                    sampled: m,
+                                    duration,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Advance to the next completion.
+        let Some(ev) = events.pop() else {
+            if pending.is_empty() && running.is_empty() {
+                break;
+            }
+            // dropping drained everything; loop once more to exit
+            continue;
+        };
+        let can_sleep = pending.is_empty() || dropping;
+        integrate(&mut energy_wh, time, ev.time, &busy, can_sleep, cluster);
+        time = ev.time;
+        let fin = ev.event;
+        if killed_set.contains(&fin.task) {
+            continue; // slot already freed at kill time
+        }
+        busy[fin.server] = busy[fin.server].saturating_sub(1);
+        running.remove(&fin.task);
+        executed += 1;
+        total_records_exec += job.records_per_map;
+        sampled_records_exec += fin.sampled;
+
+        // Synthesize the watched key's statistics for this block: the
+        // sample mean of m-of-M items drawn without replacement has
+        // variance σ²·(1/m − 1/M) around the realized block mean, so a
+        // full read (m = M) is exact.
+        let m = fin.sampled as f64;
+        let mu = block_mu[fin.task];
+        let fpc = (1.0 / m - 1.0 / m_total).max(0.0);
+        let sample_mean = mu + job.stats.item_std * fpc.sqrt() * normal(&mut rng);
+        let sum = m * sample_mean;
+        let sum_sq = m * (job.stats.item_std * job.stats.item_std + sample_mean * sample_mean);
+        let meta = MapOutputMeta {
+            task: TaskId(fin.task),
+            total_records: job.records_per_map,
+            sampled_records: fin.sampled,
+            duration_secs: fin.duration,
+        };
+        rctx.note_map();
+        reducer.on_map_output(
+            &meta,
+            vec![(
+                0u8,
+                KeyStat {
+                    sum,
+                    sum_sq,
+                    emitting_units: fin.sampled,
+                },
+            )],
+            &mut rctx,
+        );
+        coordinator.on_map_complete(&MapStats {
+            task: TaskId(fin.task),
+            total_records: job.records_per_map,
+            sampled_records: fin.sampled,
+            emitted: 1,
+            duration_secs: fin.duration,
+            read_secs: job.records_per_map as f64 * job.timing.tr / cluster.speed,
+        });
+    }
+
+    // Reduce tail: maps are done; idle servers may sleep.
+    let wall_secs = time + job.reduce_tail_secs;
+    integrate(&mut energy_wh, time, wall_secs, &busy, true, cluster);
+
+    let outputs = reducer.finish(&mut rctx);
+    let (estimate, bound_rel, actual_error_rel) = match outputs.first() {
+        Some((_, iv)) => (iv.estimate, iv.relative_error(), iv.actual_error(truth)),
+        None => (0.0, f64::INFINITY, f64::INFINITY),
+    };
+
+    Ok(SimResult {
+        wall_secs,
+        energy_wh,
+        executed_maps: executed,
+        dropped_maps: dropped,
+        killed_maps: killed,
+        effective_sampling_ratio: if total_records_exec == 0 {
+            1.0
+        } else {
+            sampled_records_exec as f64 / total_records_exec as f64
+        },
+        estimate,
+        bound_rel,
+        actual_error_rel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxhadoop_core::spec::PilotSpec;
+
+    fn small_job() -> SimJobSpec {
+        SimJobSpec::log_processing(160, 50_000)
+    }
+
+    #[test]
+    fn precise_run_executes_everything_exactly() {
+        let r = simulate(&ClusterSpec::xeon(10), &small_job(), SimApprox::Precise, 1).unwrap();
+        assert_eq!(r.executed_maps, 160);
+        assert_eq!(r.dropped_maps + r.killed_maps, 0);
+        assert_eq!(r.bound_rel, 0.0);
+        assert!(r.actual_error_rel < 1e-9);
+        assert!(r.wall_secs > 0.0 && r.energy_wh > 0.0);
+    }
+
+    #[test]
+    fn waves_emerge_from_slots() {
+        // 160 maps on 80 slots = 2 waves → wall ≈ 2 × per-map time.
+        let job = small_job();
+        let r = simulate(&ClusterSpec::xeon(10), &job, SimApprox::Precise, 2).unwrap();
+        let per_map = job.timing.t_map(50_000.0, 50_000.0);
+        assert!(
+            r.wall_secs > 1.7 * per_map && r.wall_secs < 3.0 * per_map + job.reduce_tail_secs,
+            "wall {} vs per-map {per_map}",
+            r.wall_secs
+        );
+    }
+
+    #[test]
+    fn sampling_reduces_runtime_less_than_dropping() {
+        let job = small_job();
+        let precise = simulate(&ClusterSpec::xeon(10), &job, SimApprox::Precise, 3).unwrap();
+        let sampled = simulate(
+            &ClusterSpec::xeon(10),
+            &job,
+            SimApprox::Ratios {
+                drop_ratio: 0.0,
+                sampling_ratio: 0.01,
+            },
+            3,
+        )
+        .unwrap();
+        let dropped = simulate(
+            &ClusterSpec::xeon(10),
+            &job,
+            SimApprox::Ratios {
+                drop_ratio: 0.5,
+                sampling_ratio: 1.0,
+            },
+            3,
+        )
+        .unwrap();
+        assert!(sampled.wall_secs < precise.wall_secs);
+        assert!(dropped.wall_secs < precise.wall_secs);
+        // Sampling still pays the read cost; dropping eliminates it.
+        // At these ratios, dropping halves the work while 1% sampling
+        // only removes the processing component.
+        assert!(sampled.effective_sampling_ratio < 0.02);
+        assert_eq!(dropped.dropped_maps, 80);
+        // Dropping widens the interval compared to sampling (locality).
+        assert!(dropped.bound_rel > 0.0);
+        assert!(sampled.bound_rel > 0.0);
+    }
+
+    #[test]
+    fn target_mode_meets_bound_and_saves_time() {
+        let job = SimJobSpec::log_processing(740, 100_000);
+        let cluster = ClusterSpec::xeon(10);
+        let precise = simulate(&cluster, &job, SimApprox::Precise, 4).unwrap();
+        let target = simulate(
+            &cluster,
+            &job,
+            SimApprox::Target {
+                relative_error: 0.01,
+            },
+            4,
+        )
+        .unwrap();
+        assert!(
+            target.bound_rel <= 0.01 + 1e-9,
+            "bound {} misses target",
+            target.bound_rel
+        );
+        assert!(
+            target.wall_secs < precise.wall_secs,
+            "target {} vs precise {}",
+            target.wall_secs,
+            precise.wall_secs
+        );
+        assert!(target.actual_error_rel < 0.02);
+    }
+
+    #[test]
+    fn pilot_reduces_precise_work() {
+        let job = SimJobSpec::log_processing(740, 100_000);
+        let cluster = ClusterSpec::xeon(10);
+        let no_pilot = simulate(
+            &cluster,
+            &job,
+            SimApprox::Target {
+                relative_error: 0.01,
+            },
+            5,
+        )
+        .unwrap();
+        let pilot = simulate(
+            &cluster,
+            &job,
+            SimApprox::TargetWithPilot {
+                relative_error: 0.01,
+                pilot: PilotSpec {
+                    tasks: 8,
+                    sampling_ratio: 0.01,
+                },
+            },
+            5,
+        )
+        .unwrap();
+        assert!(pilot.bound_rel <= 0.01 + 1e-9);
+        // The pilot avoids a full precise first wave, so it should
+        // process fewer records precisely.
+        assert!(
+            pilot.effective_sampling_ratio <= no_pilot.effective_sampling_ratio + 0.05,
+            "pilot {} vs no pilot {}",
+            pilot.effective_sampling_ratio,
+            no_pilot.effective_sampling_ratio
+        );
+    }
+
+    #[test]
+    fn s3_saves_energy_when_dropping_single_wave() {
+        // Single wave (80 maps, 80 slots): dropping half the maps frees
+        // whole servers; S3 turns that into energy savings even though
+        // runtime barely changes.
+        let job = SimJobSpec::log_processing(80, 200_000);
+        let base = ClusterSpec::xeon(10);
+        let s3 = base.with_s3();
+        let approx = SimApprox::Ratios {
+            drop_ratio: 0.5,
+            sampling_ratio: 1.0,
+        };
+        let without = simulate(&base, &job, approx, 6).unwrap();
+        let with = simulate(&s3, &job, approx, 6).unwrap();
+        assert!(
+            with.energy_wh < without.energy_wh,
+            "S3 {} Wh vs no-S3 {} Wh",
+            with.energy_wh,
+            without.energy_wh
+        );
+        // Runtime is essentially unchanged by dropping within one wave.
+        assert!((with.wall_secs - without.wall_secs).abs() < 1.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let job = small_job();
+        assert!(simulate(&ClusterSpec::xeon(0), &job, SimApprox::Precise, 0).is_err());
+        let mut empty = job;
+        empty.num_maps = 0;
+        assert!(simulate(&ClusterSpec::xeon(1), &empty, SimApprox::Precise, 0).is_err());
+        assert!(simulate(
+            &ClusterSpec::xeon(1),
+            &job,
+            SimApprox::Ratios {
+                drop_ratio: 1.0,
+                sampling_ratio: 1.0
+            },
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let job = small_job();
+        let a = simulate(&ClusterSpec::xeon(4), &job, SimApprox::Precise, 42).unwrap();
+        let b = simulate(&ClusterSpec::xeon(4), &job, SimApprox::Precise, 42).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the approximation layer.
+
+use std::fmt;
+
+use approxhadoop_runtime::RuntimeError;
+use approxhadoop_stats::StatsError;
+
+/// Errors produced while configuring or running approximate jobs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The approximation specification is invalid.
+    InvalidSpec {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The underlying MapReduce engine failed.
+    Runtime(RuntimeError),
+    /// Statistical estimation failed.
+    Stats(StatsError),
+}
+
+impl CoreError {
+    /// Convenience constructor for [`CoreError::InvalidSpec`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        CoreError::InvalidSpec {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidSpec { reason } => write!(f, "invalid approximation spec: {reason}"),
+            CoreError::Runtime(e) => write!(f, "runtime error: {e}"),
+            CoreError::Stats(e) => write!(f, "estimation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Runtime(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            CoreError::InvalidSpec { .. } => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for CoreError {
+    fn from(e: RuntimeError) -> Self {
+        CoreError::Runtime(e)
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = RuntimeError::invalid("x").into();
+        assert!(e.to_string().contains("runtime"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = StatsError::invalid("p", "bad").into();
+        assert!(e.to_string().contains("estimation"));
+        let e = CoreError::invalid("no");
+        assert!(e.to_string().contains("no"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

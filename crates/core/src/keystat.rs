@@ -1,0 +1,73 @@
+//! Per-task per-key statistics shipped through the shuffle.
+
+/// The statistics a map task accumulates for one intermediate key over
+/// the input data items it processed: exactly what the two-stage
+/// estimators need (`Σv`, `Σv²`, and how many items emitted).
+///
+/// The task's `(m_i, M_i)` counts travel separately in the map output
+/// metadata; items that emitted nothing for the key are implicit zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KeyStat {
+    /// Sum of the key's per-item values.
+    pub sum: f64,
+    /// Sum of squares of the per-item values.
+    pub sum_sq: f64,
+    /// Number of items that emitted at least one value for the key.
+    pub emitting_units: u64,
+}
+
+impl KeyStat {
+    /// A statistic from a single item's value.
+    pub fn from_value(v: f64) -> Self {
+        KeyStat {
+            sum: v,
+            sum_sq: v * v,
+            emitting_units: 1,
+        }
+    }
+
+    /// Folds another item's value into the statistic.
+    pub fn add_value(&mut self, v: f64) {
+        self.sum += v;
+        self.sum_sq += v * v;
+        self.emitting_units += 1;
+    }
+
+    /// Merges two statistics (e.g. from combiner-style pre-aggregation).
+    pub fn merge(&mut self, other: &KeyStat) {
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.emitting_units += other.emitting_units;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_values() {
+        let mut s = KeyStat::from_value(2.0);
+        s.add_value(3.0);
+        assert_eq!(s.sum, 5.0);
+        assert_eq!(s.sum_sq, 13.0);
+        assert_eq!(s.emitting_units, 2);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = KeyStat::from_value(1.0);
+        let b = KeyStat::from_value(4.0);
+        a.merge(&b);
+        assert_eq!(a.sum, 5.0);
+        assert_eq!(a.sum_sq, 17.0);
+        assert_eq!(a.emitting_units, 2);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let z = KeyStat::default();
+        assert_eq!(z.sum, 0.0);
+        assert_eq!(z.emitting_units, 0);
+    }
+}

@@ -1,0 +1,668 @@
+//! Approximation-aware templates for aggregation jobs — the paper's
+//! `MultiStageSamplingMapper` / `MultiStageSamplingReducer` classes.
+//!
+//! The user writes an ordinary `map()` that emits `(key, f64)` pairs per
+//! input item; the template does the rest:
+//!
+//! * the **mapper wrapper** aggregates the emissions of each input item
+//!   (so each item contributes one value `v_ij` per key), accumulates a
+//!   [`KeyStat`] per key across the task, and ships exactly one
+//!   `(key, KeyStat)` pair per key per task — the information the
+//!   two-stage estimator needs, at negligible shuffle cost;
+//! * the **reducer** collects each executed map's `(M_i, m_i)` counts and
+//!   per-key statistics, treats non-emitting sampled items as zeros
+//!   (the paper's one assumption), and produces `τ̂ ± ε` per key via
+//!   two-stage cluster sampling;
+//! * in target-error mode the reducer re-evaluates bounds as maps arrive
+//!   (barrier-less), publishes the worst key's statistics to the
+//!   [`crate::target::SharedApproxState`], and the coordinator ends the
+//!   job once every reducer meets the target.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use approxhadoop_runtime::mapper::{MapTaskContext, Mapper};
+use approxhadoop_runtime::reducer::{MapOutputMeta, ReduceContext, Reducer};
+use approxhadoop_runtime::types::{Key, TaskId};
+use approxhadoop_stats::multistage::{
+    ClusterObservation, MeanEstimator, TwoStageEstimator, WaveStatistics,
+};
+use approxhadoop_stats::Interval;
+
+use crate::keystat::KeyStat;
+use crate::target::{SharedApproxState, WaveReport};
+
+/// The aggregation computed per key.
+///
+/// `Count` is the sum of `1.0`-valued emissions and is provided for
+/// readability; it estimates identically to `Sum`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Estimate the population total of the emitted values.
+    Sum,
+    /// Estimate the number of emissions (emit `1.0` per occurrence).
+    Count,
+    /// Estimate the mean emitted value per input item.
+    Mean,
+}
+
+/// Map-side template: wraps a user `map()` emitting `(K, f64)` and ships
+/// one [`KeyStat`] per key per task.
+pub struct MultiStageMapper<I, K, F> {
+    f: F,
+    _marker: PhantomData<fn(I) -> K>,
+}
+
+impl<I, K, F> MultiStageMapper<I, K, F>
+where
+    F: Fn(&I, &mut dyn FnMut(K, f64)) + Send + Sync,
+{
+    /// Wraps the user map function.
+    pub fn new(f: F) -> Self {
+        MultiStageMapper {
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Per-task accumulation state of [`MultiStageMapper`].
+pub struct MultiStageTaskState<K> {
+    per_key: HashMap<K, KeyStat>,
+    scratch: Vec<(K, f64)>,
+}
+
+impl<I, K, F> Mapper for MultiStageMapper<I, K, F>
+where
+    I: Send + 'static,
+    K: Key,
+    F: Fn(&I, &mut dyn FnMut(K, f64)) + Send + Sync,
+{
+    type Item = I;
+    type Key = K;
+    type Value = KeyStat;
+    type TaskState = MultiStageTaskState<K>;
+
+    fn begin_task(&self, _ctx: &MapTaskContext) -> Self::TaskState {
+        MultiStageTaskState {
+            per_key: HashMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn map(&self, state: &mut Self::TaskState, item: I, _emit: &mut dyn FnMut(K, KeyStat)) {
+        // Collect this item's emissions, summing repeats of the same key
+        // so each item contributes a single v_ij per key.
+        state.scratch.clear();
+        let scratch = &mut state.scratch;
+        (self.f)(&item, &mut |k, v| {
+            if let Some(entry) = scratch.iter_mut().find(|(ek, _)| *ek == k) {
+                entry.1 += v;
+            } else {
+                scratch.push((k, v));
+            }
+        });
+        for (k, v) in state.scratch.drain(..) {
+            state.per_key.entry(k).or_default().add_value(v);
+        }
+    }
+
+    fn end_task(&self, state: Self::TaskState, emit: &mut dyn FnMut(K, KeyStat)) {
+        for (k, stat) in state.per_key {
+            emit(k, stat);
+        }
+    }
+}
+
+/// Configuration of the online bound monitor inside
+/// [`MultiStageReducer`] (target-error mode only).
+pub struct BoundMonitor {
+    /// Where to publish the worst key's wave statistics.
+    pub shared: Arc<SharedApproxState>,
+    /// `true` to report absolute half-widths instead of relative bounds
+    /// (for [`crate::spec::ErrorTarget::Absolute`]).
+    pub report_absolute: bool,
+    /// Re-evaluate bounds every this many map outputs (≥ 1).
+    pub check_every: usize,
+    /// Freeze threshold in the reported metric's units: once the worst
+    /// bound reaches it, the reducer stops incorporating further map
+    /// outputs, so the *final* interval is exactly the one that met the
+    /// target (map kills are asynchronous; without freezing, an output
+    /// racing the kill could move the bound back above the target).
+    pub freeze_threshold: Option<f64>,
+    /// Minimum executed clusters before the freeze may engage. A bound
+    /// computed from a couple of clusters is unreliable (the variance
+    /// estimate has almost no degrees of freedom); the paper waits for
+    /// the first wave. Typically set to the wave size.
+    pub min_maps_before_freeze: usize,
+}
+
+/// Where reducers publish their partition's distinct-key estimate at
+/// job end (one slot per reducer; keys are hash-partitioned so the
+/// global estimate is the sum over partitions).
+pub type DistinctSink = Arc<parking_lot::Mutex<Vec<Option<f64>>>>;
+
+/// Reduce-side template computing `τ̂ ± ε` per key with two-stage
+/// sampling (paper Eq. 1–3).
+pub struct MultiStageReducer<K: Key> {
+    agg: Aggregation,
+    confidence: f64,
+    /// `(M_i, m_i)` of each executed map seen by this reducer.
+    clusters: Vec<(TaskId, u64, u64)>,
+    /// Per key: statistics per executed-cluster index.
+    keys: HashMap<K, HashMap<u32, KeyStat>>,
+    monitor: Option<BoundMonitor>,
+    since_check: usize,
+    distinct_sink: Option<DistinctSink>,
+    /// Set once the target is met: `(metric, interval, wave)` locked in.
+    frozen: Option<(f64, Interval, WaveStatistics)>,
+}
+
+impl<K: Key> MultiStageReducer<K> {
+    /// Creates a reducer computing `agg` at `confidence`.
+    pub fn new(agg: Aggregation, confidence: f64) -> Self {
+        MultiStageReducer {
+            agg,
+            confidence,
+            clusters: Vec::new(),
+            keys: HashMap::new(),
+            monitor: None,
+            since_check: 0,
+            distinct_sink: None,
+            frozen: None,
+        }
+    }
+
+    /// Publishes this reducer's distinct-key estimate into `sink` at job
+    /// end (slot = partition index).
+    pub fn with_distinct_sink(mut self, sink: DistinctSink) -> Self {
+        self.distinct_sink = Some(sink);
+        self
+    }
+
+    /// Enables online bound monitoring (target-error mode).
+    pub fn with_monitor(mut self, monitor: BoundMonitor) -> Self {
+        self.monitor = Some(monitor);
+        self
+    }
+
+    /// Estimates the total number of distinct keys in the population,
+    /// including keys the sampling never observed, by extrapolating from
+    /// the frequency of singleton/doubleton keys (Chao1 — the paper's
+    /// §3.1 extension citing Haas et al.). `None` with no keys.
+    pub fn estimate_distinct_keys(&self) -> Option<f64> {
+        use approxhadoop_stats::distinct::{chao1, FrequencyCounts};
+        let fc = FrequencyCounts::from_counts(
+            self.keys
+                .values()
+                .map(|stats| stats.values().map(|s| s.emitting_units).sum::<u64>()),
+        );
+        chao1(&fc).ok()
+    }
+
+    /// Builds the interval for one key from the collected statistics.
+    fn estimate_key(&self, stats: &HashMap<u32, KeyStat>, total_maps: u64) -> Option<Interval> {
+        match self.agg {
+            Aggregation::Sum | Aggregation::Count => {
+                let mut est = TwoStageEstimator::new(total_maps);
+                for obs in self.observations(stats) {
+                    est.push(obs);
+                }
+                est.estimate(self.confidence).ok()
+            }
+            Aggregation::Mean => {
+                let mut est = MeanEstimator::new(total_maps);
+                for obs in self.observations(stats) {
+                    est.push(obs);
+                }
+                est.estimate(self.confidence).ok()
+            }
+        }
+    }
+
+    /// Expands a key's sparse per-cluster stats to one observation per
+    /// executed cluster (absent clusters are all-zero observations).
+    fn observations<'a>(
+        &'a self,
+        stats: &'a HashMap<u32, KeyStat>,
+    ) -> impl Iterator<Item = ClusterObservation> + 'a {
+        self.clusters
+            .iter()
+            .enumerate()
+            .map(move |(ci, (task, m_total, m_sampled))| {
+                let stat = stats.get(&(ci as u32)).copied().unwrap_or_default();
+                ClusterObservation {
+                    cluster_id: task.0 as u64,
+                    total_units: *m_total,
+                    sampled_units: *m_sampled,
+                    sum: stat.sum,
+                    sum_sq: stat.sum_sq,
+                }
+            })
+    }
+
+    /// Estimated variance of one key's total — used to *rank* keys when
+    /// hunting for the worst one. All keys share the cluster count `n`,
+    /// so ranking by variance is ranking by half-width without paying a
+    /// Student-t inversion per key. (For `Mean`, the numerator variance
+    /// is used as the ranking proxy; the reported interval is exact.)
+    fn key_ranking_variance(&self, stats: &HashMap<u32, KeyStat>, total_maps: u64) -> f64 {
+        let mut est = TwoStageEstimator::new(total_maps);
+        for obs in self.observations(stats) {
+            est.push(obs);
+        }
+        est.variance().unwrap_or(f64::INFINITY)
+    }
+
+    /// Evaluates all keys, returning the worst (largest absolute
+    /// half-width) key's interval and wave statistics.
+    fn evaluate_worst(&self, total_maps: u64) -> Option<(Interval, WaveStatistics)> {
+        let worst = self
+            .keys
+            .values()
+            .map(|stats| (self.key_ranking_variance(stats, total_maps), stats))
+            .max_by(|a, b| a.0.total_cmp(&b.0))?;
+        let stats = worst.1;
+        let iv = self.estimate_key(stats, total_maps)?;
+        Some((iv, self.wave_statistics(stats, total_maps, &iv)))
+    }
+
+    /// Builds the [`WaveStatistics`] of one key for the planner.
+    fn wave_statistics(
+        &self,
+        stats: &HashMap<u32, KeyStat>,
+        total_maps: u64,
+        iv: &Interval,
+    ) -> WaveStatistics {
+        let mut est = TwoStageEstimator::new(total_maps);
+        for obs in self.observations(stats) {
+            est.push(obs);
+        }
+        let n = self.clusters.len().max(1) as f64;
+        let mean_cluster_size = self.clusters.iter().map(|(_, m, _)| *m as f64).sum::<f64>() / n;
+        let mut mean_within = 0.0;
+        let mut completed_within = 0.0;
+        for obs in self.observations(stats) {
+            let within = obs.within_variance();
+            mean_within += within / n;
+            let m = obs.sampled_units as f64;
+            let mm = obs.total_units as f64;
+            if m > 0.0 {
+                completed_within += mm * (mm - m) * within / m;
+            }
+        }
+        WaveStatistics {
+            total_clusters: total_maps,
+            completed_clusters: self.clusters.len() as u64,
+            inter_cluster_var: est.inter_cluster_variance(),
+            mean_cluster_size,
+            mean_within_var: mean_within,
+            completed_within_term: completed_within,
+            estimate: iv.estimate,
+        }
+    }
+
+    fn monitor_tick(&mut self, ctx: &mut ReduceContext) {
+        let Some(monitor) = &self.monitor else { return };
+        self.since_check += 1;
+        if self.since_check < monitor.check_every && self.clusters.len() > 2 {
+            return;
+        }
+        self.since_check = 0;
+        let total_maps = ctx.total_maps() as u64;
+        if let Some((iv, wave)) = self.evaluate_worst(total_maps) {
+            let metric = if monitor.report_absolute {
+                iv.half_width
+            } else {
+                iv.relative_error()
+            };
+            ctx.report_bound(metric);
+            if let Some(threshold) = monitor.freeze_threshold {
+                if metric <= threshold && self.clusters.len() >= monitor.min_maps_before_freeze {
+                    self.frozen = Some((metric, iv, wave));
+                }
+            }
+            monitor.shared.publish(
+                ctx.partition(),
+                WaveReport {
+                    maps_seen: ctx.maps_seen(),
+                    worst_abs: iv.half_width,
+                    worst_rel: iv.relative_error(),
+                    wave,
+                },
+            );
+        } else if self.keys.is_empty() && !self.clusters.is_empty() {
+            // No keys routed here: this reducer imposes no bound.
+            ctx.report_bound(0.0);
+            monitor.shared.publish(
+                ctx.partition(),
+                WaveReport {
+                    maps_seen: ctx.maps_seen(),
+                    worst_abs: 0.0,
+                    worst_rel: 0.0,
+                    wave: WaveStatistics {
+                        total_clusters: ctx.total_maps() as u64,
+                        completed_clusters: self.clusters.len() as u64,
+                        inter_cluster_var: 0.0,
+                        mean_cluster_size: 0.0,
+                        mean_within_var: 0.0,
+                        completed_within_term: 0.0,
+                        estimate: 0.0,
+                    },
+                },
+            );
+        }
+    }
+}
+
+impl<K: Key> Reducer for MultiStageReducer<K> {
+    type Key = K;
+    type Value = KeyStat;
+    type Output = (K, Interval);
+
+    fn on_map_output(
+        &mut self,
+        meta: &MapOutputMeta,
+        pairs: Vec<(K, KeyStat)>,
+        ctx: &mut ReduceContext,
+    ) {
+        if let Some((metric, iv, wave)) = &self.frozen {
+            // Target already met: the interval is locked in; any output
+            // racing the JobTracker's kill is discarded like a drop. The
+            // report is refreshed so the tracker sees it as current.
+            let (metric, iv, wave) = (*metric, *iv, *wave);
+            ctx.report_bound(metric);
+            if let Some(monitor) = &self.monitor {
+                monitor.shared.publish(
+                    ctx.partition(),
+                    WaveReport {
+                        maps_seen: ctx.maps_seen(),
+                        worst_abs: iv.half_width,
+                        worst_rel: iv.relative_error(),
+                        wave,
+                    },
+                );
+            }
+            return;
+        }
+        let ci = self.clusters.len() as u32;
+        self.clusters
+            .push((meta.task, meta.total_records, meta.sampled_records));
+        debug_assert!(
+            meta.sampled_records <= meta.total_records,
+            "map reported m_i > M_i"
+        );
+        for (k, stat) in pairs {
+            self.keys
+                .entry(k)
+                .or_default()
+                .entry(ci)
+                .or_default()
+                .merge(&stat);
+        }
+        self.monitor_tick(ctx);
+    }
+
+    fn finish(&mut self, ctx: &mut ReduceContext) -> Vec<(K, Interval)> {
+        if let Some(sink) = &self.distinct_sink {
+            let est = self.estimate_distinct_keys();
+            let mut slots = sink.lock();
+            let p = ctx.partition();
+            if p < slots.len() {
+                slots[p] = est;
+            }
+        }
+        let total_maps = ctx.total_maps() as u64;
+        let mut out: Vec<(K, Interval)> = self
+            .keys
+            .iter()
+            .filter_map(|(k, stats)| {
+                self.estimate_key(stats, total_maps)
+                    .map(|iv| (k.clone(), iv))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxhadoop_runtime::control::JobControl;
+
+    fn ctx(total_maps: usize) -> ReduceContext {
+        ReduceContext::new(0, total_maps, Arc::new(JobControl::new(1)))
+    }
+
+    fn run_mapper<I: Send + 'static + Clone>(
+        mapper: &MultiStageMapper<
+            I,
+            String,
+            impl Fn(&I, &mut dyn FnMut(String, f64)) + Send + Sync,
+        >,
+        items: &[I],
+    ) -> Vec<(String, KeyStat)> {
+        let mctx = MapTaskContext {
+            task: TaskId(0),
+            sampling_ratio: 1.0,
+            attempt: 0,
+        };
+        let mut state = mapper.begin_task(&mctx);
+        for item in items {
+            mapper.map(&mut state, item.clone(), &mut |_k, _v| {});
+        }
+        let mut out = Vec::new();
+        mapper.end_task(state, &mut |k, v| out.push((k, v)));
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    #[test]
+    fn mapper_aggregates_per_item_then_per_task() {
+        // Each item may emit the same key several times: per-item values
+        // are summed first (v_ij), then squared into the task statistic.
+        let mapper = MultiStageMapper::new(|item: &Vec<(&str, f64)>, emit| {
+            for (k, v) in item {
+                emit(k.to_string(), *v);
+            }
+        });
+        let items = vec![
+            vec![("a", 1.0), ("a", 2.0)], // item 0: v_a = 3
+            vec![("a", 4.0), ("b", 5.0)], // item 1: v_a = 4, v_b = 5
+        ];
+        let out = run_mapper(&mapper, &items);
+        assert_eq!(out.len(), 2);
+        let (k, stat) = &out[0];
+        assert_eq!(k, "a");
+        assert_eq!(stat.sum, 7.0);
+        assert_eq!(stat.sum_sq, 9.0 + 16.0);
+        assert_eq!(stat.emitting_units, 2);
+        let (k, stat) = &out[1];
+        assert_eq!(k, "b");
+        assert_eq!(stat.sum, 5.0);
+        assert_eq!(stat.emitting_units, 1);
+    }
+
+    fn meta(task: usize, total: u64, sampled: u64) -> MapOutputMeta {
+        MapOutputMeta {
+            task: TaskId(task),
+            total_records: total,
+            sampled_records: sampled,
+            duration_secs: 0.01,
+        }
+    }
+
+    #[test]
+    fn reducer_census_is_exact() {
+        let mut r = MultiStageReducer::<String>::new(Aggregation::Sum, 0.95);
+        let mut c = ctx(2);
+        r.on_map_output(
+            &meta(0, 3, 3),
+            vec![(
+                "x".into(),
+                KeyStat {
+                    sum: 6.0,
+                    sum_sq: 14.0,
+                    emitting_units: 3,
+                },
+            )],
+            &mut c,
+        );
+        r.on_map_output(
+            &meta(1, 2, 2),
+            vec![(
+                "x".into(),
+                KeyStat {
+                    sum: 9.0,
+                    sum_sq: 41.0,
+                    emitting_units: 2,
+                },
+            )],
+            &mut c,
+        );
+        let out = r.finish(&mut c);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.estimate, 15.0);
+        assert_eq!(out[0].1.half_width, 0.0);
+    }
+
+    #[test]
+    fn reducer_scales_sampled_clusters() {
+        // 4 total maps, 2 executed, each block 10 items with 5 sampled
+        // summing to 10 → per-cluster total est 20 → τ̂ = 4/2·(20+20)=80.
+        let mut r = MultiStageReducer::<String>::new(Aggregation::Sum, 0.95);
+        let mut c = ctx(4);
+        for t in 0..2 {
+            r.on_map_output(
+                &meta(t, 10, 5),
+                vec![(
+                    "x".into(),
+                    KeyStat {
+                        sum: 10.0,
+                        sum_sq: 20.5,
+                        emitting_units: 5,
+                    },
+                )],
+                &mut c,
+            );
+        }
+        let out = r.finish(&mut c);
+        assert_eq!(out[0].1.estimate, 80.0);
+        assert!(out[0].1.half_width > 0.0);
+    }
+
+    #[test]
+    fn key_missing_from_one_cluster_counts_zeros() {
+        // Key appears only in cluster 0; cluster 1 contributes zeros,
+        // which must still widen the inter-cluster variance.
+        let mut r = MultiStageReducer::<String>::new(Aggregation::Sum, 0.95);
+        let mut c = ctx(4);
+        r.on_map_output(
+            &meta(0, 10, 10),
+            vec![(
+                "rare".into(),
+                KeyStat {
+                    sum: 5.0,
+                    sum_sq: 25.0,
+                    emitting_units: 1,
+                },
+            )],
+            &mut c,
+        );
+        r.on_map_output(&meta(1, 10, 10), vec![], &mut c);
+        let out = r.finish(&mut c);
+        assert_eq!(out.len(), 1);
+        // τ̂ = 4/2 · (5 + 0) = 10.
+        assert_eq!(out[0].1.estimate, 10.0);
+        assert!(out[0].1.half_width > 0.0);
+    }
+
+    #[test]
+    fn mean_aggregation_estimates_per_item_mean() {
+        let mut r = MultiStageReducer::<String>::new(Aggregation::Mean, 0.95);
+        let mut c = ctx(1);
+        // One block, census: items [2, 4, 6] → mean 4.
+        r.on_map_output(
+            &meta(0, 3, 3),
+            vec![(
+                "x".into(),
+                KeyStat {
+                    sum: 12.0,
+                    sum_sq: 56.0,
+                    emitting_units: 3,
+                },
+            )],
+            &mut c,
+        );
+        let out = r.finish(&mut c);
+        assert!((out[0].1.estimate - 4.0).abs() < 1e-12);
+        assert_eq!(out[0].1.half_width, 0.0);
+    }
+
+    #[test]
+    fn monitor_publishes_worst_key() {
+        let shared = Arc::new(SharedApproxState::new(1));
+        let mut r =
+            MultiStageReducer::<String>::new(Aggregation::Sum, 0.95).with_monitor(BoundMonitor {
+                shared: Arc::clone(&shared),
+                report_absolute: false,
+                check_every: 1,
+                freeze_threshold: None,
+                min_maps_before_freeze: 0,
+            });
+        let mut c = ctx(10);
+        for t in 0..3 {
+            c.note_map();
+            r.on_map_output(
+                &meta(t, 100, 10),
+                vec![
+                    (
+                        "big".into(),
+                        KeyStat {
+                            sum: 100.0 + t as f64 * 17.0,
+                            sum_sq: 5000.0,
+                            emitting_units: 10,
+                        },
+                    ),
+                    (
+                        "small".into(),
+                        KeyStat {
+                            sum: 1.0,
+                            sum_sq: 0.5,
+                            emitting_units: 2,
+                        },
+                    ),
+                ],
+                &mut c,
+            );
+        }
+        let report = shared.reports()[0].clone().expect("monitor published");
+        assert_eq!(report.maps_seen, 3);
+        assert!(report.worst_abs > 0.0);
+        assert!(report.wave.completed_clusters == 3);
+        assert!(report.wave.estimate > 100.0, "worst key is the big one");
+    }
+
+    #[test]
+    fn empty_blocks_are_tolerated() {
+        let mut r = MultiStageReducer::<String>::new(Aggregation::Sum, 0.95);
+        let mut c = ctx(2);
+        r.on_map_output(
+            &meta(0, 5, 5),
+            vec![(
+                "x".into(),
+                KeyStat {
+                    sum: 5.0,
+                    sum_sq: 5.0,
+                    emitting_units: 5,
+                },
+            )],
+            &mut c,
+        );
+        r.on_map_output(&meta(1, 0, 0), vec![], &mut c);
+        let out = r.finish(&mut c);
+        assert_eq!(out[0].1.estimate, 5.0);
+    }
+}

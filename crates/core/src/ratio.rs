@@ -1,0 +1,287 @@
+//! Ratio-estimation template — the paper's fourth supported aggregate
+//! (`sum`, `count`, `average`, **`ratio`**).
+//!
+//! The user map emits `(key, (y, x))` pairs; the job estimates
+//! `R = Σy / Σx` per key with the linearised two-stage ratio variance
+//! (e.g. bytes-per-request per project, where `y` = bytes and `x` = 1
+//! per request — or click-through rates, cache hit ratios, …).
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+use approxhadoop_runtime::mapper::{MapTaskContext, Mapper};
+use approxhadoop_runtime::reducer::{MapOutputMeta, ReduceContext, Reducer};
+use approxhadoop_runtime::types::{Key, TaskId};
+use approxhadoop_stats::multistage::{PairedClusterObservation, RatioEstimator};
+use approxhadoop_stats::Interval;
+
+/// Per-task per-key paired statistics (`y` numerator, `x` denominator).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PairStat {
+    /// `Σy` over emitting items.
+    pub sum_y: f64,
+    /// `Σy²`.
+    pub sum_y_sq: f64,
+    /// `Σx`.
+    pub sum_x: f64,
+    /// `Σx²`.
+    pub sum_x_sq: f64,
+    /// `Σxy`.
+    pub sum_xy: f64,
+}
+
+impl PairStat {
+    /// Folds one item's `(y, x)` pair in.
+    pub fn add(&mut self, y: f64, x: f64) {
+        self.sum_y += y;
+        self.sum_y_sq += y * y;
+        self.sum_x += x;
+        self.sum_x_sq += x * x;
+        self.sum_xy += x * y;
+    }
+
+    /// Merges another statistic.
+    pub fn merge(&mut self, other: &PairStat) {
+        self.sum_y += other.sum_y;
+        self.sum_y_sq += other.sum_y_sq;
+        self.sum_x += other.sum_x;
+        self.sum_x_sq += other.sum_x_sq;
+        self.sum_xy += other.sum_xy;
+    }
+}
+
+/// Map-side template: the user `f(item, emit)` emits `(key, (y, x))`;
+/// per-item emissions for the same key are summed (one paired value per
+/// unit), and one [`PairStat`] per key per task is shuffled.
+pub struct RatioMapper<I, K, F> {
+    f: F,
+    _marker: PhantomData<fn(I) -> K>,
+}
+
+impl<I, K, F> RatioMapper<I, K, F>
+where
+    F: Fn(&I, &mut dyn FnMut(K, (f64, f64))) + Send + Sync,
+{
+    /// Wraps the user map function.
+    pub fn new(f: F) -> Self {
+        RatioMapper {
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Per-task state of [`RatioMapper`].
+pub struct RatioTaskState<K> {
+    per_key: HashMap<K, PairStat>,
+    scratch: Vec<(K, (f64, f64))>,
+}
+
+impl<I, K, F> Mapper for RatioMapper<I, K, F>
+where
+    I: Send + 'static,
+    K: Key,
+    F: Fn(&I, &mut dyn FnMut(K, (f64, f64))) + Send + Sync,
+{
+    type Item = I;
+    type Key = K;
+    type Value = PairStat;
+    type TaskState = RatioTaskState<K>;
+
+    fn begin_task(&self, _ctx: &MapTaskContext) -> Self::TaskState {
+        RatioTaskState {
+            per_key: HashMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn map(&self, state: &mut Self::TaskState, item: I, _emit: &mut dyn FnMut(K, PairStat)) {
+        state.scratch.clear();
+        let scratch = &mut state.scratch;
+        (self.f)(&item, &mut |k, (y, x)| {
+            if let Some(entry) = scratch.iter_mut().find(|(ek, _)| *ek == k) {
+                entry.1 .0 += y;
+                entry.1 .1 += x;
+            } else {
+                scratch.push((k, (y, x)));
+            }
+        });
+        for (k, (y, x)) in state.scratch.drain(..) {
+            state.per_key.entry(k).or_default().add(y, x);
+        }
+    }
+
+    fn end_task(&self, state: Self::TaskState, emit: &mut dyn FnMut(K, PairStat)) {
+        for (k, stat) in state.per_key {
+            emit(k, stat);
+        }
+    }
+}
+
+/// Reduce-side template computing `R̂ ± ε` per key with the linearised
+/// two-stage ratio estimator.
+pub struct RatioReducer<K: Key> {
+    confidence: f64,
+    clusters: Vec<(TaskId, u64, u64)>,
+    keys: HashMap<K, HashMap<u32, PairStat>>,
+}
+
+impl<K: Key> RatioReducer<K> {
+    /// Creates a reducer estimating ratios at `confidence`.
+    pub fn new(confidence: f64) -> Self {
+        RatioReducer {
+            confidence,
+            clusters: Vec::new(),
+            keys: HashMap::new(),
+        }
+    }
+
+    fn estimate_key(&self, stats: &HashMap<u32, PairStat>, total_maps: u64) -> Option<Interval> {
+        let mut est = RatioEstimator::new(total_maps);
+        for (ci, (task, m_total, m_sampled)) in self.clusters.iter().enumerate() {
+            let s = stats.get(&(ci as u32)).copied().unwrap_or_default();
+            est.push(PairedClusterObservation {
+                cluster_id: task.0 as u64,
+                total_units: *m_total,
+                sampled_units: *m_sampled,
+                sum_y: s.sum_y,
+                sum_y_sq: s.sum_y_sq,
+                sum_x: s.sum_x,
+                sum_x_sq: s.sum_x_sq,
+                sum_xy: s.sum_xy,
+            });
+        }
+        est.estimate(self.confidence).ok()
+    }
+}
+
+impl<K: Key> Reducer for RatioReducer<K> {
+    type Key = K;
+    type Value = PairStat;
+    type Output = (K, Interval);
+
+    fn on_map_output(
+        &mut self,
+        meta: &MapOutputMeta,
+        pairs: Vec<(K, PairStat)>,
+        _ctx: &mut ReduceContext,
+    ) {
+        let ci = self.clusters.len() as u32;
+        self.clusters
+            .push((meta.task, meta.total_records, meta.sampled_records));
+        for (k, stat) in pairs {
+            self.keys
+                .entry(k)
+                .or_default()
+                .entry(ci)
+                .or_default()
+                .merge(&stat);
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut ReduceContext) -> Vec<(K, Interval)> {
+        let total_maps = ctx.total_maps() as u64;
+        let mut out: Vec<(K, Interval)> = self
+            .keys
+            .iter()
+            .filter_map(|(k, stats)| {
+                self.estimate_key(stats, total_maps)
+                    .map(|iv| (k.clone(), iv))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxhadoop_runtime::control::JobControl;
+    use std::sync::Arc;
+
+    fn ctx(total: usize) -> ReduceContext {
+        ReduceContext::new(0, total, Arc::new(JobControl::new(1)))
+    }
+
+    fn meta(task: usize, total: u64, sampled: u64) -> MapOutputMeta {
+        MapOutputMeta {
+            task: TaskId(task),
+            total_records: total,
+            sampled_records: sampled,
+            duration_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn pair_stat_accumulates() {
+        let mut s = PairStat::default();
+        s.add(10.0, 2.0);
+        s.add(20.0, 3.0);
+        assert_eq!(s.sum_y, 30.0);
+        assert_eq!(s.sum_x, 5.0);
+        assert_eq!(s.sum_xy, 80.0);
+        let mut t = PairStat::default();
+        t.merge(&s);
+        assert_eq!(t.sum_y_sq, 500.0);
+    }
+
+    #[test]
+    fn mapper_sums_per_item_emissions() {
+        let m = RatioMapper::new(|item: &Vec<(f64, f64)>, emit| {
+            for &(y, x) in item {
+                emit("k".to_string(), (y, x));
+            }
+        });
+        let mctx = MapTaskContext {
+            task: TaskId(0),
+            sampling_ratio: 1.0,
+            attempt: 0,
+        };
+        let mut state = m.begin_task(&mctx);
+        // Item with two emissions: y = 3+1 = 4, x = 1+1 = 2.
+        m.map(&mut state, vec![(3.0, 1.0), (1.0, 1.0)], &mut |_, _| {});
+        let mut out = Vec::new();
+        m.end_task(state, &mut |k, v| out.push((k, v)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.sum_y, 4.0);
+        assert_eq!(out[0].1.sum_x, 2.0);
+        assert_eq!(out[0].1.sum_y_sq, 16.0);
+    }
+
+    #[test]
+    fn census_ratio_is_exact() {
+        let mut r = RatioReducer::<String>::new(0.95);
+        let mut c = ctx(2);
+        // Cluster 0: y = 30 over x = 3; cluster 1: y = 10 over x = 2.
+        let mut s0 = PairStat::default();
+        s0.add(10.0, 1.0);
+        s0.add(20.0, 2.0);
+        let mut s1 = PairStat::default();
+        s1.add(4.0, 1.0);
+        s1.add(6.0, 1.0);
+        r.on_map_output(&meta(0, 2, 2), vec![("k".into(), s0)], &mut c);
+        r.on_map_output(&meta(1, 2, 2), vec![("k".into(), s1)], &mut c);
+        let out = r.finish(&mut c);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].1.estimate - 40.0 / 5.0).abs() < 1e-12);
+        assert_eq!(out[0].1.half_width, 0.0);
+    }
+
+    #[test]
+    fn sampled_ratio_has_finite_bound() {
+        let mut r = RatioReducer::<String>::new(0.95);
+        let mut c = ctx(10);
+        for t in 0..4 {
+            let mut s = PairStat::default();
+            for i in 0..5 {
+                s.add(10.0 + (t + i) as f64, 1.0);
+            }
+            r.on_map_output(&meta(t, 20, 5), vec![("k".into(), s)], &mut c);
+        }
+        let out = r.finish(&mut c);
+        let iv = out[0].1;
+        assert!((10.0..20.0).contains(&iv.estimate), "ratio {}", iv.estimate);
+        assert!(iv.half_width.is_finite() && iv.half_width > 0.0);
+    }
+}

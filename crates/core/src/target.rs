@@ -1,0 +1,744 @@
+//! The target-error-bound controller (paper Section 4.4).
+//!
+//! When the user specifies a target error bound instead of explicit
+//! ratios, ApproxHadoop must *choose* the dropping/sampling ratios. The
+//! pieces:
+//!
+//! * [`SharedApproxState`] — reduce tasks publish the worst key's
+//!   [`WaveStatistics`] here (the JobTracker "collecting error estimates
+//!   from all reduce tasks");
+//! * [`TimingModel`] — a fit of `t_map(M, m) = t0 + M·t_r + m·t_p`
+//!   (Eq. 5) from completed-map measurements;
+//! * [`plan`] — the optimisation problem: minimise the remaining
+//!   execution time `RET = n₂ · t_map(M̄, m)` subject to the predicted
+//!   bound meeting the target (Eq. 4, 6–7), solved by scanning `n₂` with
+//!   a binary search over `m` and a lower-bound prune;
+//! * [`TargetErrorCoordinator`] — the [`Coordinator`] gluing it together:
+//!   first (or pilot) wave, re-planning as statistics arrive, dropping
+//!   the tail once the plan is exhausted or every reducer meets the
+//!   target.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use approxhadoop_runtime::control::{Coordinator, JobControl, MapDirective};
+use approxhadoop_runtime::input::SplitMeta;
+use approxhadoop_runtime::metrics::MapStats;
+use approxhadoop_runtime::types::TaskId;
+use approxhadoop_stats::dist::cached_two_sided_critical_value;
+use approxhadoop_stats::multistage::WaveStatistics;
+
+use crate::spec::{ErrorTarget, PilotSpec};
+
+/// One reduce task's published view of its worst key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveReport {
+    /// Maps (completed + dropped) the reducer had seen when publishing.
+    pub maps_seen: usize,
+    /// Largest absolute half-width across the reducer's keys.
+    pub worst_abs: f64,
+    /// The corresponding relative bound.
+    pub worst_rel: f64,
+    /// The worst key's statistics, for the planner.
+    pub wave: WaveStatistics,
+}
+
+/// Shared state through which reduce tasks feed the planner.
+#[derive(Debug)]
+pub struct SharedApproxState {
+    slots: Mutex<Vec<Option<WaveReport>>>,
+}
+
+impl SharedApproxState {
+    /// Creates state for `reduce_tasks` reducers.
+    pub fn new(reduce_tasks: usize) -> Self {
+        SharedApproxState {
+            slots: Mutex::new(vec![None; reduce_tasks]),
+        }
+    }
+
+    /// Publishes reducer `partition`'s latest report.
+    pub fn publish(&self, partition: usize, report: WaveReport) {
+        let mut slots = self.slots.lock();
+        if partition < slots.len() {
+            slots[partition] = Some(report);
+        }
+    }
+
+    /// Snapshot of every reducer's latest report.
+    pub fn reports(&self) -> Vec<Option<WaveReport>> {
+        self.slots.lock().clone()
+    }
+
+    /// The globally worst report (largest absolute half-width), provided
+    /// **every** reducer has published one; `None` otherwise.
+    pub fn worst_report(&self) -> Option<WaveReport> {
+        let slots = self.slots.lock();
+        let mut worst: Option<WaveReport> = None;
+        for slot in slots.iter() {
+            let r = slot.as_ref()?;
+            if worst.as_ref().is_none_or(|w| r.worst_abs > w.worst_abs) {
+                worst = Some(r.clone());
+            }
+        }
+        worst
+    }
+}
+
+/// The paper's map-task running-time model (Eq. 5):
+/// `t_map(M, m) = t0 + M·t_r + m·t_p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Base task start-up time (seconds).
+    pub t0: f64,
+    /// Per-record read time (seconds).
+    pub tr: f64,
+    /// Per-record processing time (seconds).
+    pub tp: f64,
+}
+
+impl TimingModel {
+    /// Predicted duration of a map over a block of `m_total` records
+    /// processing `m_sampled` of them.
+    pub fn t_map(&self, m_total: f64, m_sampled: f64) -> f64 {
+        self.t0 + m_total * self.tr + m_sampled * self.tp
+    }
+
+    /// Fits the model from completed-map measurements.
+    ///
+    /// Read time scales with `M` (every record is read even when not
+    /// processed — the paper's observation about why sampling saves less
+    /// than dropping), processing time with `m`:
+    /// `t_r = Σ read / ΣM`, `t_p = Σ(duration − read) / Σm`, and `t0`
+    /// absorbs the residual mean (clamped at 0).
+    ///
+    /// Returns `None` if `stats` is empty or degenerate.
+    pub fn fit(stats: &[MapStats]) -> Option<TimingModel> {
+        if stats.is_empty() {
+            return None;
+        }
+        let n = stats.len() as f64;
+        let sum_m_total: f64 = stats.iter().map(|s| s.total_records as f64).sum();
+        let sum_m_sampled: f64 = stats.iter().map(|s| s.sampled_records as f64).sum();
+        let sum_read: f64 = stats.iter().map(|s| s.read_secs).sum();
+        let sum_proc: f64 = stats
+            .iter()
+            .map(|s| (s.duration_secs - s.read_secs).max(0.0))
+            .sum();
+        if sum_m_total <= 0.0 {
+            return None;
+        }
+        let tr = sum_read / sum_m_total;
+        let tp = if sum_m_sampled > 0.0 {
+            sum_proc / sum_m_sampled
+        } else {
+            0.0
+        };
+        let mean_dur: f64 = stats.iter().map(|s| s.duration_secs).sum::<f64>() / n;
+        let t0 = (mean_dur - tr * sum_m_total / n - tp * sum_m_sampled / n).max(0.0);
+        Some(TimingModel { t0, tr, tp })
+    }
+}
+
+/// A chosen continuation: run `additional_tasks` more maps at
+/// `sampling_ratio`, then drop the rest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// `n₂` — further map tasks to execute.
+    pub additional_tasks: u64,
+    /// Sampling ratio `m / M̄` for those tasks.
+    pub sampling_ratio: f64,
+    /// Whether the target is predicted to be met. When `false` the plan
+    /// degenerates to "run everything remaining precisely" (the paper's
+    /// "no approximation is possible" outcome).
+    pub feasible: bool,
+}
+
+/// The default planning safety margin (see [`plan_with_margin`]).
+pub const DEFAULT_PLANNING_MARGIN: f64 = 0.8;
+
+/// Solves the Section 4.4 optimisation problem with the default safety
+/// margin; see [`plan_with_margin`].
+pub fn plan(
+    wave: &WaveStatistics,
+    timing: &TimingModel,
+    target: ErrorTarget,
+    confidence: f64,
+    remaining: u64,
+) -> Plan {
+    plan_with_margin(
+        wave,
+        timing,
+        target,
+        confidence,
+        remaining,
+        DEFAULT_PLANNING_MARGIN,
+    )
+}
+
+/// Solves the Section 4.4 optimisation problem.
+///
+/// Minimises `RET = n₂ · t_map(M̄, m)` over `(n₂, m)` subject to the
+/// predicted bound (Eq. 4, 6–7) meeting `margin × target` at
+/// `confidence`. `remaining` caps `n₂`.
+///
+/// `margin < 1` plans for a tighter bound than requested: the prediction
+/// comes from noisy first-wave statistics, and once a block has been
+/// sampled it cannot be re-read — without headroom, a job that runs its
+/// whole plan can land just above the target with no way back. The
+/// ablation benches measure the effect (`--bin ablation`).
+pub fn plan_with_margin(
+    wave: &WaveStatistics,
+    timing: &TimingModel,
+    target: ErrorTarget,
+    confidence: f64,
+    remaining: u64,
+    margin: f64,
+) -> Plan {
+    let mbar = wave.mean_cluster_size.max(1.0);
+    let allowed = margin
+        * match target {
+            ErrorTarget::Relative(x) => x * wave.estimate.abs(),
+            ErrorTarget::Absolute(x) => x,
+        };
+    if allowed <= 0.0 {
+        return Plan {
+            additional_tasks: remaining,
+            sampling_ratio: 1.0,
+            feasible: false,
+        };
+    }
+    let n1 = wave.completed_clusters;
+
+    // meets(n2, m): predicted variance within the allowance at the
+    // t-quantile for n = n1 + n2 (cached per n2).
+    let allowed_var = |n2: u64| -> f64 {
+        let n = n1 + n2;
+        if n < 2 {
+            return -1.0;
+        }
+        let t = cached_two_sided_critical_value((n - 1) as f64, confidence);
+        (allowed / t) * (allowed / t)
+    };
+
+    // Already met without any further task?
+    if n1 >= 2 && wave.predicted_variance(0, mbar) <= allowed_var(0) {
+        return Plan {
+            additional_tasks: 0,
+            sampling_ratio: 1.0,
+            feasible: true,
+        };
+    }
+
+    let mut best: Option<(u64, f64, f64)> = None; // (n2, m, ret)
+    for n2 in 1..=remaining {
+        // Prune: even the cheapest possible per-task time rules this out.
+        let t_cheapest = timing.t_map(mbar, 1.0).max(1e-12);
+        if let Some((_, _, ret)) = best {
+            if n2 as f64 * t_cheapest >= ret {
+                break;
+            }
+        }
+        let av = allowed_var(n2);
+        if av < 0.0 || wave.predicted_variance(n2, mbar) > av {
+            continue; // infeasible even running these tasks precisely
+        }
+        // Smallest m meeting the bound (variance is decreasing in m).
+        let mut lo = 1u64;
+        let mut hi = mbar.ceil() as u64;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if wave.predicted_variance(n2, mid as f64) <= av {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let m = lo as f64;
+        let ret = n2 as f64 * timing.t_map(mbar, m);
+        if best.is_none_or(|(_, _, b)| ret < b) {
+            best = Some((n2, m, ret));
+        }
+    }
+    match best {
+        Some((n2, m, _)) => Plan {
+            additional_tasks: n2,
+            sampling_ratio: (m / mbar).clamp(1e-6, 1.0),
+            feasible: true,
+        },
+        None => Plan {
+            additional_tasks: remaining,
+            sampling_ratio: 1.0,
+            feasible: false,
+        },
+    }
+}
+
+/// The [`Coordinator`] implementing target-error mode.
+pub struct TargetErrorCoordinator {
+    total: usize,
+    target: ErrorTarget,
+    confidence: f64,
+    wave1_count: usize,
+    wave1_ratio: f64,
+    shared: Arc<SharedApproxState>,
+    completed: Vec<MapStats>,
+    scheduled_run: usize,
+    current_plan: Option<Plan>,
+    allowed_total: usize,
+    replan_every: usize,
+    completions_since_plan: usize,
+    margin: f64,
+}
+
+impl TargetErrorCoordinator {
+    /// Creates a coordinator.
+    ///
+    /// * `total` — total map tasks;
+    /// * `wave_size` — tasks per wave (usually the cluster's map slots);
+    /// * `pilot` — optional pilot wave replacing the precise first wave.
+    pub fn new(
+        total: usize,
+        target: ErrorTarget,
+        confidence: f64,
+        wave_size: usize,
+        pilot: Option<PilotSpec>,
+        shared: Arc<SharedApproxState>,
+    ) -> Self {
+        let (wave1_count, wave1_ratio) = match pilot {
+            Some(p) => (p.tasks.min(total), p.sampling_ratio),
+            None => (wave_size.max(2).min(total), 1.0),
+        };
+        TargetErrorCoordinator {
+            total,
+            target,
+            confidence,
+            wave1_count,
+            wave1_ratio,
+            shared,
+            completed: Vec::new(),
+            scheduled_run: 0,
+            current_plan: None,
+            allowed_total: total,
+            replan_every: (total / 100).max(1),
+            completions_since_plan: 0,
+            margin: DEFAULT_PLANNING_MARGIN,
+        }
+    }
+
+    /// Overrides the planning safety margin (default
+    /// [`DEFAULT_PLANNING_MARGIN`]); `1.0` plans to the exact target, as
+    /// the paper describes.
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        assert!(margin > 0.0 && margin <= 1.0, "margin must lie in (0, 1]");
+        self.margin = margin;
+        self
+    }
+
+    /// The latest plan, if any (for instrumentation).
+    pub fn current_plan(&self) -> Option<Plan> {
+        self.current_plan
+    }
+
+    /// The first-wave size: completions required before any early stop.
+    pub fn wave1_count(&self) -> usize {
+        self.wave1_count
+    }
+
+    /// Whether the reduce tasks' latest reports already meet the target.
+    ///
+    /// The reports must be *current*: each reducer must have digested at
+    /// least as many map events as the tracker has seen completions,
+    /// otherwise an in-flight map output could still move the bound
+    /// after the drop decision.
+    fn reported_bound_met(&self) -> bool {
+        match self.shared.worst_report() {
+            Some(r) => {
+                if r.maps_seen < self.completed.len() {
+                    return false;
+                }
+                let (achieved, wanted) = match self.target {
+                    ErrorTarget::Relative(x) => (r.worst_rel, x),
+                    ErrorTarget::Absolute(x) => (r.worst_abs, x),
+                };
+                achieved <= wanted
+            }
+            None => false,
+        }
+    }
+
+    fn replan(&mut self) {
+        // Need the first wave done and reducer statistics available.
+        if self.completed.len() < self.wave1_count.min(self.total) {
+            return;
+        }
+        let Some(report) = self.shared.worst_report() else {
+            return;
+        };
+        let Some(timing) = TimingModel::fit(&self.completed) else {
+            return;
+        };
+        // Plan from what has actually been scheduled: tasks already
+        // dispatched will complete regardless.
+        let observed = report.wave;
+        let remaining = (self.total - self.scheduled_run.min(self.total)) as u64;
+        if remaining == 0 {
+            return;
+        }
+        let p = plan_with_margin(
+            &observed,
+            &timing,
+            self.target,
+            self.confidence,
+            remaining,
+            self.margin,
+        );
+        self.allowed_total = (self.scheduled_run + p.additional_tasks as usize).min(self.total);
+        // Never stop below two executed clusters.
+        self.allowed_total = self.allowed_total.max(2.min(self.total));
+        self.current_plan = Some(p);
+    }
+}
+
+impl Coordinator for TargetErrorCoordinator {
+    fn directive(&mut self, _task: TaskId, _meta: &SplitMeta) -> MapDirective {
+        if self.scheduled_run < self.wave1_count {
+            self.scheduled_run += 1;
+            return MapDirective::Run {
+                sampling_ratio: self.wave1_ratio,
+            };
+        }
+        if self.current_plan.is_none() {
+            self.replan();
+        }
+        match self.current_plan {
+            None => {
+                // Statistics not ready yet: keep the first-wave policy.
+                self.scheduled_run += 1;
+                MapDirective::Run {
+                    sampling_ratio: self.wave1_ratio,
+                }
+            }
+            Some(p) => {
+                if self.scheduled_run < self.allowed_total {
+                    self.scheduled_run += 1;
+                    return MapDirective::Run {
+                        sampling_ratio: if p.feasible { p.sampling_ratio } else { 1.0 },
+                    };
+                }
+                // Plan exhausted. The plan was a *prediction* from noisy
+                // first-wave statistics; only drop the tail once the
+                // reducers confirm the achieved bound (the paper keeps
+                // re-planning wave after wave otherwise).
+                if self.reported_bound_met() {
+                    return MapDirective::Drop;
+                }
+                self.replan();
+                let ratio = match self.current_plan {
+                    Some(p) if p.feasible => p.sampling_ratio,
+                    _ => 1.0,
+                };
+                self.scheduled_run += 1;
+                MapDirective::Run {
+                    sampling_ratio: ratio,
+                }
+            }
+        }
+    }
+
+    fn on_map_complete(&mut self, stats: &MapStats) {
+        self.completed.push(*stats);
+        self.completions_since_plan += 1;
+        if self.completions_since_plan >= self.replan_every {
+            self.completions_since_plan = 0;
+            self.replan();
+        }
+    }
+
+    fn want_drop_remaining(&mut self, control: &JobControl) -> bool {
+        // All reducers must have reported a bound meeting the target,
+        // with reports covering everything the tracker knows completed
+        // (a stale report could be invalidated by in-flight outputs).
+        let threshold = match self.target {
+            ErrorTarget::Relative(x) | ErrorTarget::Absolute(x) => x,
+        };
+        let min_completed = self.wave1_count.min(self.total).max(2);
+        if self.completed.len() < min_completed {
+            return false;
+        }
+        let min_maps = self.completed.len().max(2);
+        match control.worst_bound_across_reducers(min_maps) {
+            Some(worst) => worst <= threshold,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n1: u64, total: u64, su2: f64, within: f64, estimate: f64) -> WaveStatistics {
+        WaveStatistics {
+            total_clusters: total,
+            completed_clusters: n1,
+            inter_cluster_var: su2,
+            mean_cluster_size: 1000.0,
+            mean_within_var: within,
+            completed_within_term: 0.0,
+            estimate,
+        }
+    }
+
+    fn timing() -> TimingModel {
+        TimingModel {
+            t0: 0.5,
+            tr: 1e-4,
+            tp: 1e-3,
+        }
+    }
+
+    #[test]
+    fn shared_state_worst_report() {
+        let s = SharedApproxState::new(2);
+        assert!(s.worst_report().is_none());
+        let mk = |abs: f64| WaveReport {
+            maps_seen: 3,
+            worst_abs: abs,
+            worst_rel: abs / 100.0,
+            wave: wave(3, 10, 1.0, 1.0, 100.0),
+        };
+        s.publish(0, mk(5.0));
+        assert!(s.worst_report().is_none(), "reducer 1 has not reported");
+        s.publish(1, mk(9.0));
+        assert_eq!(s.worst_report().unwrap().worst_abs, 9.0);
+        s.publish(1, mk(2.0));
+        assert_eq!(s.worst_report().unwrap().worst_abs, 5.0);
+    }
+
+    #[test]
+    fn timing_model_fit_recovers_components() {
+        let stats: Vec<MapStats> = (0..10)
+            .map(|i| MapStats {
+                task: TaskId(i),
+                total_records: 1000,
+                sampled_records: 100,
+                emitted: 0,
+                // read = 1000·1e-4 = 0.1; process = 100·2e-3 = 0.2
+                read_secs: 0.1,
+                duration_secs: 0.1 + 0.2,
+            })
+            .collect();
+        let t = TimingModel::fit(&stats).unwrap();
+        assert!((t.tr - 1e-4).abs() < 1e-8);
+        assert!((t.tp - 2e-3).abs() < 1e-8);
+        assert!((t.t_map(1000.0, 100.0) - 0.3).abs() < 1e-6);
+        assert!(TimingModel::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn plan_prefers_no_extra_tasks_when_bound_met() {
+        // Tiny variance: the bound is already met with the completed wave.
+        let w = wave(20, 100, 1e-9, 1e-9, 1_000_000.0);
+        let p = plan(&w, &timing(), ErrorTarget::Relative(0.01), 0.95, 80);
+        assert!(p.feasible);
+        assert_eq!(p.additional_tasks, 0);
+    }
+
+    #[test]
+    fn plan_runs_everything_when_no_approximation_possible() {
+        // Huge variance and a very tight target: the only way to meet it
+        // is the census — run every remaining task precisely (the
+        // paper's "no approximation is possible" outcome).
+        let w = wave(10, 100, 1e12, 1e12, 1.0);
+        let p = plan(&w, &timing(), ErrorTarget::Relative(0.0001), 0.95, 90);
+        assert!(p.feasible, "census always meets the bound");
+        assert_eq!(p.additional_tasks, 90);
+        assert_eq!(p.sampling_ratio, 1.0);
+    }
+
+    #[test]
+    fn plan_infeasible_when_zero_estimate() {
+        // A relative target around a zero estimate can never be met.
+        let w = wave(10, 100, 1e3, 1e2, 0.0);
+        let p = plan(&w, &timing(), ErrorTarget::Relative(0.01), 0.95, 90);
+        assert!(!p.feasible);
+        assert_eq!(p.additional_tasks, 90);
+        assert_eq!(p.sampling_ratio, 1.0);
+    }
+
+    #[test]
+    fn plan_trades_tasks_against_sampling() {
+        // Moderate inter-cluster variance dominated by the between term:
+        // some additional clusters needed, each samplable.
+        let w = wave(8, 200, 5e4, 50.0, 1e5);
+        let p = plan(&w, &timing(), ErrorTarget::Relative(0.05), 0.95, 192);
+        assert!(p.feasible);
+        assert!(p.additional_tasks > 0);
+        assert!(p.additional_tasks < 192, "should not need everything");
+        assert!(p.sampling_ratio > 0.0 && p.sampling_ratio <= 1.0);
+        // The plan must actually satisfy the predicted bound.
+        let bound = w.predicted_relative_bound(
+            p.additional_tasks,
+            p.sampling_ratio * w.mean_cluster_size,
+            0.95,
+        );
+        assert!(bound <= 0.05 + 1e-9, "plan violates target: {bound}");
+    }
+
+    #[test]
+    fn plan_handles_absolute_targets() {
+        let w = wave(8, 50, 100.0, 10.0, 500.0);
+        let p = plan(&w, &timing(), ErrorTarget::Absolute(200.0), 0.95, 42);
+        assert!(p.feasible);
+        let bound = w.predicted_bound(
+            p.additional_tasks,
+            p.sampling_ratio * w.mean_cluster_size,
+            0.95,
+        );
+        assert!(bound <= 200.0 + 1e-6);
+    }
+
+    #[test]
+    fn coordinator_first_wave_is_precise() {
+        let shared = Arc::new(SharedApproxState::new(1));
+        let mut c =
+            TargetErrorCoordinator::new(100, ErrorTarget::Relative(0.01), 0.95, 8, None, shared);
+        let meta = SplitMeta {
+            index: 0,
+            records: 100,
+            bytes: 0,
+            locations: vec![],
+        };
+        for t in 0..8 {
+            match c.directive(TaskId(t), &meta) {
+                MapDirective::Run { sampling_ratio } => assert_eq!(sampling_ratio, 1.0),
+                MapDirective::Drop => panic!("first wave must run"),
+            }
+        }
+    }
+
+    #[test]
+    fn coordinator_pilot_wave_uses_pilot_ratio() {
+        let shared = Arc::new(SharedApproxState::new(1));
+        let mut c = TargetErrorCoordinator::new(
+            100,
+            ErrorTarget::Relative(0.01),
+            0.95,
+            8,
+            Some(PilotSpec {
+                tasks: 3,
+                sampling_ratio: 0.05,
+            }),
+            shared,
+        );
+        let meta = SplitMeta {
+            index: 0,
+            records: 100,
+            bytes: 0,
+            locations: vec![],
+        };
+        for t in 0..3 {
+            match c.directive(TaskId(t), &meta) {
+                MapDirective::Run { sampling_ratio } => {
+                    assert!((sampling_ratio - 0.05).abs() < 1e-12)
+                }
+                MapDirective::Drop => panic!("pilot must run"),
+            }
+        }
+    }
+
+    #[test]
+    fn coordinator_plans_and_drops_after_wave() {
+        let shared = Arc::new(SharedApproxState::new(1));
+        let mut c = TargetErrorCoordinator::new(
+            50,
+            ErrorTarget::Relative(0.05),
+            0.95,
+            4,
+            None,
+            Arc::clone(&shared),
+        );
+        let meta = SplitMeta {
+            index: 0,
+            records: 1000,
+            bytes: 0,
+            locations: vec![],
+        };
+        // First wave: 4 precise tasks.
+        for t in 0..4 {
+            assert!(matches!(
+                c.directive(TaskId(t), &meta),
+                MapDirective::Run { .. }
+            ));
+        }
+        for t in 0..4 {
+            c.on_map_complete(&MapStats {
+                task: TaskId(t),
+                total_records: 1000,
+                sampled_records: 1000,
+                emitted: 10,
+                duration_secs: 0.5,
+                read_secs: 0.1,
+            });
+        }
+        // Reducer publishes a wave needing a handful more tasks.
+        shared.publish(
+            0,
+            WaveReport {
+                maps_seen: 4,
+                worst_abs: 5e4,
+                worst_rel: 0.5,
+                wave: WaveStatistics {
+                    total_clusters: 50,
+                    completed_clusters: 4,
+                    inter_cluster_var: 1e4,
+                    mean_cluster_size: 1000.0,
+                    mean_within_var: 4.0,
+                    completed_within_term: 0.0,
+                    estimate: 1e5,
+                },
+            },
+        );
+        // Subsequent directives follow the plan; while the reducers still
+        // report a bound above the target, nothing is dropped.
+        let mut ran = 0;
+        for t in 4..20 {
+            match c.directive(TaskId(t), &meta) {
+                MapDirective::Run { sampling_ratio } => {
+                    ran += 1;
+                    assert!(sampling_ratio > 0.0 && sampling_ratio <= 1.0);
+                }
+                MapDirective::Drop => panic!("must not drop before the bound is met"),
+            }
+        }
+        assert!(c.current_plan().is_some());
+        assert!(ran > 0);
+        // Once the reducers confirm the bound, the tail is dropped.
+        shared.publish(
+            0,
+            WaveReport {
+                maps_seen: 20,
+                worst_abs: 1e3,
+                worst_rel: 0.01,
+                wave: WaveStatistics {
+                    total_clusters: 50,
+                    completed_clusters: 20,
+                    inter_cluster_var: 1e2,
+                    mean_cluster_size: 1000.0,
+                    mean_within_var: 4.0,
+                    completed_within_term: 0.0,
+                    estimate: 1e5,
+                },
+            },
+        );
+        let mut dropped = 0;
+        for t in 20..50 {
+            if matches!(c.directive(TaskId(t), &meta), MapDirective::Drop) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "tail should be dropped once the bound is met");
+    }
+}

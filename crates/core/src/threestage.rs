@@ -1,0 +1,370 @@
+//! Three-stage sampling template (paper Section 3.1, "Three-stage
+//! sampling").
+//!
+//! Sometimes the population of interest is the set of **intermediate
+//! pairs** rather than the input items — the paper's example: the
+//! average number of occurrences of a word *per paragraph*, where each
+//! input item is a whole page emitting one `<W, count>` per paragraph.
+//! The sampling hierarchy then has three stages: blocks (map tasks) →
+//! items (pages) → pairs (paragraphs), and the variance picks up a
+//! third term.
+//!
+//! The paper requires the programmer to "understand her application and
+//! explicitly add the third sampling level"; here that means using
+//! [`ThreeStageMapper`] (whose user function emits one value per
+//! tertiary unit) together with [`ThreeStageReducer`].
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+use approxhadoop_runtime::mapper::{MapTaskContext, Mapper};
+use approxhadoop_runtime::reducer::{MapOutputMeta, ReduceContext, Reducer};
+use approxhadoop_runtime::types::{Key, TaskId};
+use approxhadoop_stats::multistage::{
+    SecondaryObservation, ThreeStageCluster, ThreeStageEstimator,
+};
+use approxhadoop_stats::Interval;
+
+/// Per-task per-key statistics: one [`SecondaryObservation`] per
+/// processed item that emitted for the key.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupStat {
+    /// One entry per emitting item: `(pairs, Σv, Σv²)`.
+    pub items: Vec<(u64, f64, f64)>,
+}
+
+impl GroupStat {
+    /// Merges another statistic (concatenates item groups).
+    pub fn merge(&mut self, other: &GroupStat) {
+        self.items.extend_from_slice(&other.items);
+    }
+}
+
+/// Map-side template: `f(item, emit)` emits one value **per tertiary
+/// unit** (e.g. one count per paragraph); the task ships, per key, the
+/// per-item group statistics the three-stage estimator needs.
+pub struct ThreeStageMapper<I, K, F> {
+    f: F,
+    _marker: PhantomData<fn(I) -> K>,
+}
+
+impl<I, K, F> ThreeStageMapper<I, K, F>
+where
+    F: Fn(&I, &mut dyn FnMut(K, f64)) + Send + Sync,
+{
+    /// Wraps the user map function.
+    pub fn new(f: F) -> Self {
+        ThreeStageMapper {
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Per-task state of [`ThreeStageMapper`].
+pub struct ThreeStageTaskState<K> {
+    per_key: HashMap<K, GroupStat>,
+    scratch: Vec<(K, (u64, f64, f64))>,
+}
+
+impl<I, K, F> Mapper for ThreeStageMapper<I, K, F>
+where
+    I: Send + 'static,
+    K: Key,
+    F: Fn(&I, &mut dyn FnMut(K, f64)) + Send + Sync,
+{
+    type Item = I;
+    type Key = K;
+    type Value = GroupStat;
+    type TaskState = ThreeStageTaskState<K>;
+
+    fn begin_task(&self, _ctx: &MapTaskContext) -> Self::TaskState {
+        ThreeStageTaskState {
+            per_key: HashMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn map(&self, state: &mut Self::TaskState, item: I, _emit: &mut dyn FnMut(K, GroupStat)) {
+        state.scratch.clear();
+        let scratch = &mut state.scratch;
+        (self.f)(&item, &mut |k, v| {
+            if let Some(entry) = scratch.iter_mut().find(|(ek, _)| *ek == k) {
+                entry.1 .0 += 1;
+                entry.1 .1 += v;
+                entry.1 .2 += v * v;
+            } else {
+                scratch.push((k, (1, v, v * v)));
+            }
+        });
+        for (k, group) in state.scratch.drain(..) {
+            state.per_key.entry(k).or_default().items.push(group);
+        }
+    }
+
+    fn end_task(&self, state: Self::TaskState, emit: &mut dyn FnMut(K, GroupStat)) {
+        for (k, stat) in state.per_key {
+            emit(k, stat);
+        }
+    }
+}
+
+/// What the three-stage reducer estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreeStageAggregation {
+    /// Total of all tertiary values in the population.
+    Total,
+    /// Mean value **per intermediate pair** (the paper's example: mean
+    /// occurrences per paragraph). Computed as estimated total divided
+    /// by the estimated number of pairs.
+    MeanPerPair,
+}
+
+/// Reduce-side three-stage estimator.
+pub struct ThreeStageReducer<K: Key> {
+    agg: ThreeStageAggregation,
+    confidence: f64,
+    clusters: Vec<(TaskId, u64, u64)>,
+    keys: HashMap<K, HashMap<u32, GroupStat>>,
+}
+
+impl<K: Key> ThreeStageReducer<K> {
+    /// Creates a reducer computing `agg` at `confidence`.
+    pub fn new(agg: ThreeStageAggregation, confidence: f64) -> Self {
+        ThreeStageReducer {
+            agg,
+            confidence,
+            clusters: Vec::new(),
+            keys: HashMap::new(),
+        }
+    }
+
+    fn build_estimator(
+        &self,
+        stats: &HashMap<u32, GroupStat>,
+        total_maps: u64,
+        count_pairs: bool,
+    ) -> ThreeStageEstimator {
+        let mut est = ThreeStageEstimator::new(total_maps);
+        for (ci, (task, m_total, m_sampled)) in self.clusters.iter().enumerate() {
+            if *m_sampled == 0 {
+                continue;
+            }
+            let empty = GroupStat::default();
+            let stat = stats.get(&(ci as u32)).unwrap_or(&empty);
+            // Sampled items that emitted nothing are zero-pair groups:
+            // they contribute to the secondary stage as empty units. We
+            // encode them as a single aggregate zero secondary with one
+            // tertiary unit of value zero per silent item, preserving
+            // counts without inflating memory.
+            let mut secondaries: Vec<SecondaryObservation> = stat
+                .items
+                .iter()
+                .map(|&(pairs, sum, sum_sq)| SecondaryObservation {
+                    total_tertiary: pairs,
+                    sampled_tertiary: pairs,
+                    sum: if count_pairs { pairs as f64 } else { sum },
+                    sum_sq: if count_pairs { pairs as f64 } else { sum_sq },
+                })
+                .collect();
+            let silent = m_sampled.saturating_sub(stat.items.len() as u64);
+            for _ in 0..silent {
+                secondaries.push(SecondaryObservation {
+                    total_tertiary: 1,
+                    sampled_tertiary: 1,
+                    sum: 0.0,
+                    sum_sq: 0.0,
+                });
+            }
+            est.push(ThreeStageCluster {
+                cluster_id: task.0 as u64,
+                total_units: *m_total,
+                secondaries,
+            });
+        }
+        est
+    }
+
+    fn estimate_key(&self, stats: &HashMap<u32, GroupStat>, total_maps: u64) -> Option<Interval> {
+        match self.agg {
+            ThreeStageAggregation::Total => self
+                .build_estimator(stats, total_maps, false)
+                .estimate(self.confidence)
+                .ok(),
+            ThreeStageAggregation::MeanPerPair => {
+                let total = self
+                    .build_estimator(stats, total_maps, false)
+                    .estimate(self.confidence)
+                    .ok()?;
+                let pairs = self
+                    .build_estimator(stats, total_maps, true)
+                    .estimate(self.confidence)
+                    .ok()?;
+                if pairs.estimate <= 0.0 {
+                    return None;
+                }
+                let mean = total.estimate / pairs.estimate;
+                // First-order error propagation for the quotient.
+                let rel = (total.relative_error().powi(2) + pairs.relative_error().powi(2)).sqrt();
+                Some(Interval::new(mean, mean.abs() * rel, self.confidence))
+            }
+        }
+    }
+}
+
+impl<K: Key> Reducer for ThreeStageReducer<K> {
+    type Key = K;
+    type Value = GroupStat;
+    type Output = (K, Interval);
+
+    fn on_map_output(
+        &mut self,
+        meta: &MapOutputMeta,
+        pairs: Vec<(K, GroupStat)>,
+        _ctx: &mut ReduceContext,
+    ) {
+        let ci = self.clusters.len() as u32;
+        self.clusters
+            .push((meta.task, meta.total_records, meta.sampled_records));
+        for (k, stat) in pairs {
+            self.keys
+                .entry(k)
+                .or_default()
+                .entry(ci)
+                .or_default()
+                .merge(&stat);
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut ReduceContext) -> Vec<(K, Interval)> {
+        let total_maps = ctx.total_maps() as u64;
+        let mut out: Vec<(K, Interval)> = self
+            .keys
+            .iter()
+            .filter_map(|(k, stats)| {
+                self.estimate_key(stats, total_maps)
+                    .map(|iv| (k.clone(), iv))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxhadoop_runtime::control::JobControl;
+    use std::sync::Arc;
+
+    fn ctx(total: usize) -> ReduceContext {
+        ReduceContext::new(0, total, Arc::new(JobControl::new(1)))
+    }
+
+    fn meta(task: usize, total: u64, sampled: u64) -> MapOutputMeta {
+        MapOutputMeta {
+            task: TaskId(task),
+            total_records: total,
+            sampled_records: sampled,
+            duration_secs: 0.0,
+        }
+    }
+
+    fn run_mapper(items: &[Vec<f64>]) -> Vec<(String, GroupStat)> {
+        // Each item emits one value per inner element ("paragraph").
+        let m = ThreeStageMapper::new(|item: &Vec<f64>, emit| {
+            for &v in item {
+                emit("w".to_string(), v);
+            }
+        });
+        let mctx = MapTaskContext {
+            task: TaskId(0),
+            sampling_ratio: 1.0,
+            attempt: 0,
+        };
+        let mut state = m.begin_task(&mctx);
+        for item in items {
+            m.map(&mut state, item.clone(), &mut |_, _| {});
+        }
+        let mut out = Vec::new();
+        m.end_task(state, &mut |k, v| out.push((k, v)));
+        out
+    }
+
+    #[test]
+    fn mapper_groups_per_item() {
+        let out = run_mapper(&[vec![1.0, 2.0], vec![3.0]]);
+        assert_eq!(out.len(), 1);
+        let stat = &out[0].1;
+        assert_eq!(stat.items.len(), 2);
+        assert_eq!(stat.items[0], (2, 3.0, 5.0));
+        assert_eq!(stat.items[1], (1, 3.0, 9.0));
+    }
+
+    #[test]
+    fn census_total_and_mean_per_pair_are_exact() {
+        // Two blocks of two items; values per paragraph.
+        let mut r = ThreeStageReducer::<String>::new(ThreeStageAggregation::Total, 0.95);
+        let mut c = ctx(2);
+        let block0 = run_mapper(&[vec![1.0, 2.0], vec![3.0]]);
+        let block1 = run_mapper(&[vec![4.0], vec![5.0, 6.0]]);
+        r.on_map_output(&meta(0, 2, 2), block0.clone(), &mut c);
+        r.on_map_output(&meta(1, 2, 2), block1.clone(), &mut c);
+        let out = r.finish(&mut c);
+        assert_eq!(out[0].1.estimate, 21.0);
+        assert_eq!(out[0].1.half_width, 0.0);
+
+        let mut r = ThreeStageReducer::<String>::new(ThreeStageAggregation::MeanPerPair, 0.95);
+        let mut c = ctx(2);
+        r.on_map_output(&meta(0, 2, 2), block0, &mut c);
+        r.on_map_output(&meta(1, 2, 2), block1, &mut c);
+        let out = r.finish(&mut c);
+        // 6 paragraphs totalling 21 → mean 3.5 per paragraph.
+        assert!((out[0].1.estimate - 3.5).abs() < 1e-12);
+        assert_eq!(out[0].1.half_width, 0.0);
+    }
+
+    #[test]
+    fn sampled_three_stage_estimates_with_bounds() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        // Population: 20 blocks × 10 items × ~4 paragraphs of value ~5.
+        let blocks: Vec<Vec<Vec<f64>>> = (0..20)
+            .map(|_| {
+                (0..10)
+                    .map(|_| (0..4).map(|_| rng.gen_range(4.0..6.0)).collect())
+                    .collect()
+            })
+            .collect();
+        let truth: f64 = blocks.iter().flatten().flatten().sum();
+        let mut r = ThreeStageReducer::<String>::new(ThreeStageAggregation::Total, 0.95);
+        let mut c = ctx(20);
+        // Execute 8 blocks, sampling 5 of 10 items each.
+        for (t, b) in blocks.iter().take(8).enumerate() {
+            let pairs = run_mapper(&b[..5]);
+            r.on_map_output(&meta(t, 10, 5), pairs, &mut c);
+        }
+        let out = r.finish(&mut c);
+        let iv = out[0].1;
+        assert!(iv.half_width.is_finite() && iv.half_width > 0.0);
+        assert!(
+            iv.actual_error(truth) < 0.1,
+            "estimate {} vs truth {truth}",
+            iv.estimate
+        );
+    }
+
+    #[test]
+    fn silent_items_count_as_zero_groups() {
+        // One block, 4 items sampled, only 2 emitted.
+        let mut r = ThreeStageReducer::<String>::new(ThreeStageAggregation::Total, 0.95);
+        let mut c = ctx(1);
+        let pairs = run_mapper(&[vec![2.0], vec![4.0]]);
+        r.on_map_output(&meta(0, 4, 4), pairs, &mut c);
+        let out = r.finish(&mut c);
+        // Census of the block: total 6 regardless of silent items.
+        assert_eq!(out[0].1.estimate, 6.0);
+        assert_eq!(out[0].1.half_width, 0.0);
+    }
+}

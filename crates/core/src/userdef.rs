@@ -1,0 +1,192 @@
+//! User-defined approximation (the paper's third mechanism): the user
+//! supplies a precise and an approximate version of the map code, and
+//! the framework chooses per task which one to run.
+//!
+//! Error estimation for user-defined approximation is, by definition,
+//! user-defined: the job's output carries which fraction of tasks ran
+//! approximately so application code can attach its own quality metric
+//! (e.g. PSNR for video encoding, inertia for k-means).
+
+use approxhadoop_runtime::mapper::{MapTaskContext, Mapper};
+use approxhadoop_runtime::types::TaskId;
+
+/// Per-task choice between the precise and the approximate code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// Run the precise implementation.
+    Precise,
+    /// Run the user's approximate implementation.
+    Approximate,
+}
+
+/// Deterministically picks the version for a task: a seeded hash of the
+/// task id is compared against `approx_fraction`, so the *same* tasks
+/// approximate on every attempt (speculative duplicates must agree).
+pub fn version_for(task: TaskId, approx_fraction: f64, seed: u64) -> Version {
+    if approx_fraction <= 0.0 {
+        return Version::Precise;
+    }
+    if approx_fraction >= 1.0 {
+        return Version::Approximate;
+    }
+    // SplitMix64 of (task ^ seed) → uniform in [0, 1).
+    let mut z = (task.0 as u64)
+        .wrapping_add(seed)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+    if u < approx_fraction {
+        Version::Approximate
+    } else {
+        Version::Precise
+    }
+}
+
+/// A mapper pairing a precise and an approximate implementation with the
+/// same input/output types; `approx_fraction` of the tasks run the
+/// approximate version.
+pub struct UserDefinedMapper<P, A> {
+    precise: P,
+    approx: A,
+    approx_fraction: f64,
+    seed: u64,
+}
+
+impl<P, A> UserDefinedMapper<P, A> {
+    /// Pairs the two implementations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= approx_fraction <= 1`.
+    pub fn new(precise: P, approx: A, approx_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&approx_fraction),
+            "approx_fraction must lie in [0, 1], got {approx_fraction}"
+        );
+        UserDefinedMapper {
+            precise,
+            approx,
+            approx_fraction,
+            seed,
+        }
+    }
+
+    /// The configured approximate fraction.
+    pub fn approx_fraction(&self) -> f64 {
+        self.approx_fraction
+    }
+}
+
+/// Task state of a [`UserDefinedMapper`]: whichever inner state matches
+/// the chosen version.
+pub enum UserDefinedState<PS, AS> {
+    /// State of the precise implementation.
+    Precise(PS),
+    /// State of the approximate implementation.
+    Approximate(AS),
+}
+
+impl<P, A> Mapper for UserDefinedMapper<P, A>
+where
+    P: Mapper,
+    A: Mapper<Item = P::Item, Key = P::Key, Value = P::Value>,
+{
+    type Item = P::Item;
+    type Key = P::Key;
+    type Value = P::Value;
+    type TaskState = UserDefinedState<P::TaskState, A::TaskState>;
+
+    fn begin_task(&self, ctx: &MapTaskContext) -> Self::TaskState {
+        match version_for(ctx.task, self.approx_fraction, self.seed) {
+            Version::Precise => UserDefinedState::Precise(self.precise.begin_task(ctx)),
+            Version::Approximate => UserDefinedState::Approximate(self.approx.begin_task(ctx)),
+        }
+    }
+
+    fn map(
+        &self,
+        state: &mut Self::TaskState,
+        item: Self::Item,
+        emit: &mut dyn FnMut(Self::Key, Self::Value),
+    ) {
+        match state {
+            UserDefinedState::Precise(s) => self.precise.map(s, item, emit),
+            UserDefinedState::Approximate(s) => self.approx.map(s, item, emit),
+        }
+    }
+
+    fn end_task(&self, state: Self::TaskState, emit: &mut dyn FnMut(Self::Key, Self::Value)) {
+        match state {
+            UserDefinedState::Precise(s) => self.precise.end_task(s, emit),
+            UserDefinedState::Approximate(s) => self.approx.end_task(s, emit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxhadoop_runtime::engine::{run_job, JobConfig};
+    use approxhadoop_runtime::input::VecSource;
+    use approxhadoop_runtime::mapper::FnMapper;
+    use approxhadoop_runtime::reducer::GroupedReducer;
+
+    #[test]
+    fn version_for_extremes() {
+        assert_eq!(version_for(TaskId(3), 0.0, 1), Version::Precise);
+        assert_eq!(version_for(TaskId(3), 1.0, 1), Version::Approximate);
+    }
+
+    #[test]
+    fn version_for_is_deterministic_and_calibrated() {
+        let mut approx = 0;
+        for t in 0..10_000 {
+            let v = version_for(TaskId(t), 0.3, 42);
+            assert_eq!(v, version_for(TaskId(t), 0.3, 42));
+            if v == Version::Approximate {
+                approx += 1;
+            }
+        }
+        let frac = approx as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn user_defined_job_mixes_versions() {
+        // Precise doubles, approximate zeroes: the output reveals which
+        // tasks ran which version.
+        let blocks: Vec<Vec<u32>> = (0..40).map(|_| vec![1]).collect();
+        let input = VecSource::new(blocks);
+        let precise =
+            FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u64)| emit(0, (*i as u64) * 2));
+        let approx = FnMapper::new(|_: &u32, emit: &mut dyn FnMut(u8, u64)| emit(0, 0));
+        let mapper = UserDefinedMapper::new(precise, approx, 0.5, 7);
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| {
+                GroupedReducer::new(|_: &u8, vs: &[u64]| {
+                    Some((vs.iter().filter(|v| **v == 2).count(), vs.len()))
+                })
+            },
+            JobConfig::default(),
+        )
+        .unwrap();
+        let (precise_count, total) = result.outputs[0];
+        assert_eq!(total, 40);
+        assert!(
+            precise_count > 5 && precise_count < 35,
+            "mix: {precise_count}/40"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_fraction() {
+        let m1 = FnMapper::new(|_: &u32, _: &mut dyn FnMut(u8, u8)| {});
+        let m2 = FnMapper::new(|_: &u32, _: &mut dyn FnMut(u8, u8)| {});
+        UserDefinedMapper::new(m1, m2, 1.5, 0);
+    }
+}

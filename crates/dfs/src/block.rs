@@ -1,0 +1,45 @@
+//! Block identifiers and metadata.
+
+/// Globally unique identifier of a data block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "blk_{:016x}", self.0)
+    }
+}
+
+/// Metadata the namenode keeps per block.
+///
+/// `records` is the per-block record count `M_i` — a first-class quantity
+/// here because the two-stage sampling estimators need it exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// The block's identifier.
+    pub id: BlockId,
+    /// Number of records (input data items) in the block.
+    pub records: u64,
+    /// Size of the block in bytes.
+    pub bytes: u64,
+    /// Index of this block within its file.
+    pub index: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_display_is_stable() {
+        assert_eq!(BlockId(255).to_string(), "blk_00000000000000ff");
+    }
+
+    #[test]
+    fn block_ids_order_by_value() {
+        assert!(BlockId(1) < BlockId(2));
+        let mut v = vec![BlockId(3), BlockId(1), BlockId(2)];
+        v.sort();
+        assert_eq!(v, vec![BlockId(1), BlockId(2), BlockId(3)]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for DFS operations.
+
+use std::fmt;
+
+use crate::block::BlockId;
+
+/// Errors produced by the DFS substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DfsError {
+    /// The named file does not exist.
+    FileNotFound {
+        /// The requested path.
+        path: String,
+    },
+    /// A file with this name already exists.
+    FileExists {
+        /// The conflicting path.
+        path: String,
+    },
+    /// The block id is unknown to the namenode or its datanodes.
+    BlockNotFound {
+        /// The requested block.
+        block: BlockId,
+    },
+    /// An invalid configuration value was supplied.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::FileNotFound { path } => write!(f, "file not found: {path}"),
+            DfsError::FileExists { path } => write!(f, "file already exists: {path}"),
+            DfsError::BlockNotFound { block } => write!(f, "block not found: {block:?}"),
+            DfsError::InvalidConfig { reason } => write!(f, "invalid DFS config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_path() {
+        let e = DfsError::FileNotFound { path: "a/b".into() };
+        assert!(e.to_string().contains("a/b"));
+        let e = DfsError::BlockNotFound { block: BlockId(7) };
+        assert!(e.to_string().contains('7'));
+    }
+}

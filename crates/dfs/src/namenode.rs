@@ -1,0 +1,253 @@
+//! The namenode: file namespace and block placement.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::block::{BlockId, BlockMeta};
+use crate::{DfsError, Result};
+
+/// Identifier of a datanode (equal to the hosting server's index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A file's entry in the namespace.
+#[derive(Debug, Clone)]
+struct FileEntry {
+    blocks: Vec<BlockMeta>,
+}
+
+/// The namenode: tracks the file → blocks mapping and block → datanode
+/// placement, mirroring HDFS's NameNode process.
+#[derive(Debug)]
+pub struct NameNode {
+    datanodes: usize,
+    replication: usize,
+    files: HashMap<String, FileEntry>,
+    placement: HashMap<BlockId, Vec<NodeId>>,
+    next_block: u64,
+    rng: StdRng,
+}
+
+impl NameNode {
+    /// Creates a namenode managing `datanodes` nodes with the given
+    /// replication factor (clamped to the node count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `datanodes == 0` or `replication == 0`.
+    pub fn new(datanodes: usize, replication: usize) -> Self {
+        assert!(datanodes > 0, "need at least one datanode");
+        assert!(replication > 0, "replication must be at least 1");
+        NameNode {
+            datanodes,
+            replication: replication.min(datanodes),
+            files: HashMap::new(),
+            placement: HashMap::new(),
+            next_block: 0,
+            rng: StdRng::seed_from_u64(0x5eed_d00d),
+        }
+    }
+
+    /// Number of managed datanodes.
+    pub fn datanodes(&self) -> usize {
+        self.datanodes
+    }
+
+    /// Effective replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Allocates `count` fresh block ids for a new file and records their
+    /// metadata and placement. `records_per_block(i)` and
+    /// `bytes_per_block(i)` provide the per-block sizes.
+    ///
+    /// Placement policy: the first replica rotates round-robin across
+    /// datanodes (even load), remaining replicas go to distinct random
+    /// nodes — close enough to HDFS's default policy for scheduling
+    /// purposes.
+    pub fn create_file(
+        &mut self,
+        path: &str,
+        count: u64,
+        mut records_per_block: impl FnMut(u64) -> u64,
+        mut bytes_per_block: impl FnMut(u64) -> u64,
+    ) -> Result<Vec<BlockMeta>> {
+        if self.files.contains_key(path) {
+            return Err(DfsError::FileExists { path: path.into() });
+        }
+        if count == 0 {
+            return Err(DfsError::InvalidConfig {
+                reason: format!("file `{path}` must contain at least one block"),
+            });
+        }
+        let mut blocks = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let id = BlockId(self.next_block);
+            self.next_block += 1;
+            let meta = BlockMeta {
+                id,
+                records: records_per_block(i),
+                bytes: bytes_per_block(i),
+                index: i,
+            };
+            let primary = NodeId((id.0 as usize) % self.datanodes);
+            let mut replicas = vec![primary];
+            while replicas.len() < self.replication {
+                let candidate = NodeId(self.rng.gen_range(0..self.datanodes));
+                if !replicas.contains(&candidate) {
+                    replicas.push(candidate);
+                }
+            }
+            self.placement.insert(id, replicas);
+            blocks.push(meta);
+        }
+        self.files.insert(
+            path.into(),
+            FileEntry {
+                blocks: blocks.clone(),
+            },
+        );
+        Ok(blocks)
+    }
+
+    /// Removes a file from the namespace, returning its blocks so the
+    /// caller can free the stores.
+    pub fn delete_file(&mut self, path: &str) -> Result<Vec<BlockMeta>> {
+        let entry = self
+            .files
+            .remove(path)
+            .ok_or_else(|| DfsError::FileNotFound { path: path.into() })?;
+        for b in &entry.blocks {
+            self.placement.remove(&b.id);
+        }
+        Ok(entry.blocks)
+    }
+
+    /// The blocks of a file, in order.
+    pub fn blocks_of(&self, path: &str) -> Result<Vec<BlockMeta>> {
+        self.files
+            .get(path)
+            .map(|e| e.blocks.clone())
+            .ok_or_else(|| DfsError::FileNotFound { path: path.into() })
+    }
+
+    /// Whether the namespace contains `path`.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// All file paths in the namespace (unordered).
+    pub fn list_files(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// The datanodes holding replicas of `block`.
+    pub fn locate(&self, block: BlockId) -> Result<&[NodeId]> {
+        self.placement
+            .get(&block)
+            .map(Vec::as_slice)
+            .ok_or(DfsError::BlockNotFound { block })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_locate() {
+        let mut nn = NameNode::new(4, 2);
+        let blocks = nn.create_file("f", 8, |_| 100, |_| 6400).unwrap();
+        assert_eq!(blocks.len(), 8);
+        for b in &blocks {
+            let nodes = nn.locate(b.id).unwrap();
+            assert_eq!(nodes.len(), 2);
+            assert_ne!(nodes[0], nodes[1]);
+            assert!(nodes.iter().all(|n| n.0 < 4));
+        }
+        // Primary replica is round-robin: even initial distribution.
+        let primaries: Vec<usize> = blocks
+            .iter()
+            .map(|b| nn.locate(b.id).unwrap()[0].0)
+            .collect();
+        assert_eq!(primaries, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_file_rejected() {
+        let mut nn = NameNode::new(2, 1);
+        nn.create_file("f", 1, |_| 1, |_| 1).unwrap();
+        assert!(matches!(
+            nn.create_file("f", 1, |_| 1, |_| 1),
+            Err(DfsError::FileExists { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let mut nn = NameNode::new(2, 1);
+        assert!(matches!(
+            nn.create_file("f", 0, |_| 1, |_| 1),
+            Err(DfsError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn replication_clamped_to_nodes() {
+        let nn = NameNode::new(2, 5);
+        assert_eq!(nn.replication(), 2);
+    }
+
+    #[test]
+    fn delete_clears_placement() {
+        let mut nn = NameNode::new(3, 1);
+        let blocks = nn.create_file("f", 3, |_| 1, |_| 1).unwrap();
+        assert!(nn.exists("f"));
+        let removed = nn.delete_file("f").unwrap();
+        assert_eq!(removed.len(), 3);
+        assert!(!nn.exists("f"));
+        assert!(nn.locate(blocks[0].id).is_err());
+        assert!(nn.delete_file("f").is_err());
+    }
+
+    #[test]
+    fn block_metadata_carries_sizes() {
+        let mut nn = NameNode::new(1, 1);
+        let blocks = nn
+            .create_file("f", 3, |i| 10 * (i + 1), |i| 1000 * (i + 1))
+            .unwrap();
+        assert_eq!(blocks[1].records, 20);
+        assert_eq!(blocks[2].bytes, 3000);
+        assert_eq!(blocks[2].index, 2);
+    }
+
+    #[test]
+    fn block_ids_unique_across_files() {
+        let mut nn = NameNode::new(2, 1);
+        let a = nn.create_file("a", 2, |_| 1, |_| 1).unwrap();
+        let b = nn.create_file("b", 2, |_| 1, |_| 1).unwrap();
+        let mut ids: Vec<u64> = a.iter().chain(&b).map(|m| m.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn list_files_reflects_namespace() {
+        let mut nn = NameNode::new(1, 1);
+        nn.create_file("x", 1, |_| 1, |_| 1).unwrap();
+        nn.create_file("y", 1, |_| 1, |_| 1).unwrap();
+        let mut files = nn.list_files();
+        files.sort();
+        assert_eq!(files, vec!["x", "y"]);
+    }
+}

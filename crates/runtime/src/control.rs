@@ -1,0 +1,269 @@
+//! Job control: the channel between reduce tasks, the JobTracker, and
+//! the approximation policy.
+//!
+//! * [`JobControl`] is shared state: reducers post error-bound reports
+//!   and can request that all remaining maps be dropped; the tracker
+//!   polls it.
+//! * [`Coordinator`] is the policy hook: it decides, per task and *at
+//!   schedule time*, whether to run (and at what sampling ratio) or drop
+//!   — this late binding is what lets `approxhadoop-core` implement the
+//!   paper's wave-based ratio selection.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use approxhadoop_stats::sampling::choose_indices;
+
+use crate::input::SplitMeta;
+use crate::metrics::MapStats;
+use crate::types::TaskId;
+
+/// A reduce task's latest error-bound report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundReport {
+    /// Map outputs the reducer had processed when reporting.
+    pub maps_processed: usize,
+    /// Worst (largest) relative error bound across the reducer's keys;
+    /// `f64::INFINITY` if any key is still unbounded.
+    pub worst_relative_bound: f64,
+}
+
+/// Shared job-control state (one per running job).
+#[derive(Debug)]
+pub struct JobControl {
+    drop_remaining: AtomicBool,
+    bounds: Mutex<Vec<Option<BoundReport>>>,
+}
+
+impl JobControl {
+    /// Creates control state for a job with `reduce_tasks` reducers.
+    pub fn new(reduce_tasks: usize) -> Self {
+        JobControl {
+            drop_remaining: AtomicBool::new(false),
+            bounds: Mutex::new(vec![None; reduce_tasks]),
+        }
+    }
+
+    /// Requests that the JobTracker drop all remaining maps (kill running
+    /// ones, discard pending ones). Idempotent.
+    pub fn request_drop_remaining(&self) {
+        self.drop_remaining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drop of remaining maps has been requested.
+    pub fn drop_requested(&self) -> bool {
+        self.drop_remaining.load(Ordering::SeqCst)
+    }
+
+    /// Posts reducer `partition`'s latest error report.
+    pub fn report_bound(&self, partition: usize, report: BoundReport) {
+        let mut bounds = self.bounds.lock();
+        if partition < bounds.len() {
+            bounds[partition] = Some(report);
+        }
+    }
+
+    /// Snapshot of every reducer's latest report (`None` = no report yet).
+    pub fn bound_reports(&self) -> Vec<Option<BoundReport>> {
+        self.bounds.lock().clone()
+    }
+
+    /// The worst relative bound across all reducers, provided **every**
+    /// reducer has reported after processing at least `min_maps` maps;
+    /// `None` otherwise.
+    pub fn worst_bound_across_reducers(&self, min_maps: usize) -> Option<f64> {
+        let bounds = self.bounds.lock();
+        let mut worst: f64 = 0.0;
+        for b in bounds.iter() {
+            match b {
+                Some(r) if r.maps_processed >= min_maps => {
+                    worst = worst.max(r.worst_relative_bound);
+                }
+                _ => return None,
+            }
+        }
+        Some(worst)
+    }
+}
+
+/// Scheduling decision for one map task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MapDirective {
+    /// Execute the task, sampling its block at `sampling_ratio`
+    /// (`1.0` = precise).
+    Run {
+        /// Within-block input data sampling ratio in `(0, 1]`.
+        sampling_ratio: f64,
+    },
+    /// Drop the task without executing it.
+    Drop,
+}
+
+/// The approximation policy driving a job.
+///
+/// The tracker calls [`Coordinator::directive`] immediately before
+/// launching each task (tasks are dispatched one slot at a time, so later
+/// calls observe earlier completions — waves), and
+/// [`Coordinator::on_map_complete`] for every completed attempt.
+pub trait Coordinator: Send {
+    /// Decides the fate of `task` at schedule time.
+    fn directive(&mut self, task: TaskId, meta: &SplitMeta) -> MapDirective;
+
+    /// Observes a completed map attempt (timing + sampling counts).
+    fn on_map_complete(&mut self, stats: &MapStats) {
+        let _ = stats;
+    }
+
+    /// Polled by the tracker after processing events: should all
+    /// remaining maps be dropped now? (In addition to reducers setting
+    /// [`JobControl::request_drop_remaining`] directly.)
+    fn want_drop_remaining(&mut self, control: &JobControl) -> bool {
+        let _ = control;
+        false
+    }
+}
+
+/// The default policy: a fixed sampling ratio for every task plus an
+/// exact fraction of randomly pre-selected dropped tasks — the paper's
+/// "user-specified dropping/sampling ratios" mode.
+#[derive(Debug, Clone)]
+pub struct FixedCoordinator {
+    sampling_ratio: f64,
+    dropped: Vec<bool>,
+}
+
+impl FixedCoordinator {
+    /// Creates a policy for `total_tasks` tasks that drops
+    /// `floor(drop_ratio · total)` random tasks and samples the rest at
+    /// `sampling_ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < sampling_ratio <= 1` and `0 <= drop_ratio < 1`.
+    pub fn new(total_tasks: usize, sampling_ratio: f64, drop_ratio: f64, seed: u64) -> Self {
+        assert!(
+            sampling_ratio > 0.0 && sampling_ratio <= 1.0,
+            "sampling_ratio must lie in (0, 1], got {sampling_ratio}"
+        );
+        assert!(
+            (0.0..1.0).contains(&drop_ratio),
+            "drop_ratio must lie in [0, 1), got {drop_ratio}"
+        );
+        let mut dropped = vec![false; total_tasks];
+        let k = (drop_ratio * total_tasks as f64).floor() as usize;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD20F_F00D);
+        for i in choose_indices(&mut rng, total_tasks, k) {
+            dropped[i] = true;
+        }
+        FixedCoordinator {
+            sampling_ratio,
+            dropped,
+        }
+    }
+
+    /// The number of tasks this policy will drop.
+    pub fn planned_drops(&self) -> usize {
+        self.dropped.iter().filter(|&&d| d).count()
+    }
+}
+
+impl Coordinator for FixedCoordinator {
+    fn directive(&mut self, task: TaskId, _meta: &SplitMeta) -> MapDirective {
+        if self.dropped.get(task.0).copied().unwrap_or(false) {
+            MapDirective::Drop
+        } else {
+            MapDirective::Run {
+                sampling_ratio: self.sampling_ratio,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_control_drop_flag() {
+        let c = JobControl::new(2);
+        assert!(!c.drop_requested());
+        c.request_drop_remaining();
+        assert!(c.drop_requested());
+        c.request_drop_remaining(); // idempotent
+        assert!(c.drop_requested());
+    }
+
+    #[test]
+    fn worst_bound_requires_all_reducers() {
+        let c = JobControl::new(2);
+        assert_eq!(c.worst_bound_across_reducers(1), None);
+        c.report_bound(
+            0,
+            BoundReport {
+                maps_processed: 5,
+                worst_relative_bound: 0.02,
+            },
+        );
+        assert_eq!(c.worst_bound_across_reducers(1), None);
+        c.report_bound(
+            1,
+            BoundReport {
+                maps_processed: 4,
+                worst_relative_bound: 0.05,
+            },
+        );
+        assert_eq!(c.worst_bound_across_reducers(1), Some(0.05));
+        // min_maps gate.
+        assert_eq!(c.worst_bound_across_reducers(5), None);
+    }
+
+    #[test]
+    fn report_to_out_of_range_partition_is_ignored() {
+        let c = JobControl::new(1);
+        c.report_bound(
+            5,
+            BoundReport {
+                maps_processed: 1,
+                worst_relative_bound: 0.1,
+            },
+        );
+        assert_eq!(c.bound_reports(), vec![None]);
+    }
+
+    #[test]
+    fn fixed_coordinator_drops_exact_fraction() {
+        let mut c = FixedCoordinator::new(100, 0.5, 0.25, 42);
+        assert_eq!(c.planned_drops(), 25);
+        let meta = SplitMeta {
+            index: 0,
+            records: 1,
+            bytes: 0,
+            locations: vec![],
+        };
+        let mut drops = 0;
+        for t in 0..100 {
+            match c.directive(TaskId(t), &meta) {
+                MapDirective::Drop => drops += 1,
+                MapDirective::Run { sampling_ratio } => {
+                    assert!((sampling_ratio - 0.5).abs() < 1e-12)
+                }
+            }
+        }
+        assert_eq!(drops, 25);
+    }
+
+    #[test]
+    fn fixed_coordinator_zero_drop() {
+        let c = FixedCoordinator::new(10, 1.0, 0.0, 1);
+        assert_eq!(c.planned_drops(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fixed_coordinator_rejects_full_drop() {
+        FixedCoordinator::new(10, 1.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,1104 @@
+//! The JobTracker: schedules map tasks in random order on a pool of
+//! task-tracker threads, streams map outputs to barrier-less reduce
+//! tasks, and implements task dropping, mid-flight kills and speculative
+//! execution.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use approxhadoop_stats::sampling::random_order;
+
+use crate::control::{Coordinator, FixedCoordinator, JobControl, MapDirective};
+use crate::input::InputSource;
+use crate::mapper::Mapper;
+use crate::metrics::{JobMetrics, MapStats};
+use crate::reducer::{DedupState, MapOutputMeta, ReduceContext, ReduceEvent, Reducer};
+use crate::types::{partition_for, TaskId};
+use crate::{Result, RuntimeError};
+
+/// Configuration of one MapReduce job.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Concurrent map tasks across the cluster (total map slots).
+    pub map_slots: usize,
+    /// Simulated servers hosting the slots (slots are spread round-robin
+    /// across servers; the scheduler prefers tasks whose input block has
+    /// a replica on the assigned server — HDFS-style data locality).
+    pub servers: usize,
+    /// Number of reduce tasks.
+    pub reduce_tasks: usize,
+    /// Within-block input sampling ratio applied by the default policy
+    /// (`1.0` = precise).
+    pub sampling_ratio: f64,
+    /// Fraction of map tasks dropped by the default policy.
+    pub drop_ratio: f64,
+    /// Seed for task ordering, drop selection and per-task sampling.
+    pub seed: u64,
+    /// Enable speculative execution of stragglers.
+    pub speculative: bool,
+    /// A task is a straggler when it runs longer than
+    /// `straggler_factor × mean completed-map time`.
+    pub straggler_factor: f64,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            map_slots: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            servers: 1,
+            reduce_tasks: 1,
+            sampling_ratio: 1.0,
+            drop_ratio: 0.0,
+            seed: 0,
+            speculative: false,
+            straggler_factor: 2.0,
+        }
+    }
+}
+
+impl JobConfig {
+    fn validate(&self) -> Result<()> {
+        if self.map_slots == 0 {
+            return Err(RuntimeError::invalid("map_slots must be positive"));
+        }
+        if self.servers == 0 {
+            return Err(RuntimeError::invalid("servers must be positive"));
+        }
+        if self.reduce_tasks == 0 {
+            return Err(RuntimeError::invalid("reduce_tasks must be positive"));
+        }
+        if !(self.sampling_ratio > 0.0 && self.sampling_ratio <= 1.0) {
+            return Err(RuntimeError::invalid(format!(
+                "sampling_ratio must lie in (0, 1], got {}",
+                self.sampling_ratio
+            )));
+        }
+        if !(0.0..1.0).contains(&self.drop_ratio) {
+            return Err(RuntimeError::invalid(format!(
+                "drop_ratio must lie in [0, 1), got {}",
+                self.drop_ratio
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a job: reducer outputs (concatenated in reducer order)
+/// plus execution metrics.
+#[derive(Debug)]
+pub struct JobResult<O> {
+    /// All reducers' outputs.
+    pub outputs: Vec<O>,
+    /// Execution metrics.
+    pub metrics: JobMetrics,
+}
+
+struct WorkItem {
+    task: TaskId,
+    attempt: u32,
+    sampling_ratio: f64,
+    seed: u64,
+    kill: Arc<AtomicBool>,
+}
+
+enum WorkerMsg {
+    Completed { stats: MapStats, attempt: u32 },
+    Killed { task: TaskId, attempt: u32 },
+    Failed { task: TaskId, error: RuntimeError },
+}
+
+struct RunningAttempt {
+    started: Instant,
+    kill: Arc<AtomicBool>,
+    server: usize,
+}
+
+/// Runs a job with the default fixed-ratio policy derived from
+/// `config.sampling_ratio` / `config.drop_ratio` — the paper's
+/// "user-specified dropping/sampling ratios" mode.
+pub fn run_job<S, M, R, FR>(
+    input: &S,
+    mapper: &M,
+    make_reducer: FR,
+    config: JobConfig,
+) -> Result<JobResult<R::Output>>
+where
+    S: InputSource,
+    M: Mapper<Item = S::Item>,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+    FR: Fn(usize) -> R + Sync,
+{
+    config.validate()?;
+    let total = input.splits().len();
+    if total == 0 {
+        return Err(RuntimeError::invalid("input has no splits"));
+    }
+    let mut coordinator =
+        FixedCoordinator::new(total, config.sampling_ratio, config.drop_ratio, config.seed);
+    run_job_with_coordinator(input, mapper, make_reducer, config, &mut coordinator)
+}
+
+/// Runs a job under an explicit [`Coordinator`] policy (used by the
+/// target-error-bound controller in `approxhadoop-core`).
+pub fn run_job_with_coordinator<S, M, R, FR>(
+    input: &S,
+    mapper: &M,
+    make_reducer: FR,
+    config: JobConfig,
+    coordinator: &mut dyn Coordinator,
+) -> Result<JobResult<R::Output>>
+where
+    S: InputSource,
+    M: Mapper<Item = S::Item>,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+    FR: Fn(usize) -> R + Sync,
+{
+    config.validate()?;
+    let splits = input.splits();
+    let total = splits.len();
+    if total == 0 {
+        return Err(RuntimeError::invalid("input has no splits"));
+    }
+    let start = Instant::now();
+    let control = Arc::new(JobControl::new(config.reduce_tasks));
+    let num_reducers = config.reduce_tasks;
+
+    let servers = config.servers.min(config.map_slots).max(1);
+    let mut task_txs: Vec<Sender<WorkItem>> = Vec::with_capacity(servers);
+    let mut task_rxs = Vec::with_capacity(servers);
+    for _ in 0..servers {
+        let (tx, rx) = unbounded::<WorkItem>();
+        task_txs.push(tx);
+        task_rxs.push(rx);
+    }
+    let mut capacity = vec![0usize; servers];
+    for w in 0..config.map_slots {
+        capacity[w % servers] += 1;
+    }
+    let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
+    let mut reducer_txs: Vec<Sender<ReduceEvent<M::Key, M::Value>>> = Vec::new();
+    let mut reducer_rxs = VecDeque::new();
+    for _ in 0..num_reducers {
+        let (tx, rx) = unbounded();
+        reducer_txs.push(tx);
+        reducer_rxs.push_back(rx);
+    }
+
+    let make_reducer = &make_reducer;
+    let scope_result = crossbeam::thread::scope(|s| {
+        // ---- reduce tasks ----
+        let mut reducer_handles = Vec::new();
+        for r in 0..num_reducers {
+            let rx = reducer_rxs.pop_front().expect("one rx per reducer");
+            let control = Arc::clone(&control);
+            reducer_handles.push(s.spawn(move |_| {
+                let mut reducer = make_reducer(r);
+                let mut ctx = ReduceContext::new(r, total, control);
+                let mut dedup = DedupState::new();
+                for event in rx.iter() {
+                    match event {
+                        ReduceEvent::MapOutput { meta, pairs } => {
+                            if dedup.first(meta.task) {
+                                ctx.note_map();
+                                reducer.on_map_output(&meta, pairs, &mut ctx);
+                            }
+                        }
+                        ReduceEvent::MapDropped { task } => {
+                            if dedup.first(task) {
+                                ctx.note_map();
+                                reducer.on_map_dropped(task, &mut ctx);
+                            }
+                        }
+                    }
+                }
+                reducer.finish(&mut ctx)
+            }));
+        }
+
+        // ---- task trackers (map slots, spread across servers) ----
+        for w in 0..config.map_slots {
+            let task_rx = task_rxs[w % servers].clone();
+            let msg_tx = msg_tx.clone();
+            let reducer_txs = reducer_txs.clone();
+            s.spawn(move |_| {
+                for work in task_rx.iter() {
+                    run_map_attempt(input, mapper, &work, &reducer_txs, &msg_tx);
+                }
+            });
+        }
+        drop(task_rxs);
+        drop(msg_tx);
+
+        // ---- JobTracker loop ----
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut pending: VecDeque<usize> = random_order(&mut rng, total).into_iter().collect();
+        let mut metrics = JobMetrics {
+            total_maps: total,
+            ..Default::default()
+        };
+        let mut running: HashMap<(usize, u32), RunningAttempt> = HashMap::new();
+        let mut busy = vec![0usize; servers];
+        let mut completed: HashSet<usize> = HashSet::new();
+        let mut duplicated: HashSet<usize> = HashSet::new();
+        let mut finished = 0usize;
+        let mut dropping = false;
+        let mut fatal: Option<RuntimeError> = None;
+
+        let notify_drop = |task: usize, txs: &[Sender<ReduceEvent<M::Key, M::Value>>]| {
+            for tx in txs {
+                let _ = tx.send(ReduceEvent::MapDropped { task: TaskId(task) });
+            }
+        };
+
+        macro_rules! handle_msg {
+            ($msg:expr) => {
+                match $msg {
+                    WorkerMsg::Completed { stats, attempt } => {
+                        if let Some(ra) = running.remove(&(stats.task.0, attempt)) {
+                            busy[ra.server] = busy[ra.server].saturating_sub(1);
+                        }
+                        if completed.insert(stats.task.0) {
+                            finished += 1;
+                            metrics.executed_maps += 1;
+                            metrics.total_records += stats.total_records;
+                            metrics.sampled_records += stats.sampled_records;
+                            coordinator.on_map_complete(&stats);
+                            metrics.map_stats.push(stats);
+                            // Kill the losing sibling attempt, if any.
+                            for ((t, _a), ra) in running.iter() {
+                                if *t == stats.task.0 {
+                                    ra.kill.store(true, Ordering::SeqCst);
+                                }
+                            }
+                        }
+                    }
+                    WorkerMsg::Killed { task, attempt } => {
+                        if let Some(ra) = running.remove(&(task.0, attempt)) {
+                            busy[ra.server] = busy[ra.server].saturating_sub(1);
+                        }
+                        let sibling_running = running.keys().any(|(t, _)| *t == task.0);
+                        if !completed.contains(&task.0) && !sibling_running {
+                            finished += 1;
+                            metrics.killed_maps += 1;
+                            notify_drop(task.0, &reducer_txs);
+                        }
+                    }
+                    WorkerMsg::Failed { task, error } => {
+                        running.retain(|(t, _), ra| {
+                            if *t == task.0 {
+                                busy[ra.server] = busy[ra.server].saturating_sub(1);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        if !completed.contains(&task.0) {
+                            finished += 1;
+                            metrics.killed_maps += 1;
+                            notify_drop(task.0, &reducer_txs);
+                        }
+                        if fatal.is_none() {
+                            fatal = Some(error);
+                        }
+                        dropping = true;
+                    }
+                }
+            };
+        }
+
+        while finished < total {
+            // 1. Early-termination check (reduce-initiated or policy).
+            if !dropping && (control.drop_requested() || coordinator.want_drop_remaining(&control))
+            {
+                dropping = true;
+            }
+            if dropping {
+                while let Some(t) = pending.pop_front() {
+                    finished += 1;
+                    metrics.dropped_maps += 1;
+                    notify_drop(t, &reducer_txs);
+                }
+                for ra in running.values() {
+                    ra.kill.store(true, Ordering::SeqCst);
+                }
+            }
+
+            // 2. Dispatch while slots are free. Directives are requested
+            //    lazily so the policy can adapt between waves, and each
+            //    free server prefers a task whose block it hosts (HDFS
+            //    data locality).
+            while !dropping && !pending.is_empty() {
+                let Some(server) = (0..servers).find(|&sv| busy[sv] < capacity[sv]) else {
+                    break;
+                };
+                let local_pos = pending
+                    .iter()
+                    .position(|&t| splits[t].locations.contains(&server));
+                let local = local_pos.is_some();
+                let t = pending
+                    .remove(local_pos.unwrap_or(0))
+                    .expect("position from scan");
+                match coordinator.directive(TaskId(t), &splits[t]) {
+                    MapDirective::Drop => {
+                        finished += 1;
+                        metrics.dropped_maps += 1;
+                        notify_drop(t, &reducer_txs);
+                    }
+                    MapDirective::Run { sampling_ratio } => {
+                        let kill = Arc::new(AtomicBool::new(false));
+                        busy[server] += 1;
+                        if local {
+                            metrics.local_maps += 1;
+                        }
+                        running.insert(
+                            (t, 0),
+                            RunningAttempt {
+                                started: Instant::now(),
+                                kill: Arc::clone(&kill),
+                                server,
+                            },
+                        );
+                        let _ = task_txs[server].send(WorkItem {
+                            task: TaskId(t),
+                            attempt: 0,
+                            sampling_ratio,
+                            seed: config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            kill,
+                        });
+                    }
+                }
+            }
+            if finished >= total {
+                break;
+            }
+
+            // 3. Speculative execution: duplicate stragglers once the
+            //    queue is empty and we have a baseline.
+            if config.speculative && !dropping && pending.is_empty() && metrics.map_stats.len() >= 3
+            {
+                let mean = metrics.mean_map_secs();
+                let threshold = (config.straggler_factor * mean).max(0.05);
+                let stragglers: Vec<usize> = running
+                    .iter()
+                    .filter(|((t, a), ra)| {
+                        *a == 0
+                            && !duplicated.contains(t)
+                            && ra.started.elapsed().as_secs_f64() > threshold
+                    })
+                    .map(|((t, _), _)| *t)
+                    .collect();
+                for t in stragglers {
+                    duplicated.insert(t);
+                    metrics.speculative_attempts += 1;
+                    let kill = Arc::new(AtomicBool::new(false));
+                    // Duplicate on the least-loaded server (not the one
+                    // already struggling with the original attempt).
+                    let server = (0..servers).min_by_key(|&sv| busy[sv]).unwrap_or(0);
+                    busy[server] += 1;
+                    running.insert(
+                        (t, 1),
+                        RunningAttempt {
+                            started: Instant::now(),
+                            kill: Arc::clone(&kill),
+                            server,
+                        },
+                    );
+                    let _ = task_txs[server].send(WorkItem {
+                        task: TaskId(t),
+                        attempt: 1,
+                        sampling_ratio: 1.0,
+                        seed: config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        kill,
+                    });
+                }
+            }
+
+            // 4. Wait for worker events.
+            match msg_rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(msg) => {
+                    handle_msg!(msg);
+                    while let Ok(extra) = msg_rx.try_recv() {
+                        handle_msg!(extra);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    if fatal.is_none() {
+                        fatal = Some(RuntimeError::TaskPanicked {
+                            what: "all task trackers exited early".into(),
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+
+        // Shut down: close the dispatch channel (workers exit after
+        // draining), then release our reducer senders so reducers can
+        // finish once the last worker exits.
+        for ra in running.values() {
+            ra.kill.store(true, Ordering::SeqCst);
+        }
+        drop(task_txs);
+        drop(reducer_txs);
+
+        let mut outputs = Vec::new();
+        let mut panicked = false;
+        for h in reducer_handles {
+            match h.join() {
+                Ok(out) => outputs.extend(out),
+                Err(_) => panicked = true,
+            }
+        }
+        metrics.wall_secs = start.elapsed().as_secs_f64();
+        if let Some(e) = fatal {
+            return Err(e);
+        }
+        if panicked {
+            return Err(RuntimeError::TaskPanicked {
+                what: "reduce task".into(),
+            });
+        }
+        Ok(JobResult { outputs, metrics })
+    });
+
+    match scope_result {
+        Ok(job) => job,
+        Err(_) => Err(RuntimeError::TaskPanicked {
+            what: "task tracker".into(),
+        }),
+    }
+}
+
+/// Executes one map attempt on a task-tracker thread.
+fn run_map_attempt<S, M>(
+    input: &S,
+    mapper: &M,
+    work: &WorkItem,
+    reducer_txs: &[Sender<ReduceEvent<M::Key, M::Value>>],
+    msg_tx: &Sender<WorkerMsg>,
+) where
+    S: InputSource,
+    M: Mapper<Item = S::Item>,
+{
+    if work.kill.load(Ordering::SeqCst) {
+        let _ = msg_tx.send(WorkerMsg::Killed {
+            task: work.task,
+            attempt: work.attempt,
+        });
+        return;
+    }
+    let t0 = Instant::now();
+    let read = match input.read_split(work.task.0, work.sampling_ratio, work.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = msg_tx.send(WorkerMsg::Failed {
+                task: work.task,
+                error: e,
+            });
+            return;
+        }
+    };
+    let read_secs = t0.elapsed().as_secs_f64();
+    let num_reducers = reducer_txs.len();
+    // User map code may panic; contain it so the JobTracker can fail the
+    // job cleanly instead of losing a worker thread (and hanging).
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut parts: Vec<Vec<(M::Key, M::Value)>> =
+            (0..num_reducers).map(|_| Vec::new()).collect();
+        let mut emitted = 0u64;
+        let ctx = crate::mapper::MapTaskContext {
+            task: work.task,
+            sampling_ratio: work.sampling_ratio,
+            attempt: work.attempt,
+        };
+        let mut state = mapper.begin_task(&ctx);
+        let mut killed = false;
+        for item in read.items {
+            if work.kill.load(Ordering::Relaxed) {
+                killed = true;
+                break;
+            }
+            mapper.map(&mut state, item, &mut |k, v| {
+                emitted += 1;
+                let p = partition_for(&k, num_reducers);
+                parts[p].push((k, v));
+            });
+        }
+        if !killed {
+            mapper.end_task(state, &mut |k, v| {
+                emitted += 1;
+                let p = partition_for(&k, num_reducers);
+                parts[p].push((k, v));
+            });
+        }
+        (parts, emitted, killed)
+    }));
+    let (mut parts, emitted, killed) = match run {
+        Ok(r) => r,
+        Err(_) => {
+            let _ = msg_tx.send(WorkerMsg::Failed {
+                task: work.task,
+                error: RuntimeError::TaskPanicked {
+                    what: format!("user map code in {}", work.task),
+                },
+            });
+            return;
+        }
+    };
+    if killed {
+        let _ = msg_tx.send(WorkerMsg::Killed {
+            task: work.task,
+            attempt: work.attempt,
+        });
+        return;
+    }
+    let duration_secs = t0.elapsed().as_secs_f64();
+    let meta = MapOutputMeta {
+        task: work.task,
+        total_records: read.total,
+        sampled_records: read.sampled,
+        duration_secs,
+    };
+    for (p, tx) in reducer_txs.iter().enumerate() {
+        let pairs = std::mem::take(&mut parts[p]);
+        let _ = tx.send(ReduceEvent::MapOutput { meta, pairs });
+    }
+    let stats = MapStats {
+        task: work.task,
+        total_records: read.total,
+        sampled_records: read.sampled,
+        emitted,
+        duration_secs,
+        read_secs,
+    };
+    let _ = msg_tx.send(WorkerMsg::Completed {
+        stats,
+        attempt: work.attempt,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{SampledItems, SplitMeta, VecSource};
+    use crate::mapper::FnMapper;
+    use crate::reducer::GroupedReducer;
+
+    fn word_blocks() -> Vec<Vec<String>> {
+        vec![
+            vec!["a b a".into(), "c".into()],
+            vec!["b c".into(), "a a".into()],
+            vec!["c c c".into()],
+        ]
+    }
+
+    #[allow(clippy::type_complexity)] // test helper returning the full generic
+    fn word_mapper(
+    ) -> FnMapper<String, String, u64, impl Fn(&String, &mut dyn FnMut(String, u64)) + Send + Sync>
+    {
+        FnMapper::new(|line: &String, emit: &mut dyn FnMut(String, u64)| {
+            for w in line.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        })
+    }
+
+    #[allow(clippy::type_complexity)] // test helper returning the full generic
+    fn sum_reducer(
+    ) -> GroupedReducer<String, u64, impl FnMut(&String, &[u64]) -> Option<(String, u64)> + Send>
+    {
+        GroupedReducer::new(|k: &String, vs: &[u64]| Some((k.clone(), vs.iter().sum::<u64>())))
+    }
+
+    #[test]
+    fn precise_word_count() {
+        let input = VecSource::new(word_blocks());
+        let mapper = word_mapper();
+        let result = run_job(&input, &mapper, |_| sum_reducer(), JobConfig::default()).unwrap();
+        let mut out = result.outputs;
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), 4),
+                ("b".to_string(), 2),
+                ("c".to_string(), 5)
+            ]
+        );
+        assert_eq!(result.metrics.executed_maps, 3);
+        assert_eq!(result.metrics.dropped_maps, 0);
+        assert_eq!(result.metrics.total_records, 5);
+        assert_eq!(result.metrics.sampled_records, 5);
+    }
+
+    #[test]
+    fn multiple_reducers_cover_all_keys() {
+        let input = VecSource::new(word_blocks());
+        let mapper = word_mapper();
+        let config = JobConfig {
+            reduce_tasks: 4,
+            ..Default::default()
+        };
+        let result = run_job(&input, &mapper, |_| sum_reducer(), config).unwrap();
+        let mut out = result.outputs;
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), 4),
+                ("b".to_string(), 2),
+                ("c".to_string(), 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let input = VecSource::new(word_blocks());
+            let mapper = word_mapper();
+            let config = JobConfig {
+                seed,
+                reduce_tasks: 2,
+                sampling_ratio: 0.5,
+                ..Default::default()
+            };
+            let mut out = run_job(&input, &mapper, |_| sum_reducer(), config)
+                .unwrap()
+                .outputs;
+            out.sort();
+            out
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn drop_ratio_drops_exact_count() {
+        let blocks: Vec<Vec<u32>> = (0..20).map(|i| vec![i, i, i]).collect();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|item: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *item));
+        let config = JobConfig {
+            drop_ratio: 0.25,
+            ..Default::default()
+        };
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_k: &u8, vs: &[u32]| Some(vs.len())),
+            config,
+        )
+        .unwrap();
+        assert_eq!(result.metrics.dropped_maps, 5);
+        assert_eq!(result.metrics.executed_maps, 15);
+        assert_eq!(result.outputs, vec![45]); // 15 maps × 3 items
+    }
+
+    #[test]
+    fn sampling_ratio_reduces_processed_records() {
+        let blocks: Vec<Vec<u32>> = (0..4).map(|_| (0..100).collect()).collect();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|item: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *item));
+        let config = JobConfig {
+            sampling_ratio: 0.1,
+            ..Default::default()
+        };
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_k: &u8, vs: &[u32]| Some(vs.len())),
+            config,
+        )
+        .unwrap();
+        assert_eq!(result.metrics.total_records, 400);
+        assert_eq!(result.metrics.sampled_records, 40);
+        assert_eq!(result.outputs, vec![40]);
+    }
+
+    /// A reducer that requests early termination after the first map
+    /// output — the GEV-style "target achieved, kill the rest" path.
+    struct EarlyStopReducer {
+        seen_outputs: usize,
+        seen_drops: usize,
+    }
+
+    impl Reducer for EarlyStopReducer {
+        type Key = u8;
+        type Value = u32;
+        type Output = (usize, usize);
+
+        fn on_map_output(
+            &mut self,
+            _meta: &MapOutputMeta,
+            _pairs: Vec<(u8, u32)>,
+            ctx: &mut ReduceContext,
+        ) {
+            self.seen_outputs += 1;
+            if self.seen_outputs >= 2 {
+                ctx.request_drop_remaining();
+            }
+        }
+
+        fn on_map_dropped(&mut self, _task: TaskId, _ctx: &mut ReduceContext) {
+            self.seen_drops += 1;
+        }
+
+        fn finish(&mut self, _ctx: &mut ReduceContext) -> Vec<(usize, usize)> {
+            vec![(self.seen_outputs, self.seen_drops)]
+        }
+    }
+
+    #[test]
+    fn reducer_initiated_drop_terminates_job() {
+        let blocks: Vec<Vec<u32>> = (0..50).map(|_| (0..200).collect()).collect();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|item: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *item));
+        let config = JobConfig {
+            map_slots: 2,
+            ..Default::default()
+        };
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| EarlyStopReducer {
+                seen_outputs: 0,
+                seen_drops: 0,
+            },
+            config,
+        )
+        .unwrap();
+        let (outputs, drops) = result.outputs[0];
+        assert!(outputs >= 2, "at least the triggering maps completed");
+        assert!(drops > 0, "remaining maps were dropped");
+        assert_eq!(outputs + drops, 50);
+        assert!(
+            result.metrics.executed_maps < 50,
+            "job must not run all maps: {}",
+            result.metrics.executed_maps
+        );
+        assert_eq!(
+            result.metrics.executed_maps + result.metrics.dropped_maps + result.metrics.killed_maps,
+            50
+        );
+    }
+
+    #[test]
+    fn zero_slots_rejected() {
+        let input = VecSource::new(vec![vec![1u32]]);
+        let mapper = FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *i));
+        let config = JobConfig {
+            map_slots: 0,
+            ..Default::default()
+        };
+        assert!(run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, _: &[u32]| Some(())),
+            config
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bad_ratios_rejected() {
+        let input = VecSource::new(vec![vec![1u32]]);
+        let mapper = FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *i));
+        for (sampling, drop) in [(0.0, 0.0), (1.5, 0.0), (1.0, 1.0), (1.0, -0.1)] {
+            let config = JobConfig {
+                sampling_ratio: sampling,
+                drop_ratio: drop,
+                ..Default::default()
+            };
+            assert!(
+                run_job(
+                    &input,
+                    &mapper,
+                    |_| GroupedReducer::new(|_: &u8, _: &[u32]| Some(())),
+                    config
+                )
+                .is_err(),
+                "sampling={sampling} drop={drop} should be rejected"
+            );
+        }
+    }
+
+    /// Input source whose third split fails to read.
+    struct FailingSource;
+
+    impl InputSource for FailingSource {
+        type Item = u32;
+
+        fn splits(&self) -> Vec<SplitMeta> {
+            (0..4)
+                .map(|i| SplitMeta {
+                    index: i,
+                    records: 1,
+                    bytes: 0,
+                    locations: vec![],
+                })
+                .collect()
+        }
+
+        fn read_split(
+            &self,
+            index: usize,
+            _ratio: f64,
+            _seed: u64,
+        ) -> crate::Result<SampledItems<u32>> {
+            if index == 2 {
+                Err(approxhadoop_dfs::DfsError::BlockNotFound {
+                    block: approxhadoop_dfs::BlockId(2),
+                }
+                .into())
+            } else {
+                Ok(SampledItems {
+                    items: vec![1],
+                    total: 1,
+                    sampled: 1,
+                })
+            }
+        }
+    }
+
+    #[test]
+    fn input_failure_aborts_job() {
+        let mapper = FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *i));
+        let result = run_job(
+            &FailingSource,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+            JobConfig::default(),
+        );
+        assert!(matches!(result, Err(RuntimeError::Input { .. })));
+    }
+
+    #[test]
+    fn panicking_mapper_fails_job_cleanly() {
+        let blocks: Vec<Vec<u32>> = (0..6).map(|i| vec![i as u32]).collect();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u32)| {
+            assert!(*v != 3, "poisoned item");
+            emit(0, *v);
+        });
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+            JobConfig::default(),
+        );
+        assert!(
+            matches!(result, Err(RuntimeError::TaskPanicked { .. })),
+            "panic must surface as a job error"
+        );
+    }
+
+    #[test]
+    fn speculative_execution_completes_correctly() {
+        // One poisoned item makes its map slow; with speculation enabled
+        // the job still finishes with the right answer.
+        let mut blocks: Vec<Vec<u32>> = (0..8).map(|_| (0..50).collect()).collect();
+        blocks[5][0] = 999; // marker: sleep per item
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|item: &u32, emit: &mut dyn FnMut(u8, u64)| {
+            if *item == 999 {
+                std::thread::sleep(std::time::Duration::from_millis(120));
+            }
+            emit(0, 1);
+        });
+        let config = JobConfig {
+            map_slots: 4,
+            speculative: true,
+            straggler_factor: 2.0,
+            ..Default::default()
+        };
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, vs: &[u64]| Some(vs.len())),
+            config,
+        )
+        .unwrap();
+        assert_eq!(result.outputs, vec![400]);
+        assert_eq!(result.metrics.executed_maps, 8);
+    }
+
+    #[test]
+    fn locality_preference_is_tracked() {
+        // 12 blocks, each local to exactly one of 4 servers round-robin;
+        // with 4 servers × 1 slot, every task can be scheduled locally.
+        let blocks: Vec<Vec<u32>> = (0..12).map(|i| vec![i as u32]).collect();
+        let locations: Vec<Vec<usize>> = (0..12).map(|i| vec![i % 4]).collect();
+        let input = VecSource::new(blocks).with_locations(locations);
+        let mapper = FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *v));
+        let config = JobConfig {
+            map_slots: 4,
+            servers: 4,
+            ..Default::default()
+        };
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+            config,
+        )
+        .unwrap();
+        assert_eq!(result.outputs, vec![12]);
+        assert_eq!(result.metrics.executed_maps, 12);
+        assert!(
+            result.metrics.local_maps >= 9,
+            "most maps should be local, got {}",
+            result.metrics.local_maps
+        );
+    }
+
+    #[test]
+    fn zero_servers_rejected() {
+        let input = VecSource::new(vec![vec![1u32]]);
+        let mapper = FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *i));
+        let config = JobConfig {
+            servers: 0,
+            ..Default::default()
+        };
+        assert!(run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, _: &[u32]| Some(())),
+            config
+        )
+        .is_err());
+    }
+
+    /// Early termination during the very first map output, with many
+    /// reducers: everything still shuts down cleanly.
+    #[test]
+    fn immediate_drop_request_with_many_reducers() {
+        struct InstantStop;
+        impl Reducer for InstantStop {
+            type Key = u8;
+            type Value = u32;
+            type Output = usize;
+            fn on_map_output(
+                &mut self,
+                _m: &MapOutputMeta,
+                _p: Vec<(u8, u32)>,
+                ctx: &mut ReduceContext,
+            ) {
+                ctx.request_drop_remaining();
+            }
+            fn finish(&mut self, ctx: &mut ReduceContext) -> Vec<usize> {
+                vec![ctx.maps_seen()]
+            }
+        }
+        let blocks: Vec<Vec<u32>> = (0..30).map(|i| vec![i as u32]).collect();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u32)| emit(*v as u8, *v));
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| InstantStop,
+            JobConfig {
+                map_slots: 3,
+                reduce_tasks: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Every reducer eventually observes all 30 maps (as outputs or
+        // drop notifications).
+        assert_eq!(result.outputs, vec![30; 5]);
+        assert!(result.metrics.executed_maps < 30);
+    }
+
+    /// A mapper that emits nothing at all still completes with correct
+    /// metadata flowing to the reducers.
+    #[test]
+    fn silent_mapper_completes() {
+        struct CountMaps(usize);
+        impl Reducer for CountMaps {
+            type Key = u8;
+            type Value = u32;
+            type Output = usize;
+            fn on_map_output(
+                &mut self,
+                meta: &MapOutputMeta,
+                pairs: Vec<(u8, u32)>,
+                _ctx: &mut ReduceContext,
+            ) {
+                assert!(pairs.is_empty());
+                assert_eq!(meta.total_records, 4);
+                self.0 += 1;
+            }
+            fn finish(&mut self, _ctx: &mut ReduceContext) -> Vec<usize> {
+                vec![self.0]
+            }
+        }
+        let blocks: Vec<Vec<u32>> = (0..6).map(|_| vec![0; 4]).collect();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|_: &u32, _emit: &mut dyn FnMut(u8, u32)| {});
+        let result = run_job(&input, &mapper, |_| CountMaps(0), JobConfig::default()).unwrap();
+        assert_eq!(result.outputs, vec![6]);
+    }
+
+    /// Stateful end_task emission arrives even when items were sampled
+    /// down to a single record.
+    #[test]
+    fn end_task_emission_with_heavy_sampling() {
+        let blocks: Vec<Vec<u32>> = (0..5).map(|_| (0..100).collect()).collect();
+        let input = VecSource::new(blocks);
+        struct PerTaskCount;
+        impl Mapper for PerTaskCount {
+            type Item = u32;
+            type Key = u8;
+            type Value = u64;
+            type TaskState = u64;
+            fn begin_task(&self, _c: &crate::mapper::MapTaskContext) -> u64 {
+                0
+            }
+            fn map(&self, s: &mut u64, _i: u32, _e: &mut dyn FnMut(u8, u64)) {
+                *s += 1;
+            }
+            fn end_task(&self, s: u64, emit: &mut dyn FnMut(u8, u64)) {
+                emit(0, s);
+            }
+        }
+        let result = run_job(
+            &input,
+            &PerTaskCount,
+            |_| GroupedReducer::new(|_: &u8, vs: &[u64]| Some((vs.len(), vs.iter().sum::<u64>()))),
+            JobConfig {
+                sampling_ratio: 0.01,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (tasks, items) = result.outputs[0];
+        assert_eq!(tasks, 5, "every task emits its count");
+        assert_eq!(items, 5, "1% of 100 items per task");
+    }
+
+    #[test]
+    fn single_block_single_slot() {
+        let input = VecSource::new(vec![vec![1u32, 2, 3]]);
+        let mapper = FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *i));
+        let config = JobConfig {
+            map_slots: 1,
+            ..Default::default()
+        };
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.iter().sum::<u32>())),
+            config,
+        )
+        .unwrap();
+        assert_eq!(result.outputs, vec![6]);
+    }
+}

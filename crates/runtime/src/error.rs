@@ -1,0 +1,74 @@
+//! Error type for the MapReduce engine.
+
+use std::fmt;
+
+use approxhadoop_dfs::DfsError;
+
+/// Errors produced while configuring or running a job.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The job configuration is invalid (zero slots, bad ratios, …).
+    InvalidJob {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The input source failed to provide a split.
+    Input {
+        /// Underlying DFS error.
+        source: DfsError,
+    },
+    /// A task-tracker or reducer thread panicked.
+    TaskPanicked {
+        /// Description of the task that died.
+        what: String,
+    },
+}
+
+impl RuntimeError {
+    /// Convenience constructor for [`RuntimeError::InvalidJob`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        RuntimeError::InvalidJob {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidJob { reason } => write!(f, "invalid job: {reason}"),
+            RuntimeError::Input { source } => write!(f, "input error: {source}"),
+            RuntimeError::TaskPanicked { what } => write!(f, "task panicked: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Input { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfsError> for RuntimeError {
+    fn from(source: DfsError) -> Self {
+        RuntimeError::Input { source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RuntimeError::invalid("no slots");
+        assert!(e.to_string().contains("no slots"));
+        let e: RuntimeError = DfsError::FileNotFound { path: "x".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,271 @@
+//! Input sources: splits, sampling-aware block readers.
+//!
+//! Each input split becomes one map task; the split is the *cluster* of
+//! the two-stage sampling theory. `read_split` takes the sampling ratio
+//! decided by the scheduler for this task and must report both the
+//! block's total record count `M_i` and the number of records actually
+//! returned `m_i`.
+
+use approxhadoop_stats::sampling::SystematicSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::Result;
+
+/// Metadata describing one input split (block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMeta {
+    /// Split index (= map task id).
+    pub index: usize,
+    /// Total records `M_i` in the split.
+    pub records: u64,
+    /// Size in bytes (for timing/energy models; `0` if unknown).
+    pub bytes: u64,
+    /// Indices of the servers holding a replica (for locality-aware
+    /// scheduling; empty if unknown).
+    pub locations: Vec<usize>,
+}
+
+/// The outcome of reading (and possibly sampling) a split.
+#[derive(Debug, Clone)]
+pub struct SampledItems<I> {
+    /// The sampled items, in block order.
+    pub items: Vec<I>,
+    /// `M_i` — total records in the split.
+    pub total: u64,
+    /// `m_i` — records returned (equals `items.len()`).
+    pub sampled: u64,
+}
+
+/// A source of input splits for a job.
+///
+/// Implementations must be shareable across task-tracker threads.
+pub trait InputSource: Send + Sync {
+    /// The record type produced.
+    type Item: Send;
+
+    /// Describes every split of the input. Called once at job start.
+    fn splits(&self) -> Vec<SplitMeta>;
+
+    /// Reads split `index`, sampling records at `sampling_ratio`
+    /// (`1.0` = precise). `seed` makes the sample reproducible per task
+    /// attempt. Implementations should use *systematic* sampling (every
+    /// k-th record from a random offset), like the paper's
+    /// `ApproxTextInputFormat`.
+    fn read_split(
+        &self,
+        index: usize,
+        sampling_ratio: f64,
+        seed: u64,
+    ) -> Result<SampledItems<Self::Item>>;
+}
+
+/// Samples `items` systematically at `ratio`, returning the sampled
+/// subset; keeps everything at `ratio >= 1.0`. Utility for implementing
+/// [`InputSource::read_split`].
+pub fn sample_systematic<I: Clone>(items: &[I], ratio: f64, seed: u64) -> Vec<I> {
+    if ratio >= 1.0 {
+        return items.to_vec();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = SystematicSampler::from_ratio(ratio.max(1e-9));
+    sampler
+        .sample_indices(&mut rng, items.len())
+        .into_iter()
+        .map(|i| items[i].clone())
+        .collect()
+}
+
+/// In-memory input source: one `Vec` of items per split. The workhorse of
+/// unit tests and small jobs.
+#[derive(Debug, Clone)]
+pub struct VecSource<I> {
+    blocks: Vec<Vec<I>>,
+    locations: Vec<Vec<usize>>,
+}
+
+impl<I: Clone + Send + Sync> VecSource<I> {
+    /// Creates a source with one split per inner vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn new(blocks: Vec<Vec<I>>) -> Self {
+        assert!(!blocks.is_empty(), "input must contain at least one block");
+        let locations = vec![Vec::new(); blocks.len()];
+        VecSource { blocks, locations }
+    }
+
+    /// Attaches replica locations (parallel to the blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations.len() != blocks.len()`.
+    pub fn with_locations(mut self, locations: Vec<Vec<usize>>) -> Self {
+        assert_eq!(locations.len(), self.blocks.len());
+        self.locations = locations;
+        self
+    }
+
+    /// Flattens a list of items into equal-size blocks of `per_block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_block == 0` or `items` is empty.
+    pub fn from_items(items: Vec<I>, per_block: usize) -> Self {
+        assert!(per_block > 0, "per_block must be positive");
+        assert!(!items.is_empty(), "input must contain at least one item");
+        let blocks = items
+            .chunks(per_block)
+            .map(|c| c.to_vec())
+            .collect::<Vec<_>>();
+        VecSource::new(blocks)
+    }
+}
+
+impl<I: Clone + Send + Sync + 'static> InputSource for VecSource<I> {
+    type Item = I;
+
+    fn splits(&self) -> Vec<SplitMeta> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| SplitMeta {
+                index: i,
+                records: b.len() as u64,
+                bytes: 0,
+                locations: self.locations[i].clone(),
+            })
+            .collect()
+    }
+
+    fn read_split(&self, index: usize, sampling_ratio: f64, seed: u64) -> Result<SampledItems<I>> {
+        let block = &self.blocks[index];
+        let items = sample_systematic(block, sampling_ratio, seed);
+        Ok(SampledItems {
+            total: block.len() as u64,
+            sampled: items.len() as u64,
+            items,
+        })
+    }
+}
+
+/// A generator-backed source: splits are produced on demand by a
+/// function, so synthetic inputs can be arbitrarily large. The generator
+/// must be deterministic per index (straggler duplicates re-read splits).
+pub struct FnSource<I, F> {
+    metas: Vec<SplitMeta>,
+    generator: F,
+    _marker: std::marker::PhantomData<fn() -> I>,
+}
+
+impl<I, F> FnSource<I, F>
+where
+    F: Fn(usize) -> Vec<I> + Send + Sync,
+{
+    /// Creates a source over the given split metadata; `generator(i)`
+    /// materialises the records of split `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metas` is empty.
+    pub fn new(metas: Vec<SplitMeta>, generator: F) -> Self {
+        assert!(!metas.is_empty(), "input must contain at least one split");
+        FnSource {
+            metas,
+            generator,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<I, F> InputSource for FnSource<I, F>
+where
+    I: Clone + Send + Sync + 'static,
+    F: Fn(usize) -> Vec<I> + Send + Sync,
+{
+    type Item = I;
+
+    fn splits(&self) -> Vec<SplitMeta> {
+        self.metas.clone()
+    }
+
+    fn read_split(&self, index: usize, sampling_ratio: f64, seed: u64) -> Result<SampledItems<I>> {
+        let block = (self.generator)(index);
+        let items = sample_systematic(&block, sampling_ratio, seed);
+        Ok(SampledItems {
+            total: block.len() as u64,
+            sampled: items.len() as u64,
+            items,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_source_splits_and_reads() {
+        let src = VecSource::new(vec![vec![1, 2, 3], vec![4, 5]]);
+        let splits = src.splits();
+        assert_eq!(splits.len(), 2);
+        assert_eq!(splits[0].records, 3);
+        assert_eq!(splits[1].records, 2);
+        let read = src.read_split(0, 1.0, 0).unwrap();
+        assert_eq!(read.items, vec![1, 2, 3]);
+        assert_eq!(read.total, 3);
+        assert_eq!(read.sampled, 3);
+    }
+
+    #[test]
+    fn vec_source_sampling_counts() {
+        let src = VecSource::new(vec![(0..1000).collect::<Vec<i32>>()]);
+        let read = src.read_split(0, 0.1, 7).unwrap();
+        assert_eq!(read.total, 1000);
+        assert_eq!(read.sampled, 100);
+        assert_eq!(read.items.len(), 100);
+        // Systematic: consecutive sampled items are 10 apart.
+        assert_eq!(read.items[1] - read.items[0], 10);
+        // Reproducible for the same seed, shifted for another.
+        let again = src.read_split(0, 0.1, 7).unwrap();
+        assert_eq!(read.items, again.items);
+    }
+
+    #[test]
+    fn from_items_chunks_correctly() {
+        let src = VecSource::from_items((0..25).collect(), 10);
+        let splits = src.splits();
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[2].records, 5);
+    }
+
+    #[test]
+    fn fn_source_generates_on_demand() {
+        let metas = (0..4)
+            .map(|i| SplitMeta {
+                index: i,
+                records: 10,
+                bytes: 100,
+                locations: vec![],
+            })
+            .collect();
+        let src = FnSource::new(metas, |i| (0..10).map(|j| i * 100 + j).collect::<Vec<_>>());
+        let read = src.read_split(2, 1.0, 0).unwrap();
+        assert_eq!(read.items[0], 200);
+        assert_eq!(read.sampled, 10);
+    }
+
+    #[test]
+    fn sample_systematic_full_ratio() {
+        let items = vec![1, 2, 3];
+        assert_eq!(sample_systematic(&items, 1.0, 0), items);
+        assert_eq!(sample_systematic(&items, 2.0, 0), items);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vec_source_rejects_empty() {
+        VecSource::<i32>::new(vec![]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Per-task and per-job execution metrics.
+//!
+//! The target-error controller fits the paper's map-task timing model
+//! `t_map(M, m) = t0 + M·t_r + m·t_p` (Eq. 5) from [`MapStats`] records,
+//! so the engine reports both the read time (scales with `M`) and the
+//! total duration per task.
+
+use crate::types::TaskId;
+
+/// Statistics of one *completed* map task attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapStats {
+    /// The task.
+    pub task: TaskId,
+    /// `M_i` — total records in the task's block.
+    pub total_records: u64,
+    /// `m_i` — records actually processed after sampling.
+    pub sampled_records: u64,
+    /// Intermediate pairs emitted.
+    pub emitted: u64,
+    /// Wall-clock duration of the attempt in seconds.
+    pub duration_secs: f64,
+    /// Portion spent reading/parsing the block in seconds.
+    pub read_secs: f64,
+}
+
+/// Terminal state of a map task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// Ran to completion and shipped output.
+    Completed,
+    /// Never launched (dropped before execution).
+    Dropped,
+    /// Launched and killed mid-flight (counts as dropped for sampling).
+    Killed,
+}
+
+/// Aggregate metrics of one job execution.
+#[derive(Debug, Clone, Default)]
+pub struct JobMetrics {
+    /// Total map tasks (= input splits).
+    pub total_maps: usize,
+    /// Maps that completed and shipped output.
+    pub executed_maps: usize,
+    /// Maps dropped before launch.
+    pub dropped_maps: usize,
+    /// Maps killed while running.
+    pub killed_maps: usize,
+    /// Speculative duplicate attempts launched.
+    pub speculative_attempts: usize,
+    /// Maps scheduled on a server holding a replica of their block.
+    pub local_maps: usize,
+    /// Sum of `M_i` over executed maps.
+    pub total_records: u64,
+    /// Sum of `m_i` over executed maps.
+    pub sampled_records: u64,
+    /// Wall-clock job duration in seconds.
+    pub wall_secs: f64,
+    /// Per-attempt statistics of completed maps.
+    pub map_stats: Vec<MapStats>,
+}
+
+impl JobMetrics {
+    /// Fraction of maps that did **not** complete (dropped + killed).
+    pub fn drop_fraction(&self) -> f64 {
+        if self.total_maps == 0 {
+            0.0
+        } else {
+            (self.dropped_maps + self.killed_maps) as f64 / self.total_maps as f64
+        }
+    }
+
+    /// Effective within-block sampling ratio over executed maps
+    /// (`Σm_i / ΣM_i`); `1.0` if nothing executed.
+    pub fn effective_sampling_ratio(&self) -> f64 {
+        if self.total_records == 0 {
+            1.0
+        } else {
+            self.sampled_records as f64 / self.total_records as f64
+        }
+    }
+
+    /// Mean duration of completed map attempts in seconds.
+    pub fn mean_map_secs(&self) -> f64 {
+        if self.map_stats.is_empty() {
+            0.0
+        } else {
+            self.map_stats.iter().map(|s| s.duration_secs).sum::<f64>()
+                / self.map_stats.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_ratios() {
+        let m = JobMetrics {
+            total_maps: 10,
+            executed_maps: 6,
+            dropped_maps: 3,
+            killed_maps: 1,
+            total_records: 1000,
+            sampled_records: 100,
+            ..Default::default()
+        };
+        assert!((m.drop_fraction() - 0.4).abs() < 1e-12);
+        assert!((m.effective_sampling_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = JobMetrics::default();
+        assert_eq!(m.drop_fraction(), 0.0);
+        assert_eq!(m.effective_sampling_ratio(), 1.0);
+        assert_eq!(m.mean_map_secs(), 0.0);
+    }
+
+    #[test]
+    fn mean_map_secs() {
+        let mk = |d: f64| MapStats {
+            task: TaskId(0),
+            total_records: 1,
+            sampled_records: 1,
+            emitted: 0,
+            duration_secs: d,
+            read_secs: 0.0,
+        };
+        let m = JobMetrics {
+            map_stats: vec![mk(1.0), mk(3.0)],
+            ..Default::default()
+        };
+        assert_eq!(m.mean_map_secs(), 2.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Text input over the DFS — the engine-side analogue of Hadoop's
+//! `TextInputFormat`, with the sampling support of the paper's
+//! `ApproxTextInputFormat` built in.
+
+use approxhadoop_dfs::{DfsCluster, FileHandle};
+
+use crate::input::{sample_systematic, InputSource, SampledItems, SplitMeta};
+use crate::Result;
+
+/// Reads a DFS text file, producing one record per line; each DFS block
+/// is one split. Sampling (when the scheduler requests a ratio below
+/// `1.0`) is systematic within the block, mirroring the paper's
+/// `ApproxTextInputFormat` ("1 out of every k lines" from a random
+/// offset).
+#[derive(Debug, Clone)]
+pub struct TextSource {
+    dfs: DfsCluster,
+    handle: FileHandle,
+}
+
+impl TextSource {
+    /// Opens `path` on the DFS.
+    pub fn open(dfs: &DfsCluster, path: &str) -> Result<Self> {
+        let handle = dfs.open(path)?;
+        Ok(TextSource {
+            dfs: dfs.clone(),
+            handle,
+        })
+    }
+
+    /// The underlying file handle.
+    pub fn handle(&self) -> &FileHandle {
+        &self.handle
+    }
+}
+
+impl InputSource for TextSource {
+    type Item = String;
+
+    fn splits(&self) -> Vec<SplitMeta> {
+        self.handle
+            .blocks
+            .iter()
+            .zip(&self.handle.locations)
+            .map(|(b, locs)| SplitMeta {
+                index: b.index as usize,
+                records: b.records,
+                bytes: b.bytes,
+                locations: locs.iter().map(|n| n.0).collect(),
+            })
+            .collect()
+    }
+
+    fn read_split(
+        &self,
+        index: usize,
+        sampling_ratio: f64,
+        seed: u64,
+    ) -> Result<SampledItems<String>> {
+        let meta = &self.handle.blocks[index];
+        let lines = self.dfs.read_block_lines(meta.id)?;
+        let items = sample_systematic(&lines, sampling_ratio, seed);
+        Ok(SampledItems {
+            total: lines.len() as u64,
+            sampled: items.len() as u64,
+            items,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxhadoop_dfs::DfsConfig;
+
+    fn setup() -> (DfsCluster, TextSource) {
+        let mut dfs = DfsCluster::new(DfsConfig {
+            datanodes: 3,
+            replication: 2,
+            block_records: 50,
+        });
+        let lines: Vec<String> = (0..170).map(|i| format!("line {i}")).collect();
+        dfs.write_lines("logs", &lines).unwrap();
+        let src = TextSource::open(&dfs, "logs").unwrap();
+        (dfs, src)
+    }
+
+    #[test]
+    fn splits_mirror_blocks() {
+        let (_dfs, src) = setup();
+        let splits = src.splits();
+        assert_eq!(splits.len(), 4);
+        assert_eq!(splits[0].records, 50);
+        assert_eq!(splits[3].records, 20);
+        assert_eq!(splits[1].locations.len(), 2);
+    }
+
+    #[test]
+    fn precise_read_returns_all_lines() {
+        let (_dfs, src) = setup();
+        let read = src.read_split(1, 1.0, 0).unwrap();
+        assert_eq!(read.total, 50);
+        assert_eq!(read.sampled, 50);
+        assert_eq!(read.items[0], "line 50");
+    }
+
+    #[test]
+    fn sampled_read_reports_counts() {
+        let (_dfs, src) = setup();
+        let read = src.read_split(0, 0.1, 3).unwrap();
+        assert_eq!(read.total, 50);
+        assert_eq!(read.sampled, 5);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let dfs = DfsCluster::new(DfsConfig::default());
+        assert!(TextSource::open(&dfs, "nope").is_err());
+    }
+}

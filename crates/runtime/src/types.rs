@@ -1,0 +1,66 @@
+//! Core key/value/task types of the engine.
+
+use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+
+/// Marker trait for intermediate keys: hashable (for partitioning),
+/// orderable (for deterministic grouped output), cloneable, and sendable
+/// across task-tracker threads. Blanket-implemented.
+pub trait Key: Eq + Hash + Ord + Clone + Send + Sync + Debug + 'static {}
+impl<T: Eq + Hash + Ord + Clone + Send + Sync + Debug + 'static> Key for T {}
+
+/// Marker trait for intermediate values. Blanket-implemented.
+pub trait Value: Clone + Send + Sync + Debug + 'static {}
+impl<T: Clone + Send + Sync + Debug + 'static> Value for T {}
+
+/// Identifier of a map task — equal to the index of the input split it
+/// processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "map_{:06}", self.0)
+    }
+}
+
+/// Deterministic partitioner: maps a key to one of `partitions` reduce
+/// tasks using a fixed-key hash, so results are reproducible across runs
+/// and processes.
+pub fn partition_for<K: Hash>(key: &K, partitions: usize) -> usize {
+    debug_assert!(partitions > 0);
+    // DefaultHasher::new() uses fixed SipHash keys: stable across runs.
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioner_is_deterministic_and_in_range() {
+        for k in 0..1000u64 {
+            let p = partition_for(&k, 7);
+            assert!(p < 7);
+            assert_eq!(p, partition_for(&k, 7));
+        }
+    }
+
+    #[test]
+    fn partitioner_spreads_keys() {
+        let mut counts = vec![0usize; 8];
+        for k in 0..8000u64 {
+            counts[partition_for(&k, 8)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500, "unbalanced partitioning: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId(42).to_string(), "map_000042");
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the MapReduce engine: the parallel engine
+//! must agree with a sequential reference execution for arbitrary
+//! inputs and configurations.
+
+use std::collections::HashMap;
+
+use approxhadoop_runtime::engine::{run_job, JobConfig};
+use approxhadoop_runtime::input::VecSource;
+use approxhadoop_runtime::mapper::FnMapper;
+use approxhadoop_runtime::reducer::GroupedReducer;
+use proptest::prelude::*;
+
+fn blocks_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..50, 0..30), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Precise parallel execution equals the sequential reference, for
+    /// any input, slot count, and reducer count.
+    #[test]
+    fn parallel_equals_sequential(
+        blocks in blocks_strategy(),
+        map_slots in 1usize..6,
+        reduce_tasks in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        // Sequential reference: count occurrences mod 7.
+        let mut expected: HashMap<u32, u64> = HashMap::new();
+        for v in blocks.iter().flatten() {
+            *expected.entry(v % 7).or_default() += 1;
+        }
+
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u32, u64)| emit(v % 7, 1));
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|k: &u32, vs: &[u64]| Some((*k, vs.iter().sum::<u64>()))),
+            JobConfig { map_slots, reduce_tasks, seed, ..Default::default() },
+        )
+        .unwrap();
+        let got: HashMap<u32, u64> = result.outputs.into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Drop ratios drop exactly `floor(ratio × n)` tasks and the job
+    /// always terminates with consistent accounting.
+    #[test]
+    fn drop_accounting_is_exact(
+        num_blocks in 1usize..40,
+        drop_pct in 0u32..100,
+        seed in 0u64..50,
+    ) {
+        let drop_ratio = drop_pct as f64 / 100.0;
+        prop_assume!(drop_ratio < 1.0);
+        let blocks: Vec<Vec<u32>> = (0..num_blocks).map(|i| vec![i as u32]).collect();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *v));
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+            JobConfig { drop_ratio, seed, ..Default::default() },
+        )
+        .unwrap();
+        let expected_drops = (drop_ratio * num_blocks as f64).floor() as usize;
+        prop_assert_eq!(result.metrics.dropped_maps, expected_drops);
+        prop_assert_eq!(result.metrics.executed_maps, num_blocks - expected_drops);
+        prop_assert_eq!(
+            result.metrics.executed_maps + result.metrics.dropped_maps,
+            result.metrics.total_maps
+        );
+    }
+
+    /// Results are reproducible: the same seed yields identical outputs
+    /// even with sampling and multiple reducers.
+    #[test]
+    fn same_seed_same_result(
+        blocks in blocks_strategy(),
+        seed in 0u64..100,
+    ) {
+        let run_once = |blocks: Vec<Vec<u32>>| {
+            let input = VecSource::new(blocks);
+            let mapper = FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u32, u64)| emit(*v, 1));
+            let mut out = run_job(
+                &input,
+                &mapper,
+                |_| GroupedReducer::new(|k: &u32, vs: &[u64]| Some((*k, vs.len()))),
+                JobConfig {
+                    sampling_ratio: 0.5,
+                    drop_ratio: 0.25,
+                    reduce_tasks: 3,
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .outputs;
+            out.sort();
+            out
+        };
+        prop_assert_eq!(run_once(blocks.clone()), run_once(blocks));
+    }
+
+    /// Sampling never processes more records than exist and reports
+    /// consistent `m ≤ M` per the metrics.
+    #[test]
+    fn sampling_counts_are_consistent(
+        blocks in blocks_strategy(),
+        sample_pct in 1u32..=100,
+    ) {
+        let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *v));
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+            JobConfig {
+                sampling_ratio: sample_pct as f64 / 100.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(result.metrics.total_records, total);
+        prop_assert!(result.metrics.sampled_records <= total);
+        if sample_pct == 100 {
+            prop_assert_eq!(result.metrics.sampled_records, total);
+        }
+        for s in &result.metrics.map_stats {
+            prop_assert!(s.sampled_records <= s.total_records);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Probability distributions: Normal, Student-t, and Generalized Extreme
+//! Value (GEV).
+
+mod gev;
+mod normal;
+mod student_t;
+
+pub use gev::Gev;
+pub use normal::Normal;
+pub use student_t::{cached_two_sided_critical_value, StudentT};
+
+/// A univariate continuous distribution with density, cumulative
+/// distribution, and quantile (inverse cdf) functions.
+pub trait ContinuousDistribution {
+    /// Probability density function at `x`.
+    fn pdf(&self, x: f64) -> f64;
+    /// Cumulative distribution function `P(X <= x)`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Quantile function: the `x` with `cdf(x) = p`, for `p ∈ (0, 1)`.
+    fn quantile(&self, p: f64) -> f64;
+}

@@ -1,0 +1,183 @@
+//! The normal (Gaussian) distribution.
+
+use crate::dist::ContinuousDistribution;
+use crate::special::{erf, erfc};
+
+/// A normal distribution `N(mean, std²)`.
+///
+/// # Example
+///
+/// ```
+/// use approxhadoop_stats::dist::{ContinuousDistribution, Normal};
+///
+/// let n = Normal::standard();
+/// assert!((n.cdf(1.96) - 0.975).abs() < 1e-4);
+/// assert!((n.quantile(0.975) - 1.959964).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std <= 0` or either parameter is non-finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(
+            mean.is_finite() && std.is_finite(),
+            "parameters must be finite"
+        );
+        assert!(std > 0.0, "std must be positive, got {std}");
+        Normal { mean, std }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation of the distribution.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Quantile of the standard normal via the Acklam rational
+    /// approximation, refined with one Halley step against `erfc` for
+    /// near machine precision.
+    fn standard_quantile(p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        // Acklam's coefficients.
+        const A: [f64; 6] = [
+            -3.969_683_028_665_376e1,
+            2.209_460_984_245_205e2,
+            -2.759_285_104_469_687e2,
+            1.383_577_518_672_69e2,
+            -3.066_479_806_614_716e1,
+            2.506_628_277_459_239,
+        ];
+        const B: [f64; 5] = [
+            -5.447_609_879_822_406e1,
+            1.615_858_368_580_409e2,
+            -1.556_989_798_598_866e2,
+            6.680_131_188_771_972e1,
+            -1.328_068_155_288_572e1,
+        ];
+        const C: [f64; 6] = [
+            -7.784_894_002_430_293e-3,
+            -3.223_964_580_411_365e-1,
+            -2.400_758_277_161_838,
+            -2.549_732_539_343_734,
+            4.374_664_141_464_968,
+            2.938_163_982_698_783,
+        ];
+        const D: [f64; 4] = [
+            7.784_695_709_041_462e-3,
+            3.224_671_290_700_398e-1,
+            2.445_134_137_142_996,
+            3.754_408_661_907_416,
+        ];
+        const P_LOW: f64 = 0.02425;
+        let x = if p < P_LOW {
+            let q = (-2.0 * p.ln()).sqrt();
+            (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        } else if p <= 1.0 - P_LOW {
+            let q = p - 0.5;
+            let r = q * q;
+            (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+                / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        } else {
+            let q = (-2.0 * (1.0 - p).ln()).sqrt();
+            -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        };
+        // One Halley refinement using the exact cdf.
+        let e = 0.5 * erfc(-x / std::f64::consts::SQRT_2) - p;
+        let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+        x - u / (1.0 + x * u / 2.0)
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std;
+        (-(z * z) / 2.0).exp() / (self.std * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.std * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.std * Normal::standard_quantile(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_cdf_known_values() {
+        let n = Normal::standard();
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((n.cdf(1.0) - 0.841_344_746_068_542_9).abs() < 1e-12);
+        assert!((n.cdf(-1.0) - 0.158_655_253_931_457_05).abs() < 1e-12);
+        assert!((n.cdf(1.959_963_984_540_054) - 0.975).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        let n = Normal::standard();
+        assert!((n.quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-9);
+        assert!((n.quantile(0.5)).abs() < 1e-12);
+        assert!((n.quantile(0.025) + 1.959_963_984_540_054).abs() < 1e-9);
+        assert!((n.quantile(0.995) - 2.575_829_303_548_901).abs() < 1e-9);
+        assert!((n.quantile(1e-6) + 4.753_424_308_822_899).abs() < 1e-7);
+    }
+
+    #[test]
+    fn quantile_cdf_roundtrip() {
+        let n = Normal::new(10.0, 3.0);
+        for &p in &[0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999] {
+            let x = n.quantile(p);
+            assert!((n.cdf(x) - p).abs() < 1e-11, "p={p}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf_slope() {
+        let n = Normal::new(-2.0, 0.5);
+        let h = 1e-6;
+        for &x in &[-3.0, -2.0, -1.5, 0.0] {
+            let slope = (n.cdf(x + h) - n.cdf(x - h)) / (2.0 * h);
+            assert!((slope - n.pdf(x)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_std() {
+        Normal::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_zero() {
+        Normal::standard().quantile(0.0);
+    }
+}

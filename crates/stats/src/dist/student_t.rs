@@ -1,0 +1,217 @@
+//! Student's t-distribution.
+//!
+//! The multi-stage-sampling error bound (paper Eq. 2) is
+//! `ε = t_{n-1, 1-α/2} · sqrt(Var(τ̂))`; this module provides that
+//! quantile for any degrees of freedom.
+
+use crate::dist::ContinuousDistribution;
+use crate::special::{inv_reg_inc_beta, ln_gamma, reg_inc_beta};
+
+/// Student's t-distribution with `ν` degrees of freedom.
+///
+/// # Example
+///
+/// ```
+/// use approxhadoop_stats::dist::{ContinuousDistribution, StudentT};
+///
+/// // The classic t-table value: t_{0.975} with 10 degrees of freedom.
+/// let t = StudentT::new(10.0);
+/// assert!((t.quantile(0.975) - 2.228).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    df: f64,
+}
+
+impl StudentT {
+    /// Creates a t-distribution with `df` degrees of freedom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `df <= 0` or `df` is non-finite.
+    pub fn new(df: f64) -> Self {
+        assert!(df.is_finite() && df > 0.0, "df must be positive and finite");
+        StudentT { df }
+    }
+
+    /// Degrees of freedom.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+
+    /// The two-sided critical value `t_{ν, 1-α/2}` used for a confidence
+    /// interval at level `confidence = 1 - α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)`.
+    pub fn two_sided_critical_value(&self, confidence: f64) -> f64 {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must lie in (0,1), got {confidence}"
+        );
+        let alpha = 1.0 - confidence;
+        self.quantile(1.0 - alpha / 2.0)
+    }
+}
+
+/// Memoised [`StudentT::two_sided_critical_value`].
+///
+/// Error-bound evaluation in a reduce task computes the *same* critical
+/// value for every intermediate key (they share the cluster count), and
+/// the Section 4.4 planner probes thousands of `n₂` candidates; the
+/// inverse incomplete beta behind each call is by far the hot spot.
+/// A thread-local table keyed on `(df, confidence)` bits removes it.
+pub fn cached_two_sided_critical_value(df: f64, confidence: f64) -> f64 {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    thread_local! {
+        static CACHE: RefCell<HashMap<(u64, u64), f64>> = RefCell::new(HashMap::new());
+    }
+    let key = (df.to_bits(), confidence.to_bits());
+    CACHE.with(|c| {
+        if let Some(&v) = c.borrow().get(&key) {
+            return v;
+        }
+        let v = StudentT::new(df).two_sided_critical_value(confidence);
+        let mut cache = c.borrow_mut();
+        if cache.len() > 65_536 {
+            cache.clear(); // unbounded workloads: reset rather than grow
+        }
+        cache.insert(key, v);
+        v
+    })
+}
+
+impl ContinuousDistribution for StudentT {
+    fn pdf(&self, x: f64) -> f64 {
+        let v = self.df;
+        let ln_c =
+            ln_gamma((v + 1.0) / 2.0) - ln_gamma(v / 2.0) - 0.5 * (v * std::f64::consts::PI).ln();
+        (ln_c - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let v = self.df;
+        if x == 0.0 {
+            return 0.5;
+        }
+        // P(T <= x) via the incomplete beta: for x > 0,
+        // cdf = 1 - I_{v/(v+x²)}(v/2, 1/2) / 2.
+        let ib = reg_inc_beta(v / 2.0, 0.5, v / (v + x * x));
+        if x > 0.0 {
+            1.0 - 0.5 * ib
+        } else {
+            0.5 * ib
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        if (p - 0.5).abs() < 1e-16 {
+            return 0.0;
+        }
+        let v = self.df;
+        // For p > 0.5: solve I_z(v/2, 1/2) = 2(1-p) with z = v/(v+t²).
+        let tail = if p > 0.5 { 2.0 * (1.0 - p) } else { 2.0 * p };
+        let z = inv_reg_inc_beta(v / 2.0, 0.5, tail);
+        let t = (v * (1.0 - z) / z).sqrt();
+        if p > 0.5 {
+            t
+        } else {
+            -t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from standard t-tables (two-sided 95%, i.e. the
+    /// 0.975 quantile).
+    #[test]
+    fn t_table_97_5_percent() {
+        let cases = [
+            (1.0, 12.706),
+            (2.0, 4.303),
+            (3.0, 3.182),
+            (5.0, 2.571),
+            (10.0, 2.228),
+            (20.0, 2.086),
+            (30.0, 2.042),
+            (120.0, 1.980),
+        ];
+        for (df, expected) in cases {
+            let t = StudentT::new(df).quantile(0.975);
+            assert!(
+                (t - expected).abs() < 2e-3,
+                "df={df}: expected {expected}, got {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn t_table_99_5_percent() {
+        let cases = [(1.0, 63.657), (5.0, 4.032), (10.0, 3.169), (30.0, 2.750)];
+        for (df, expected) in cases {
+            let t = StudentT::new(df).quantile(0.995);
+            assert!(
+                (t - expected).abs() < 2e-3,
+                "df={df}: expected {expected}, got {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_normal_for_large_df() {
+        let t = StudentT::new(1e7);
+        assert!((t.quantile(0.975) - 1.959_964).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        for &df in &[1.0, 2.5, 7.0, 40.0] {
+            let t = StudentT::new(df);
+            for &p in &[0.01, 0.1, 0.25, 0.5, 0.6, 0.9, 0.99] {
+                let x = t.quantile(p);
+                assert!((t.cdf(x) - p).abs() < 1e-9, "df={df} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let t = StudentT::new(6.0);
+        for &p in &[0.05, 0.2, 0.4] {
+            assert!((t.quantile(p) + t.quantile(1.0 - p)).abs() < 1e-10);
+        }
+        for &x in &[0.3, 1.0, 2.5] {
+            assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pdf_matches_cdf_derivative() {
+        let t = StudentT::new(4.0);
+        // Larger step: near x = 0 the cdf's incomplete-beta argument sits
+        // at the edge of its domain and tiny differences lose precision.
+        let h = 1e-4;
+        for &x in &[-2.0, -0.5, 0.1, 1.3] {
+            let slope = (t.cdf(x + h) - t.cdf(x - h)) / (2.0 * h);
+            assert!((slope - t.pdf(x)).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn two_sided_critical_value_matches_quantile() {
+        let t = StudentT::new(9.0);
+        assert_eq!(t.two_sided_critical_value(0.95), t.quantile(0.975));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_df() {
+        StudentT::new(0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for statistical computations.
+
+use std::fmt;
+
+/// Errors produced by the statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A parameter was outside its mathematical domain
+    /// (e.g. a negative variance, a confidence level outside `(0, 1)`).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Not enough observations to produce an estimate
+    /// (e.g. fewer than two sampled clusters for a variance).
+    InsufficientData {
+        /// Number of observations required.
+        needed: usize,
+        /// Number of observations available.
+        got: usize,
+    },
+    /// An iterative numerical procedure failed to converge.
+    NoConvergence {
+        /// Name of the procedure (e.g. `"gev-mle"`).
+        what: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A numerical operation produced a non-finite value.
+    Numerical {
+        /// Description of where the non-finite value appeared.
+        context: &'static str,
+    },
+}
+
+impl StatsError {
+    /// Convenience constructor for [`StatsError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        StatsError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            StatsError::InsufficientData { needed, got } => {
+                write!(
+                    f,
+                    "insufficient data: needed {needed} observations, got {got}"
+                )
+            }
+            StatsError::NoConvergence { what, iterations } => {
+                write!(f, "`{what}` did not converge after {iterations} iterations")
+            }
+            StatsError::Numerical { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StatsError::invalid("confidence", "must lie in (0, 1)");
+        assert!(e.to_string().contains("confidence"));
+        let e = StatsError::InsufficientData { needed: 2, got: 1 };
+        assert!(e.to_string().contains("needed 2"));
+        let e = StatsError::NoConvergence {
+            what: "gev-mle",
+            iterations: 500,
+        };
+        assert!(e.to_string().contains("gev-mle"));
+        let e = StatsError::Numerical {
+            context: "variance",
+        };
+        assert!(e.to_string().contains("variance"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,135 @@
+//! Confidence intervals — the `τ̂ ± ε` values ApproxHadoop reports.
+
+/// A symmetric confidence interval `estimate ± half_width` at a given
+/// confidence level, as produced by the approximation-aware reducers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// The point estimate `τ̂`.
+    pub estimate: f64,
+    /// The half-width `ε` of the confidence interval (non-negative; may be
+    /// `f64::INFINITY` when the sample is too small to bound the error).
+    pub half_width: f64,
+    /// The confidence level in `(0, 1)`, e.g. `0.95`.
+    pub confidence: f64,
+}
+
+impl Interval {
+    /// Creates an interval, clamping a tiny negative `half_width` produced
+    /// by floating-point noise to zero.
+    pub fn new(estimate: f64, half_width: f64, confidence: f64) -> Self {
+        Interval {
+            estimate,
+            half_width: half_width.max(0.0),
+            confidence,
+        }
+    }
+
+    /// An exact (zero-width) interval, as produced by precise executions.
+    pub fn exact(estimate: f64) -> Self {
+        Interval {
+            estimate,
+            half_width: 0.0,
+            confidence: 1.0,
+        }
+    }
+
+    /// Lower endpoint `τ̂ - ε`.
+    pub fn lo(&self) -> f64 {
+        self.estimate - self.half_width
+    }
+
+    /// Upper endpoint `τ̂ + ε`.
+    pub fn hi(&self) -> f64 {
+        self.estimate + self.half_width
+    }
+
+    /// Whether `value` lies within the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo() && value <= self.hi()
+    }
+
+    /// Relative error bound `ε / |τ̂|`; `f64::INFINITY` when the estimate
+    /// is zero and the interval has positive width.
+    pub fn relative_error(&self) -> f64 {
+        if self.half_width == 0.0 {
+            0.0
+        } else if self.estimate == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.estimate.abs()
+        }
+    }
+
+    /// Actual relative error of the estimate against a known ground truth.
+    pub fn actual_error(&self, truth: f64) -> f64 {
+        if truth == 0.0 {
+            if self.estimate == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.estimate - truth).abs() / truth.abs()
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.6} ± {:.6} ({}% conf)",
+            self.estimate,
+            self.half_width,
+            self.confidence * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_and_containment() {
+        let iv = Interval::new(100.0, 5.0, 0.95);
+        assert_eq!(iv.lo(), 95.0);
+        assert_eq!(iv.hi(), 105.0);
+        assert!(iv.contains(95.0));
+        assert!(iv.contains(105.0));
+        assert!(!iv.contains(94.999));
+        assert!(!iv.contains(105.001));
+    }
+
+    #[test]
+    fn relative_error_cases() {
+        assert_eq!(Interval::new(200.0, 10.0, 0.95).relative_error(), 0.05);
+        assert_eq!(Interval::exact(42.0).relative_error(), 0.0);
+        assert_eq!(
+            Interval::new(0.0, 1.0, 0.95).relative_error(),
+            f64::INFINITY
+        );
+        // Zero estimate with zero width is exact.
+        assert_eq!(Interval::new(0.0, 0.0, 0.95).relative_error(), 0.0);
+    }
+
+    #[test]
+    fn actual_error_against_truth() {
+        let iv = Interval::new(110.0, 20.0, 0.95);
+        assert!((iv.actual_error(100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(Interval::exact(0.0).actual_error(0.0), 0.0);
+        assert_eq!(Interval::exact(1.0).actual_error(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn negative_half_width_is_clamped() {
+        let iv = Interval::new(1.0, -1e-18, 0.95);
+        assert_eq!(iv.half_width, 0.0);
+    }
+
+    #[test]
+    fn display_includes_confidence() {
+        let s = Interval::new(1.0, 0.5, 0.95).to_string();
+        assert!(s.contains("95%"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Statistical substrate for ApproxHadoop-RS.
+//!
+//! This crate implements, from scratch, every piece of statistics the
+//! ApproxHadoop paper (ASPLOS 2015) relies on:
+//!
+//! * **Multi-stage cluster sampling** ([`multistage`]) — the theory behind
+//!   error bounds for aggregation reduces (sum, count, mean, ratio) when
+//!   map tasks are dropped (cluster sampling) and/or input data items are
+//!   sampled within a block (second-stage sampling). Equations (1)–(3) and
+//!   (6)–(7) of the paper.
+//! * **Extreme value theory** ([`gev`]) — Generalized Extreme Value
+//!   fitting via Block Minima/Maxima + maximum likelihood, used to bound
+//!   errors of min/max reduces when map tasks are dropped.
+//! * **Distributions** ([`dist`]) — Normal, Student-t and GEV with pdf,
+//!   cdf and quantile functions, built on from-scratch [`special`]
+//!   functions (ln-gamma, incomplete beta/gamma, error function).
+//! * **Numerical optimisation** ([`opt`]) — Nelder–Mead simplex (for the
+//!   GEV MLE), bisection and golden-section search (for the paper's
+//!   runtime-minimisation problem of Section 4.4).
+//! * **Sampling primitives** ([`sampling`]) — Bernoulli, systematic and
+//!   reservoir samplers plus a bounded Zipf generator used by the
+//!   synthetic workloads.
+//!
+//! # Example: two-stage sampling with error bounds
+//!
+//! ```
+//! use approxhadoop_stats::multistage::{ClusterObservation, TwoStageEstimator};
+//!
+//! // Population: 100 blocks; we executed 4 of them, each holding 1000
+//! // items of which 100 were sampled.
+//! let mut est = TwoStageEstimator::new(100);
+//! for (i, sum) in [5010.0f64, 4985.0, 5102.0, 4933.0].iter().enumerate() {
+//!     est.push(ClusterObservation {
+//!         cluster_id: i as u64,
+//!         total_units: 1000,
+//!         sampled_units: 100,
+//!         sum: *sum,
+//!         sum_sq: sum * sum / 60.0, // toy second moment
+//!     });
+//! }
+//! let interval = est.estimate(0.95).unwrap();
+//! assert!(interval.half_width > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod describe;
+pub mod dist;
+pub mod distinct;
+pub mod error;
+pub mod gev;
+pub mod interval;
+pub mod multistage;
+pub mod opt;
+pub mod sampling;
+pub mod special;
+
+pub use error::StatsError;
+pub use interval::Interval;
+
+/// Result alias for fallible statistical computations.
+pub type Result<T> = std::result::Result<T, StatsError>;

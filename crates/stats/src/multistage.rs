@@ -1,0 +1,1117 @@
+//! Multi-stage cluster sampling estimators (paper Section 3.1).
+//!
+//! ApproxHadoop maps MapReduce onto two-stage cluster sampling: the input
+//! data blocks are the *clusters* (first stage — executing only a subset
+//! of map tasks is cluster sampling) and the data items within each block
+//! are the *units* (second stage — input data sampling within a block).
+//!
+//! For a population of `N` clusters where cluster `i` holds `M_i` units,
+//! a sample of `n` clusters with `m_i` units sampled from cluster `i`
+//! gives the estimated total (paper Eq. 1):
+//!
+//! ```text
+//! τ̂ = (N/n) · Σᵢ (Mᵢ/mᵢ) · Σⱼ vᵢⱼ
+//! ```
+//!
+//! with error bound `ε = t_{n-1, 1-α/2} · sqrt(Var(τ̂))` (Eq. 2) and
+//!
+//! ```text
+//! Var(τ̂) = N(N-n)·s_u²/n + (N/n)·Σᵢ Mᵢ(Mᵢ-mᵢ)·sᵢ²/mᵢ     (Eq. 3)
+//! ```
+//!
+//! The key MapReduce-specific assumption (Section 3.1): a sampled unit
+//! that produced **no** value for an intermediate key is counted as a
+//! `0`-valued observation, so `sum`/`sum_sq` only accumulate emitted
+//! values while `sampled_units` counts every sampled item.
+
+use crate::dist::cached_two_sided_critical_value;
+use crate::interval::Interval;
+use crate::{Result, StatsError};
+
+/// Per-cluster (per map task) statistics for one intermediate key.
+///
+/// `sum` and `sum_sq` are over the values emitted for the key by the
+/// `sampled_units` items actually processed; items that emitted nothing
+/// implicitly contribute zeros (they are included in `sampled_units`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterObservation {
+    /// Identifier of the cluster (map task / block id); informational.
+    pub cluster_id: u64,
+    /// `M_i` — total number of units (data items) in the block.
+    pub total_units: u64,
+    /// `m_i` — number of units sampled (processed) from the block.
+    pub sampled_units: u64,
+    /// `Σⱼ vᵢⱼ` over the sampled units.
+    pub sum: f64,
+    /// `Σⱼ vᵢⱼ²` over the sampled units.
+    pub sum_sq: f64,
+}
+
+impl ClusterObservation {
+    /// The unbiased estimate of this cluster's total: `(Mᵢ/mᵢ)·Σⱼ vᵢⱼ`.
+    /// An empty cluster (`Mᵢ = mᵢ = 0`) has total `0`.
+    pub fn estimated_total(&self) -> f64 {
+        if self.sampled_units == 0 {
+            return 0.0;
+        }
+        self.total_units as f64 / self.sampled_units as f64 * self.sum
+    }
+
+    /// Intra-cluster sample variance `sᵢ²` of the unit values (including
+    /// implicit zeros); `0` when fewer than two units were sampled.
+    pub fn within_variance(&self) -> f64 {
+        let m = self.sampled_units as f64;
+        if self.sampled_units < 2 {
+            return 0.0;
+        }
+        let var = (self.sum_sq - self.sum * self.sum / m) / (m - 1.0);
+        var.max(0.0)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.sampled_units == 0 {
+            // An entirely empty block is a legitimate (zero) cluster.
+            if self.total_units == 0 && self.sum == 0.0 && self.sum_sq == 0.0 {
+                return Ok(());
+            }
+            return Err(StatsError::invalid(
+                "sampled_units",
+                "must sample at least one unit per executed non-empty cluster",
+            ));
+        }
+        if self.sampled_units > self.total_units {
+            return Err(StatsError::invalid(
+                "sampled_units",
+                format!(
+                    "cannot exceed total_units ({} > {})",
+                    self.sampled_units, self.total_units
+                ),
+            ));
+        }
+        if !self.sum.is_finite() || !self.sum_sq.is_finite() {
+            return Err(StatsError::Numerical {
+                context: "cluster observation sums",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Two-stage sampling estimator of a population **total** (sum).
+///
+/// Counts are sums of indicator values, so this estimator also covers the
+/// paper's `count` aggregate.
+#[derive(Debug, Clone)]
+pub struct TwoStageEstimator {
+    total_clusters: u64,
+    observations: Vec<ClusterObservation>,
+}
+
+impl TwoStageEstimator {
+    /// Creates an estimator for a population partitioned into
+    /// `total_clusters` (`N`) clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_clusters == 0`.
+    pub fn new(total_clusters: u64) -> Self {
+        assert!(
+            total_clusters > 0,
+            "population must have at least one cluster"
+        );
+        TwoStageEstimator {
+            total_clusters,
+            observations: Vec::new(),
+        }
+    }
+
+    /// Adds the statistics of one executed cluster (map task).
+    pub fn push(&mut self, obs: ClusterObservation) {
+        self.observations.push(obs);
+    }
+
+    /// `N` — total clusters in the population.
+    pub fn total_clusters(&self) -> u64 {
+        self.total_clusters
+    }
+
+    /// `n` — executed (sampled) clusters so far.
+    pub fn sampled_clusters(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// The executed-cluster observations.
+    pub fn observations(&self) -> &[ClusterObservation] {
+        &self.observations
+    }
+
+    /// The point estimate `τ̂` (paper Eq. 1). Errors if no clusters have
+    /// been observed or an observation is invalid.
+    pub fn estimated_total(&self) -> Result<f64> {
+        let n = self.observations.len();
+        if n == 0 {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        let mut sum = 0.0;
+        for obs in &self.observations {
+            obs.validate()?;
+            sum += obs.estimated_total();
+        }
+        Ok(self.total_clusters as f64 / n as f64 * sum)
+    }
+
+    /// Inter-cluster sample variance `s_u²` of the estimated cluster
+    /// totals; `0` with fewer than two clusters.
+    pub fn inter_cluster_variance(&self) -> f64 {
+        let n = self.observations.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let totals: Vec<f64> = self
+            .observations
+            .iter()
+            .map(|o| o.estimated_total())
+            .collect();
+        let mean = totals.iter().sum::<f64>() / n as f64;
+        totals.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / (n - 1) as f64
+    }
+
+    /// The estimated variance `Var(τ̂)` (paper Eq. 3).
+    pub fn variance(&self) -> Result<f64> {
+        let n = self.observations.len();
+        if n == 0 {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        for obs in &self.observations {
+            obs.validate()?;
+        }
+        let nf = n as f64;
+        let nn = self.total_clusters as f64;
+        let between = nn * (nn - nf) * self.inter_cluster_variance() / nf;
+        let mut within = 0.0;
+        for obs in &self.observations {
+            if obs.sampled_units == 0 {
+                continue; // empty block: no within-cluster contribution
+            }
+            let m = obs.sampled_units as f64;
+            let mm = obs.total_units as f64;
+            within += mm * (mm - m) * obs.within_variance() / m;
+        }
+        Ok(between + nn / nf * within)
+    }
+
+    /// The full estimate `τ̂ ± ε` at the given confidence level
+    /// (paper Eq. 1–3).
+    ///
+    /// * With a complete census (`n = N` and every `mᵢ = Mᵢ`) the interval
+    ///   is exact.
+    /// * With a single sampled cluster the half-width is `+∞` (the
+    ///   Student-t with 0 degrees of freedom is undefined).
+    pub fn estimate(&self, confidence: f64) -> Result<Interval> {
+        if !(0.0 < confidence && confidence < 1.0) {
+            return Err(StatsError::invalid("confidence", "must lie in (0, 1)"));
+        }
+        let total = self.estimated_total()?;
+        let n = self.observations.len();
+        let census = n as u64 == self.total_clusters
+            && self
+                .observations
+                .iter()
+                .all(|o| o.sampled_units == o.total_units);
+        if census {
+            return Ok(Interval::new(total, 0.0, confidence));
+        }
+        if n < 2 {
+            return Ok(Interval::new(total, f64::INFINITY, confidence));
+        }
+        let var = self.variance()?;
+        if var < 0.0 || !var.is_finite() {
+            return Err(StatsError::Numerical {
+                context: "two-stage variance",
+            });
+        }
+        let t = cached_two_sided_critical_value((n - 1) as f64, confidence);
+        Ok(Interval::new(total, t * var.sqrt(), confidence))
+    }
+}
+
+/// Paired per-cluster statistics for ratio/mean estimation.
+///
+/// `y` is the numerator variable, `x` the denominator variable; both are
+/// accumulated over the same `sampled_units` items.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedClusterObservation {
+    /// Identifier of the cluster (map task / block id).
+    pub cluster_id: u64,
+    /// `M_i` — total units in the block.
+    pub total_units: u64,
+    /// `m_i` — sampled units.
+    pub sampled_units: u64,
+    /// `Σ yᵢⱼ`.
+    pub sum_y: f64,
+    /// `Σ yᵢⱼ²`.
+    pub sum_y_sq: f64,
+    /// `Σ xᵢⱼ`.
+    pub sum_x: f64,
+    /// `Σ xᵢⱼ²`.
+    pub sum_x_sq: f64,
+    /// `Σ xᵢⱼ·yᵢⱼ`.
+    pub sum_xy: f64,
+}
+
+/// Two-stage **ratio** estimator `r̂ = τ̂_y / τ̂_x` with a linearised
+/// variance (Lohr, Sampling: Design and Analysis, ratio estimation in
+/// cluster samples).
+///
+/// The population **mean per unit** is the special case `x ≡ 1`; use
+/// [`MeanEstimator`] for that.
+#[derive(Debug, Clone)]
+pub struct RatioEstimator {
+    total_clusters: u64,
+    observations: Vec<PairedClusterObservation>,
+}
+
+impl RatioEstimator {
+    /// Creates a ratio estimator for a population of `total_clusters`
+    /// clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_clusters == 0`.
+    pub fn new(total_clusters: u64) -> Self {
+        assert!(
+            total_clusters > 0,
+            "population must have at least one cluster"
+        );
+        RatioEstimator {
+            total_clusters,
+            observations: Vec::new(),
+        }
+    }
+
+    /// Adds one executed cluster's paired statistics.
+    pub fn push(&mut self, obs: PairedClusterObservation) {
+        self.observations.push(obs);
+    }
+
+    /// Executed clusters so far.
+    pub fn sampled_clusters(&self) -> usize {
+        self.observations.len()
+    }
+
+    fn totals(&self) -> Result<(f64, f64)> {
+        let n = self.observations.len();
+        if n == 0 {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        let mut ty = 0.0;
+        let mut tx = 0.0;
+        for o in &self.observations {
+            if o.sampled_units == 0 || o.sampled_units > o.total_units {
+                return Err(StatsError::invalid(
+                    "sampled_units",
+                    "must be in [1, total_units]",
+                ));
+            }
+            let w = o.total_units as f64 / o.sampled_units as f64;
+            ty += w * o.sum_y;
+            tx += w * o.sum_x;
+        }
+        let scale = self.total_clusters as f64 / n as f64;
+        Ok((scale * ty, scale * tx))
+    }
+
+    /// The point estimate `r̂ = τ̂_y / τ̂_x`.
+    pub fn estimated_ratio(&self) -> Result<f64> {
+        let (ty, tx) = self.totals()?;
+        if tx == 0.0 {
+            return Err(StatsError::Numerical {
+                context: "ratio estimator denominator",
+            });
+        }
+        Ok(ty / tx)
+    }
+
+    /// The estimate `r̂ ± ε` at the given confidence level.
+    ///
+    /// Variance via linearisation: with residuals `d = y - r̂·x`,
+    /// `Var(r̂) ≈ Var(τ̂_d) / τ̂_x²` where `τ̂_d` follows the two-stage
+    /// variance formula applied to `d`.
+    pub fn estimate(&self, confidence: f64) -> Result<Interval> {
+        if !(0.0 < confidence && confidence < 1.0) {
+            return Err(StatsError::invalid("confidence", "must lie in (0, 1)"));
+        }
+        let (ty, tx) = self.totals()?;
+        if tx == 0.0 {
+            return Err(StatsError::Numerical {
+                context: "ratio estimator denominator",
+            });
+        }
+        let r = ty / tx;
+        let n = self.observations.len();
+        let census = n as u64 == self.total_clusters
+            && self
+                .observations
+                .iter()
+                .all(|o| o.sampled_units == o.total_units);
+        if census {
+            return Ok(Interval::new(r, 0.0, confidence));
+        }
+        if n < 2 {
+            return Ok(Interval::new(r, f64::INFINITY, confidence));
+        }
+        // Residual statistics: d = y - r x.
+        let mut d_est = TwoStageEstimator::new(self.total_clusters);
+        for o in &self.observations {
+            let sum_d = o.sum_y - r * o.sum_x;
+            let sum_d_sq = o.sum_y_sq - 2.0 * r * o.sum_xy + r * r * o.sum_x_sq;
+            d_est.push(ClusterObservation {
+                cluster_id: o.cluster_id,
+                total_units: o.total_units,
+                sampled_units: o.sampled_units,
+                sum: sum_d,
+                sum_sq: sum_d_sq.max(0.0),
+            });
+        }
+        let var_d = d_est.variance()?;
+        let var_r = var_d / (tx * tx);
+        if !var_r.is_finite() {
+            return Err(StatsError::Numerical {
+                context: "ratio estimator variance",
+            });
+        }
+        let t = cached_two_sided_critical_value((n - 1) as f64, confidence);
+        Ok(Interval::new(r, t * var_r.sqrt(), confidence))
+    }
+}
+
+/// Two-stage estimator of the population **mean per unit** — the ratio
+/// estimator with denominator `x ≡ 1` for every unit.
+#[derive(Debug, Clone)]
+pub struct MeanEstimator {
+    inner: RatioEstimator,
+}
+
+impl MeanEstimator {
+    /// Creates a mean estimator for a population of `total_clusters`
+    /// clusters.
+    pub fn new(total_clusters: u64) -> Self {
+        MeanEstimator {
+            inner: RatioEstimator::new(total_clusters),
+        }
+    }
+
+    /// Adds one executed cluster's statistics (as for
+    /// [`TwoStageEstimator::push`]).
+    pub fn push(&mut self, obs: ClusterObservation) {
+        let m = obs.sampled_units as f64;
+        self.inner.push(PairedClusterObservation {
+            cluster_id: obs.cluster_id,
+            total_units: obs.total_units,
+            sampled_units: obs.sampled_units,
+            sum_y: obs.sum,
+            sum_y_sq: obs.sum_sq,
+            sum_x: m,
+            sum_x_sq: m,
+            sum_xy: obs.sum,
+        });
+    }
+
+    /// Executed clusters so far.
+    pub fn sampled_clusters(&self) -> usize {
+        self.inner.sampled_clusters()
+    }
+
+    /// The estimate `μ̂ ± ε` at the given confidence level.
+    pub fn estimate(&self, confidence: f64) -> Result<Interval> {
+        self.inner.estimate(confidence)
+    }
+}
+
+/// One sampled secondary unit (e.g. an intermediate `<key, value>` group)
+/// in three-stage sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondaryObservation {
+    /// `K_ij` — total tertiary units in this secondary unit.
+    pub total_tertiary: u64,
+    /// `k_ij` — sampled tertiary units.
+    pub sampled_tertiary: u64,
+    /// Sum of sampled tertiary values.
+    pub sum: f64,
+    /// Sum of squares of sampled tertiary values.
+    pub sum_sq: f64,
+}
+
+impl SecondaryObservation {
+    fn estimated_total(&self) -> f64 {
+        self.total_tertiary as f64 / self.sampled_tertiary as f64 * self.sum
+    }
+
+    fn within_variance(&self) -> f64 {
+        let k = self.sampled_tertiary as f64;
+        if self.sampled_tertiary < 2 {
+            return 0.0;
+        }
+        ((self.sum_sq - self.sum * self.sum / k) / (k - 1.0)).max(0.0)
+    }
+}
+
+/// One sampled cluster in three-stage sampling, holding its sampled
+/// secondary units (`m_i = secondaries.len()`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreeStageCluster {
+    /// Identifier of the cluster (map task / block id).
+    pub cluster_id: u64,
+    /// `M_i` — total secondary units in the cluster.
+    pub total_units: u64,
+    /// The sampled secondary units.
+    pub secondaries: Vec<SecondaryObservation>,
+}
+
+/// Three-stage sampling estimator of a population total (paper
+/// Section 3.1, "Three-stage sampling"): clusters → secondary units →
+/// tertiary units, e.g. blocks → pages → paragraphs.
+#[derive(Debug, Clone)]
+pub struct ThreeStageEstimator {
+    total_clusters: u64,
+    clusters: Vec<ThreeStageCluster>,
+}
+
+impl ThreeStageEstimator {
+    /// Creates an estimator for `total_clusters` (`N`) clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_clusters == 0`.
+    pub fn new(total_clusters: u64) -> Self {
+        assert!(
+            total_clusters > 0,
+            "population must have at least one cluster"
+        );
+        ThreeStageEstimator {
+            total_clusters,
+            clusters: Vec::new(),
+        }
+    }
+
+    /// Adds one executed cluster.
+    pub fn push(&mut self, cluster: ThreeStageCluster) {
+        self.clusters.push(cluster);
+    }
+
+    /// Executed clusters so far.
+    pub fn sampled_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    fn validate(&self) -> Result<()> {
+        for c in &self.clusters {
+            if c.secondaries.is_empty() {
+                return Err(StatsError::invalid(
+                    "secondaries",
+                    "each sampled cluster must contain at least one sampled secondary unit",
+                ));
+            }
+            if c.secondaries.len() as u64 > c.total_units {
+                return Err(StatsError::invalid(
+                    "secondaries",
+                    "sampled secondary units exceed cluster total",
+                ));
+            }
+            for s in &c.secondaries {
+                if s.sampled_tertiary == 0 || s.sampled_tertiary > s.total_tertiary {
+                    return Err(StatsError::invalid(
+                        "sampled_tertiary",
+                        "must be in [1, total_tertiary]",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn cluster_estimated_total(c: &ThreeStageCluster) -> f64 {
+        let m = c.secondaries.len() as f64;
+        let inner: f64 = c.secondaries.iter().map(|s| s.estimated_total()).sum();
+        c.total_units as f64 / m * inner
+    }
+
+    /// The point estimate `τ̂`.
+    pub fn estimated_total(&self) -> Result<f64> {
+        self.validate()?;
+        let n = self.clusters.len();
+        if n == 0 {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        let sum: f64 = self
+            .clusters
+            .iter()
+            .map(Self::cluster_estimated_total)
+            .sum();
+        Ok(self.total_clusters as f64 / n as f64 * sum)
+    }
+
+    /// The estimated variance of `τ̂` (three-term extension of Eq. 3).
+    pub fn variance(&self) -> Result<f64> {
+        self.validate()?;
+        let n = self.clusters.len();
+        if n == 0 {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        let nf = n as f64;
+        let nn = self.total_clusters as f64;
+
+        // Between-cluster term.
+        let totals: Vec<f64> = self
+            .clusters
+            .iter()
+            .map(Self::cluster_estimated_total)
+            .collect();
+        let mean = totals.iter().sum::<f64>() / nf;
+        let s_u2 = if n < 2 {
+            0.0
+        } else {
+            totals.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / (nf - 1.0)
+        };
+        let mut var = nn * (nn - nf) * s_u2 / nf;
+
+        // Second- and third-stage terms.
+        let mut within = 0.0;
+        for c in &self.clusters {
+            let m = c.secondaries.len() as f64;
+            let mm = c.total_units as f64;
+            // Variance among estimated secondary totals within the cluster.
+            let sec_totals: Vec<f64> = c.secondaries.iter().map(|s| s.estimated_total()).collect();
+            let sec_mean = sec_totals.iter().sum::<f64>() / m;
+            let s_2i = if c.secondaries.len() < 2 {
+                0.0
+            } else {
+                sec_totals
+                    .iter()
+                    .map(|t| (t - sec_mean) * (t - sec_mean))
+                    .sum::<f64>()
+                    / (m - 1.0)
+            };
+            within += mm * (mm - m) * s_2i / m;
+            // Third-stage contribution.
+            let mut third = 0.0;
+            for s in &c.secondaries {
+                let k = s.sampled_tertiary as f64;
+                let kk = s.total_tertiary as f64;
+                third += kk * (kk - k) * s.within_variance() / k;
+            }
+            within += mm / m * third;
+        }
+        var += nn / nf * within;
+        Ok(var.max(0.0))
+    }
+
+    /// The full estimate `τ̂ ± ε` at the given confidence level.
+    pub fn estimate(&self, confidence: f64) -> Result<Interval> {
+        if !(0.0 < confidence && confidence < 1.0) {
+            return Err(StatsError::invalid("confidence", "must lie in (0, 1)"));
+        }
+        let total = self.estimated_total()?;
+        let n = self.clusters.len();
+        let census = n as u64 == self.total_clusters
+            && self.clusters.iter().all(|c| {
+                c.secondaries.len() as u64 == c.total_units
+                    && c.secondaries
+                        .iter()
+                        .all(|s| s.sampled_tertiary == s.total_tertiary)
+            });
+        if census {
+            return Ok(Interval::new(total, 0.0, confidence));
+        }
+        if n < 2 {
+            return Ok(Interval::new(total, f64::INFINITY, confidence));
+        }
+        let var = self.variance()?;
+        let t = cached_two_sided_critical_value((n - 1) as f64, confidence);
+        Ok(Interval::new(total, t * var.sqrt(), confidence))
+    }
+}
+
+/// Inputs to the predicted error bound of paper Eq. (4)–(7): statistics
+/// collected from the `n₁` completed map tasks, used to predict the bound
+/// after `n₂` further tasks run at sampling size `m`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveStatistics {
+    /// `N` — total map tasks (clusters).
+    pub total_clusters: u64,
+    /// `n₁` — completed map tasks.
+    pub completed_clusters: u64,
+    /// `s_u²` — inter-cluster variance measured over the completed tasks.
+    pub inter_cluster_var: f64,
+    /// `M̄` — mean block size (units per cluster).
+    pub mean_cluster_size: f64,
+    /// `s̄²` — mean intra-cluster variance over completed tasks.
+    pub mean_within_var: f64,
+    /// `Σᵢ Mᵢ(Mᵢ-mᵢ)sᵢ²/mᵢ` — the within contribution already locked in
+    /// by the completed tasks (zero when the first wave ran precisely).
+    pub completed_within_term: f64,
+    /// Current point estimate `τ̂` of the watched key.
+    pub estimate: f64,
+}
+
+impl WaveStatistics {
+    /// Predicted `Var(τ̂)` after running `n₂` more tasks sampling `m`
+    /// units each (paper Eq. 6–7):
+    ///
+    /// ```text
+    /// Var = N(N-n)·s_u²/n + (N/n)·CVar
+    /// CVar = n₂·M̄(M̄-m)·s̄²/m + Σᵢ Mᵢ(Mᵢ-mᵢ)sᵢ²/mᵢ
+    /// ```
+    pub fn predicted_variance(&self, additional_clusters: u64, units_per_cluster: f64) -> f64 {
+        let n1 = self.completed_clusters as f64;
+        let n2 = additional_clusters as f64;
+        let n = n1 + n2;
+        if n < 1.0 {
+            return f64::INFINITY;
+        }
+        let nn = self.total_clusters as f64;
+        let m = units_per_cluster.max(1.0).min(self.mean_cluster_size);
+        let mbar = self.mean_cluster_size;
+        let cvar =
+            n2 * mbar * (mbar - m).max(0.0) * self.mean_within_var / m + self.completed_within_term;
+        (nn * (nn - n).max(0.0) * self.inter_cluster_var / n + nn / n * cvar).max(0.0)
+    }
+
+    /// Predicted error bound `ε = t_{n-1,1-α/2}·sqrt(Var)` (Eq. 4, LHS).
+    /// Returns `+∞` when `n < 2`.
+    pub fn predicted_bound(
+        &self,
+        additional_clusters: u64,
+        units_per_cluster: f64,
+        confidence: f64,
+    ) -> f64 {
+        let n = self.completed_clusters + additional_clusters;
+        if n < 2 {
+            return f64::INFINITY;
+        }
+        let t = cached_two_sided_critical_value((n - 1) as f64, confidence);
+        t * self
+            .predicted_variance(additional_clusters, units_per_cluster)
+            .sqrt()
+    }
+
+    /// Predicted **relative** error bound `ε / τ̂`; `+∞` when the estimate
+    /// is zero.
+    pub fn predicted_relative_bound(
+        &self,
+        additional_clusters: u64,
+        units_per_cluster: f64,
+        confidence: f64,
+    ) -> f64 {
+        if self.estimate == 0.0 {
+            return f64::INFINITY;
+        }
+        self.predicted_bound(additional_clusters, units_per_cluster, confidence)
+            / self.estimate.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn full_census(values: &[Vec<f64>]) -> TwoStageEstimator {
+        let mut est = TwoStageEstimator::new(values.len() as u64);
+        for (i, block) in values.iter().enumerate() {
+            est.push(ClusterObservation {
+                cluster_id: i as u64,
+                total_units: block.len() as u64,
+                sampled_units: block.len() as u64,
+                sum: block.iter().sum(),
+                sum_sq: block.iter().map(|v| v * v).sum(),
+            });
+        }
+        est
+    }
+
+    #[test]
+    fn census_is_exact() {
+        let blocks = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0], vec![6.0]];
+        let est = full_census(&blocks);
+        let iv = est.estimate(0.95).unwrap();
+        assert_eq!(iv.estimate, 21.0);
+        assert_eq!(iv.half_width, 0.0);
+    }
+
+    #[test]
+    fn single_cluster_has_infinite_bound() {
+        let mut est = TwoStageEstimator::new(10);
+        est.push(ClusterObservation {
+            cluster_id: 0,
+            total_units: 100,
+            sampled_units: 50,
+            sum: 10.0,
+            sum_sq: 4.0,
+        });
+        let iv = est.estimate(0.95).unwrap();
+        assert_eq!(iv.half_width, f64::INFINITY);
+        // But the point estimate is still the unbiased expansion.
+        assert!((iv.estimate - 10.0 * 2.0 * 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_estimator_errors() {
+        let est = TwoStageEstimator::new(5);
+        assert!(matches!(
+            est.estimate(0.95),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_observation_is_rejected() {
+        let mut est = TwoStageEstimator::new(5);
+        est.push(ClusterObservation {
+            cluster_id: 0,
+            total_units: 10,
+            sampled_units: 11, // > total
+            sum: 1.0,
+            sum_sq: 1.0,
+        });
+        assert!(est.estimate(0.95).is_err());
+
+        let mut est = TwoStageEstimator::new(5);
+        est.push(ClusterObservation {
+            cluster_id: 0,
+            total_units: 10,
+            sampled_units: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+        });
+        assert!(est.estimate(0.95).is_err());
+    }
+
+    #[test]
+    fn bad_confidence_is_rejected() {
+        let blocks = vec![vec![1.0], vec![2.0]];
+        let est = full_census(&blocks);
+        assert!(est.estimate(0.0).is_err());
+        assert!(est.estimate(1.0).is_err());
+        assert!(est.estimate(-0.5).is_err());
+    }
+
+    /// Matches a hand-computed example: N=4 clusters, sample n=2 clusters
+    /// fully enumerated (one-stage cluster sampling).
+    #[test]
+    fn one_stage_cluster_sampling_hand_computed() {
+        // Clusters sampled: totals 10 and 14; N=4, n=2.
+        // τ̂ = 4/2 · (10+14) = 48.
+        // s_u² = ((10-12)² + (14-12)²)/1 = 8.
+        // Var = 4·(4-2)·8/2 = 32 (within term zero, fully enumerated).
+        // ε = t₁,0.975 · √32 = 12.706 · 5.657 = 71.87.
+        let mut est = TwoStageEstimator::new(4);
+        for (i, &tot) in [10.0, 14.0].iter().enumerate() {
+            est.push(ClusterObservation {
+                cluster_id: i as u64,
+                total_units: 5,
+                sampled_units: 5,
+                sum: tot,
+                sum_sq: tot * tot / 5.0 + 1.0,
+            });
+        }
+        let iv = est.estimate(0.95).unwrap();
+        assert!((iv.estimate - 48.0).abs() < 1e-12);
+        assert!((est.variance().unwrap() - 32.0).abs() < 1e-12);
+        assert!((iv.half_width - 12.706 * 32.0f64.sqrt()).abs() < 0.01);
+    }
+
+    /// Statistical coverage test: over many repetitions of two-stage
+    /// sampling from a known population, the 95% CI should contain the
+    /// true total roughly 95% of the time (we accept ≥ 88% to keep the
+    /// test robust yet meaningful).
+    #[test]
+    fn coverage_of_true_total() {
+        let mut rng = StdRng::seed_from_u64(42);
+        // Population: 50 blocks of 200 items with block-level locality.
+        let blocks: Vec<Vec<f64>> = (0..50)
+            .map(|b| {
+                let base = 10.0 + (b % 7) as f64;
+                (0..200).map(|_| base + rng.gen_range(-3.0..3.0)).collect()
+            })
+            .collect();
+        let truth: f64 = blocks.iter().flatten().sum();
+
+        let reps = 300;
+        let mut covered = 0;
+        for _ in 0..reps {
+            let mut est = TwoStageEstimator::new(blocks.len() as u64);
+            // Sample 15 random blocks, 40 random items each.
+            let mut ids: Vec<usize> = (0..blocks.len()).collect();
+            for i in 0..15 {
+                let j = rng.gen_range(i..ids.len());
+                ids.swap(i, j);
+            }
+            for &b in ids.iter().take(15) {
+                let block = &blocks[b];
+                let mut items: Vec<usize> = (0..block.len()).collect();
+                for i in 0..40 {
+                    let j = rng.gen_range(i..items.len());
+                    items.swap(i, j);
+                }
+                let vals: Vec<f64> = items.iter().take(40).map(|&i| block[i]).collect();
+                est.push(ClusterObservation {
+                    cluster_id: b as u64,
+                    total_units: block.len() as u64,
+                    sampled_units: 40,
+                    sum: vals.iter().sum(),
+                    sum_sq: vals.iter().map(|v| v * v).sum(),
+                });
+            }
+            if est.estimate(0.95).unwrap().contains(truth) {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / reps as f64;
+        assert!(rate > 0.88, "coverage too low: {rate}");
+    }
+
+    #[test]
+    fn mean_estimator_census_matches_population_mean() {
+        let blocks = [vec![2.0, 4.0], vec![6.0, 8.0, 10.0]];
+        let mut est = MeanEstimator::new(2);
+        for (i, b) in blocks.iter().enumerate() {
+            est.push(ClusterObservation {
+                cluster_id: i as u64,
+                total_units: b.len() as u64,
+                sampled_units: b.len() as u64,
+                sum: b.iter().sum(),
+                sum_sq: b.iter().map(|v| v * v).sum(),
+            });
+        }
+        let iv = est.estimate(0.95).unwrap();
+        assert!((iv.estimate - 6.0).abs() < 1e-12);
+        assert_eq!(iv.half_width, 0.0);
+    }
+
+    #[test]
+    fn mean_estimator_sampled_is_near_truth() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let blocks: Vec<Vec<f64>> = (0..40)
+            .map(|_| (0..100).map(|_| rng.gen_range(0.0..10.0)).collect())
+            .collect();
+        let all: Vec<f64> = blocks.iter().flatten().copied().collect();
+        let truth = all.iter().sum::<f64>() / all.len() as f64;
+        let mut est = MeanEstimator::new(40);
+        for (i, b) in blocks.iter().take(10).enumerate() {
+            let vals = &b[..25];
+            est.push(ClusterObservation {
+                cluster_id: i as u64,
+                total_units: 100,
+                sampled_units: 25,
+                sum: vals.iter().sum(),
+                sum_sq: vals.iter().map(|v| v * v).sum(),
+            });
+        }
+        let iv = est.estimate(0.95).unwrap();
+        assert!(
+            (iv.estimate - truth).abs() < 1.0,
+            "estimate {} vs truth {truth}",
+            iv.estimate
+        );
+        assert!(iv.half_width.is_finite());
+    }
+
+    #[test]
+    fn ratio_estimator_census_exact() {
+        // y = bytes, x = requests; ratio = mean bytes per request.
+        let mut est = RatioEstimator::new(2);
+        est.push(PairedClusterObservation {
+            cluster_id: 0,
+            total_units: 2,
+            sampled_units: 2,
+            sum_y: 30.0,
+            sum_y_sq: 500.0,
+            sum_x: 3.0,
+            sum_x_sq: 5.0,
+            sum_xy: 38.0,
+        });
+        est.push(PairedClusterObservation {
+            cluster_id: 1,
+            total_units: 2,
+            sampled_units: 2,
+            sum_y: 10.0,
+            sum_y_sq: 60.0,
+            sum_x: 2.0,
+            sum_x_sq: 2.0,
+            sum_xy: 10.0,
+        });
+        let iv = est.estimate(0.95).unwrap();
+        assert!((iv.estimate - 8.0).abs() < 1e-12);
+        assert_eq!(iv.half_width, 0.0);
+    }
+
+    #[test]
+    fn ratio_estimator_zero_denominator_errors() {
+        let mut est = RatioEstimator::new(3);
+        est.push(PairedClusterObservation {
+            cluster_id: 0,
+            total_units: 5,
+            sampled_units: 5,
+            sum_y: 1.0,
+            sum_y_sq: 1.0,
+            sum_x: 0.0,
+            sum_x_sq: 0.0,
+            sum_xy: 0.0,
+        });
+        assert!(est.estimated_ratio().is_err());
+    }
+
+    #[test]
+    fn three_stage_census_is_exact() {
+        let mut est = ThreeStageEstimator::new(2);
+        for c in 0..2u64 {
+            est.push(ThreeStageCluster {
+                cluster_id: c,
+                total_units: 2,
+                secondaries: vec![
+                    SecondaryObservation {
+                        total_tertiary: 3,
+                        sampled_tertiary: 3,
+                        sum: 6.0,
+                        sum_sq: 14.0,
+                    },
+                    SecondaryObservation {
+                        total_tertiary: 2,
+                        sampled_tertiary: 2,
+                        sum: 5.0,
+                        sum_sq: 13.0,
+                    },
+                ],
+            });
+        }
+        let iv = est.estimate(0.95).unwrap();
+        assert!((iv.estimate - 22.0).abs() < 1e-12);
+        assert_eq!(iv.half_width, 0.0);
+    }
+
+    #[test]
+    fn three_stage_sampling_estimates_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(99);
+        // 20 clusters × 10 secondaries × 50 tertiaries of value ~5.
+        let pop: Vec<Vec<Vec<f64>>> = (0..20)
+            .map(|_| {
+                (0..10)
+                    .map(|_| (0..50).map(|_| rng.gen_range(4.0..6.0)).collect())
+                    .collect()
+            })
+            .collect();
+        let truth: f64 = pop.iter().flatten().flatten().sum();
+        let mut est = ThreeStageEstimator::new(20);
+        for (ci, c) in pop.iter().take(8).enumerate() {
+            let secondaries = c
+                .iter()
+                .take(5)
+                .map(|s| {
+                    let vals = &s[..20];
+                    SecondaryObservation {
+                        total_tertiary: 50,
+                        sampled_tertiary: 20,
+                        sum: vals.iter().sum(),
+                        sum_sq: vals.iter().map(|v| v * v).sum(),
+                    }
+                })
+                .collect();
+            est.push(ThreeStageCluster {
+                cluster_id: ci as u64,
+                total_units: 10,
+                secondaries,
+            });
+        }
+        let iv = est.estimate(0.95).unwrap();
+        assert!(iv.half_width.is_finite() && iv.half_width > 0.0);
+        assert!(
+            (iv.estimate - truth).abs() / truth < 0.05,
+            "estimate {} vs truth {truth}",
+            iv.estimate
+        );
+    }
+
+    #[test]
+    fn three_stage_invalid_rejected() {
+        let mut est = ThreeStageEstimator::new(2);
+        est.push(ThreeStageCluster {
+            cluster_id: 0,
+            total_units: 2,
+            secondaries: vec![],
+        });
+        assert!(est.estimate(0.95).is_err());
+    }
+
+    #[test]
+    fn predicted_bound_decreases_with_more_clusters_and_units() {
+        let w = WaveStatistics {
+            total_clusters: 100,
+            completed_clusters: 10,
+            inter_cluster_var: 50.0,
+            mean_cluster_size: 1000.0,
+            mean_within_var: 4.0,
+            completed_within_term: 0.0,
+            estimate: 1e6,
+        };
+        // More *precise* clusters (m = M̄, no within-variance) shrink the
+        // between-cluster term; more units per cluster shrink the within
+        // term at fixed n₂.
+        let b_small = w.predicted_bound(10, 1000.0, 0.95);
+        let b_more_clusters = w.predicted_bound(40, 1000.0, 0.95);
+        assert!(b_more_clusters < b_small);
+        let b_coarse = w.predicted_bound(10, 100.0, 0.95);
+        let b_fine = w.predicted_bound(10, 800.0, 0.95);
+        assert!(b_fine < b_coarse);
+        // Sampling within clusters can only add variance vs. precise.
+        assert!(b_small <= b_coarse);
+    }
+
+    #[test]
+    fn predicted_bound_matches_direct_variance_when_full() {
+        // n2 additional precise clusters (m = M̄) add no within-variance.
+        let w = WaveStatistics {
+            total_clusters: 50,
+            completed_clusters: 5,
+            inter_cluster_var: 10.0,
+            mean_cluster_size: 100.0,
+            mean_within_var: 2.0,
+            completed_within_term: 0.0,
+            estimate: 1000.0,
+        };
+        let v = w.predicted_variance(5, 100.0);
+        // Var = N(N-n)s_u²/n with n = 10.
+        let expected = 50.0 * 40.0 * 10.0 / 10.0;
+        assert!((v - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicted_relative_bound_handles_zero_estimate() {
+        let w = WaveStatistics {
+            total_clusters: 10,
+            completed_clusters: 5,
+            inter_cluster_var: 1.0,
+            mean_cluster_size: 10.0,
+            mean_within_var: 1.0,
+            completed_within_term: 0.0,
+            estimate: 0.0,
+        };
+        assert_eq!(w.predicted_relative_bound(2, 5.0, 0.95), f64::INFINITY);
+    }
+
+    #[test]
+    fn predicted_bound_infinite_below_two_clusters() {
+        let w = WaveStatistics {
+            total_clusters: 10,
+            completed_clusters: 0,
+            inter_cluster_var: 1.0,
+            mean_cluster_size: 10.0,
+            mean_within_var: 1.0,
+            completed_within_term: 0.0,
+            estimate: 5.0,
+        };
+        assert_eq!(w.predicted_bound(1, 5.0, 0.95), f64::INFINITY);
+        assert!(w.predicted_bound(2, 5.0, 0.95).is_finite());
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for the statistical substrate.
+
+use approxhadoop_stats::dist::{ContinuousDistribution, Gev, Normal, StudentT};
+use approxhadoop_stats::gev::{block_maxima, block_minima};
+use approxhadoop_stats::multistage::{ClusterObservation, TwoStageEstimator, WaveStatistics};
+use approxhadoop_stats::sampling::{choose_indices, random_order, SystematicSampler, Zipf};
+use approxhadoop_stats::special::{inv_reg_inc_beta, reg_inc_beta};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a population of blocks of values.
+fn blocks_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-100.0..100.0f64, 1..40), 2..12)
+}
+
+proptest! {
+    /// A census (all blocks, all items) is exact for any population.
+    #[test]
+    fn census_is_always_exact(blocks in blocks_strategy()) {
+        let truth: f64 = blocks.iter().flatten().sum();
+        let mut est = TwoStageEstimator::new(blocks.len() as u64);
+        for (i, b) in blocks.iter().enumerate() {
+            est.push(ClusterObservation {
+                cluster_id: i as u64,
+                total_units: b.len() as u64,
+                sampled_units: b.len() as u64,
+                sum: b.iter().sum(),
+                sum_sq: b.iter().map(|v| v * v).sum(),
+            });
+        }
+        let iv = est.estimate(0.95).unwrap();
+        prop_assert!((iv.estimate - truth).abs() <= 1e-6 * (1.0 + truth.abs()));
+        prop_assert_eq!(iv.half_width, 0.0);
+    }
+
+    /// Scaling all values by a constant scales the estimate and the
+    /// half-width by |c| (linearity of the estimator).
+    #[test]
+    fn estimator_is_scale_equivariant(
+        blocks in blocks_strategy(),
+        c in -5.0..5.0f64,
+        keep in 2usize..6,
+    ) {
+        prop_assume!(c.abs() > 1e-3);
+        let n = blocks.len().min(keep);
+        let build = |scale: f64| {
+            let mut est = TwoStageEstimator::new(blocks.len() as u64);
+            for (i, b) in blocks.iter().take(n).enumerate() {
+                let m = (b.len() / 2).max(1);
+                let vals: Vec<f64> = b[..m].iter().map(|v| v * scale).collect();
+                est.push(ClusterObservation {
+                    cluster_id: i as u64,
+                    total_units: b.len() as u64,
+                    sampled_units: m as u64,
+                    sum: vals.iter().sum(),
+                    sum_sq: vals.iter().map(|v| v * v).sum(),
+                });
+            }
+            est.estimate(0.95).unwrap()
+        };
+        let base = build(1.0);
+        let scaled = build(c);
+        let tol = 1e-6 * (1.0 + base.estimate.abs() * c.abs());
+        prop_assert!((scaled.estimate - c * base.estimate).abs() <= tol);
+        if base.half_width.is_finite() {
+            let tol = 1e-6 * (1.0 + base.half_width * c.abs());
+            prop_assert!((scaled.half_width - c.abs() * base.half_width).abs() <= tol);
+        }
+    }
+
+    /// Higher confidence always widens the interval.
+    #[test]
+    fn interval_widens_with_confidence(blocks in blocks_strategy()) {
+        let mut est = TwoStageEstimator::new((blocks.len() + 2) as u64);
+        for (i, b) in blocks.iter().enumerate() {
+            let m = (b.len() / 2).max(1);
+            est.push(ClusterObservation {
+                cluster_id: i as u64,
+                total_units: b.len() as u64,
+                sampled_units: m as u64,
+                sum: b[..m].iter().sum(),
+                sum_sq: b[..m].iter().map(|v| v * v).sum(),
+            });
+        }
+        let lo = est.estimate(0.80).unwrap();
+        let hi = est.estimate(0.99).unwrap();
+        prop_assert!(hi.half_width >= lo.half_width);
+    }
+
+    /// The predicted bound (planner input) shrinks when either more
+    /// clusters run precisely or more units are sampled per cluster.
+    #[test]
+    fn predicted_bound_is_monotone(
+        su in 0.1..1e4f64,
+        within in 0.1..1e3f64,
+        n1 in 2u64..20,
+        extra in 1u64..50,
+    ) {
+        let w = WaveStatistics {
+            total_clusters: 100,
+            completed_clusters: n1,
+            inter_cluster_var: su,
+            mean_cluster_size: 1000.0,
+            mean_within_var: within,
+            completed_within_term: 0.0,
+            estimate: 1e6,
+        };
+        let full = w.predicted_bound(extra, 1000.0, 0.95);
+        let more = w.predicted_bound(extra + 5, 1000.0, 0.95);
+        prop_assert!(more <= full + 1e-9);
+        let coarse = w.predicted_bound(extra, 10.0, 0.95);
+        prop_assert!(full <= coarse + 1e-9);
+    }
+
+    /// Student-t: quantile is monotone in p and symmetric about 0.5.
+    #[test]
+    fn student_t_quantile_monotone_symmetric(df in 1.0..200.0f64, p in 0.01..0.49f64) {
+        let t = StudentT::new(df);
+        prop_assert!(t.quantile(p) < t.quantile(p + 0.02));
+        prop_assert!((t.quantile(p) + t.quantile(1.0 - p)).abs() < 1e-8);
+    }
+
+    /// Normal cdf/quantile round-trip for arbitrary parameters.
+    #[test]
+    fn normal_roundtrip(mean in -100.0..100.0f64, std in 0.01..50.0f64, p in 0.001..0.999f64) {
+        let n = Normal::new(mean, std);
+        let x = n.quantile(p);
+        prop_assert!((n.cdf(x) - p).abs() < 1e-9);
+    }
+
+    /// GEV cdf/quantile round-trip across the shape parameter range.
+    #[test]
+    fn gev_roundtrip(mu in -10.0..10.0f64, sigma in 0.1..10.0f64, xi in -0.8..1.5f64, p in 0.01..0.99f64) {
+        let g = Gev::new(mu, sigma, xi);
+        let x = g.quantile(p);
+        prop_assert!((g.cdf(x) - p).abs() < 1e-8);
+    }
+
+    /// Incomplete beta inverse round-trip.
+    #[test]
+    fn inc_beta_roundtrip(a in 0.2..50.0f64, b in 0.2..50.0f64, p in 0.001..0.999f64) {
+        let x = inv_reg_inc_beta(a, b, p);
+        prop_assert!((reg_inc_beta(a, b, x) - p).abs() < 1e-7);
+    }
+
+    /// Block minima/maxima: outputs are genuine extremes of a partition
+    /// covering the input.
+    #[test]
+    fn block_extremes_bound_input(values in prop::collection::vec(-1e6..1e6f64, 1..200), blocks in 1usize..20) {
+        let maxima = block_maxima(&values, blocks);
+        let minima = block_minima(&values, blocks);
+        let global_max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let global_min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(maxima.iter().copied().fold(f64::NEG_INFINITY, f64::max), global_max);
+        prop_assert_eq!(minima.iter().copied().fold(f64::INFINITY, f64::min), global_min);
+        prop_assert_eq!(maxima.len(), blocks.min(values.len()));
+    }
+
+    /// Systematic sampling: deterministic per seed, correct count shape,
+    /// indices strictly increasing.
+    #[test]
+    fn systematic_sampler_properties(total in 1usize..5000, stride in 1usize..100, seed in 0u64..100) {
+        let s = SystematicSampler::new(stride);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = s.sample_indices(&mut rng, total);
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(&idx, &s.sample_indices(&mut rng2, total));
+        prop_assert!(!idx.is_empty());
+        prop_assert!(idx.windows(2).all(|w| w[1] > w[0]));
+        prop_assert!(idx.iter().all(|&i| i < total));
+        // Count within one of total/stride.
+        let expected = total / stride;
+        let lower = expected.max(1).saturating_sub(usize::from(expected > 0));
+        prop_assert!(idx.len() >= lower);
+        prop_assert!(idx.len() <= expected + 1);
+    }
+
+    /// choose_indices returns k distinct in-range indices.
+    #[test]
+    fn choose_indices_properties(n in 1usize..500, k in 0usize..500, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = choose_indices(&mut rng, n, k);
+        prop_assert_eq!(idx.len(), k.min(n));
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), idx.len());
+        prop_assert!(idx.iter().all(|&i| i < n));
+    }
+
+    /// random_order is a permutation.
+    #[test]
+    fn random_order_is_permutation(n in 0usize..300, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = random_order(&mut rng, n);
+        p.sort_unstable();
+        prop_assert_eq!(p, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Zipf samples stay in range for any exponent/catalogue size.
+    #[test]
+    fn zipf_in_range(n in 1u64..100_000, s in 0.1..3.0f64, seed in 0u64..20) {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let k = z.sample(&mut rng);
+            prop_assert!(k >= 1 && k <= n);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Datacenter placement by simulated annealing (the paper's DC
+//! Placement application, after the heuristic of Goiri et al., ICDCS'11).
+//!
+//! A geographic area is a 2-D grid; each cell has a client population
+//! and a build/operate cost. The optimisation places `k` datacenters
+//! minimising total cost, subject to a maximum network latency from
+//! every populated cell to its nearest datacenter. Each map task runs
+//! one independent annealing search from a random start and outputs the
+//! minimum cost it found; the reduce estimates the global minimum with
+//! GEV (paper Figure 2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A geographic grid of candidate datacenter sites.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Cells per side (the grid is `side × side`).
+    pub side: usize,
+    /// Client population per cell.
+    pub population: Vec<f64>,
+    /// Site cost per cell (land + electricity + taxes).
+    pub cost: Vec<f64>,
+    /// Latency per cell of grid distance, in milliseconds.
+    pub ms_per_cell: f64,
+}
+
+impl Grid {
+    /// A synthetic "US-like" grid: a few population hot spots (metro
+    /// areas) with costs loosely anti-correlated with population.
+    pub fn us_like(side: usize, seed: u64) -> Self {
+        assert!(side >= 4, "grid must be at least 4×4");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hotspots: Vec<(f64, f64, f64)> = (0..6)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..side as f64),
+                    rng.gen_range(0.0..side as f64),
+                    rng.gen_range(0.5..2.0),
+                )
+            })
+            .collect();
+        let mut population = vec![0.0; side * side];
+        let mut cost = vec![0.0; side * side];
+        for y in 0..side {
+            for x in 0..side {
+                let mut p = 0.05;
+                for (hx, hy, w) in &hotspots {
+                    let d2 = (x as f64 - hx).powi(2) + (y as f64 - hy).powi(2);
+                    p += w * (-d2 / (side as f64)).exp();
+                }
+                population[y * side + x] = p;
+                // Dense areas are expensive; add noise.
+                cost[y * side + x] = 10.0 + 20.0 * p + rng.gen_range(0.0..15.0);
+            }
+        }
+        Grid {
+            side,
+            population,
+            cost,
+            ms_per_cell: 4.0,
+        }
+    }
+
+    /// A synthetic "Europe-like" grid: denser, more uniform population
+    /// (many mid-size cities), higher site costs, shorter distances.
+    pub fn europe_like(side: usize, seed: u64) -> Self {
+        assert!(side >= 4, "grid must be at least 4×4");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE0_0E);
+        let hotspots: Vec<(f64, f64, f64)> = (0..12)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..side as f64),
+                    rng.gen_range(0.0..side as f64),
+                    rng.gen_range(0.3..1.0),
+                )
+            })
+            .collect();
+        let mut population = vec![0.0; side * side];
+        let mut cost = vec![0.0; side * side];
+        for y in 0..side {
+            for x in 0..side {
+                let mut p = 0.15;
+                for (hx, hy, w) in &hotspots {
+                    let d2 = (x as f64 - hx).powi(2) + (y as f64 - hy).powi(2);
+                    p += w * (-d2 / (side as f64 * 0.5)).exp();
+                }
+                population[y * side + x] = p;
+                cost[y * side + x] = 18.0 + 25.0 * p + rng.gen_range(0.0..10.0);
+            }
+        }
+        Grid {
+            side,
+            population,
+            cost,
+            ms_per_cell: 2.5,
+        }
+    }
+
+    /// Grid distance (Euclidean, in cells) between two cell indices.
+    fn distance(&self, a: usize, b: usize) -> f64 {
+        let (ax, ay) = ((a % self.side) as f64, (a / self.side) as f64);
+        let (bx, by) = ((b % self.side) as f64, (b / self.side) as f64);
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Total cost of a placement: site costs, plus a large penalty per
+    /// population unit whose latency to the nearest datacenter exceeds
+    /// `max_latency_ms` (soft constraint, as in the original heuristic).
+    pub fn placement_cost(&self, placement: &[usize], max_latency_ms: f64) -> f64 {
+        let mut total: f64 = placement.iter().map(|&c| self.cost[c]).sum();
+        for cell in 0..self.side * self.side {
+            let pop = self.population[cell];
+            if pop <= 0.0 {
+                continue;
+            }
+            let nearest = placement
+                .iter()
+                .map(|&p| self.distance(cell, p))
+                .fold(f64::INFINITY, f64::min);
+            let latency = nearest * self.ms_per_cell;
+            if latency > max_latency_ms {
+                total += pop * (latency - max_latency_ms) * 2.0;
+            }
+        }
+        total
+    }
+}
+
+/// Configuration of one annealing search.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealConfig {
+    /// Datacenters to place.
+    pub datacenters: usize,
+    /// Maximum latency constraint in milliseconds.
+    pub max_latency_ms: f64,
+    /// Annealing iterations.
+    pub iterations: usize,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            datacenters: 4,
+            max_latency_ms: 50.0,
+            iterations: 2_000,
+        }
+    }
+}
+
+/// Runs one simulated-annealing search from a random start; returns the
+/// minimum cost found. Deterministic per seed.
+pub fn anneal(grid: &Grid, config: &AnnealConfig, seed: u64) -> f64 {
+    let cells = grid.side * grid.side;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut placement: Vec<usize> = (0..config.datacenters)
+        .map(|_| rng.gen_range(0..cells))
+        .collect();
+    let mut cost = grid.placement_cost(&placement, config.max_latency_ms);
+    let mut best = cost;
+    let t0 = cost.max(1.0);
+    for i in 0..config.iterations {
+        let temp = t0 * (1.0 - i as f64 / config.iterations as f64).max(1e-3) * 0.1;
+        // Move one datacenter to a random neighbouring (or random) cell.
+        let which = rng.gen_range(0..placement.len());
+        let old = placement[which];
+        placement[which] = if rng.gen_bool(0.7) {
+            // local move
+            let dx = rng.gen_range(-1i64..=1);
+            let dy = rng.gen_range(-1i64..=1);
+            let x = (old % grid.side) as i64 + dx;
+            let y = (old / grid.side) as i64 + dy;
+            if x < 0 || y < 0 || x >= grid.side as i64 || y >= grid.side as i64 {
+                old
+            } else {
+                (y as usize) * grid.side + x as usize
+            }
+        } else {
+            rng.gen_range(0..cells)
+        };
+        let new_cost = grid.placement_cost(&placement, config.max_latency_ms);
+        let accept = new_cost <= cost || rng.gen::<f64>() < ((cost - new_cost) / temp).exp();
+        if accept {
+            cost = new_cost;
+            best = best.min(cost);
+        } else {
+            placement[which] = old;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_construction() {
+        let g = Grid::us_like(10, 1);
+        assert_eq!(g.population.len(), 100);
+        assert!(g.population.iter().all(|&p| p > 0.0));
+        assert!(g.cost.iter().all(|&c| c >= 10.0));
+    }
+
+    #[test]
+    fn europe_grid_is_denser_and_pricier() {
+        let us = Grid::us_like(10, 1);
+        let eu = Grid::europe_like(10, 1);
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&eu.cost) > mean(&us.cost));
+        assert!(eu.ms_per_cell < us.ms_per_cell);
+        // Baseline population is at least the construction floor.
+        assert!(eu.population.iter().all(|&p| p >= 0.15));
+    }
+
+    #[test]
+    fn placement_cost_penalises_distance() {
+        let g = Grid::us_like(10, 2);
+        // All datacenters in one corner vs spread out.
+        let corner = vec![0, 1, 10, 11];
+        let spread = vec![0, 9, 90, 99];
+        let tight = 10.0;
+        let c_corner = g.placement_cost(&corner, tight);
+        let c_spread = g.placement_cost(&spread, tight);
+        assert!(
+            c_spread < c_corner,
+            "spread {c_spread} should beat corner {c_corner} under tight latency"
+        );
+    }
+
+    #[test]
+    fn anneal_improves_over_random_start() {
+        let g = Grid::us_like(12, 3);
+        let cfg = AnnealConfig::default();
+        let mut rng = StdRng::seed_from_u64(99);
+        // Average random placement cost.
+        let random_costs: f64 = (0..20)
+            .map(|_| {
+                let p: Vec<usize> = (0..cfg.datacenters)
+                    .map(|_| rng.gen_range(0..144))
+                    .collect();
+                g.placement_cost(&p, cfg.max_latency_ms)
+            })
+            .sum::<f64>()
+            / 20.0;
+        let annealed = anneal(&g, &cfg, 7);
+        assert!(
+            annealed < random_costs,
+            "annealed {annealed} vs random {random_costs}"
+        );
+    }
+
+    #[test]
+    fn anneal_is_deterministic_per_seed() {
+        let g = Grid::us_like(8, 4);
+        let cfg = AnnealConfig {
+            iterations: 500,
+            ..Default::default()
+        };
+        assert_eq!(anneal(&g, &cfg, 5), anneal(&g, &cfg, 5));
+        // Different seeds explore differently (almost surely).
+        assert_ne!(anneal(&g, &cfg, 5), anneal(&g, &cfg, 6));
+    }
+
+    #[test]
+    fn more_iterations_do_not_hurt() {
+        let g = Grid::us_like(8, 5);
+        let short = anneal(
+            &g,
+            &AnnealConfig {
+                iterations: 100,
+                ..Default::default()
+            },
+            1,
+        );
+        let long = anneal(
+            &g,
+            &AnnealConfig {
+                iterations: 5_000,
+                ..Default::default()
+            },
+            1,
+        );
+        assert!(long <= short * 1.05, "long {long} vs short {short}");
+    }
+}

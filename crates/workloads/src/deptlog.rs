@@ -1,0 +1,251 @@
+//! Synthetic departmental web-server log (the paper's Rutgers CS log:
+//! 80 weekly files, 40 M requests, 11 GB uncompressed).
+//!
+//! Two properties matter for Figures 10–12: the hourly request *rate*
+//! is stable and diurnal (unlike the Zipf page popularity of the
+//! Wikipedia log), and attacks are rare events concentrated on a few
+//! clients, which makes Attack Frequencies a stress test for sampling
+//! rare values.
+
+use approxhadoop_runtime::input::{FnSource, SplitMeta};
+use approxhadoop_stats::sampling::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Known attack patterns scanned for by the Attack Frequencies app.
+pub const ATTACK_PATTERNS: [&str; 5] = [
+    "php-cgi",
+    "wp-admin",
+    "etc/passwd",
+    "sqlmap",
+    "%3Cscript%3E",
+];
+
+/// Browser families for the Client Browser app.
+pub const BROWSERS: [&str; 6] = ["Chrome", "Firefox", "Safari", "Edge", "Bot", "Other"];
+
+/// One departmental-log request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Week index (one file/block per week, like the paper's layout).
+    pub week: u32,
+    /// Hour within the week `[0, 168)`.
+    pub hour: u32,
+    /// Client id.
+    pub client: u32,
+    /// Response size in bytes.
+    pub bytes: u64,
+    /// Browser family index into [`BROWSERS`].
+    pub browser: u8,
+    /// Attack pattern index into [`ATTACK_PATTERNS`], if the request
+    /// matches one.
+    pub attack: Option<u8>,
+}
+
+impl Request {
+    /// Renders as one log line.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{} {} {} {} {} {}",
+            self.week,
+            self.hour,
+            self.client,
+            self.bytes,
+            self.browser,
+            self.attack.map(|a| a as i16).unwrap_or(-1)
+        )
+    }
+
+    /// Parses a line produced by [`Request::to_line`].
+    pub fn parse(line: &str) -> Option<Request> {
+        let mut it = line.split_whitespace();
+        let week = it.next()?.parse().ok()?;
+        let hour = it.next()?.parse().ok()?;
+        let client = it.next()?.parse().ok()?;
+        let bytes = it.next()?.parse().ok()?;
+        let browser = it.next()?.parse().ok()?;
+        let attack: i16 = it.next()?.parse().ok()?;
+        Some(Request {
+            week,
+            hour,
+            client,
+            bytes,
+            browser,
+            attack: (attack >= 0).then_some(attack as u8),
+        })
+    }
+}
+
+/// Deterministic generator of the weekly-blocked departmental log.
+#[derive(Debug, Clone, Copy)]
+pub struct DeptLog {
+    /// Number of weekly files (blocks); the paper has 80.
+    pub weeks: u32,
+    /// Requests per week.
+    pub requests_per_week: u64,
+    /// Distinct clients.
+    pub clients: u32,
+    /// Fraction of requests that are attacks (rare; paper-like ≈ 1e-3).
+    pub attack_fraction: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl DeptLog {
+    /// Laptop-scale default: 80 weeks × 5 000 requests.
+    pub fn small(seed: u64) -> Self {
+        DeptLog {
+            weeks: 80,
+            requests_per_week: 5_000,
+            clients: 20_000,
+            attack_fraction: 1e-3,
+            seed,
+        }
+    }
+
+    /// The diurnal weight of an hour-of-week (stable across weeks):
+    /// low at night, peaks in the afternoon, slightly lower weekends.
+    pub fn hour_weight(hour_of_week: u32) -> f64 {
+        let hour = (hour_of_week % 24) as f64;
+        let day = hour_of_week / 24;
+        let diurnal = 1.0 + 0.25 * ((hour - 14.0) * std::f64::consts::PI / 12.0).cos();
+        let weekend = if day >= 5 { 0.8 } else { 1.0 };
+        diurnal * weekend
+    }
+
+    /// Generates one week's requests; deterministic per week.
+    pub fn block(&self, week: u32) -> Vec<Request> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (week as u64).wrapping_mul(0xC0FF_EE11));
+        let clients = Zipf::new(self.clients as u64, 1.1);
+        // Attackers are a tiny Zipf-heavy subset of clients.
+        let attackers = Zipf::new(50, 1.5);
+        // Cumulative hour weights for sampling the request hour.
+        let weights: Vec<f64> = (0..168).map(Self::hour_weight).collect();
+        let total_w: f64 = weights.iter().sum();
+        let mut requests: Vec<Request> = (0..self.requests_per_week)
+            .map(|_| {
+                let mut u = rng.gen::<f64>() * total_w;
+                let mut hour = 0u32;
+                for (h, w) in weights.iter().enumerate() {
+                    if u < *w {
+                        hour = h as u32;
+                        break;
+                    }
+                    u -= w;
+                }
+                let is_attack = rng.gen::<f64>() < self.attack_fraction;
+                let (client, attack) = if is_attack {
+                    (
+                        attackers.sample(&mut rng) as u32,
+                        Some(rng.gen_range(0..ATTACK_PATTERNS.len() as u8)),
+                    )
+                } else {
+                    (clients.sample(&mut rng) as u32, None)
+                };
+                Request {
+                    week,
+                    hour,
+                    client,
+                    bytes: rng.gen_range(200..60_000),
+                    browser: rng.gen_range(0..BROWSERS.len() as u8),
+                    attack,
+                }
+            })
+            .collect();
+        requests.sort_by_key(|r| r.hour);
+        requests
+    }
+
+    /// An [`FnSource`] with one split per weekly file (matching the
+    /// paper: each weekly file fits in a single HDFS block).
+    pub fn source(
+        &self,
+    ) -> FnSource<Request, impl Fn(usize) -> Vec<Request> + Send + Sync + use<>> {
+        let this = *self;
+        let metas = (0..self.weeks)
+            .map(|w| SplitMeta {
+                index: w as usize,
+                records: this.requests_per_week,
+                bytes: this.requests_per_week * 48,
+                locations: vec![],
+            })
+            .collect();
+        FnSource::new(metas, move |i| this.block(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_deterministic_and_sized() {
+        let log = DeptLog::small(1);
+        let b = log.block(5);
+        assert_eq!(b, log.block(5));
+        assert_eq!(b.len(), 5_000);
+        assert!(b.iter().all(|r| r.week == 5 && r.hour < 168));
+    }
+
+    #[test]
+    fn rates_are_diurnal_and_stable() {
+        let log = DeptLog::small(2);
+        let mut by_hour = [0u32; 24];
+        for w in 0..4 {
+            for r in log.block(w) {
+                by_hour[(r.hour % 24) as usize] += 1;
+            }
+        }
+        // Afternoon busier than the small hours.
+        assert!(
+            by_hour[14] > by_hour[2],
+            "14h {} vs 2h {}",
+            by_hour[14],
+            by_hour[2]
+        );
+        // Stability: max/min hourly rate within ~3x (paper: ~33% spread).
+        let max = *by_hour.iter().max().unwrap() as f64;
+        let min = *by_hour.iter().min().unwrap() as f64;
+        assert!(max / min < 2.5, "spread {max}/{min}");
+    }
+
+    #[test]
+    fn attacks_are_rare_and_concentrated() {
+        let log = DeptLog::small(3);
+        let mut attacks = 0usize;
+        let mut total = 0usize;
+        for w in 0..20 {
+            for r in log.block(w) {
+                total += 1;
+                if r.attack.is_some() {
+                    attacks += 1;
+                    assert!(r.client <= 50, "attacker id {}", r.client);
+                }
+            }
+        }
+        let frac = attacks as f64 / total as f64;
+        assert!(frac > 1e-4 && frac < 5e-3, "attack fraction {frac}");
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let r = Request {
+            week: 1,
+            hour: 100,
+            client: 77,
+            bytes: 4096,
+            browser: 2,
+            attack: Some(3),
+        };
+        assert_eq!(Request::parse(&r.to_line()).unwrap(), r);
+        let clean = Request { attack: None, ..r };
+        assert_eq!(Request::parse(&clean.to_line()).unwrap(), clean);
+    }
+
+    #[test]
+    fn hour_weight_shape() {
+        assert!(DeptLog::hour_weight(14) > DeptLog::hour_weight(2));
+        // Weekend discount.
+        assert!(DeptLog::hour_weight(14) > DeptLog::hour_weight(14 + 24 * 6));
+    }
+}

@@ -1,0 +1,195 @@
+//! The application inventory — the paper's Table 1.
+
+/// Approximation mechanisms an application uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mechanisms {
+    /// Input data sampling (S).
+    pub sampling: bool,
+    /// Task dropping (D).
+    pub dropping: bool,
+    /// User-defined approximation (U).
+    pub user_defined: bool,
+}
+
+/// How an application's error is estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorEstimation {
+    /// Multi-stage sampling (MS).
+    MultiStage,
+    /// Generalized extreme values (GEV).
+    Gev,
+    /// User-defined (U).
+    UserDefined,
+}
+
+impl std::fmt::Display for ErrorEstimation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorEstimation::MultiStage => write!(f, "MS"),
+            ErrorEstimation::Gev => write!(f, "GEV"),
+            ErrorEstimation::UserDefined => write!(f, "U"),
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppDescriptor {
+    /// Application name as used in the paper.
+    pub name: &'static str,
+    /// Input dataset.
+    pub input: &'static str,
+    /// Paper's dataset size (for reference).
+    pub paper_size: &'static str,
+    /// Mechanisms used.
+    pub mechanisms: Mechanisms,
+    /// Error estimation approach.
+    pub error: ErrorEstimation,
+}
+
+const SD: Mechanisms = Mechanisms {
+    sampling: true,
+    dropping: true,
+    user_defined: false,
+};
+const D_ONLY: Mechanisms = Mechanisms {
+    sampling: false,
+    dropping: true,
+    user_defined: false,
+};
+const U_ONLY: Mechanisms = Mechanisms {
+    sampling: false,
+    dropping: false,
+    user_defined: true,
+};
+
+/// The paper's Table 1: every evaluated application.
+pub const APPLICATIONS: [AppDescriptor; 14] = [
+    AppDescriptor {
+        name: "Page Length",
+        input: "Wikipedia dump",
+        paper_size: "9.8GB (40GB)",
+        mechanisms: SD,
+        error: ErrorEstimation::MultiStage,
+    },
+    AppDescriptor {
+        name: "Page Rank",
+        input: "Wikipedia dump",
+        paper_size: "9.8GB (40GB)",
+        mechanisms: SD,
+        error: ErrorEstimation::MultiStage,
+    },
+    AppDescriptor {
+        name: "Request Rate",
+        input: "Wikipedia log",
+        paper_size: "46GB (217GB)",
+        mechanisms: SD,
+        error: ErrorEstimation::MultiStage,
+    },
+    AppDescriptor {
+        name: "Project Popularity",
+        input: "Wikipedia log",
+        paper_size: "46GB (217GB)",
+        mechanisms: SD,
+        error: ErrorEstimation::MultiStage,
+    },
+    AppDescriptor {
+        name: "Page Popularity",
+        input: "Wikipedia log",
+        paper_size: "46GB (217GB)",
+        mechanisms: SD,
+        error: ErrorEstimation::MultiStage,
+    },
+    AppDescriptor {
+        name: "Page Traffic",
+        input: "Wikipedia log",
+        paper_size: "46GB (217GB)",
+        mechanisms: SD,
+        error: ErrorEstimation::MultiStage,
+    },
+    AppDescriptor {
+        name: "Total Size",
+        input: "Webserver log",
+        paper_size: "330MB (11GB)",
+        mechanisms: SD,
+        error: ErrorEstimation::MultiStage,
+    },
+    AppDescriptor {
+        name: "Request Size",
+        input: "Webserver log",
+        paper_size: "330MB (11GB)",
+        mechanisms: SD,
+        error: ErrorEstimation::MultiStage,
+    },
+    AppDescriptor {
+        name: "Clients",
+        input: "Webserver log",
+        paper_size: "330MB (11GB)",
+        mechanisms: SD,
+        error: ErrorEstimation::MultiStage,
+    },
+    AppDescriptor {
+        name: "Client Browser",
+        input: "Webserver log",
+        paper_size: "330MB (11GB)",
+        mechanisms: SD,
+        error: ErrorEstimation::MultiStage,
+    },
+    AppDescriptor {
+        name: "Attack Freq",
+        input: "Webserver log",
+        paper_size: "330MB (11GB)",
+        mechanisms: SD,
+        error: ErrorEstimation::MultiStage,
+    },
+    AppDescriptor {
+        name: "DC Placement",
+        input: "US and Europe grids",
+        paper_size: "48KB",
+        mechanisms: D_ONLY,
+        error: ErrorEstimation::Gev,
+    },
+    AppDescriptor {
+        name: "Video Encoding",
+        input: "Movie",
+        paper_size: "816MB",
+        mechanisms: U_ONLY,
+        error: ErrorEstimation::UserDefined,
+    },
+    AppDescriptor {
+        name: "K-Means",
+        input: "Apache mail list",
+        paper_size: "7.3GB",
+        mechanisms: U_ONLY,
+        error: ErrorEstimation::UserDefined,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_applications_like_the_paper() {
+        assert_eq!(APPLICATIONS.len(), 14);
+    }
+
+    #[test]
+    fn mechanisms_match_table1() {
+        let dc = APPLICATIONS
+            .iter()
+            .find(|a| a.name == "DC Placement")
+            .unwrap();
+        assert!(dc.mechanisms.dropping && !dc.mechanisms.sampling);
+        assert_eq!(dc.error, ErrorEstimation::Gev);
+        let km = APPLICATIONS.iter().find(|a| a.name == "K-Means").unwrap();
+        assert!(km.mechanisms.user_defined);
+        assert_eq!(km.error.to_string(), "U");
+        let pp = APPLICATIONS
+            .iter()
+            .find(|a| a.name == "Project Popularity")
+            .unwrap();
+        assert!(pp.mechanisms.sampling && pp.mechanisms.dropping);
+        assert_eq!(pp.error.to_string(), "MS");
+    }
+}

@@ -1,0 +1,218 @@
+//! K-means clustering over synthetic document vectors (the paper's
+//! K-Means application on the Apache mailing list, user-defined
+//! approximation + input sampling).
+//!
+//! One MapReduce iteration: each map task assigns its points to the
+//! nearest centroid and emits per-centroid partial sums; the reduce
+//! averages them into new centroids. The approximate version samples
+//! points within each block; quality is measured by inertia (total
+//! squared distance), the user-defined error metric.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A point in `D` dimensions.
+pub type Point = Vec<f64>;
+
+/// Deterministic generator of clustered document vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct DocVectors {
+    /// Number of points.
+    pub points: u64,
+    /// Points per block.
+    pub points_per_block: u64,
+    /// Dimensionality.
+    pub dims: usize,
+    /// True underlying clusters.
+    pub true_clusters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DocVectors {
+    /// Laptop-scale default: 40k points, 8 dims, 5 clusters.
+    pub fn small(seed: u64) -> Self {
+        DocVectors {
+            points: 40_000,
+            points_per_block: 2_000,
+            dims: 8,
+            true_clusters: 5,
+            seed,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.points.div_ceil(self.points_per_block)
+    }
+
+    /// The true cluster centres.
+    pub fn true_centres(&self) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xCE_17E5);
+        (0..self.true_clusters)
+            .map(|_| (0..self.dims).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect()
+    }
+
+    /// Generates one block of points; deterministic per block.
+    pub fn block(&self, block: u64) -> Vec<Point> {
+        let centres = self.true_centres();
+        let start = block * self.points_per_block;
+        let end = (start + self.points_per_block).min(self.points);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ block.wrapping_mul(0xD0C5));
+        (start..end)
+            .map(|_| {
+                let c = &centres[rng.gen_range(0..centres.len())];
+                c.iter().map(|&x| x + rng.gen_range(-1.5..1.5)).collect()
+            })
+            .collect()
+    }
+}
+
+/// Squared Euclidean distance.
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Index of the nearest centroid.
+pub fn nearest(point: &[f64], centroids: &[Point]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist_sq(point, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Per-centroid partial aggregate emitted by a map task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentroidUpdate {
+    /// Sum of assigned points, per dimension.
+    pub sum: Vec<f64>,
+    /// Number of assigned points.
+    pub count: u64,
+    /// Total squared distance of assigned points (inertia contribution).
+    pub inertia: f64,
+}
+
+impl CentroidUpdate {
+    /// A zero update of the given dimensionality.
+    pub fn zero(dims: usize) -> Self {
+        CentroidUpdate {
+            sum: vec![0.0; dims],
+            count: 0,
+            inertia: 0.0,
+        }
+    }
+
+    /// Folds one assigned point in.
+    pub fn add(&mut self, point: &[f64], d2: f64) {
+        for (s, x) in self.sum.iter_mut().zip(point) {
+            *s += x;
+        }
+        self.count += 1;
+        self.inertia += d2;
+    }
+
+    /// Merges another update.
+    pub fn merge(&mut self, other: &CentroidUpdate) {
+        for (s, x) in self.sum.iter_mut().zip(&other.sum) {
+            *s += x;
+        }
+        self.count += other.count;
+        self.inertia += other.inertia;
+    }
+
+    /// The resulting centroid (`None` if no points were assigned).
+    pub fn centroid(&self) -> Option<Point> {
+        (self.count > 0).then(|| self.sum.iter().map(|s| s / self.count as f64).collect())
+    }
+}
+
+/// Deterministic shared initial centroids, so the sequential baseline
+/// and the MapReduce implementation start from the same state and their
+/// inertias are directly comparable.
+pub fn initial_centroids(data: &DocVectors, k: usize) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(data.seed ^ 0x4B4D);
+    (0..k)
+        .map(|_| (0..data.dims).map(|_| rng.gen_range(-10.0..10.0)).collect())
+        .collect()
+}
+
+/// Runs `iterations` of Lloyd's algorithm sequentially over all blocks
+/// (the ground-truth baseline); returns `(centroids, inertia)`.
+pub fn lloyd_baseline(data: &DocVectors, k: usize, iterations: usize) -> (Vec<Point>, f64) {
+    let mut centroids = initial_centroids(data, k);
+    let mut inertia = f64::INFINITY;
+    for _ in 0..iterations {
+        let mut updates: Vec<CentroidUpdate> =
+            (0..k).map(|_| CentroidUpdate::zero(data.dims)).collect();
+        for b in 0..data.num_blocks() {
+            for p in data.block(b) {
+                let i = nearest(&p, &centroids);
+                let d2 = dist_sq(&p, &centroids[i]);
+                updates[i].add(&p, d2);
+            }
+        }
+        inertia = updates.iter().map(|u| u.inertia).sum();
+        for (c, u) in centroids.iter_mut().zip(&updates) {
+            if let Some(nc) = u.centroid() {
+                *c = nc;
+            }
+        }
+    }
+    (centroids, inertia)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_deterministic() {
+        let d = DocVectors::small(1);
+        assert_eq!(d.block(3), d.block(3));
+        assert_eq!(d.num_blocks(), 20);
+        assert_eq!(d.block(0).len(), 2_000);
+        assert_eq!(d.block(0)[0].len(), 8);
+    }
+
+    #[test]
+    fn nearest_and_distance() {
+        let cents = vec![vec![0.0, 0.0], vec![10.0, 10.0]];
+        assert_eq!(nearest(&[1.0, 1.0], &cents), 0);
+        assert_eq!(nearest(&[9.0, 9.0], &cents), 1);
+        assert_eq!(dist_sq(&[0.0, 3.0], &[4.0, 0.0]), 25.0);
+    }
+
+    #[test]
+    fn updates_merge_and_average() {
+        let mut a = CentroidUpdate::zero(2);
+        a.add(&[2.0, 4.0], 1.0);
+        let mut b = CentroidUpdate::zero(2);
+        b.add(&[4.0, 8.0], 2.0);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.centroid().unwrap(), vec![3.0, 6.0]);
+        assert_eq!(a.inertia, 3.0);
+        assert!(CentroidUpdate::zero(2).centroid().is_none());
+    }
+
+    #[test]
+    fn lloyd_reduces_inertia_towards_truth() {
+        let d = DocVectors {
+            points: 4_000,
+            points_per_block: 1_000,
+            dims: 4,
+            true_clusters: 3,
+            seed: 5,
+        };
+        let (_, i1) = lloyd_baseline(&d, 3, 1);
+        let (_, i8) = lloyd_baseline(&d, 3, 8);
+        assert!(i8 < i1, "inertia should fall: {i8} vs {i1}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic workload generators and the ApproxHadoop paper's
+//! applications (Table 1).
+//!
+//! The paper evaluates on datasets we cannot ship (the May-2014
+//! Wikipedia dump, a year of Wikipedia access logs, a departmental web
+//! server log, a movie). Each is replaced by a deterministic generator
+//! that reproduces the statistical properties the results depend on —
+//! heavy-tailed popularity (Zipf), diurnal request rates, block-level
+//! locality, rare attack patterns — at laptop scale, with the paper's
+//! full scale available through the cluster simulator.
+//!
+//! Applications, by approximation mechanism and error estimation
+//! (Table 1):
+//!
+//! | Application | Input | Approximation | Error bounds |
+//! |---|---|---|---|
+//! | WikiLength, WikiPageRank | Wikipedia dump | sampling + dropping | multi-stage |
+//! | Project/Page Popularity, Request Rate, Page Traffic | Wikipedia log | sampling + dropping | multi-stage |
+//! | Total Size, Request Size, Clients, Client Browser, Attack Freq. | web server log | sampling + dropping | multi-stage |
+//! | DC Placement | grids | dropping | GEV |
+//! | Video Encoding | movie frames | user-defined | user-defined |
+//! | K-Means | documents | user-defined | user-defined |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod dcgrid;
+pub mod deptlog;
+pub mod inventory;
+pub mod kmeans;
+pub mod video;
+pub mod wikidump;
+pub mod wikilog;
+
+pub use inventory::{AppDescriptor, APPLICATIONS};

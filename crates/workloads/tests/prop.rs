@@ -1,0 +1,179 @@
+//! Property-based tests for the workload generators: determinism,
+//! format round-trips, and structural invariants.
+
+use approxhadoop_workloads::dcgrid::{anneal, AnnealConfig, Grid};
+use approxhadoop_workloads::deptlog::{DeptLog, Request};
+use approxhadoop_workloads::kmeans::DocVectors;
+use approxhadoop_workloads::video::{encode_frame, Frame};
+use approxhadoop_workloads::wikidump::{Article, WikiDump};
+use approxhadoop_workloads::wikilog::{LogEntry, WikiLog};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dump blocks: deterministic, correct sizes, ids dense and global.
+    #[test]
+    fn wikidump_block_invariants(
+        articles in 10u64..5_000,
+        per_block in 1u64..500,
+        seed in 0u64..50,
+    ) {
+        let dump = WikiDump { articles, articles_per_block: per_block, seed };
+        let blocks = dump.num_blocks();
+        prop_assert_eq!(blocks, articles.div_ceil(per_block));
+        let mut seen = 0u64;
+        for b in 0..blocks {
+            let block = dump.block(b);
+            prop_assert_eq!(&block, &dump.block(b));
+            for a in &block {
+                prop_assert_eq!(a.id, seen);
+                seen += 1;
+                prop_assert!(a.length >= 64);
+                prop_assert!(a.links.iter().all(|&l| l < articles));
+            }
+        }
+        prop_assert_eq!(seen, articles);
+    }
+
+    /// Article / log-entry / request text codecs round-trip.
+    #[test]
+    fn line_codecs_roundtrip(
+        id in 0u64..1_000_000,
+        length in 0u64..1_000_000,
+        links in prop::collection::vec(0u64..1_000_000, 0..20),
+        ts in 0u64..10_000_000,
+        proj in 1u64..3_000,
+        page in 1u64..10_000_000,
+        bytes in 0u64..100_000,
+    ) {
+        let a = Article { id, length, links };
+        let parsed_a = Article::parse(&a.to_line());
+        prop_assert_eq!(parsed_a, Some(a));
+        let e = LogEntry { timestamp: ts, project: proj, page, bytes };
+        let parsed_e = LogEntry::parse(&e.to_line());
+        prop_assert_eq!(parsed_e, Some(e));
+        let r = Request {
+            week: (id % 100) as u32,
+            hour: (ts % 168) as u32,
+            client: (page % 10_000) as u32,
+            bytes,
+            browser: (proj % 6) as u8,
+            attack: if id % 7 == 0 { Some((id % 5) as u8) } else { None },
+        };
+        let parsed_r = Request::parse(&r.to_line());
+        prop_assert_eq!(parsed_r, Some(r));
+    }
+
+    /// Log blocks cover their time slice and are deterministic.
+    #[test]
+    fn wikilog_block_invariants(
+        days in 1u64..5,
+        blocks_per_day in 1u64..8,
+        entries in 10u64..300,
+        seed in 0u64..30,
+    ) {
+        let log = WikiLog {
+            days,
+            entries_per_block: entries,
+            blocks_per_day,
+            pages: 1_000,
+            projects: 50,
+            seed,
+        };
+        let slice = 86_400 / blocks_per_day;
+        for b in 0..log.num_blocks() {
+            let block = log.block(b);
+            prop_assert_eq!(block.len() as u64, entries);
+            prop_assert_eq!(&block, &log.block(b));
+            let day = b / blocks_per_day;
+            let idx = b % blocks_per_day;
+            let lo = day * 86_400 + idx * slice;
+            for e in &block {
+                prop_assert!(e.timestamp >= lo && e.timestamp < lo + slice);
+                prop_assert!(e.project >= 1 && e.project <= 50);
+                prop_assert!(e.page >= 1 && e.page <= 1_000);
+            }
+        }
+    }
+
+    /// Departmental log invariants: hours in range, deterministic,
+    /// attacks only from the attacker pool.
+    #[test]
+    fn deptlog_block_invariants(weeks in 1u32..10, requests in 10u64..500, seed in 0u64..30) {
+        let log = DeptLog {
+            weeks,
+            requests_per_week: requests,
+            clients: 500,
+            attack_fraction: 0.01,
+            seed,
+        };
+        for w in 0..weeks {
+            let block = log.block(w);
+            prop_assert_eq!(block.len() as u64, requests);
+            prop_assert_eq!(&block, &log.block(w));
+            for r in &block {
+                prop_assert!(r.hour < 168);
+                prop_assert_eq!(r.week, w);
+                if r.attack.is_some() {
+                    prop_assert!(r.client <= 50);
+                }
+            }
+        }
+    }
+
+    /// Annealing never returns a cost below the best possible placement
+    /// cost floor (the cheapest k cells) and is deterministic.
+    #[test]
+    fn anneal_invariants(side in 4usize..10, seed in 0u64..20, grid_seed in 0u64..20) {
+        let grid = Grid::us_like(side, grid_seed);
+        let cfg = AnnealConfig {
+            datacenters: 2,
+            max_latency_ms: 1000.0, // effectively unconstrained
+            iterations: 200,
+        };
+        let cost = anneal(&grid, &cfg, seed);
+        prop_assert_eq!(cost, anneal(&grid, &cfg, seed));
+        // Floor: datacenters may share a cell, so the absolute floor is
+        // twice the cheapest site cost (latency unconstrained).
+        let cheapest = grid.cost.iter().copied().fold(f64::INFINITY, f64::min);
+        let floor = 2.0 * cheapest;
+        prop_assert!(cost >= floor - 1e-9, "cost {cost} below floor {floor}");
+    }
+
+    /// Encoding: monotone in the quantisation step (coarser is never
+    /// larger in size) and PSNR stays positive.
+    #[test]
+    fn encode_monotone_in_quantisation(seed in 0u64..20, idx in 0u64..20) {
+        let frame = Frame::synthetic(16, seed, idx);
+        let fine = encode_frame(&frame, 2.0);
+        let coarse = encode_frame(&frame, 32.0);
+        prop_assert!(coarse.nonzero_coefficients <= fine.nonzero_coefficients);
+        prop_assert!(fine.psnr_db > 0.0 && coarse.psnr_db > 0.0);
+        prop_assert!(fine.psnr_db >= coarse.psnr_db - 1e-9);
+    }
+
+    /// Document vectors: deterministic blocks, all points near some true
+    /// centre.
+    #[test]
+    fn docvectors_points_near_centres(seed in 0u64..30) {
+        let d = DocVectors {
+            points: 500,
+            points_per_block: 100,
+            dims: 3,
+            true_clusters: 4,
+            seed,
+        };
+        let centres = d.true_centres();
+        for b in 0..d.num_blocks() {
+            for p in d.block(b) {
+                let nearest = centres
+                    .iter()
+                    .map(|c| approxhadoop_workloads::kmeans::dist_sq(&p, c))
+                    .fold(f64::INFINITY, f64::min);
+                // Noise is ±1.5 per dim → max squared distance 3·2.25.
+                prop_assert!(nearest <= 3.0 * 2.25 + 1e-9);
+            }
+        }
+    }
+}

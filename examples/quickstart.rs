@@ -1,0 +1,128 @@
+//! Quickstart: the paper's ApproxWordCount (Figures 3 & 4).
+//!
+//! Counts word occurrences across a synthetic document corpus stored on
+//! the in-process DFS, three ways:
+//!
+//! 1. precisely;
+//! 2. with user-specified ratios (drop 25% of maps, sample 10% of lines);
+//! 3. with a target error bound of ±2% at 95% confidence — ApproxHadoop
+//!    picks the ratios itself.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use approxhadoop::core::job::AggregationJob;
+use approxhadoop::core::spec::ApproxSpec;
+use approxhadoop::dfs::{DfsCluster, DfsConfig};
+use approxhadoop::runtime::engine::JobConfig;
+use approxhadoop::runtime::text::TextSource;
+
+fn main() {
+    // A small synthetic corpus: Zipf-ish word frequencies.
+    let words = [
+        "ipsum", "lorem", "sit", "nisi", "ut", "laboris", "dolor", "amet",
+    ];
+    let lines: Vec<String> = (0..60_000)
+        .map(|i| {
+            (0..8)
+                .map(|j| {
+                    let r = (i * 31 + j * 17) % 64;
+                    // Lower-index words appear far more often.
+                    let w = if r < 24 {
+                        0
+                    } else {
+                        (r as usize / 8) % words.len()
+                    };
+                    words[w]
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+
+    // Store it on the DFS: 60 blocks of 1 000 lines.
+    let mut dfs = DfsCluster::new(DfsConfig {
+        datanodes: 4,
+        replication: 2,
+        block_records: 1_000,
+    });
+    dfs.write_lines("corpus", &lines).expect("write corpus");
+    let input = TextSource::open(&dfs, "corpus").expect("open corpus");
+
+    let config = JobConfig {
+        reduce_tasks: 2,
+        ..Default::default()
+    };
+
+    let word_count = |line: &String, emit: &mut dyn FnMut(String, f64)| {
+        for w in line.split_whitespace() {
+            emit(w.to_string(), 1.0);
+        }
+    };
+
+    println!(
+        "== ApproxWordCount ({} lines, {} blocks) ==\n",
+        lines.len(),
+        60
+    );
+
+    // 1. Precise.
+    let precise = AggregationJob::count(word_count)
+        .spec(ApproxSpec::Precise)
+        .config(config.clone())
+        .run(&input)
+        .expect("precise job");
+    println!(
+        "precise ({:.2}s, {} maps):",
+        precise.metrics.wall_secs, precise.metrics.executed_maps
+    );
+    for (w, iv) in &precise.outputs {
+        println!("  {w:8} {:>9.0}", iv.estimate);
+    }
+
+    // 2. User-specified ratios: drop 25% of maps, sample 10% of lines.
+    let ratios = AggregationJob::count(word_count)
+        .spec(ApproxSpec::ratios(0.25, 0.10))
+        .config(config.clone())
+        .run(&input)
+        .expect("ratio job");
+    println!(
+        "\ndrop 25% + sample 10% ({:.2}s, {} maps executed, {} dropped):",
+        ratios.metrics.wall_secs, ratios.metrics.executed_maps, ratios.metrics.dropped_maps
+    );
+    for (w, iv) in &ratios.outputs {
+        let truth = precise
+            .outputs
+            .iter()
+            .find(|(pw, _)| pw == w)
+            .map(|(_, piv)| piv.estimate)
+            .unwrap_or(0.0);
+        println!(
+            "  {w:8} {:>9.0} ± {:>7.0}  (actual error {:.2}%)",
+            iv.estimate,
+            iv.half_width,
+            iv.actual_error(truth) * 100.0
+        );
+    }
+
+    // 3. Target error bound: ±2% at 95% confidence.
+    let target = AggregationJob::count(word_count)
+        .spec(ApproxSpec::target(0.02, 0.95))
+        .config(config)
+        .run(&input)
+        .expect("target job");
+    println!(
+        "\ntarget ±2% @95% ({:.2}s, {} maps executed, {} dropped, sampling ratio {:.2}):",
+        target.metrics.wall_secs,
+        target.metrics.executed_maps,
+        target.metrics.dropped_maps + target.metrics.killed_maps,
+        target.metrics.effective_sampling_ratio()
+    );
+    for (w, iv) in &target.outputs {
+        println!(
+            "  {w:8} {:>9.0} ± {:>7.0}  (bound {:.2}%)",
+            iv.estimate,
+            iv.half_width,
+            iv.relative_error() * 100.0
+        );
+    }
+}

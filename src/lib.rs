@@ -1,0 +1,25 @@
+//! ApproxHadoop-RS — approximation-enabled MapReduce with rigorous error
+//! bounds.
+//!
+//! This is the facade crate of the workspace; it re-exports the public
+//! API of every subsystem. See the README for a tour and `DESIGN.md` for
+//! the system inventory.
+//!
+//! * [`stats`] — multi-stage sampling theory, extreme value theory,
+//!   distributions, optimisers, samplers.
+//! * [`dfs`] — the block-structured storage substrate.
+//! * [`runtime`] — the multi-threaded MapReduce engine.
+//! * [`core`] — the approximation mechanisms and error-bounded templates
+//!   (the paper's contribution).
+//! * [`cluster`] — the discrete-event cluster simulator (timing/energy).
+//! * [`workloads`] — synthetic data generators and the paper's
+//!   applications.
+
+#![forbid(unsafe_code)]
+
+pub use approxhadoop_cluster as cluster;
+pub use approxhadoop_core as core;
+pub use approxhadoop_dfs as dfs;
+pub use approxhadoop_runtime as runtime;
+pub use approxhadoop_stats as stats;
+pub use approxhadoop_workloads as workloads;

@@ -1,0 +1,99 @@
+//! Load-generator harness over the multi-tenant job service.
+//!
+//! Fires a Poisson open-loop arrival stream of aggregation jobs at a
+//! [`approxhadoop_server::JobService`] twice — admission controller off
+//! (baseline) then on — and emits one JSON document comparing the two:
+//! throughput, p50/p99 latency, peak concurrency, per-job achieved
+//! error bounds, and every degradation decision.
+//!
+//! ```text
+//! loadgen [--slots N] [--jobs N] [--rate JOBS_PER_SEC]
+//!         [--blocks N] [--entries N] [--max-drop R] [--min-sample R]
+//!         [--p99-target SECS] [--seed N]
+//! ```
+
+use approxhadoop_server::loadgen::{run, LoadConfig};
+
+fn parse_args(config: &mut LoadConfig) -> Result<(), String> {
+    let mut it = std::env::args().skip(1);
+    while let Some(key) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("missing value for {key}"));
+        match key.as_str() {
+            "--slots" => config.slots = value()?.parse().map_err(|e| format!("--slots: {e}"))?,
+            "--jobs" => config.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--rate" => {
+                config.arrival_rate = value()?.parse().map_err(|e| format!("--rate: {e}"))?
+            }
+            "--blocks" => {
+                config.blocks_per_job = value()?.parse().map_err(|e| format!("--blocks: {e}"))?
+            }
+            "--entries" => {
+                config.entries_per_block =
+                    value()?.parse().map_err(|e| format!("--entries: {e}"))?
+            }
+            "--max-drop" => {
+                config.max_drop_ratio = value()?.parse().map_err(|e| format!("--max-drop: {e}"))?
+            }
+            "--min-sample" => {
+                config.min_sampling_ratio =
+                    value()?.parse().map_err(|e| format!("--min-sample: {e}"))?
+            }
+            "--p99-target" => {
+                config.p99_target_secs =
+                    value()?.parse().map_err(|e| format!("--p99-target: {e}"))?
+            }
+            "--seed" => config.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut config = LoadConfig::default();
+    if let Err(e) = parse_args(&mut config) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    // Narration goes to stderr; stdout carries exactly one JSON document.
+    eprintln!(
+        "# Loadgen: open-loop Poisson load on the shared-pool job service, controller off vs on"
+    );
+    eprintln!(
+        "# {} jobs at {}/s over {} slots; {} maps x {} entries per job",
+        config.jobs,
+        config.arrival_rate,
+        config.slots,
+        config.blocks_per_job,
+        config.entries_per_block,
+    );
+    let report = run(&config);
+    eprintln!(
+        "# baseline : p50 {:.3}s  p99 {:.3}s  thru {:.2}/s  peak {} in flight",
+        report.baseline.p50_latency_secs,
+        report.baseline.p99_latency_secs,
+        report.baseline.throughput_jobs_per_sec,
+        report.baseline.peak_concurrency,
+    );
+    eprintln!(
+        "# controlled: p50 {:.3}s  p99 {:.3}s  thru {:.2}/s  peak {} in flight  ({} degradations)",
+        report.controlled.p50_latency_secs,
+        report.controlled.p99_latency_secs,
+        report.controlled.throughput_jobs_per_sec,
+        report.controlled.peak_concurrency,
+        report
+            .controlled
+            .decisions
+            .iter()
+            .filter(|d| d.degrade > 0.0)
+            .count(),
+    );
+    eprintln!(
+        "# p99 improvement: {:.3}s ({:.2}x)",
+        report.p99_improvement_secs, report.p99_speedup
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+}

@@ -44,6 +44,28 @@ USAGE:
       options:
         --maps N --records M --servers S --atom --s3
         --drop R --sample R --target X[%] --seed N
+
+  approxhadoop serve [options]
+      Run the multi-tenant job service against a Poisson arrival
+      stream of aggregation jobs, printing job events live.
+      options:
+        --slots N            shared map slots (default 4)
+        --jobs N             jobs to fire (default 8)
+        --rate R             mean arrivals per second (default 6)
+        --blocks N           map tasks per job (default 32)
+        --entries N          records per map (default 800)
+        --p99-target SECS    admission p99 latency target (default 0.4)
+        --max-drop R         per-job degradation budget (default 0.7)
+        --min-sample R       per-job sampling floor (default 0.25)
+        --seed N             RNG seed (default 0)
+
+  approxhadoop loadtest [options]
+      Fire the same Poisson job stream twice — admission controller
+      off, then on — and print a JSON comparison report (throughput,
+      p50/p99 latency, per-job error bounds, degradation decisions).
+      options: same as serve, but the defaults are heavier so the
+      shared pool saturates: --jobs 16, --rate 8, --blocks 48,
+      --entries 50000.
 ";
 
 fn main() {
@@ -71,6 +93,8 @@ fn dispatch(raw: Vec<String>) -> Result<(), UsageError> {
         }
         "run" => run::run_app(&args),
         "simulate" => run::simulate(&args),
+        "serve" => run::serve(&args),
+        "loadtest" => run::loadtest(&args),
         other => Err(UsageError(format!("unknown command `{other}`"))),
     }
 }

@@ -305,3 +305,197 @@ pub fn simulate(args: &Args) -> Result<(), UsageError> {
     );
     Ok(())
 }
+
+/// `approxhadoop serve` — run the multi-tenant job service against a
+/// Poisson arrival stream, printing job events live.
+pub fn serve(args: &Args) -> Result<(), UsageError> {
+    use approxhadoop_core::multistage::{Aggregation, MultiStageMapper, MultiStageReducer};
+    use approxhadoop_server::{AdmissionConfig, ApproxBudget, JobService, JobSpec};
+    use approxhadoop_workloads::wikilog::LogEntry;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let slots = args.get_parsed("slots", 4usize)?;
+    let jobs = args.get_parsed("jobs", 8usize)?;
+    let rate = args.get_parsed("rate", 6.0f64)?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    let blocks = args.get_parsed("blocks", 32u64)?;
+    let entries = args.get_parsed("entries", 800u64)?;
+    let p99_target = args.get_parsed("p99-target", 0.4f64)?;
+    let max_drop = args.get_parsed("max-drop", 0.7f64)?;
+    let min_sample = args.get_parsed("min-sample", 0.25f64)?;
+    let budget = ApproxBudget::up_to(max_drop, min_sample);
+    budget.validate().map_err(UsageError)?;
+    if slots == 0 {
+        return Err(UsageError("--slots must be at least 1".into()));
+    }
+    if !(rate > 0.0 && rate.is_finite()) {
+        return Err(UsageError(format!(
+            "--rate must be positive and finite, got {rate}"
+        )));
+    }
+
+    println!(
+        "serving {jobs} jobs at {rate}/s over {slots} shared slots \
+         (p99 target {p99_target}s, budget: drop<={max_drop}, sample>={min_sample})"
+    );
+    let service = JobService::new(
+        slots,
+        AdmissionConfig {
+            p99_target_secs: p99_target,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA11A_17A1);
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    let mut results: Vec<Option<_>> = (0..jobs).map(|_| None).collect();
+    let mut next_arrival = 0.0f64;
+
+    let stamp = |start: Instant| format!("[{:7.3}s]", start.elapsed().as_secs_f64());
+    let mut submitted = 0usize;
+    while submitted < jobs || results.iter().any(|r| r.is_none()) {
+        // Submit every job whose scheduled arrival has passed.
+        while submitted < jobs && start.elapsed().as_secs_f64() >= next_arrival {
+            let j = submitted;
+            let log = WikiLog {
+                days: 1,
+                entries_per_block: entries,
+                blocks_per_day: blocks,
+                pages: 5_000,
+                projects: 12,
+                seed: seed.wrapping_add(1 + j as u64),
+            };
+            let spec = JobSpec {
+                name: format!("tenant-{j}"),
+                map_slots: slots.max(2),
+                seed: seed.wrapping_add(101 + j as u64),
+                budget,
+                ..Default::default()
+            };
+            let handle = service
+                .submit(
+                    spec,
+                    Arc::new(log.source()),
+                    Arc::new(MultiStageMapper::new(
+                        |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| {
+                            emit(e.project, e.bytes as f64)
+                        },
+                    )),
+                    |_| MultiStageReducer::<u64>::new(Aggregation::Sum, 0.95),
+                )
+                .map_err(|e| UsageError(e.to_string()))?;
+            println!(
+                "{} {} submitted as {} (degrade {:.2}: drop {:.2}, sample {:.2})",
+                stamp(start),
+                handle.name,
+                handle.id,
+                handle.degrade,
+                handle.drop_ratio,
+                handle.sampling_ratio
+            );
+            handles.push(handle);
+            submitted += 1;
+            let u: f64 = rng.gen();
+            next_arrival += -(1.0 - u).ln() / rate.max(1e-9);
+        }
+        // Drain and print everyone's events; collect finished results.
+        for (j, handle) in handles.iter().enumerate() {
+            for event in handle.events().try_iter() {
+                use approxhadoop_runtime::event::JobEvent;
+                match event {
+                    JobEvent::Queued { job } => println!("{} {job} queued", stamp(start)),
+                    JobEvent::Wave {
+                        job,
+                        finished,
+                        total,
+                    } => println!("{} {job} wave {finished}/{total}", stamp(start)),
+                    JobEvent::Estimate {
+                        job,
+                        worst_relative_bound,
+                    } => println!(
+                        "{} {job} bound {:.3}%",
+                        stamp(start),
+                        worst_relative_bound * 100.0
+                    ),
+                    JobEvent::Done { job, wall_secs } => {
+                        println!("{} {job} done in {wall_secs:.3}s", stamp(start))
+                    }
+                    JobEvent::Failed { job, reason } => {
+                        println!("{} {job} FAILED: {reason}", stamp(start))
+                    }
+                }
+            }
+            if results[j].is_none() {
+                if let Some(r) = handle.try_wait() {
+                    results[j] = Some(r);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!(
+        "\n{:<12} {:>8} {:>14} {:>10}",
+        "job", "maps", "dropped", "wall"
+    );
+    for (j, r) in results.into_iter().enumerate() {
+        match r.expect("loop exits once every job finished") {
+            Ok(r) => println!(
+                "tenant-{j:<5} {:>8} {:>14} {:>9.3}s",
+                r.metrics.executed_maps, r.metrics.dropped_maps, r.metrics.wall_secs
+            ),
+            Err(e) => println!("tenant-{j:<5} failed: {e}"),
+        }
+    }
+    println!(
+        "service p50 {:.3}s | p99 {:.3}s | {} overload observations",
+        service.controller().p50().unwrap_or(0.0),
+        service.controller().p99().unwrap_or(0.0),
+        service.controller().overloaded_observations()
+    );
+    Ok(())
+}
+
+/// `approxhadoop loadtest` — run the Poisson load harness with the
+/// controller off then on, and print the comparison report as JSON.
+pub fn loadtest(args: &Args) -> Result<(), UsageError> {
+    use approxhadoop_server::loadgen::{run, LoadConfig};
+
+    let defaults = LoadConfig::default();
+    let config = LoadConfig {
+        slots: args.get_parsed("slots", defaults.slots)?,
+        jobs: args.get_parsed("jobs", defaults.jobs)?,
+        arrival_rate: args.get_parsed("rate", defaults.arrival_rate)?,
+        blocks_per_job: args.get_parsed("blocks", defaults.blocks_per_job)?,
+        entries_per_block: args.get_parsed("entries", defaults.entries_per_block)?,
+        max_drop_ratio: args.get_parsed("max-drop", defaults.max_drop_ratio)?,
+        min_sampling_ratio: args.get_parsed("min-sample", defaults.min_sampling_ratio)?,
+        p99_target_secs: args.get_parsed("p99-target", defaults.p99_target_secs)?,
+        seed: args.get_parsed("seed", defaults.seed)?,
+    };
+    if config.slots == 0 {
+        return Err(UsageError("--slots must be at least 1".into()));
+    }
+    if !(config.arrival_rate > 0.0 && config.arrival_rate.is_finite()) {
+        return Err(UsageError(format!(
+            "--rate must be positive and finite, got {}",
+            config.arrival_rate
+        )));
+    }
+    eprintln!(
+        "loadtest: {} jobs at {}/s over {} slots, twice (controller off, then on)",
+        config.jobs, config.arrival_rate, config.slots
+    );
+    let report = run(&config);
+    eprintln!(
+        "p99 {:.3}s -> {:.3}s ({:.2}x)",
+        report.baseline.p99_latency_secs, report.controlled.p99_latency_secs, report.p99_speedup
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).map_err(|e| UsageError(format!("{e:?}")))?
+    );
+    Ok(())
+}

@@ -169,14 +169,39 @@ impl ExtremeReducer {
             }
             None => &self.values,
         };
-        match self.kind {
+        let iv = match self.kind {
             Extreme::Min => MinEstimator::with_percentile(self.percentile)
                 .estimate(sample, self.confidence)
                 .ok(),
             Extreme::Max => MaxEstimator::with_percentile(self.percentile)
                 .estimate(sample, self.confidence)
                 .ok(),
+        };
+        iv.map(|iv| self.clamp_to_observed(iv))
+    }
+
+    /// The observed extreme is itself achievable, so a fitted estimate
+    /// beyond it (above the observed min / below the observed max) is
+    /// incoherent — sampling noise in the GEV fit can produce one. Clamp
+    /// the point estimate to the observed value, keeping the far
+    /// endpoint of the interval (the extrapolated bound) in place.
+    fn clamp_to_observed(&self, iv: Interval) -> Interval {
+        let observed = self.observed();
+        if !observed.is_finite() {
+            return iv;
         }
+        let overshoot = match self.kind {
+            Extreme::Min => iv.estimate - observed,
+            Extreme::Max => observed - iv.estimate,
+        };
+        if overshoot <= 0.0 {
+            return iv;
+        }
+        Interval::new(
+            observed,
+            (iv.half_width - overshoot).max(0.0),
+            iv.confidence,
+        )
     }
 
     fn observed(&self) -> f64 {

@@ -73,9 +73,13 @@ impl JobControl {
 
     /// The worst relative bound across all reducers, provided **every**
     /// reducer has reported after processing at least `min_maps` maps;
-    /// `None` otherwise.
+    /// `None` otherwise. A job with zero reducers has no bound (`None`)
+    /// rather than a vacuous perfect bound of `0.0`.
     pub fn worst_bound_across_reducers(&self, min_maps: usize) -> Option<f64> {
         let bounds = self.bounds.lock();
+        if bounds.is_empty() {
+            return None;
+        }
         let mut worst: f64 = 0.0;
         for b in bounds.iter() {
             match b {
@@ -218,6 +222,47 @@ mod tests {
         assert_eq!(c.worst_bound_across_reducers(1), Some(0.05));
         // min_maps gate.
         assert_eq!(c.worst_bound_across_reducers(5), None);
+    }
+
+    #[test]
+    fn worst_bound_with_zero_reducers_is_none() {
+        // A vacuous `Some(0.0)` here would tell the target-error planner
+        // the job is already perfectly bounded and stop it instantly.
+        let c = JobControl::new(0);
+        assert_eq!(c.worst_bound_across_reducers(0), None);
+        assert_eq!(c.worst_bound_across_reducers(3), None);
+    }
+
+    #[test]
+    fn worst_bound_min_maps_zero_accepts_fresh_reports() {
+        let c = JobControl::new(1);
+        c.report_bound(
+            0,
+            BoundReport {
+                maps_processed: 0,
+                worst_relative_bound: f64::INFINITY,
+            },
+        );
+        // min_maps = 0: a report from a reducer that has seen nothing
+        // still counts, and its (infinite) bound dominates.
+        assert_eq!(c.worst_bound_across_reducers(0), Some(f64::INFINITY));
+        // But requiring at least one processed map gates it out again.
+        assert_eq!(c.worst_bound_across_reducers(1), None);
+    }
+
+    #[test]
+    fn worst_bound_takes_max_not_last() {
+        let c = JobControl::new(3);
+        for (p, b) in [(0, 0.01), (1, 0.20), (2, 0.05)] {
+            c.report_bound(
+                p,
+                BoundReport {
+                    maps_processed: 10,
+                    worst_relative_bound: b,
+                },
+            );
+        }
+        assert_eq!(c.worst_bound_across_reducers(1), Some(0.20));
     }
 
     #[test]

@@ -15,9 +15,11 @@ use rand::SeedableRng;
 use approxhadoop_stats::sampling::random_order;
 
 use crate::control::{Coordinator, FixedCoordinator, JobControl, MapDirective};
+use crate::event::{JobEvent, JobSession};
 use crate::input::InputSource;
 use crate::mapper::Mapper;
 use crate::metrics::{JobMetrics, MapStats};
+use crate::pool::{SlotPool, TenantId};
 use crate::reducer::{DedupState, MapOutputMeta, ReduceContext, ReduceEvent, Reducer};
 use crate::types::{partition_for, TaskId};
 use crate::{Result, RuntimeError};
@@ -476,6 +478,298 @@ where
             what: "task tracker".into(),
         }),
     }
+}
+
+/// Runs a job on a shared [`SlotPool`] instead of job-private
+/// task-tracker threads — the service-mode entry point.
+///
+/// Differences from [`run_job_with_coordinator`]:
+///
+/// * map attempts execute on `pool` slots shared with other concurrent
+///   jobs, queued under `tenant` for weighted fair sharing; the job's
+///   own `config.map_slots` caps *its* attempts in flight, while the
+///   pool caps how many actually run at once across all jobs;
+/// * the per-job handle in `session` adds cancellation (job fails with
+///   [`RuntimeError::Cancelled`]), a deadline (remaining maps are
+///   dropped and the job completes **approximately**, flagged via
+///   [`JobMetrics::deadline_hit`]) and a stream of
+///   [`JobEvent::Wave`] / [`JobEvent::Estimate`] progress events;
+/// * simulated data locality and speculative execution do not apply —
+///   the pool is one shared cluster, not per-job virtual servers.
+///
+/// `input` and `mapper` are `Arc`s because attempts outlive the borrow
+/// a scoped thread could give them: they run on pool workers owned by
+/// the service, not by this call.
+#[allow(clippy::too_many_arguments)] // the service-facing surface: job + policy + pool + session
+pub fn run_job_on_pool<S, M, R, FR>(
+    input: Arc<S>,
+    mapper: Arc<M>,
+    make_reducer: FR,
+    config: JobConfig,
+    coordinator: &mut dyn Coordinator,
+    pool: &SlotPool,
+    tenant: TenantId,
+    session: &JobSession,
+) -> Result<JobResult<R::Output>>
+where
+    S: InputSource + 'static,
+    M: Mapper<Item = S::Item> + 'static,
+    R: Reducer<Key = M::Key, Value = M::Value> + Send + 'static,
+    R::Output: Send + 'static,
+    FR: Fn(usize) -> R,
+{
+    config.validate()?;
+    let splits = input.splits();
+    let total = splits.len();
+    if total == 0 {
+        return Err(RuntimeError::invalid("input has no splits"));
+    }
+    let start = Instant::now();
+    let control = Arc::new(JobControl::new(config.reduce_tasks));
+    let num_reducers = config.reduce_tasks;
+
+    let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
+    let mut reducer_txs: Vec<Sender<ReduceEvent<M::Key, M::Value>>> = Vec::new();
+    let mut reducer_handles = Vec::new();
+    for r in 0..num_reducers {
+        let (tx, rx) = unbounded::<ReduceEvent<M::Key, M::Value>>();
+        reducer_txs.push(tx);
+        let control = Arc::clone(&control);
+        let mut reducer = make_reducer(r);
+        reducer_handles.push(std::thread::spawn(move || {
+            let mut ctx = ReduceContext::new(r, total, control);
+            let mut dedup = DedupState::new();
+            for event in rx.iter() {
+                match event {
+                    ReduceEvent::MapOutput { meta, pairs } => {
+                        if dedup.first(meta.task) {
+                            ctx.note_map();
+                            reducer.on_map_output(&meta, pairs, &mut ctx);
+                        }
+                    }
+                    ReduceEvent::MapDropped { task } => {
+                        if dedup.first(task) {
+                            ctx.note_map();
+                            reducer.on_map_dropped(task, &mut ctx);
+                        }
+                    }
+                }
+            }
+            reducer.finish(&mut ctx)
+        }));
+    }
+
+    // ---- JobTracker loop (runs on the calling thread) ----
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut pending: VecDeque<usize> = random_order(&mut rng, total).into_iter().collect();
+    let mut metrics = JobMetrics {
+        total_maps: total,
+        ..Default::default()
+    };
+    let in_flight_cap = config.map_slots;
+    let mut running: HashMap<usize, Arc<AtomicBool>> = HashMap::new();
+    let mut completed: HashSet<usize> = HashSet::new();
+    let mut finished = 0usize;
+    let mut dropping = false;
+    let mut fatal: Option<RuntimeError> = None;
+    let mut last_wave = 0usize;
+    let mut last_bound: Option<f64> = None;
+
+    let notify_drop = |task: usize, txs: &[Sender<ReduceEvent<M::Key, M::Value>>]| {
+        for tx in txs {
+            let _ = tx.send(ReduceEvent::MapDropped { task: TaskId(task) });
+        }
+    };
+
+    macro_rules! handle_msg {
+        ($msg:expr) => {
+            match $msg {
+                WorkerMsg::Completed { stats, .. } => {
+                    running.remove(&stats.task.0);
+                    if completed.insert(stats.task.0) {
+                        finished += 1;
+                        metrics.executed_maps += 1;
+                        metrics.total_records += stats.total_records;
+                        metrics.sampled_records += stats.sampled_records;
+                        coordinator.on_map_complete(&stats);
+                        metrics.map_stats.push(stats);
+                    }
+                }
+                WorkerMsg::Killed { task, .. } => {
+                    running.remove(&task.0);
+                    if !completed.contains(&task.0) {
+                        finished += 1;
+                        metrics.killed_maps += 1;
+                        notify_drop(task.0, &reducer_txs);
+                    }
+                }
+                WorkerMsg::Failed { task, error } => {
+                    running.remove(&task.0);
+                    if !completed.contains(&task.0) {
+                        finished += 1;
+                        metrics.killed_maps += 1;
+                        notify_drop(task.0, &reducer_txs);
+                    }
+                    if fatal.is_none() {
+                        fatal = Some(error);
+                    }
+                    dropping = true;
+                }
+            }
+        };
+    }
+
+    while finished < total {
+        // 1. Owner-driven termination: cancellation aborts, a passed
+        //    deadline degrades to an approximate result.
+        if session.cancelled() && fatal.is_none() {
+            fatal = Some(RuntimeError::Cancelled);
+            dropping = true;
+        }
+        if let Some(deadline) = session.deadline {
+            if !dropping && Instant::now() >= deadline {
+                metrics.deadline_hit = true;
+                dropping = true;
+            }
+        }
+
+        // 2. Reduce-initiated or policy-initiated early termination.
+        if !dropping && (control.drop_requested() || coordinator.want_drop_remaining(&control)) {
+            dropping = true;
+        }
+        if dropping {
+            while let Some(t) = pending.pop_front() {
+                finished += 1;
+                metrics.dropped_maps += 1;
+                notify_drop(t, &reducer_txs);
+            }
+            for kill in running.values() {
+                kill.store(true, Ordering::SeqCst);
+            }
+        }
+
+        // 3. Dispatch into the shared pool while under this job's own
+        //    in-flight cap. Directives are requested lazily so the
+        //    policy can adapt between waves.
+        while !dropping && !pending.is_empty() && running.len() < in_flight_cap {
+            let t = pending.pop_front().expect("checked non-empty");
+            match coordinator.directive(TaskId(t), &splits[t]) {
+                MapDirective::Drop => {
+                    finished += 1;
+                    metrics.dropped_maps += 1;
+                    notify_drop(t, &reducer_txs);
+                }
+                MapDirective::Run { sampling_ratio } => {
+                    let kill = Arc::new(AtomicBool::new(false));
+                    let work = WorkItem {
+                        task: TaskId(t),
+                        attempt: 0,
+                        sampling_ratio,
+                        seed: config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        kill: Arc::clone(&kill),
+                    };
+                    running.insert(t, kill);
+                    let input = Arc::clone(&input);
+                    let mapper = Arc::clone(&mapper);
+                    let attempt_txs = reducer_txs.clone();
+                    let msg_tx = msg_tx.clone();
+                    let accepted = pool.submit(
+                        tenant,
+                        Box::new(move || {
+                            run_map_attempt(&*input, &*mapper, &work, &attempt_txs, &msg_tx);
+                        }),
+                    );
+                    if !accepted {
+                        running.remove(&t);
+                        finished += 1;
+                        metrics.killed_maps += 1;
+                        notify_drop(t, &reducer_txs);
+                        if fatal.is_none() {
+                            fatal = Some(RuntimeError::invalid(
+                                "slot pool rejected task (pool shut down or tenant unregistered)",
+                            ));
+                        }
+                        dropping = true;
+                    }
+                }
+            }
+        }
+        if finished >= total {
+            break;
+        }
+
+        // 4. Wait for worker events.
+        match msg_rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(msg) => {
+                handle_msg!(msg);
+                while let Ok(extra) = msg_rx.try_recv() {
+                    handle_msg!(extra);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => unreachable!("tracker holds a sender"),
+        }
+
+        // 5. Stream progress to the submitter.
+        if finished != last_wave {
+            last_wave = finished;
+            session.emit(JobEvent::Wave {
+                job: session.job,
+                finished,
+                total,
+            });
+        }
+        if let Some(bound) = control.worst_bound_across_reducers(1) {
+            if last_bound != Some(bound) {
+                last_bound = Some(bound);
+                session.emit(JobEvent::Estimate {
+                    job: session.job,
+                    worst_relative_bound: bound,
+                });
+            }
+        }
+    }
+
+    if finished != last_wave {
+        session.emit(JobEvent::Wave {
+            job: session.job,
+            finished,
+            total,
+        });
+    }
+
+    // Shut down: every submitted attempt has reported (finished == total
+    // implies no closure still holds a reducer sender), so dropping our
+    // senders lets the reducers drain and finish.
+    drop(reducer_txs);
+    drop(msg_tx);
+
+    let mut outputs = Vec::new();
+    let mut panicked = false;
+    for h in reducer_handles {
+        match h.join() {
+            Ok(out) => outputs.extend(out),
+            Err(_) => panicked = true,
+        }
+    }
+    metrics.wall_secs = start.elapsed().as_secs_f64();
+    if let Some(e) = fatal {
+        return Err(e);
+    }
+    if panicked {
+        return Err(RuntimeError::TaskPanicked {
+            what: "reduce task".into(),
+        });
+    }
+    if let Some(bound) = control.worst_bound_across_reducers(1) {
+        if last_bound != Some(bound) {
+            session.emit(JobEvent::Estimate {
+                job: session.job,
+                worst_relative_bound: bound,
+            });
+        }
+    }
+    Ok(JobResult { outputs, metrics })
 }
 
 /// Executes one map attempt on a task-tracker thread.
@@ -1082,6 +1376,178 @@ mod tests {
         let (tasks, items) = result.outputs[0];
         assert_eq!(tasks, 5, "every task emits its count");
         assert_eq!(items, 5, "1% of 100 items per task");
+    }
+
+    #[test]
+    fn pool_word_count_matches_scoped_engine() {
+        let pool = SlotPool::new(4);
+        let tenant = pool.register_tenant(1.0);
+        let session = JobSession::new(crate::event::JobId(0));
+        let config = JobConfig::default();
+        let mut coordinator = FixedCoordinator::new(3, 1.0, 0.0, config.seed);
+        let result = run_job_on_pool(
+            Arc::new(VecSource::new(word_blocks())),
+            Arc::new(word_mapper()),
+            |_| sum_reducer(),
+            config,
+            &mut coordinator,
+            &pool,
+            tenant,
+            &session,
+        )
+        .unwrap();
+        let mut out = result.outputs;
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), 4),
+                ("b".to_string(), 2),
+                ("c".to_string(), 5)
+            ]
+        );
+        assert_eq!(result.metrics.executed_maps, 3);
+        assert!(!result.metrics.deadline_hit);
+    }
+
+    #[test]
+    fn pool_jobs_share_slots_concurrently() {
+        // Two jobs over one 2-slot pool, run from two threads; both
+        // complete correctly.
+        let pool = SlotPool::new(2);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let tenant = pool.register_tenant(1.0);
+                let session = JobSession::new(crate::event::JobId(0));
+                let blocks: Vec<Vec<u32>> = (0..10).map(|i| vec![i, i]).collect();
+                let mut coordinator = FixedCoordinator::new(10, 1.0, 0.0, 0);
+                let result = run_job_on_pool(
+                    Arc::new(VecSource::new(blocks)),
+                    Arc::new(FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| {
+                        emit(0, *i)
+                    })),
+                    |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+                    JobConfig {
+                        map_slots: 4,
+                        ..Default::default()
+                    },
+                    &mut coordinator,
+                    &pool,
+                    tenant,
+                    &session,
+                )
+                .unwrap();
+                pool.unregister_tenant(tenant);
+                result.outputs
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![20]);
+        }
+    }
+
+    #[test]
+    fn pool_job_cancellation_fails_with_cancelled() {
+        let pool = SlotPool::new(2);
+        let tenant = pool.register_tenant(1.0);
+        let session = JobSession::new(crate::event::JobId(1));
+        let handle = session.cancel_handle();
+        // Cancel as soon as the first map output lands.
+        let blocks: Vec<Vec<u32>> = (0..40).map(|_| (0..100).collect()).collect();
+        let mapper = FnMapper::new(move |_: &u32, emit: &mut dyn FnMut(u8, u32)| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            emit(0, 1);
+        });
+        let canceller = {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                handle.cancel();
+            })
+        };
+        let result = run_job_on_pool(
+            Arc::new(VecSource::new(blocks)),
+            Arc::new(mapper),
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+            JobConfig {
+                map_slots: 2,
+                ..Default::default()
+            },
+            &mut FixedCoordinator::new(40, 1.0, 0.0, 0),
+            &pool,
+            tenant,
+            &session,
+        );
+        canceller.join().unwrap();
+        assert!(matches!(result, Err(RuntimeError::Cancelled)));
+    }
+
+    #[test]
+    fn pool_job_deadline_completes_approximately() {
+        let pool = SlotPool::new(1);
+        let tenant = pool.register_tenant(1.0);
+        let session = JobSession::new(crate::event::JobId(2))
+            .with_deadline(Instant::now() + std::time::Duration::from_millis(40));
+        let blocks: Vec<Vec<u32>> = (0..50).map(|_| (0..20).collect()).collect();
+        let mapper = FnMapper::new(|_: &u32, emit: &mut dyn FnMut(u8, u32)| {
+            std::thread::sleep(std::time::Duration::from_micros(300));
+            emit(0, 1);
+        });
+        let result = run_job_on_pool(
+            Arc::new(VecSource::new(blocks)),
+            Arc::new(mapper),
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+            JobConfig {
+                map_slots: 1,
+                ..Default::default()
+            },
+            &mut FixedCoordinator::new(50, 1.0, 0.0, 0),
+            &pool,
+            tenant,
+            &session,
+        )
+        .unwrap();
+        assert!(result.metrics.deadline_hit, "deadline should have fired");
+        assert!(
+            result.metrics.executed_maps < 50,
+            "job must not run all maps after the deadline"
+        );
+        assert_eq!(
+            result.metrics.executed_maps + result.metrics.dropped_maps + result.metrics.killed_maps,
+            50
+        );
+    }
+
+    #[test]
+    fn pool_job_streams_wave_events() {
+        let pool = SlotPool::new(2);
+        let tenant = pool.register_tenant(1.0);
+        let (tx, rx) = unbounded();
+        let session = JobSession::new(crate::event::JobId(3)).with_events(tx);
+        let blocks: Vec<Vec<u32>> = (0..8).map(|i| vec![i as u32]).collect();
+        run_job_on_pool(
+            Arc::new(VecSource::new(blocks)),
+            Arc::new(FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| {
+                emit(0, *i)
+            })),
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+            JobConfig::default(),
+            &mut FixedCoordinator::new(8, 1.0, 0.0, 0),
+            &pool,
+            tenant,
+            &session,
+        )
+        .unwrap();
+        let events: Vec<_> = rx.try_iter().collect();
+        let final_wave = events.iter().rev().find_map(|e| match e {
+            crate::event::JobEvent::Wave {
+                finished, total, ..
+            } => Some((*finished, *total)),
+            _ => None,
+        });
+        assert_eq!(final_wave, Some((8, 8)), "events: {events:?}");
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub enum RuntimeError {
         /// Description of the task that died.
         what: String,
     },
+    /// The job was cancelled by its owner before completion.
+    Cancelled,
 }
 
 impl RuntimeError {
@@ -40,6 +42,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::InvalidJob { reason } => write!(f, "invalid job: {reason}"),
             RuntimeError::Input { source } => write!(f, "input error: {source}"),
             RuntimeError::TaskPanicked { what } => write!(f, "task panicked: {what}"),
+            RuntimeError::Cancelled => write!(f, "job cancelled"),
         }
     }
 }

@@ -63,17 +63,21 @@
 pub mod control;
 pub mod engine;
 pub mod error;
+pub mod event;
 pub mod input;
 pub mod mapper;
 pub mod metrics;
+pub mod pool;
 pub mod reducer;
 pub mod text;
 pub mod types;
 
 pub use control::{Coordinator, FixedCoordinator, JobControl, MapDirective};
-pub use engine::{run_job, run_job_with_coordinator, JobConfig, JobResult};
+pub use engine::{run_job, run_job_on_pool, run_job_with_coordinator, JobConfig, JobResult};
 pub use error::RuntimeError;
+pub use event::{CancelHandle, JobEvent, JobId, JobSession};
 pub use mapper::MapTaskContext;
+pub use pool::{SlotPool, TenantId};
 pub use types::{Key, TaskId, Value};
 
 /// Result alias for runtime operations.

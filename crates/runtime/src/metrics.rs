@@ -8,7 +8,7 @@
 use crate::types::TaskId;
 
 /// Statistics of one *completed* map task attempt.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct MapStats {
     /// The task.
     pub task: TaskId,
@@ -36,7 +36,7 @@ pub enum TaskOutcome {
 }
 
 /// Aggregate metrics of one job execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize)]
 pub struct JobMetrics {
     /// Total map tasks (= input splits).
     pub total_maps: usize,
@@ -56,6 +56,9 @@ pub struct JobMetrics {
     pub sampled_records: u64,
     /// Wall-clock job duration in seconds.
     pub wall_secs: f64,
+    /// Whether the job hit its deadline and finished by dropping the
+    /// remaining maps (approximate-on-deadline completion).
+    pub deadline_hit: bool,
     /// Per-attempt statistics of completed maps.
     pub map_stats: Vec<MapStats>,
 }
@@ -116,6 +119,29 @@ mod tests {
         assert_eq!(m.drop_fraction(), 0.0);
         assert_eq!(m.effective_sampling_ratio(), 1.0);
         assert_eq!(m.mean_map_secs(), 0.0);
+    }
+
+    #[test]
+    fn metrics_serialize_to_json() {
+        let m = JobMetrics {
+            total_maps: 2,
+            executed_maps: 1,
+            wall_secs: 0.25,
+            map_stats: vec![MapStats {
+                task: TaskId(1),
+                total_records: 10,
+                sampled_records: 5,
+                emitted: 3,
+                duration_secs: 0.1,
+                read_secs: 0.05,
+            }],
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("\"total_maps\":2"), "json: {json}");
+        assert!(json.contains("\"deadline_hit\":false"), "json: {json}");
+        // TaskId is a newtype: serializes transparently as its index.
+        assert!(json.contains("\"task\":1"), "json: {json}");
     }
 
     #[test]

@@ -1,0 +1,416 @@
+//! A shared, service-wide pool of map slots.
+//!
+//! The seed engine owned its task-tracker threads for the lifetime of a
+//! single job. The pool inverts that ownership: a fixed set of worker
+//! threads outlives any job, and jobs (tenants) submit boxed map
+//! attempts into per-tenant queues. Workers pick the next task by
+//! **start-time fair queuing**: every tenant carries a virtual time
+//! that advances by `1/weight` per dispatched task, and the runnable
+//! tenant with the smallest virtual time goes first. Two tenants with
+//! equal weights therefore interleave 1:1 regardless of how many tasks
+//! each has queued — neither can starve the other.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Identifier of a tenant (one registered job or traffic class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+/// A unit of work executed on a pool slot.
+pub type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+struct TenantQueue {
+    weight: f64,
+    /// Start-time fair-queuing virtual time.
+    vtime: f64,
+    queue: std::collections::VecDeque<PoolTask>,
+}
+
+#[derive(Default)]
+struct PoolState {
+    tenants: HashMap<u64, TenantQueue>,
+    next_tenant: u64,
+}
+
+impl PoolState {
+    fn min_active_vtime(&self) -> Option<f64> {
+        self.tenants
+            .values()
+            .filter(|t| !t.queue.is_empty())
+            .map(|t| t.vtime)
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    None => v,
+                    Some(a) if v < a => v,
+                    Some(a) => a,
+                })
+            })
+    }
+
+    /// Pops the next task under weighted fair sharing.
+    fn pop_fair(&mut self) -> Option<PoolTask> {
+        let tenant = self
+            .tenants
+            .iter()
+            .filter(|(_, t)| !t.queue.is_empty())
+            .min_by(|a, b| {
+                a.1.vtime
+                    .partial_cmp(&b.1.vtime)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Deterministic tie-break on tenant id.
+                    .then(a.0.cmp(b.0))
+            })
+            .map(|(id, _)| *id)?;
+        let tq = self.tenants.get_mut(&tenant).expect("tenant exists");
+        let task = tq.queue.pop_front();
+        tq.vtime += 1.0 / tq.weight.max(1e-9);
+        task
+    }
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    busy: AtomicUsize,
+    queued: AtomicUsize,
+    slots: usize,
+}
+
+/// A fixed-size pool of worker threads shared by many concurrent jobs.
+///
+/// Dropping the pool shuts it down: queued tasks are discarded and the
+/// workers are joined. Jobs in flight should be cancelled (or awaited)
+/// first; submitted closures must therefore tolerate never running —
+/// the engine's tracker detects this via its disconnect path.
+pub struct SlotPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for SlotPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotPool")
+            .field("slots", &self.shared.slots)
+            .field("busy", &self.busy())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl SlotPool {
+    /// Creates a pool with `slots` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn new(slots: usize) -> Arc<SlotPool> {
+        assert!(slots > 0, "slot pool needs at least one slot");
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            busy: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            slots,
+        });
+        let workers = (0..slots)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("slot-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Arc::new(SlotPool {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Total worker slots.
+    pub fn slots(&self) -> usize {
+        self.shared.slots
+    }
+
+    /// Registers a tenant with a fair-share `weight` (higher = more
+    /// slots under contention). Weight is clamped to be positive.
+    pub fn register_tenant(&self, weight: f64) -> TenantId {
+        let mut state = self.shared.state.lock().unwrap();
+        let id = state.next_tenant;
+        state.next_tenant += 1;
+        // A joining tenant starts at the current minimum active virtual
+        // time so it cannot claim "catch-up" slots for the past, nor be
+        // penalised for arriving late.
+        let vtime = state.min_active_vtime().unwrap_or(0.0);
+        state.tenants.insert(
+            id,
+            TenantQueue {
+                weight: weight.max(1e-9),
+                vtime,
+                queue: Default::default(),
+            },
+        );
+        TenantId(id)
+    }
+
+    /// Removes a tenant, discarding any tasks it still has queued.
+    /// Returns how many tasks were discarded.
+    pub fn unregister_tenant(&self, tenant: TenantId) -> usize {
+        let mut state = self.shared.state.lock().unwrap();
+        let dropped = state
+            .tenants
+            .remove(&tenant.0)
+            .map(|t| t.queue.len())
+            .unwrap_or(0);
+        self.shared.queued.fetch_sub(dropped, Ordering::SeqCst);
+        dropped
+    }
+
+    /// Enqueues `task` for `tenant`. Returns `false` (dropping the
+    /// task) if the tenant is unknown or the pool is shutting down.
+    pub fn submit(&self, tenant: TenantId, task: PoolTask) -> bool {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut state = self.shared.state.lock().unwrap();
+        let Some(tq) = state.tenants.get_mut(&tenant.0) else {
+            return false;
+        };
+        let was_empty = tq.queue.is_empty();
+        tq.queue.push_back(task);
+        if was_empty {
+            // Re-activating after idle: forfeit unused past share.
+            let floor = tq.vtime;
+            let min = state.min_active_vtime().unwrap_or(floor);
+            let tq = state.tenants.get_mut(&tenant.0).expect("still present");
+            tq.vtime = tq.vtime.max(min.min(f64::MAX)).max(floor);
+        }
+        self.shared.queued.fetch_add(1, Ordering::SeqCst);
+        drop(state);
+        self.shared.ready.notify_one();
+        true
+    }
+
+    /// Tasks currently queued (not yet running) across all tenants.
+    pub fn queued(&self) -> usize {
+        self.shared.queued.load(Ordering::SeqCst)
+    }
+
+    /// Slots currently executing a task.
+    pub fn busy(&self) -> usize {
+        self.shared.busy.load(Ordering::SeqCst)
+    }
+
+    /// Instantaneous utilisation in `[0, 1]`.
+    pub fn utilisation(&self) -> f64 {
+        self.busy() as f64 / self.shared.slots as f64
+    }
+}
+
+impl Drop for SlotPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _state = self.shared.state.lock().unwrap();
+            self.shared.ready.notify_all();
+        }
+        for h in self.workers.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(task) = state.pop_fair() {
+                    shared.queued.fetch_sub(1, Ordering::SeqCst);
+                    break task;
+                }
+                state = shared.ready.wait(state).unwrap();
+            }
+        };
+        shared.busy.fetch_add(1, Ordering::SeqCst);
+        // Map attempts contain user code; a panic must not kill the
+        // shared worker — the owning job's tracker sees the attempt
+        // vanish and fails that job alone.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+        shared.busy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    fn drain(pool: &SlotPool) {
+        while pool.queued() > 0 || pool.busy() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn executes_submitted_tasks() {
+        let pool = SlotPool::new(4);
+        let tenant = pool.register_tenant(1.0);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            assert!(pool.submit(
+                tenant,
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            ));
+        }
+        drain(&pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn unknown_tenant_rejected() {
+        let pool = SlotPool::new(1);
+        assert!(!pool.submit(TenantId(99), Box::new(|| {})));
+    }
+
+    #[test]
+    fn unregister_discards_queue() {
+        let pool = SlotPool::new(1);
+        let blocker = pool.register_tenant(1.0);
+        let victim = pool.register_tenant(1.0);
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        pool.submit(
+            blocker,
+            Box::new(move || {
+                while !g.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }),
+        );
+        // Wait for the blocker to occupy the only slot.
+        while pool.busy() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for _ in 0..5 {
+            pool.submit(victim, Box::new(|| {}));
+        }
+        assert_eq!(pool.unregister_tenant(victim), 5);
+        assert_eq!(pool.queued(), 0);
+        gate.store(true, Ordering::SeqCst);
+        drain(&pool);
+    }
+
+    #[test]
+    fn fair_sharing_interleaves_equal_weights() {
+        // One slot; tenant A floods the queue first, then B submits.
+        // With fair queuing B's tasks must not all wait behind A's.
+        let pool = SlotPool::new(1);
+        let a = pool.register_tenant(1.0);
+        let b = pool.register_tenant(1.0);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(AtomicBool::new(false));
+        {
+            let g = Arc::clone(&gate);
+            pool.submit(
+                a,
+                Box::new(move || {
+                    while !g.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }),
+            );
+        }
+        while pool.busy() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for i in 0..10u32 {
+            let o = Arc::clone(&order);
+            pool.submit(a, Box::new(move || o.lock().unwrap().push(('a', i))));
+        }
+        for i in 0..10u32 {
+            let o = Arc::clone(&order);
+            pool.submit(b, Box::new(move || o.lock().unwrap().push(('b', i))));
+        }
+        gate.store(true, Ordering::SeqCst);
+        drain(&pool);
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 20);
+        // B must appear within the first few dispatches, not after all
+        // of A's backlog.
+        let first_b = order.iter().position(|(t, _)| *t == 'b').unwrap();
+        assert!(
+            first_b <= 2,
+            "tenant b starved: first b at position {first_b} in {order:?}"
+        );
+        // And the tail must still contain both tenants interleaved:
+        // among the first 10 dispatches, each tenant gets 4-6.
+        let a_in_front = order.iter().take(10).filter(|(t, _)| *t == 'a').count();
+        assert!(
+            (4..=6).contains(&a_in_front),
+            "unfair split in first 10: {order:?}"
+        );
+    }
+
+    #[test]
+    fn weights_bias_the_share() {
+        let pool = SlotPool::new(1);
+        let heavy = pool.register_tenant(3.0);
+        let light = pool.register_tenant(1.0);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(AtomicBool::new(false));
+        {
+            let g = Arc::clone(&gate);
+            pool.submit(
+                heavy,
+                Box::new(move || {
+                    while !g.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }),
+            );
+        }
+        while pool.busy() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for i in 0..12u32 {
+            let o = Arc::clone(&order);
+            pool.submit(heavy, Box::new(move || o.lock().unwrap().push(('h', i))));
+            let o = Arc::clone(&order);
+            pool.submit(light, Box::new(move || o.lock().unwrap().push(('l', i))));
+        }
+        gate.store(true, Ordering::SeqCst);
+        drain(&pool);
+        let order = order.lock().unwrap();
+        let h_in_front = order.iter().take(8).filter(|(t, _)| *t == 'h').count();
+        assert!(
+            h_in_front >= 5,
+            "3:1 weight should dominate early dispatches: {order:?}"
+        );
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_workers() {
+        let pool = SlotPool::new(2);
+        let tenant = pool.register_tenant(1.0);
+        pool.submit(tenant, Box::new(|| panic!("user code exploded")));
+        drain(&pool);
+        let done = Arc::new(AtomicBool::new(false));
+        let d = Arc::clone(&done);
+        pool.submit(tenant, Box::new(move || d.store(true, Ordering::SeqCst)));
+        drain(&pool);
+        assert!(done.load(Ordering::SeqCst), "worker survived the panic");
+    }
+}

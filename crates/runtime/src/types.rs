@@ -15,7 +15,7 @@ impl<T: Clone + Send + Sync + Debug + 'static> Value for T {}
 
 /// Identifier of a map task — equal to the index of the input split it
 /// processes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize)]
 pub struct TaskId(pub usize);
 
 impl std::fmt::Display for TaskId {

@@ -1,0 +1,428 @@
+//! Load-adaptive admission control.
+//!
+//! The ApproxHadoop insight applied to a shared service: when load
+//! builds, a cluster that can trade accuracy for time should **degrade**
+//! incoming jobs instead of queueing or rejecting them. The controller
+//! here is a small AIMD feedback loop in the spirit of latency-driven
+//! load-test controllers: it samples service health (p99 job latency
+//! against a target, plus slot-pool backlog) and maintains a single
+//! *degrade* factor in `[0, 1]`. Admission maps that factor onto each
+//! job's own [`ApproxBudget`] — the approximation the *caller* declared
+//! acceptable — so the service never degrades a job beyond what its
+//! submitter signed up for, and precise jobs stay precise.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// How far a job may be degraded: the caller's error budget expressed
+/// as ratio ranges. `degrade = 0` admits the job at its base ratios;
+/// `degrade = 1` admits it at the budget's worst-case ratios.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct ApproxBudget {
+    /// Drop ratio the job asks for under no load, in `[0, 1)`.
+    pub base_drop_ratio: f64,
+    /// Worst drop ratio the service may impose, in `[base, 1)`.
+    pub max_drop_ratio: f64,
+    /// Sampling ratio the job asks for under no load, in `(0, 1]`.
+    pub base_sampling_ratio: f64,
+    /// Lowest sampling ratio the service may impose, in `(0, base]`.
+    pub min_sampling_ratio: f64,
+}
+
+impl ApproxBudget {
+    /// A budget that forbids any degradation: the job always runs
+    /// precisely.
+    pub fn precise() -> Self {
+        ApproxBudget {
+            base_drop_ratio: 0.0,
+            max_drop_ratio: 0.0,
+            base_sampling_ratio: 1.0,
+            min_sampling_ratio: 1.0,
+        }
+    }
+
+    /// A budget starting precise that may be degraded down to
+    /// `max_drop_ratio` / `min_sampling_ratio` under load.
+    pub fn up_to(max_drop_ratio: f64, min_sampling_ratio: f64) -> Self {
+        ApproxBudget {
+            base_drop_ratio: 0.0,
+            max_drop_ratio,
+            base_sampling_ratio: 1.0,
+            min_sampling_ratio,
+        }
+    }
+
+    /// Validates ranges and orderings.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.base_drop_ratio) {
+            return Err(format!(
+                "base_drop_ratio must lie in [0, 1), got {}",
+                self.base_drop_ratio
+            ));
+        }
+        if !(self.base_drop_ratio..1.0).contains(&self.max_drop_ratio) {
+            return Err(format!(
+                "max_drop_ratio must lie in [base_drop_ratio, 1), got {}",
+                self.max_drop_ratio
+            ));
+        }
+        if !(self.base_sampling_ratio > 0.0 && self.base_sampling_ratio <= 1.0) {
+            return Err(format!(
+                "base_sampling_ratio must lie in (0, 1], got {}",
+                self.base_sampling_ratio
+            ));
+        }
+        if !(self.min_sampling_ratio > 0.0 && self.min_sampling_ratio <= self.base_sampling_ratio) {
+            return Err(format!(
+                "min_sampling_ratio must lie in (0, base_sampling_ratio], got {}",
+                self.min_sampling_ratio
+            ));
+        }
+        Ok(())
+    }
+
+    /// Interpolates the effective ratios for a degrade factor in
+    /// `[0, 1]`: drop rises towards the max, sampling falls towards the
+    /// min. Returns `(drop_ratio, sampling_ratio)`.
+    pub fn apply(&self, degrade: f64) -> (f64, f64) {
+        let d = degrade.clamp(0.0, 1.0);
+        let drop = self.base_drop_ratio + d * (self.max_drop_ratio - self.base_drop_ratio);
+        let sampling =
+            self.base_sampling_ratio - d * (self.base_sampling_ratio - self.min_sampling_ratio);
+        (drop, sampling)
+    }
+}
+
+/// Controller tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// p99 job latency the service tries to hold, in seconds.
+    pub p99_target_secs: f64,
+    /// Pool backlog (queued tasks) above which the service counts as
+    /// overloaded even before latencies confirm it.
+    pub queue_threshold: usize,
+    /// Completed-job latencies kept in the sliding window.
+    pub window: usize,
+    /// Additive increase applied to the degrade factor per overloaded
+    /// observation.
+    pub increase_step: f64,
+    /// Multiplicative decrease applied per healthy observation.
+    pub decrease_factor: f64,
+    /// Master switch: when `false`, every job is admitted at its base
+    /// ratios (the no-controller baseline the load generator compares
+    /// against).
+    pub enabled: bool,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            p99_target_secs: 1.0,
+            queue_threshold: 64,
+            window: 64,
+            increase_step: 0.2,
+            decrease_factor: 0.7,
+            enabled: true,
+        }
+    }
+}
+
+/// One admission decision, for instrumentation and the load generator's
+/// JSON report.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct DegradeDecision {
+    /// The admitted job.
+    pub job: u64,
+    /// Degrade factor at admission.
+    pub degrade: f64,
+    /// Effective drop ratio imposed.
+    pub drop_ratio: f64,
+    /// Effective sampling ratio imposed.
+    pub sampling_ratio: f64,
+}
+
+#[derive(Debug, Default)]
+struct ControllerState {
+    latencies: VecDeque<f64>,
+    degrade: f64,
+    decisions: Vec<DegradeDecision>,
+    overloaded_observations: u64,
+}
+
+/// The feedback loop: records completed-job latencies, compares p99 and
+/// pool backlog against targets, and exposes the degrade factor used at
+/// admission.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    state: Mutex<ControllerState>,
+}
+
+impl AdmissionController {
+    /// Creates a controller.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionController {
+            config,
+            state: Mutex::new(ControllerState::default()),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Records one completed job's end-to-end latency and the pool
+    /// backlog observed at completion, then updates the degrade factor
+    /// (AIMD: additive increase under overload, multiplicative decrease
+    /// when healthy).
+    pub fn on_job_complete(&self, latency_secs: f64, queue_depth: usize) {
+        let mut state = self.state.lock();
+        state.latencies.push_back(latency_secs.max(0.0));
+        while state.latencies.len() > self.config.window {
+            state.latencies.pop_front();
+        }
+        if !self.config.enabled {
+            return;
+        }
+        let p99 = percentile(state.latencies.make_contiguous(), 0.99);
+        let overloaded = p99.is_some_and(|p| p > self.config.p99_target_secs)
+            || queue_depth > self.config.queue_threshold;
+        if overloaded {
+            state.overloaded_observations += 1;
+            state.degrade = (state.degrade + self.config.increase_step).min(1.0);
+        } else {
+            state.degrade *= self.config.decrease_factor;
+            if state.degrade < 1e-3 {
+                state.degrade = 0.0;
+            }
+        }
+    }
+
+    /// The current degrade factor in `[0, 1]` (always `0` when the
+    /// controller is disabled).
+    pub fn degrade(&self) -> f64 {
+        if !self.config.enabled {
+            return 0.0;
+        }
+        self.state.lock().degrade
+    }
+
+    /// Admits job `job` against `budget`: applies the current degrade
+    /// factor, records the decision, and returns it.
+    ///
+    /// `queue_depth` is the pool backlog at admission time. A backlog
+    /// above the threshold is itself an overload signal — it raises the
+    /// degrade factor *before* the decision, so the service reacts to a
+    /// building queue without waiting for slow completions to confirm
+    /// it through the latency window.
+    pub fn admit(&self, job: u64, budget: &ApproxBudget, queue_depth: usize) -> DegradeDecision {
+        let mut state = self.state.lock();
+        if self.config.enabled && queue_depth > self.config.queue_threshold {
+            state.overloaded_observations += 1;
+            state.degrade = (state.degrade + self.config.increase_step).min(1.0);
+        }
+        let degrade = if self.config.enabled {
+            state.degrade
+        } else {
+            0.0
+        };
+        let (drop_ratio, sampling_ratio) = budget.apply(degrade);
+        let decision = DegradeDecision {
+            job,
+            degrade,
+            drop_ratio,
+            sampling_ratio,
+        };
+        state.decisions.push(decision.clone());
+        decision
+    }
+
+    /// p99 latency over the sliding window, if any jobs completed.
+    pub fn p99(&self) -> Option<f64> {
+        let mut state = self.state.lock();
+        percentile(state.latencies.make_contiguous(), 0.99)
+    }
+
+    /// p50 latency over the sliding window.
+    pub fn p50(&self) -> Option<f64> {
+        let mut state = self.state.lock();
+        percentile(state.latencies.make_contiguous(), 0.50)
+    }
+
+    /// Every admission decision taken so far, in admission order.
+    pub fn decisions(&self) -> Vec<DegradeDecision> {
+        self.state.lock().decisions.clone()
+    }
+
+    /// How many controller updates saw the service overloaded.
+    pub fn overloaded_observations(&self) -> u64 {
+        self.state.lock().overloaded_observations
+    }
+}
+
+/// Nearest-rank percentile of `values` (`q` in `[0, 1]`); `None` when
+/// empty.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_interpolation_endpoints() {
+        let b = ApproxBudget {
+            base_drop_ratio: 0.1,
+            max_drop_ratio: 0.5,
+            base_sampling_ratio: 1.0,
+            min_sampling_ratio: 0.2,
+        };
+        let close =
+            |(a, b): (f64, f64), (x, y): (f64, f64)| (a - x).abs() < 1e-12 && (b - y).abs() < 1e-12;
+        assert!(close(b.apply(0.0), (0.1, 1.0)));
+        assert!(close(b.apply(1.0), (0.5, 0.2)));
+        assert!(close(b.apply(0.5), (0.3, 0.6)));
+        // Out-of-range degrade clamps.
+        assert!(close(b.apply(7.0), (0.5, 0.2)));
+        assert!(close(b.apply(-1.0), (0.1, 1.0)));
+    }
+
+    #[test]
+    fn precise_budget_never_degrades() {
+        let b = ApproxBudget::precise();
+        assert!(b.validate().is_ok());
+        assert_eq!(b.apply(1.0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn budget_validation_rejects_inverted_ranges() {
+        let mut b = ApproxBudget::up_to(0.5, 0.2);
+        assert!(b.validate().is_ok());
+        b.max_drop_ratio = 1.0;
+        assert!(b.validate().is_err());
+        let mut b = ApproxBudget::up_to(0.5, 0.2);
+        b.min_sampling_ratio = 0.0;
+        assert!(b.validate().is_err());
+        let mut b = ApproxBudget::up_to(0.5, 0.2);
+        b.base_drop_ratio = 0.6; // above max
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn degrade_rises_under_overload_and_decays_when_healthy() {
+        let c = AdmissionController::new(AdmissionConfig {
+            p99_target_secs: 0.5,
+            queue_threshold: 10,
+            ..Default::default()
+        });
+        assert_eq!(c.degrade(), 0.0);
+        // Slow completions push p99 over target → additive increase.
+        for _ in 0..3 {
+            c.on_job_complete(2.0, 0);
+        }
+        let high = c.degrade();
+        assert!(high >= 0.5, "degrade should build up, got {high}");
+        assert!(c.overloaded_observations() >= 3);
+        // Fast completions can't fix p99 while slow samples dominate the
+        // window — backlog-free fast completions only help once the
+        // window turns over. Simulate a fresh healthy window instead.
+        let healthy = AdmissionController::new(AdmissionConfig {
+            p99_target_secs: 0.5,
+            ..Default::default()
+        });
+        for _ in 0..5 {
+            healthy.on_job_complete(0.1, 0);
+        }
+        assert_eq!(healthy.degrade(), 0.0);
+    }
+
+    #[test]
+    fn queue_depth_alone_triggers_overload() {
+        let c = AdmissionController::new(AdmissionConfig {
+            p99_target_secs: 10.0,
+            queue_threshold: 4,
+            ..Default::default()
+        });
+        c.on_job_complete(0.01, 100);
+        assert!(c.degrade() > 0.0);
+    }
+
+    #[test]
+    fn disabled_controller_admits_at_base() {
+        let c = AdmissionController::new(AdmissionConfig {
+            enabled: false,
+            p99_target_secs: 0.001,
+            ..Default::default()
+        });
+        for _ in 0..10 {
+            c.on_job_complete(5.0, 1000);
+        }
+        assert_eq!(c.degrade(), 0.0);
+        let b = ApproxBudget::up_to(0.5, 0.2);
+        let d = c.admit(1, &b, 1000);
+        assert_eq!((d.drop_ratio, d.sampling_ratio), (0.0, 1.0));
+    }
+
+    #[test]
+    fn backlog_at_admission_degrades_immediately() {
+        let c = AdmissionController::new(AdmissionConfig {
+            queue_threshold: 4,
+            increase_step: 0.5,
+            ..Default::default()
+        });
+        let b = ApproxBudget::up_to(0.8, 0.25);
+        // No completions yet, but the pool is drowning: the very next
+        // admission reacts.
+        let d1 = c.admit(0, &b, 20);
+        assert_eq!(d1.degrade, 0.5);
+        let d2 = c.admit(1, &b, 20);
+        assert_eq!(d2.degrade, 1.0);
+        assert_eq!((d2.drop_ratio, d2.sampling_ratio), (0.8, 0.25));
+        // Backlog gone: no further increase.
+        let d3 = c.admit(2, &b, 0);
+        assert_eq!(d3.degrade, 1.0);
+        assert_eq!(c.overloaded_observations(), 2);
+    }
+
+    #[test]
+    fn admit_records_decisions() {
+        let c = AdmissionController::new(AdmissionConfig::default());
+        let b = ApproxBudget::up_to(0.4, 0.5);
+        c.admit(7, &b, 0);
+        let ds = c.decisions();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].job, 7);
+        assert_eq!(ds[0].drop_ratio, 0.0);
+        assert_eq!(ds[0].sampling_ratio, 1.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), Some(50.0));
+        assert_eq!(percentile(&v, 0.99), Some(99.0));
+        assert_eq!(percentile(&v, 1.0), Some(100.0));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[3.0], 0.99), Some(3.0));
+    }
+
+    #[test]
+    fn p50_p99_reporting() {
+        let c = AdmissionController::new(AdmissionConfig::default());
+        assert_eq!(c.p99(), None);
+        for i in 1..=10 {
+            c.on_job_complete(i as f64 / 10.0, 0);
+        }
+        assert_eq!(c.p50(), Some(0.5));
+        assert_eq!(c.p99(), Some(1.0));
+    }
+}

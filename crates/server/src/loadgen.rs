@@ -1,0 +1,358 @@
+//! Poisson open-loop load generator over the [`JobService`].
+//!
+//! The harness fires jobs at the service with exponentially distributed
+//! inter-arrival times (an *open loop*: arrivals do not wait for
+//! completions, so backlog builds exactly as it would under real
+//! tenant traffic). Every job is a project-popularity aggregation over
+//! a synthetic Wikipedia access log and declares an [`ApproxBudget`]
+//! the admission controller may spend.
+//!
+//! [`run`] executes the same arrival sequence twice — once with the
+//! controller disabled (every job admitted precise) and once enabled
+//! (AIMD degradation inside each job's budget) — and reports
+//! throughput, p50/p99 latency, peak concurrency, per-job achieved
+//! error bounds, and every degradation decision. The two phases share
+//! seeds, so the p99 delta isolates the controller's effect.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use approxhadoop_core::multistage::{Aggregation, MultiStageMapper, MultiStageReducer};
+use approxhadoop_stats::Interval;
+use approxhadoop_workloads::wikilog::{LogEntry, WikiLog};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::admission::{percentile, AdmissionConfig, ApproxBudget, DegradeDecision};
+use crate::service::{JobService, JobSpec};
+
+/// Knobs of one load-generation run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct LoadConfig {
+    /// Shared map slots in the service pool.
+    pub slots: usize,
+    /// Jobs fired per phase.
+    pub jobs: usize,
+    /// Mean arrival rate in jobs/second (Poisson process).
+    pub arrival_rate: f64,
+    /// Map tasks (blocks) per job.
+    pub blocks_per_job: u64,
+    /// Log entries per block (controls per-map work).
+    pub entries_per_block: u64,
+    /// Every job's budget: how far drop may rise under load.
+    pub max_drop_ratio: f64,
+    /// Every job's budget: how far sampling may fall under load.
+    pub min_sampling_ratio: f64,
+    /// The controller's p99 latency target, seconds.
+    pub p99_target_secs: f64,
+    /// Base seed for arrivals and per-job data/sampling.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            slots: 4,
+            jobs: 16,
+            arrival_rate: 8.0,
+            blocks_per_job: 48,
+            entries_per_block: 50_000,
+            max_drop_ratio: 0.7,
+            min_sampling_ratio: 0.25,
+            p99_target_secs: 0.4,
+            seed: 0,
+        }
+    }
+}
+
+/// One completed job, as reported in the JSON output.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct JobOutcome {
+    /// Service-wide job id.
+    pub job: u64,
+    /// Tenant name.
+    pub name: String,
+    /// Seconds after phase start the job arrived.
+    pub arrival_secs: f64,
+    /// Degrade factor applied at admission.
+    pub degrade: f64,
+    /// Admitted drop ratio.
+    pub drop_ratio: f64,
+    /// Admitted sampling ratio.
+    pub sampling_ratio: f64,
+    /// Submission-to-completion latency, seconds.
+    pub latency_secs: f64,
+    /// Engine wall time, seconds.
+    pub wall_secs: f64,
+    /// Map tasks in the job.
+    pub total_maps: usize,
+    /// Map tasks that ran.
+    pub executed_maps: usize,
+    /// Map tasks dropped by approximation.
+    pub dropped_maps: usize,
+    /// Worst relative 95%-confidence half-width across output keys
+    /// (`None` if the job produced no bounded keys).
+    pub worst_relative_bound: Option<f64>,
+}
+
+/// One phase (controller on or off) of a load run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PhaseReport {
+    /// Whether the admission controller was active.
+    pub controller_enabled: bool,
+    /// First submission to last completion, seconds.
+    pub makespan_secs: f64,
+    /// Completed jobs per second over the makespan.
+    pub throughput_jobs_per_sec: f64,
+    /// Median job latency, seconds.
+    pub p50_latency_secs: f64,
+    /// 99th-percentile job latency, seconds.
+    pub p99_latency_secs: f64,
+    /// Mean job latency, seconds.
+    pub mean_latency_secs: f64,
+    /// Most jobs simultaneously in flight.
+    pub peak_concurrency: usize,
+    /// Controller updates that saw the service overloaded.
+    pub overloaded_observations: u64,
+    /// Every admission decision, in admission order.
+    pub decisions: Vec<DegradeDecision>,
+    /// Per-job outcomes, in completion order.
+    pub jobs: Vec<JobOutcome>,
+}
+
+/// The full report: both phases plus the headline comparison.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LoadReport {
+    /// The configuration that produced this report.
+    pub config: LoadConfig,
+    /// Controller disabled: every job admitted precise.
+    pub baseline: PhaseReport,
+    /// Controller enabled: jobs degraded within their budgets.
+    pub controlled: PhaseReport,
+    /// `baseline.p99 − controlled.p99`, seconds (positive = the
+    /// controller lowered tail latency).
+    pub p99_improvement_secs: f64,
+    /// `baseline.p99 / controlled.p99`.
+    pub p99_speedup: f64,
+}
+
+/// Exponentially distributed arrival offsets for a Poisson process at
+/// `rate` jobs/sec; deterministic in `seed`.
+fn arrival_times(jobs: usize, rate: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA11A_17A1);
+    let mut t = 0.0;
+    (0..jobs)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).ln() / rate.max(1e-9);
+            t
+        })
+        .collect()
+}
+
+/// Worst relative confidence half-width across a job's output keys.
+fn worst_relative_bound(outputs: &[(u64, Interval)]) -> Option<f64> {
+    outputs
+        .iter()
+        .filter(|(_, iv)| iv.estimate.abs() > 0.0)
+        .map(|(_, iv)| iv.half_width / iv.estimate.abs())
+        .fold(None, |acc, b| Some(acc.map_or(b, |a: f64| a.max(b))))
+}
+
+/// Runs one phase: the full arrival sequence against a fresh service.
+pub fn run_phase(config: &LoadConfig, controller_enabled: bool) -> PhaseReport {
+    let service = JobService::new(
+        config.slots,
+        AdmissionConfig {
+            p99_target_secs: config.p99_target_secs,
+            // A backlog deeper than one full round of slots means jobs
+            // are already waiting — react at admission, not first
+            // completion.
+            queue_threshold: config.slots,
+            increase_step: 0.35,
+            enabled: controller_enabled,
+            ..Default::default()
+        },
+    );
+    let arrivals = arrival_times(config.jobs, config.arrival_rate, config.seed);
+    let budget = ApproxBudget::up_to(config.max_drop_ratio, config.min_sampling_ratio);
+
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<JobOutcome>();
+
+    let start = Instant::now();
+    let mut waiters = Vec::with_capacity(config.jobs);
+    for (j, arrival) in arrivals.iter().copied().enumerate() {
+        // Open loop: submit at the scheduled instant no matter how far
+        // behind the service is.
+        let due = start + Duration::from_secs_f64(arrival);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let log = WikiLog {
+            days: 1,
+            entries_per_block: config.entries_per_block,
+            blocks_per_day: config.blocks_per_job,
+            pages: 5_000,
+            projects: 12,
+            seed: config.seed.wrapping_add(1 + j as u64),
+        };
+        let spec = JobSpec {
+            name: format!("tenant-{j}"),
+            weight: 1.0,
+            map_slots: config.slots.max(2),
+            reduce_tasks: 1,
+            seed: config.seed.wrapping_add(101 + j as u64),
+            budget,
+            deadline: None,
+        };
+        let handle = service
+            .submit(
+                spec,
+                Arc::new(log.source()),
+                Arc::new(MultiStageMapper::new(
+                    |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| emit(e.project, e.bytes as f64),
+                )),
+                |_| MultiStageReducer::<u64>::new(Aggregation::Sum, 0.95),
+            )
+            .expect("valid loadgen spec");
+        let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        peak.fetch_max(now, Ordering::SeqCst);
+
+        let in_flight = Arc::clone(&in_flight);
+        let done_tx = done_tx.clone();
+        let submitted = Instant::now();
+        waiters.push(
+            std::thread::Builder::new()
+                .name(format!("waiter-{j}"))
+                .spawn(move || {
+                    let (id, name) = (handle.id, handle.name.clone());
+                    let (degrade, drop_ratio, sampling_ratio) =
+                        (handle.degrade, handle.drop_ratio, handle.sampling_ratio);
+                    let result = handle.wait();
+                    let latency = submitted.elapsed().as_secs_f64();
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    let result = result.expect("loadgen job failed");
+                    let _ = done_tx.send(JobOutcome {
+                        job: id.0,
+                        name,
+                        arrival_secs: arrival,
+                        degrade,
+                        drop_ratio,
+                        sampling_ratio,
+                        latency_secs: latency,
+                        wall_secs: result.metrics.wall_secs,
+                        total_maps: result.metrics.total_maps,
+                        executed_maps: result.metrics.executed_maps,
+                        dropped_maps: result.metrics.dropped_maps,
+                        worst_relative_bound: worst_relative_bound(&result.outputs),
+                    });
+                })
+                .expect("spawn waiter"),
+        );
+    }
+    drop(done_tx);
+    for w in waiters {
+        w.join().expect("waiter panicked");
+    }
+    let makespan = start.elapsed().as_secs_f64();
+    let jobs: Vec<JobOutcome> = done_rx.try_iter().collect();
+
+    let latencies: Vec<f64> = jobs.iter().map(|o| o.latency_secs).collect();
+    let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    PhaseReport {
+        controller_enabled,
+        makespan_secs: makespan,
+        throughput_jobs_per_sec: jobs.len() as f64 / makespan.max(1e-9),
+        p50_latency_secs: percentile(&latencies, 0.50).unwrap_or(0.0),
+        p99_latency_secs: percentile(&latencies, 0.99).unwrap_or(0.0),
+        mean_latency_secs: mean,
+        peak_concurrency: peak.load(Ordering::SeqCst),
+        overloaded_observations: service.controller().overloaded_observations(),
+        decisions: service.controller().decisions(),
+        jobs,
+    }
+}
+
+/// Runs the baseline (controller off) and controlled (controller on)
+/// phases over the same arrival sequence and reports both.
+pub fn run(config: &LoadConfig) -> LoadReport {
+    let baseline = run_phase(config, false);
+    let controlled = run_phase(config, true);
+    let p99_improvement_secs = baseline.p99_latency_secs - controlled.p99_latency_secs;
+    let p99_speedup = baseline.p99_latency_secs / controlled.p99_latency_secs.max(1e-9);
+    LoadReport {
+        config: *config,
+        baseline,
+        controlled,
+        p99_improvement_secs,
+        p99_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LoadConfig {
+        LoadConfig {
+            slots: 2,
+            jobs: 4,
+            arrival_rate: 200.0,
+            blocks_per_job: 8,
+            entries_per_block: 60,
+            p99_target_secs: 1e-6, // force overload immediately
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn phase_report_accounts_for_every_job() {
+        let report = run_phase(&tiny(), true);
+        assert_eq!(report.jobs.len(), 4);
+        assert_eq!(report.decisions.len(), 4);
+        assert!(report.throughput_jobs_per_sec > 0.0);
+        assert!(report.p99_latency_secs >= report.p50_latency_secs);
+        for o in &report.jobs {
+            assert_eq!(o.total_maps, 8);
+            assert_eq!(o.executed_maps + o.dropped_maps, 8);
+        }
+    }
+
+    #[test]
+    fn baseline_phase_admits_everything_precise() {
+        let report = run_phase(&tiny(), false);
+        for o in &report.jobs {
+            assert_eq!(o.drop_ratio, 0.0);
+            assert_eq!(o.sampling_ratio, 1.0);
+            assert_eq!(o.executed_maps, 8);
+            // Precise jobs carry zero-width bounds.
+            assert_eq!(o.worst_relative_bound, Some(0.0));
+        }
+    }
+
+    #[test]
+    fn controlled_phase_degrades_under_impossible_target() {
+        let report = run(&tiny());
+        assert!(!report.baseline.controller_enabled);
+        assert!(report.controlled.controller_enabled);
+        // With a p99 target of 1µs every completion is over target, so
+        // at least the later jobs must be admitted degraded.
+        assert!(
+            report.controlled.jobs.iter().any(|o| o.degrade > 0.0),
+            "controller never degraded: {:?}",
+            report.controlled.decisions
+        );
+        // Degraded jobs report non-trivial bounds that stay finite.
+        for o in report.controlled.jobs.iter().filter(|o| o.degrade > 0.0) {
+            if let Some(b) = o.worst_relative_bound {
+                assert!(b.is_finite());
+            }
+        }
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"p99_speedup\""));
+        assert!(json.contains("\"worst_relative_bound\""));
+    }
+}

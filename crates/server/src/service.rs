@@ -1,0 +1,360 @@
+//! The multi-tenant job service.
+//!
+//! One [`JobService`] owns a shared [`SlotPool`] and accepts concurrent
+//! job submissions from many threads. Each submission is admitted
+//! through the [`AdmissionController`] (which may degrade the job's
+//! ratios within its declared [`ApproxBudget`]), registered as a pool
+//! tenant for weighted fair sharing, and driven by a lightweight
+//! tracker thread; the heavy map work runs on the shared slots. The
+//! caller gets a [`JobHandle`] carrying the admission decision, a
+//! stream of [`JobEvent`]s, a cancellation handle, and the result.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver};
+
+use approxhadoop_runtime::engine::{run_job_on_pool, JobConfig, JobResult};
+use approxhadoop_runtime::event::{CancelHandle, JobEvent, JobId, JobSession};
+use approxhadoop_runtime::input::InputSource;
+use approxhadoop_runtime::mapper::Mapper;
+use approxhadoop_runtime::pool::SlotPool;
+use approxhadoop_runtime::reducer::Reducer;
+use approxhadoop_runtime::{FixedCoordinator, RuntimeError};
+
+use crate::admission::{AdmissionConfig, AdmissionController, ApproxBudget};
+
+/// What a submitter asks for: identity, fair-share weight, shape, and
+/// the approximation budget the service may spend under load.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable job name (shows up in the load generator report).
+    pub name: String,
+    /// Fair-share weight across tenants (higher = more slots under
+    /// contention). Must be positive.
+    pub weight: f64,
+    /// The job's own cap on map attempts in flight (its "slots" within
+    /// the shared pool).
+    pub map_slots: usize,
+    /// Reduce tasks.
+    pub reduce_tasks: usize,
+    /// Seed for task ordering, drop selection and per-task sampling.
+    pub seed: u64,
+    /// The caller's error budget; admission interpolates inside it.
+    pub budget: ApproxBudget,
+    /// Optional deadline: on expiry remaining maps are dropped and the
+    /// job completes approximately (never killed).
+    pub deadline: Option<Duration>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            name: "job".to_string(),
+            weight: 1.0,
+            map_slots: 4,
+            reduce_tasks: 1,
+            seed: 0,
+            budget: ApproxBudget::precise(),
+            deadline: None,
+        }
+    }
+}
+
+/// A submitted job: admission decision, event stream, cancellation, and
+/// the (eventual) result.
+#[derive(Debug)]
+pub struct JobHandle<O> {
+    /// The job's service-wide identity.
+    pub id: JobId,
+    /// The name from the spec.
+    pub name: String,
+    /// Degrade factor the controller applied at admission.
+    pub degrade: f64,
+    /// Effective drop ratio the job was admitted at.
+    pub drop_ratio: f64,
+    /// Effective sampling ratio the job was admitted at.
+    pub sampling_ratio: f64,
+    events: Receiver<JobEvent>,
+    cancel: CancelHandle,
+    result: Receiver<Result<JobResult<O>, RuntimeError>>,
+}
+
+impl<O> JobHandle<O> {
+    /// The stream of lifecycle events
+    /// (`Queued → Wave*/Estimate* → Done | Failed`).
+    pub fn events(&self) -> &Receiver<JobEvent> {
+        &self.events
+    }
+
+    /// Requests cancellation; the job fails with
+    /// [`RuntimeError::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// A clonable cancellation handle.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.cancel.clone()
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    pub fn wait(self) -> Result<JobResult<O>, RuntimeError> {
+        self.result.recv().unwrap_or_else(|_| {
+            Err(RuntimeError::TaskPanicked {
+                what: "job tracker thread".into(),
+            })
+        })
+    }
+
+    /// Non-blocking poll: `Some(result)` once the job finished.
+    pub fn try_wait(&self) -> Option<Result<JobResult<O>, RuntimeError>> {
+        self.result.try_recv().ok()
+    }
+}
+
+/// The multi-tenant job service (see the module docs).
+#[derive(Debug)]
+pub struct JobService {
+    pool: Arc<SlotPool>,
+    controller: Arc<AdmissionController>,
+    next_job: AtomicU64,
+}
+
+impl JobService {
+    /// Creates a service with `slots` shared map slots and the given
+    /// admission configuration.
+    pub fn new(slots: usize, admission: AdmissionConfig) -> Self {
+        JobService {
+            pool: SlotPool::new(slots),
+            controller: Arc::new(AdmissionController::new(admission)),
+            next_job: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared slot pool (for instrumentation).
+    pub fn pool(&self) -> &Arc<SlotPool> {
+        &self.pool
+    }
+
+    /// The admission controller (for instrumentation).
+    pub fn controller(&self) -> &Arc<AdmissionController> {
+        &self.controller
+    }
+
+    /// Jobs submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.next_job.load(Ordering::SeqCst)
+    }
+
+    /// Submits a job. Validates the spec, takes an admission decision
+    /// (possibly degrading within `spec.budget`), and starts a tracker
+    /// thread driving the job over the shared pool. Returns immediately
+    /// with the job's handle.
+    pub fn submit<S, M, R, FR>(
+        &self,
+        spec: JobSpec,
+        input: Arc<S>,
+        mapper: Arc<M>,
+        make_reducer: FR,
+    ) -> Result<JobHandle<R::Output>, RuntimeError>
+    where
+        S: InputSource + 'static,
+        M: Mapper<Item = S::Item> + 'static,
+        R: Reducer<Key = M::Key, Value = M::Value> + Send + 'static,
+        R::Output: Send + 'static,
+        FR: Fn(usize) -> R + Send + 'static,
+    {
+        spec.budget.validate().map_err(RuntimeError::invalid)?;
+        if !(spec.weight > 0.0 && spec.weight.is_finite()) {
+            return Err(RuntimeError::invalid(format!(
+                "weight must be positive and finite, got {}",
+                spec.weight
+            )));
+        }
+        let id = JobId(self.next_job.fetch_add(1, Ordering::SeqCst));
+        let decision = self
+            .controller
+            .admit(id.0, &spec.budget, self.pool.queued());
+        let config = JobConfig {
+            map_slots: spec.map_slots,
+            servers: 1,
+            reduce_tasks: spec.reduce_tasks,
+            sampling_ratio: decision.sampling_ratio,
+            drop_ratio: decision.drop_ratio,
+            seed: spec.seed,
+            speculative: false,
+            straggler_factor: 2.0,
+        };
+
+        let (event_tx, event_rx) = unbounded();
+        let mut session = JobSession::new(id).with_events(event_tx);
+        if let Some(d) = spec.deadline {
+            session = session.with_deadline(Instant::now() + d);
+        }
+        let cancel = session.cancel_handle();
+        session.emit(JobEvent::Queued { job: id });
+
+        let (result_tx, result_rx) = unbounded();
+        let pool = Arc::clone(&self.pool);
+        let controller = Arc::clone(&self.controller);
+        let submitted = Instant::now();
+        let weight = spec.weight;
+        let seed = spec.seed;
+        std::thread::Builder::new()
+            .name(format!("tracker-{id}"))
+            .spawn(move || {
+                let tenant = pool.register_tenant(weight);
+                let total = input.splits().len();
+                let outcome = if total == 0 {
+                    Err(RuntimeError::invalid("input has no splits"))
+                } else {
+                    let mut coordinator = FixedCoordinator::new(
+                        total,
+                        config.sampling_ratio,
+                        config.drop_ratio,
+                        seed,
+                    );
+                    run_job_on_pool(
+                        input,
+                        mapper,
+                        make_reducer,
+                        config,
+                        &mut coordinator,
+                        &pool,
+                        tenant,
+                        &session,
+                    )
+                };
+                pool.unregister_tenant(tenant);
+                // Cancelled jobs say nothing about service health; all
+                // other completions (and failures) feed the controller.
+                if !matches!(outcome, Err(RuntimeError::Cancelled)) {
+                    controller.on_job_complete(submitted.elapsed().as_secs_f64(), pool.queued());
+                }
+                match &outcome {
+                    Ok(r) => session.emit(JobEvent::Done {
+                        job: id,
+                        wall_secs: r.metrics.wall_secs,
+                    }),
+                    Err(e) => session.emit(JobEvent::Failed {
+                        job: id,
+                        reason: e.to_string(),
+                    }),
+                }
+                let _ = result_tx.send(outcome);
+            })
+            .expect("spawn job tracker thread");
+
+        Ok(JobHandle {
+            id,
+            name: spec.name,
+            degrade: decision.degrade,
+            drop_ratio: decision.drop_ratio,
+            sampling_ratio: decision.sampling_ratio,
+            events: event_rx,
+            cancel,
+            result: result_rx,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxhadoop_runtime::input::VecSource;
+    use approxhadoop_runtime::mapper::FnMapper;
+    use approxhadoop_runtime::reducer::GroupedReducer;
+
+    fn count_job(service: &JobService, spec: JobSpec, blocks: Vec<Vec<u32>>) -> JobHandle<usize> {
+        service
+            .submit(
+                spec,
+                Arc::new(VecSource::new(blocks)),
+                Arc::new(FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| {
+                    emit(0, *i)
+                })),
+                |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn submit_runs_to_completion_with_events() {
+        let service = JobService::new(4, AdmissionConfig::default());
+        let blocks: Vec<Vec<u32>> = (0..6).map(|i| vec![i, i]).collect();
+        let h = count_job(&service, JobSpec::default(), blocks);
+        assert_eq!(h.degrade, 0.0);
+        let result = h.wait().unwrap();
+        assert_eq!(result.outputs, vec![12]);
+        assert_eq!(service.submitted(), 1);
+    }
+
+    /// An input whose `splits()` is empty — `VecSource` refuses to be
+    /// constructed that way, but a dynamic source may come up dry.
+    struct EmptySource;
+
+    impl InputSource for EmptySource {
+        type Item = u32;
+
+        fn splits(&self) -> Vec<approxhadoop_runtime::input::SplitMeta> {
+            Vec::new()
+        }
+
+        fn read_split(
+            &self,
+            _index: usize,
+            _sampling_ratio: f64,
+            _seed: u64,
+        ) -> approxhadoop_runtime::Result<approxhadoop_runtime::input::SampledItems<u32>> {
+            unreachable!("no splits to read")
+        }
+    }
+
+    #[test]
+    fn empty_input_fails_cleanly() {
+        let service = JobService::new(2, AdmissionConfig::default());
+        let h = service
+            .submit(
+                JobSpec::default(),
+                Arc::new(EmptySource),
+                Arc::new(FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| {
+                    emit(0, *i)
+                })),
+                |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+            )
+            .unwrap();
+        assert!(h.wait().is_err());
+    }
+
+    #[test]
+    fn invalid_specs_rejected_at_submit() {
+        let service = JobService::new(2, AdmissionConfig::default());
+        let bad_weight = JobSpec {
+            weight: 0.0,
+            ..Default::default()
+        };
+        let r = service.submit(
+            bad_weight,
+            Arc::new(VecSource::new(vec![vec![1u32]])),
+            Arc::new(FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| {
+                emit(0, *i)
+            })),
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+        );
+        assert!(r.is_err());
+        let mut bad_budget = JobSpec::default();
+        bad_budget.budget.max_drop_ratio = 1.5;
+        let r = service.submit(
+            bad_budget,
+            Arc::new(VecSource::new(vec![vec![1u32]])),
+            Arc::new(FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| {
+                emit(0, *i)
+            })),
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+        );
+        assert!(r.is_err());
+        assert_eq!(service.submitted(), 0, "rejected jobs take no job id");
+    }
+}

@@ -1,0 +1,297 @@
+//! An unbounded MPMC channel with the `crossbeam-channel` API shape:
+//! cloneable senders *and* receivers, blocking/timeout/non-blocking
+//! receives, and a blocking iterator.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty.
+    Empty,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Inner<T> {
+    fn disconnected(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// The sending half; cloning adds another producer.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+/// The receiving half; cloning adds another consumer.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake blocked receivers so they observe
+            // the disconnect.
+            let _guard = self.inner.queue.lock().unwrap();
+            self.inner.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`; fails only when every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(SendError(msg));
+        }
+        let mut queue = self.inner.queue.lock().unwrap();
+        queue.push_back(msg);
+        drop(queue);
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.receivers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.inner.queue.lock().unwrap();
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                return Ok(msg);
+            }
+            if self.inner.disconnected() {
+                return Err(RecvError);
+            }
+            queue = self.inner.ready.wait(queue).unwrap();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.inner.queue.lock().unwrap();
+        if let Some(msg) = queue.pop_front() {
+            Ok(msg)
+        } else if self.inner.disconnected() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.inner.queue.lock().unwrap();
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                return Ok(msg);
+            }
+            if self.inner.disconnected() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (q, timed_out) = self
+                .inner
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .unwrap();
+            queue = q;
+            if timed_out.timed_out() && queue.is_empty() {
+                return if self.inner.disconnected() {
+                    Err(RecvTimeoutError::Disconnected)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                };
+            }
+        }
+    }
+
+    /// Blocking iterator: yields until all senders disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+
+    /// Non-blocking iterator: yields currently queued messages, then
+    /// stops without waiting.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { receiver: self }
+    }
+}
+
+/// Blocking iterator over received messages.
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+/// Non-blocking iterator over currently queued messages.
+pub struct TryIter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn timeout_elapses() {
+        let (_tx, rx) = unbounded::<u32>();
+        let r = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(r, Err(RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn multi_consumer_covers_all_items() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let h = std::thread::spawn(move || rx2.iter().count());
+        let a = rx.iter().count();
+        let b = h.join().unwrap();
+        assert_eq!(a + b, 100);
+    }
+
+    #[test]
+    fn iter_drains_then_stops() {
+        let (tx, rx) = unbounded::<u32>();
+        let producer = std::thread::spawn(move || {
+            for i in 0..50 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got.len(), 50);
+    }
+}

@@ -1,0 +1,6 @@
+//! Offline shim of the `crossbeam` API subset this workspace uses:
+//! MPMC channels (`crossbeam::channel`) and scoped threads
+//! (`crossbeam::thread::scope`), built on `std` primitives.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,158 @@
+//! Offline shim of the `proptest` subset this workspace's property
+//! tests use: the `proptest!` macro, `prop_assert*` macros, range and
+//! collection strategies, and a tiny `[class]{m,n}` string-pattern
+//! strategy. Cases are generated from a deterministic per-test seed
+//! (derived from the test name), so failures reproduce; there is no
+//! shrinking — the failing inputs are printed instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface mirroring `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! Mirrors `proptest::prelude::prop`.
+        pub use crate::collection;
+    }
+}
+
+/// FNV-1a hash of a test name, used as the base RNG seed so each test
+/// explores its own deterministic stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The `proptest!` macro: runs each contained test function over
+/// `cases` deterministic random inputs drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __base = $crate::seed_for(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(
+                        __base ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __dbg = format!(
+                        concat!("case ", "{}", $(" ", stringify!($arg), "={:?}",)+),
+                        __case $(, $arg)+
+                    );
+                    let __guard = $crate::test_runner::CaseGuard::new(__dbg);
+                    // The body runs in a closure so `prop_assume!` can
+                    // skip the case with an early return.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| { $body })();
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// `prop_assume!`: skips the current case when the assumption does not
+/// hold (the shim discards it without counting).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// `prop_assert!`: assertion that reports the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// `prop_assert_eq!`: equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// `prop_assert_ne!`: inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_generate_in_bounds(x in 2u32..10, f in -1.0..1.0f64) {
+            prop_assert!((2..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0u64..5, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn string_pattern_strategy(s in "[a-c0-1 ]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| "abc01 ".contains(c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in prop::collection::vec(
+            prop::collection::vec(-5.0..5.0f64, 1..4), 1..4))
+        {
+            prop_assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_name() {
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+        assert_eq!(crate::seed_for("a"), crate::seed_for("a"));
+    }
+}

@@ -1,0 +1,129 @@
+//! The [`Strategy`] trait and the range / string-pattern strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generator of random values for one `proptest!` argument.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Strategy for bool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        // Mirrors proptest's `any::<bool>()` spirit: the literal is a
+        // constant strategy.
+        let _ = rng;
+        *self
+    }
+}
+
+/// String pattern strategy: supports the `[class]{m,n}` shape (char
+/// class with ranges and literals, bounded repetition) that this
+/// workspace's tests use; anything else panics with a clear message.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (alphabet, min, max) = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern strategy: {self:?}"));
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let rep = &rest[close + 1..];
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+
+    let (min, max) = if rep.is_empty() {
+        (1, 1)
+    } else {
+        let body = rep.strip_prefix('{')?.strip_suffix('}')?;
+        match body.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n = body.trim().parse().ok()?;
+                (n, n)
+            }
+        }
+    };
+    (min <= max).then_some((alphabet, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_parsing() {
+        let (alpha, lo, hi) = parse_pattern("[a-c]{2,4}").unwrap();
+        assert_eq!(alpha, vec!['a', 'b', 'c']);
+        assert_eq!((lo, hi), (2, 4));
+        let (alpha, lo, hi) = parse_pattern("[xy ]").unwrap();
+        assert_eq!(alpha, vec!['x', 'y', ' ']);
+        assert_eq!((lo, hi), (1, 1));
+        assert!(parse_pattern("no-class").is_none());
+    }
+
+    #[test]
+    fn range_strategies_generate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = (5u64..9).generate(&mut rng);
+            assert!((5..9).contains(&v));
+            let f = (0.0..=1.0f64).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Test-runner configuration and failing-case reporting.
+
+/// Configuration for a `proptest!` block (`proptest::test_runner`
+/// subset).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the shim trims that to keep the
+        // engine-level property tests fast while still exercising many
+        // inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Prints the generated inputs if the case body panics (the shim's
+/// replacement for proptest's shrink-and-report machinery).
+pub struct CaseGuard {
+    description: String,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms a guard describing the current case.
+    pub fn new(description: String) -> Self {
+        CaseGuard {
+            description,
+            armed: true,
+        }
+    }
+
+    /// Disarms the guard — the case passed.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!("proptest shim failing {}", self.description);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_cases() {
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+        assert_eq!(ProptestConfig::default().cases, 64);
+    }
+}

@@ -1,0 +1,283 @@
+//! Offline shim of the `serde` serialization surface this workspace
+//! uses. It is JSON-oriented by design: [`Serialize`] writes straight
+//! into an [`Emitter`] that `serde_json::to_string{,_pretty}` drives.
+//! `#[derive(Serialize)]` (from the sibling in-tree `serde_derive`
+//! proc-macro) covers structs with named fields; enums and special
+//! shapes implement [`Serialize`] by hand.
+
+pub use serde_derive::Serialize;
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A value serializable to JSON.
+pub trait Serialize {
+    /// Writes `self` into `out`.
+    fn serialize(&self, out: &mut Emitter);
+}
+
+/// A streaming JSON writer with optional pretty-printing.
+#[derive(Debug)]
+pub struct Emitter {
+    buf: String,
+    pretty: bool,
+    depth: usize,
+    /// Stack entry = "current container already has an element".
+    has_elem: Vec<bool>,
+}
+
+impl Emitter {
+    /// Creates a writer; `pretty` enables two-space indentation.
+    pub fn new(pretty: bool) -> Self {
+        Emitter {
+            buf: String::new(),
+            pretty,
+            depth: 0,
+            has_elem: Vec::new(),
+        }
+    }
+
+    /// The JSON produced so far.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.buf.push('\n');
+            for _ in 0..self.depth {
+                self.buf.push_str("  ");
+            }
+        }
+    }
+
+    fn elem_separator(&mut self) {
+        if let Some(has) = self.has_elem.last_mut() {
+            if *has {
+                self.buf.push(',');
+            }
+            *has = true;
+        }
+        if self.depth > 0 {
+            self.newline_indent();
+        }
+    }
+
+    /// Starts a JSON object.
+    pub fn begin_object(&mut self) {
+        self.buf.push('{');
+        self.depth += 1;
+        self.has_elem.push(false);
+    }
+
+    /// Emits an object key; the caller serializes the value next.
+    pub fn field(&mut self, name: &str) {
+        self.elem_separator();
+        self.string(name);
+        self.buf.push(':');
+        if self.pretty {
+            self.buf.push(' ');
+        }
+    }
+
+    /// Closes the current object.
+    pub fn end_object(&mut self) {
+        let had = self.has_elem.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had {
+            self.newline_indent();
+        }
+        self.buf.push('}');
+    }
+
+    /// Starts a JSON array.
+    pub fn begin_array(&mut self) {
+        self.buf.push('[');
+        self.depth += 1;
+        self.has_elem.push(false);
+    }
+
+    /// Marks the start of the next array element.
+    pub fn element(&mut self) {
+        self.elem_separator();
+    }
+
+    /// Closes the current array.
+    pub fn end_array(&mut self) {
+        let had = self.has_elem.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had {
+            self.newline_indent();
+        }
+        self.buf.push(']');
+    }
+
+    /// Emits a JSON string with escaping.
+    pub fn string(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    /// Emits a finite float (non-finite values become `null`, as
+    /// `serde_json` has no representation for them).
+    pub fn float(&mut self, v: f64) {
+        if v.is_finite() {
+            let s = format!("{v}");
+            self.buf.push_str(&s);
+            // Keep floats recognisable as floats.
+            if !s.contains(['.', 'e', 'E']) {
+                self.buf.push_str(".0");
+            }
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Emits raw text already known to be valid JSON (numbers, bools).
+    pub fn raw(&mut self, s: &str) {
+        self.buf.push_str(s);
+    }
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut Emitter) {
+                out.raw(&self.to_string());
+            }
+        }
+    )*};
+}
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut Emitter) {
+        out.raw(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut Emitter) {
+        out.float(*self);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut Emitter) {
+        out.float(*self as f64);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut Emitter) {
+        out.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut Emitter) {
+        out.string(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut Emitter) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut Emitter) {
+        match self {
+            Some(v) => v.serialize(out),
+            None => out.raw("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut Emitter) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut Emitter) {
+        out.begin_array();
+        for v in self {
+            out.element();
+            v.serialize(out);
+        }
+        out.end_array();
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, out: &mut Emitter) {
+        out.begin_object();
+        for (k, v) in self {
+            out.field(k.as_ref());
+            v.serialize(out);
+        }
+        out.end_object();
+    }
+}
+
+impl<K: AsRef<str> + Ord, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self, out: &mut Emitter) {
+        // Deterministic output: sort keys.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        out.begin_object();
+        for (k, v) in entries {
+            out.field(k.as_ref());
+            v.serialize(out);
+        }
+        out.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut e = Emitter::new(false);
+        v.serialize(&mut e);
+        e.into_string()
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_json(&3u32), "3");
+        assert_eq!(to_json(&-4i64), "-4");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&2.0f64), "2.0");
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&"a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_json(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&Option::<u32>::None), "null");
+        assert_eq!(to_json(&Some(7u32)), "7");
+        let mut m = BTreeMap::new();
+        m.insert("b", 2u32);
+        m.insert("a", 1u32);
+        assert_eq!(to_json(&m), "{\"a\":1,\"b\":2}");
+    }
+}

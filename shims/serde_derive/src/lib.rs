@@ -1,0 +1,214 @@
+//! `#[derive(Serialize)]` for the in-tree serde shim, written against
+//! raw `proc_macro` tokens (the offline build has no syn/quote).
+//!
+//! Supported shapes:
+//! * structs with named fields → JSON objects;
+//! * newtype structs → the inner value;
+//! * tuple structs → JSON arrays;
+//! * enums whose variants are all unit variants → the variant name as a
+//!   JSON string.
+//!
+//! Generics and `where` clauses are not supported — every serializable
+//! type in this workspace is concrete. Unsupported inputs produce a
+//! `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize) shim does not support generics on `{name}`"
+        ));
+    }
+
+    let body = match kind {
+        "struct" => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                named_struct_body(&name, g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                tuple_struct_body(g.stream())
+            }
+            _ => return Err(format!("unsupported struct shape for `{name}`")),
+        },
+        _ => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                unit_enum_body(&name, g.stream())?
+            }
+            other => return Err(format!("expected enum body for `{name}`, found {other:?}")),
+        },
+    };
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, out: &mut ::serde::Emitter) {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("derive(Serialize) generated invalid code: {e:?}"))
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body.
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        names.push(name);
+        // Skip the type: consume until a top-level `,` (angle brackets
+        // tracked so `HashMap<K, V>` commas don't split the field).
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(names)
+}
+
+fn named_struct_body(name: &str, body: TokenStream) -> Result<String, String> {
+    let fields = field_names(body)?;
+    if fields.is_empty() {
+        return Err(format!("`{name}` has no fields to serialize"));
+    }
+    let mut out = String::from("out.begin_object();\n");
+    for f in &fields {
+        out.push_str(&format!(
+            "out.field({f:?});\n::serde::Serialize::serialize(&self.{f}, out);\n"
+        ));
+    }
+    out.push_str("out.end_object();");
+    Ok(out)
+}
+
+fn tuple_struct_body(body: TokenStream) -> String {
+    // Count top-level comma-separated fields.
+    let mut angle = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for t in body.into_iter() {
+        saw_any = true;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    let fields = if saw_any { count + 1 } else { 0 };
+    if fields == 1 {
+        // Newtype: serialize transparently.
+        "::serde::Serialize::serialize(&self.0, out);".to_string()
+    } else {
+        let mut out = String::from("out.begin_array();\n");
+        for i in 0..fields {
+            out.push_str(&format!(
+                "out.element();\n::serde::Serialize::serialize(&self.{i}, out);\n"
+            ));
+        }
+        out.push_str("out.end_array();");
+        out
+    }
+}
+
+fn unit_enum_body(name: &str, body: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let variant = match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "expected variant name in `{name}`, found {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match &tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            _ => {
+                return Err(format!(
+                    "derive(Serialize) shim supports only unit variants; `{name}::{variant}` carries data"
+                ))
+            }
+        }
+        variants.push(variant);
+    }
+    if variants.is_empty() {
+        return Err(format!("`{name}` has no variants"));
+    }
+    let mut out = String::from("match self {\n");
+    for v in &variants {
+        out.push_str(&format!("{name}::{v} => out.string({v:?}),\n"));
+    }
+    out.push('}');
+    Ok(out)
+}

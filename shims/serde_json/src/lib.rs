@@ -1,0 +1,95 @@
+//! Offline shim of the `serde_json` writer API this workspace uses:
+//! [`to_string`] and [`to_string_pretty`] over the in-tree serde shim.
+
+use serde::{Emitter, Serialize};
+
+/// Serialization error type kept for API parity (the shim writer is
+/// infallible, so this is never constructed).
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON for `value`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut e = Emitter::new(false);
+    value.serialize(&mut e);
+    Ok(e.into_string())
+}
+
+/// Pretty-printed (two-space indented) JSON for `value`.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut e = Emitter::new(true);
+    value.serialize(&mut e);
+    Ok(e.into_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(serde::Serialize)]
+    struct Point {
+        x: u32,
+        y: f64,
+        label: String,
+    }
+
+    #[derive(serde::Serialize)]
+    struct Wrapper(u64);
+
+    #[test]
+    fn derived_struct_round_trip() {
+        let p = Point {
+            x: 3,
+            y: 1.25,
+            label: "hi".into(),
+        };
+        assert_eq!(
+            to_string(&p).unwrap(),
+            "{\"x\":3,\"y\":1.25,\"label\":\"hi\"}"
+        );
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(to_string(&Wrapper(9)).unwrap(), "9");
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let p = Point {
+            x: 1,
+            y: 2.0,
+            label: "a".into(),
+        };
+        let s = to_string_pretty(&p).unwrap();
+        assert!(s.contains("\n  \"x\": 1"), "got: {s}");
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn nested_vectors() {
+        #[derive(serde::Serialize)]
+        struct Batch {
+            items: Vec<Point>,
+        }
+        let b = Batch {
+            items: vec![Point {
+                x: 1,
+                y: 0.5,
+                label: "p".into(),
+            }],
+        };
+        assert_eq!(
+            to_string(&b).unwrap(),
+            "{\"items\":[{\"x\":1,\"y\":0.5,\"label\":\"p\"}]}"
+        );
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`core`] — the approximation mechanisms and error-bounded templates
 //!   (the paper's contribution).
 //! * [`cluster`] — the discrete-event cluster simulator (timing/energy).
+//! * [`server`] — the multi-tenant job service: shared slot pool,
+//!   weighted fair sharing, load-adaptive admission control.
 //! * [`workloads`] — synthetic data generators and the paper's
 //!   applications.
 
@@ -21,5 +23,6 @@ pub use approxhadoop_cluster as cluster;
 pub use approxhadoop_core as core;
 pub use approxhadoop_dfs as dfs;
 pub use approxhadoop_runtime as runtime;
+pub use approxhadoop_server as server;
 pub use approxhadoop_stats as stats;
 pub use approxhadoop_workloads as workloads;

@@ -132,6 +132,46 @@ fn bench_sampled_read(c: &mut Criterion) {
     });
 }
 
+fn bench_obs_registry(c: &mut Criterion) {
+    use approxhadoop_obs::Registry;
+    // Hot path: a pre-resolved handle, as the engine holds them.
+    let reg = Registry::new();
+    let counter = reg.counter("bench_counter", &[("k", "v")]);
+    c.bench_function("obs_counter_inc", |b| b.iter(|| counter.inc()));
+    let hist = reg.histogram("bench_hist", &[]);
+    c.bench_function("obs_histogram_observe", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.013) % 12.0;
+            hist.observe(black_box(x));
+        })
+    });
+    // Cold path: lookup through the registry's mutex each time.
+    c.bench_function("obs_counter_lookup_and_inc", |b| {
+        b.iter(|| reg.counter(black_box("bench_counter"), &[("k", "v")]).inc())
+    });
+    // Exposition over a realistically sized registry.
+    let reg = Registry::new();
+    for i in 0..50 {
+        reg.counter("c", &[("i", &i.to_string())]).add(i);
+        reg.histogram("h", &[("i", &i.to_string())])
+            .observe(i as f64 * 0.01);
+    }
+    c.bench_function("obs_render_prometheus_100_series", |b| {
+        b.iter(|| black_box(reg.render_prometheus().len()))
+    });
+}
+
+fn bench_obs_tracer(c: &mut Criterion) {
+    use approxhadoop_obs::Tracer;
+    let t = Tracer::new(65_536);
+    c.bench_function("obs_trace_complete_span", |b| {
+        b.iter(|| {
+            black_box(t.complete("map 1", "task", 0, 100, 1, 1, None, vec![]));
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_two_stage_estimator,
@@ -141,5 +181,7 @@ criterion_group!(
     bench_zipf_sampling,
     bench_engine_word_count,
     bench_sampled_read,
+    bench_obs_registry,
+    bench_obs_tracer,
 );
 criterion_main!(benches);

@@ -38,6 +38,8 @@ USAGE:
         --seed N             RNG seed (default 0)
         --reduce-tasks N     reduce tasks (default 2)
         --top K              keys to print (default 10)
+        --trace-out FILE     write a Chrome trace (job→wave→task spans)
+        --metrics-out FILE   write Prometheus text metrics
 
   approxhadoop simulate [options]
       Discrete-event cluster simulation (runtime + energy).
@@ -65,7 +67,8 @@ USAGE:
       p50/p99 latency, per-job error bounds, degradation decisions).
       options: same as serve, but the defaults are heavier so the
       shared pool saturates: --jobs 16, --rate 8, --blocks 48,
-      --entries 50000.
+      --entries 50000. Also accepts --trace-out FILE (Chrome trace
+      of both phases) and --metrics-out FILE (Prometheus text).
 ";
 
 fn main() {

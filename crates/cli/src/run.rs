@@ -16,6 +16,48 @@ use approxhadoop_workloads::APPLICATIONS;
 
 use crate::args::{Args, UsageError};
 
+/// Observability sinks requested on the command line: `--trace-out`
+/// writes Chrome trace-format JSON (load it at `chrome://tracing` or
+/// in Perfetto), `--metrics-out` writes the Prometheus text
+/// exposition of the metrics registry.
+struct ObsSinks {
+    obs: std::sync::Arc<approxhadoop_obs::Obs>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+/// `Some` only when at least one sink flag was given — uninstrumented
+/// runs stay uninstrumented.
+fn obs_sinks(args: &Args) -> Option<ObsSinks> {
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let metrics_out = args.get("metrics-out").map(str::to_string);
+    if trace_out.is_none() && metrics_out.is_none() {
+        return None;
+    }
+    Some(ObsSinks {
+        obs: approxhadoop_obs::Obs::shared(),
+        trace_out,
+        metrics_out,
+    })
+}
+
+impl ObsSinks {
+    /// Writes whichever files were requested.
+    fn write(&self) -> Result<(), UsageError> {
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, self.obs.tracer.render_chrome_trace())
+                .map_err(|e| UsageError(format!("cannot write --trace-out {path}: {e}")))?;
+            eprintln!("wrote Chrome trace to {path}");
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, self.obs.registry.render_prometheus())
+                .map_err(|e| UsageError(format!("cannot write --metrics-out {path}: {e}")))?;
+            eprintln!("wrote Prometheus metrics to {path}");
+        }
+        Ok(())
+    }
+}
+
 /// `approxhadoop list`
 pub fn list() {
     println!(
@@ -104,7 +146,11 @@ pub fn run_app(args: &Args) -> Result<(), UsageError> {
         .ok_or_else(|| UsageError("run requires an application name".into()))?
         .as_str();
     let spec = args.approx_spec()?;
-    let config = job_config(args)?;
+    let sinks = obs_sinks(args);
+    let mut config = job_config(args)?;
+    if let Some(s) = &sinks {
+        config.obs = Some(std::sync::Arc::clone(&s.obs));
+    }
     let seed = args.get_parsed("seed", 0u64)?;
     let sc = scale(args)?;
     let top = args.get_parsed("top", 10usize)?;
@@ -244,6 +290,9 @@ pub fn run_app(args: &Args) -> Result<(), UsageError> {
             );
         }
         other => return Err(UsageError(format!("unknown application `{other}`"))),
+    }
+    if let Some(s) = &sinks {
+        s.write()?;
     }
     Ok(())
 }
@@ -411,7 +460,15 @@ pub fn serve(args: &Args) -> Result<(), UsageError> {
                         job,
                         finished,
                         total,
-                    } => println!("{} {job} wave {finished}/{total}", stamp(start)),
+                        worst_bound,
+                    } => match worst_bound {
+                        Some(b) => println!(
+                            "{} {job} wave {finished}/{total} (bound {:.3}%)",
+                            stamp(start),
+                            b * 100.0
+                        ),
+                        None => println!("{} {job} wave {finished}/{total}", stamp(start)),
+                    },
                     JobEvent::Estimate {
                         job,
                         worst_relative_bound,
@@ -461,7 +518,7 @@ pub fn serve(args: &Args) -> Result<(), UsageError> {
 /// `approxhadoop loadtest` — run the Poisson load harness with the
 /// controller off then on, and print the comparison report as JSON.
 pub fn loadtest(args: &Args) -> Result<(), UsageError> {
-    use approxhadoop_server::loadgen::{run, LoadConfig};
+    use approxhadoop_server::loadgen::{run, run_with_obs, LoadConfig};
 
     let defaults = LoadConfig::default();
     let config = LoadConfig {
@@ -488,7 +545,11 @@ pub fn loadtest(args: &Args) -> Result<(), UsageError> {
         "loadtest: {} jobs at {}/s over {} slots, twice (controller off, then on)",
         config.jobs, config.arrival_rate, config.slots
     );
-    let report = run(&config);
+    let sinks = obs_sinks(args);
+    let report = match &sinks {
+        Some(s) => run_with_obs(&config, std::sync::Arc::clone(&s.obs)),
+        None => run(&config),
+    };
     eprintln!(
         "p99 {:.3}s -> {:.3}s ({:.2}x)",
         report.baseline.p99_latency_secs, report.controlled.p99_latency_secs, report.p99_speedup
@@ -497,5 +558,8 @@ pub fn loadtest(args: &Args) -> Result<(), UsageError> {
         "{}",
         serde_json::to_string_pretty(&report).map_err(|e| UsageError(format!("{e:?}")))?
     );
+    if let Some(s) = &sinks {
+        s.write()?;
+    }
     Ok(())
 }

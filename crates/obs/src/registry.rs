@@ -1,0 +1,642 @@
+//! A lock-cheap metrics registry: counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! Registration (name + label set → handle) takes a mutex once; the
+//! returned [`Counter`]/[`Gauge`]/[`Histogram`] handles are `Arc`s whose
+//! hot-path operations are single atomic instructions, so instrumented
+//! code never contends on the registry itself. Snapshots and the
+//! Prometheus text rendering walk the registry under the same mutex.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an atomic, so reads and
+/// writes are lock-free).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (compare-and-swap loop; gauges are low-frequency).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram. Bucket `i` counts observations `<=
+/// bounds[i]`; one implicit `+Inf` bucket catches the rest. All updates
+/// are relaxed atomics — concurrent observers never lock.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One slot per bound plus the `+Inf` overflow slot.
+    counts: Vec<AtomicU64>,
+    /// Sum of all observations, as f64 bits (CAS loop).
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Default latency-oriented buckets, in seconds: 1 ms … 10 s,
+    /// roughly ×2.5 per step.
+    pub fn default_bounds() -> Vec<f64> {
+        vec![
+            0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+        ]
+    }
+
+    /// Creates a histogram with the given upper bounds (must be finite,
+    /// strictly increasing and non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty, non-finite or non-increasing bound list.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "histogram bounds must be strictly increasing");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (the +Inf bucket is implicit)"
+        );
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        // partition_point: first bound >= v, i.e. the lowest bucket that
+        // contains v; equal-to-bound lands in that bucket (`le` semantics).
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The configured upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// A consistent-enough snapshot for reporting (individual loads are
+    /// relaxed; exactness under concurrent writers is not required).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Upper bounds, aligned with the first `bounds.len()` counts.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; the last entry is `+Inf`.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// inside the bucket holding the target rank; `None` when empty.
+    /// Observations beyond the last bound clamp to that bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let prev_cum = cum;
+            cum += c;
+            if cum >= target {
+                let hi = self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| *self.bounds.last().expect("non-empty bounds"));
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                if *c == 0 {
+                    return Some(hi);
+                }
+                let frac = (target - prev_cum) as f64 / *c as f64;
+                return Some(lo + frac * (hi - lo));
+            }
+        }
+        self.bounds.last().copied()
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile estimate.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean observation; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+/// One `key="value"` label.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+pub struct Label {
+    /// Label name.
+    pub key: String,
+    /// Label value.
+    pub value: String,
+}
+
+/// Metric identity: name plus sorted labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<Label>,
+}
+
+fn metric_key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut labels: Vec<Label> = labels
+        .iter()
+        .map(|(k, v)| Label {
+            key: (*k).to_string(),
+            value: (*v).to_string(),
+        })
+        .collect();
+    labels.sort();
+    MetricKey {
+        name: name.to_string(),
+        labels,
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<MetricKey, Arc<Counter>>,
+    gauges: BTreeMap<MetricKey, Arc<Gauge>>,
+    histograms: BTreeMap<MetricKey, Arc<Histogram>>,
+}
+
+/// The metrics registry (see the module docs).
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        Arc::clone(
+            self.inner
+                .lock()
+                .counters
+                .entry(metric_key(name, labels))
+                .or_default(),
+        )
+    }
+
+    /// Gets or creates the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        Arc::clone(
+            self.inner
+                .lock()
+                .gauges
+                .entry(metric_key(name, labels))
+                .or_default(),
+        )
+    }
+
+    /// Gets or creates the histogram `name{labels}` with
+    /// [`Histogram::default_bounds`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_with_bounds(name, labels, Histogram::default_bounds())
+    }
+
+    /// Gets or creates the histogram `name{labels}`; `bounds` applies
+    /// only on first creation.
+    pub fn histogram_with_bounds(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: Vec<f64>,
+    ) -> Arc<Histogram> {
+        Arc::clone(
+            self.inner
+                .lock()
+                .histograms
+                .entry(metric_key(name, labels))
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    /// Output is deterministic: metrics sort by name, then labels.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        let mut last_type_header = String::new();
+        let mut type_header = |out: &mut String, name: &str, kind: &str| {
+            let header = format!("# TYPE {name} {kind}\n");
+            if header != last_type_header {
+                out.push_str(&header);
+                last_type_header = header;
+            }
+        };
+        for (key, c) in &inner.counters {
+            type_header(&mut out, &key.name, "counter");
+            out.push_str(&format!(
+                "{}{} {}\n",
+                key.name,
+                render_labels(&key.labels, None),
+                c.get()
+            ));
+        }
+        for (key, g) in &inner.gauges {
+            type_header(&mut out, &key.name, "gauge");
+            out.push_str(&format!(
+                "{}{} {}\n",
+                key.name,
+                render_labels(&key.labels, None),
+                render_float(g.get())
+            ));
+        }
+        for (key, h) in &inner.histograms {
+            type_header(&mut out, &key.name, "histogram");
+            let snap = h.snapshot();
+            let mut cum = 0u64;
+            for (i, c) in snap.counts.iter().enumerate() {
+                cum += c;
+                let le = snap
+                    .bounds
+                    .get(i)
+                    .map(|b| render_float(*b))
+                    .unwrap_or_else(|| "+Inf".to_string());
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    key.name,
+                    render_labels(&key.labels, Some(("le", &le))),
+                    cum
+                ));
+            }
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                key.name,
+                render_labels(&key.labels, None),
+                render_float(snap.sum)
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                key.name,
+                render_labels(&key.labels, None),
+                snap.count
+            ));
+        }
+        out
+    }
+
+    /// A JSON-serializable snapshot of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock();
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| CounterSample {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| GaugeSample {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let snap = h.snapshot();
+                    HistogramSample {
+                        name: k.name.clone(),
+                        labels: k.labels.clone(),
+                        count: snap.count,
+                        sum: snap.sum,
+                        p50: snap.p50(),
+                        p95: snap.p95(),
+                        p99: snap.p99(),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Prometheus float formatting: plain decimal, `+Inf`/`-Inf`/`NaN`.
+fn render_float(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a Prometheus label value: backslash, double-quote, newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[Label], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|l| format!("{}=\"{}\"", l.key, escape_label(&l.value)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// JSON snapshot of one counter.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Labels.
+    pub labels: Vec<Label>,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// JSON snapshot of one gauge.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Labels.
+    pub labels: Vec<Label>,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+/// JSON snapshot of one histogram: count, sum and headline quantiles.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Labels.
+    pub labels: Vec<Label>,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Estimated median.
+    pub p50: Option<f64>,
+    /// Estimated 95th percentile.
+    pub p95: Option<f64>,
+    /// Estimated 99th percentile.
+    pub p99: Option<f64>,
+}
+
+/// Whole-registry JSON snapshot.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct RegistrySnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSample>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl RegistrySnapshot {
+    /// Finds a counter by name, summing across label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Finds the first gauge with `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("requests_total", &[("tenant", "a")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same identity → same handle.
+        assert_eq!(r.counter("requests_total", &[("tenant", "a")]).get(), 5);
+        // Labels in a different order are the same identity.
+        let c2 = r.counter("multi", &[("a", "1"), ("b", "2")]);
+        c2.inc();
+        assert_eq!(r.counter("multi", &[("b", "2"), ("a", "1")]).get(), 1);
+
+        let g = r.gauge("depth", &[]);
+        g.set(3.5);
+        g.add(-1.0);
+        assert!((g.get() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        // Exactly on a bound lands in that bucket (Prometheus `le`).
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(4.0);
+        // Strictly inside.
+        h.observe(0.5);
+        h.observe(3.0);
+        // Beyond the last bound → +Inf bucket.
+        h.observe(100.0);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 2, 1]);
+        assert_eq!(s.count, 6);
+        assert!((s.sum - 110.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_quantiles_are_none() {
+        let s = Histogram::new(vec![1.0]).snapshot();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.p99(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        for _ in 0..50 {
+            h.observe(0.5); // first bucket
+        }
+        for _ in 0..50 {
+            h.observe(1.5); // second bucket
+        }
+        let s = h.snapshot();
+        // p50 = rank 50 = last obs of first bucket → its upper bound.
+        assert_eq!(s.quantile(0.50), Some(1.0));
+        // p99 = rank 99, 49/50 through bucket (1, 2].
+        let p99 = s.quantile(0.99).unwrap();
+        assert!(p99 > 1.9 && p99 <= 2.0, "p99 = {p99}");
+        // q = 0 clamps to the first occupied rank.
+        assert!(s.quantile(0.0).unwrap() <= 1.0);
+        // Everything in +Inf clamps to the last bound.
+        let h2 = Histogram::new(vec![1.0]);
+        h2.observe(10.0);
+        assert_eq!(h2.snapshot().quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_unordered_bounds() {
+        Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let r = Registry::new();
+        r.counter("x_total", &[("t", "a")]).add(2);
+        r.counter("x_total", &[("t", "b")]).add(3);
+        r.gauge("depth", &[]).set(7.0);
+        let s = r.snapshot();
+        assert_eq!(s.counter_total("x_total"), 5);
+        assert_eq!(s.gauge("depth"), Some(7.0));
+        assert_eq!(s.gauge("missing"), None);
+    }
+}

@@ -1,0 +1,410 @@
+//! Lightweight span tracing with a bounded ring buffer and a
+//! Chrome-trace-format (`chrome://tracing` / Perfetto) exporter.
+//!
+//! Spans are recorded *retroactively*: callers time a region however
+//! they like and then log one complete event with start + duration.
+//! That keeps the hot path to a single short mutex hold per finished
+//! span instead of two, and means a span can be recorded from a thread
+//! other than the one that ran it (the engine logs task spans from the
+//! coordinator thread using the worker-reported timings).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Emitter, Serialize};
+
+/// Identifier of a recorded span, usable as a parent link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// One `(key, value)` argument attached to a trace event; values are
+/// pre-rendered JSON fragments (see [`arg_str`]/[`arg_num`]).
+#[derive(Debug, Clone)]
+pub struct TraceArg {
+    /// Argument name.
+    pub key: String,
+    /// Raw JSON for the value (already escaped/encoded).
+    pub json: String,
+}
+
+/// Renders a string argument (escapes into a JSON string literal).
+pub fn arg_str(key: &str, value: &str) -> TraceArg {
+    let mut json = String::with_capacity(value.len() + 2);
+    json.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => json.push_str("\\\""),
+            '\\' => json.push_str("\\\\"),
+            '\n' => json.push_str("\\n"),
+            '\r' => json.push_str("\\r"),
+            '\t' => json.push_str("\\t"),
+            c if (c as u32) < 0x20 => json.push_str(&format!("\\u{:04x}", c as u32)),
+            c => json.push(c),
+        }
+    }
+    json.push('"');
+    TraceArg {
+        key: key.to_string(),
+        json,
+    }
+}
+
+/// Renders a numeric argument (non-finite values become `null`).
+pub fn arg_num(key: &str, value: f64) -> TraceArg {
+    TraceArg {
+        key: key.to_string(),
+        json: if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        },
+    }
+}
+
+/// One event in the ring buffer, closely mirroring the Chrome trace
+/// event format.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Chrome phase: `X` complete, `i` instant, `C` counter, `M` metadata.
+    pub phase: char,
+    /// Event name.
+    pub name: String,
+    /// Category string (shown as a filterable tag).
+    pub category: String,
+    /// Microseconds since the tracer's epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds (complete events only).
+    pub dur_us: u64,
+    /// Process lane (we use it as a job lane).
+    pub pid: u64,
+    /// Thread lane (we use it as a slot/worker lane).
+    pub tid: u64,
+    /// Id of this span, if it is one.
+    pub span: Option<SpanId>,
+    /// Parent span link, rendered as an `args.parent` value.
+    pub parent: Option<SpanId>,
+    /// Extra arguments.
+    pub args: Vec<TraceArg>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// Span/event recorder (see the module docs). Cheap to share via
+/// `Arc`; all recording methods take `&self`.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    capacity: usize,
+    next_span: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(Tracer::DEFAULT_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// Default ring capacity — comfortably holds a loadtest run
+    /// (tasks + waves + controller actions) without unbounded growth.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates a tracer whose ring keeps at most `capacity` events;
+    /// older events are evicted (and counted) once full.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            next_span: AtomicU64::new(1),
+            ring: Mutex::new(Ring {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Allocates a fresh span id (no event is recorded yet).
+    pub fn new_span_id(&self) -> SpanId {
+        SpanId(self.next_span.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Microseconds elapsed since the tracer was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut ring = self.ring.lock();
+        if ring.events.len() >= self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(ev);
+    }
+
+    /// Records a completed span (`ph: "X"`). `ts_us`/`dur_us` are in
+    /// microseconds relative to [`Tracer::now_us`]'s clock. Returns the
+    /// span's id for parent links.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &self,
+        name: &str,
+        category: &str,
+        ts_us: u64,
+        dur_us: u64,
+        pid: u64,
+        tid: u64,
+        parent: Option<SpanId>,
+        args: Vec<TraceArg>,
+    ) -> SpanId {
+        let span = self.new_span_id();
+        self.complete_as(span, name, category, ts_us, dur_us, pid, tid, parent, args);
+        span
+    }
+
+    /// Like [`Tracer::complete`], but records under a pre-allocated
+    /// span id (from [`Tracer::new_span_id`]). This lets a caller hand
+    /// out a span's id as a parent link *before* the span's duration is
+    /// known — e.g. tasks inside a wave are logged as they finish,
+    /// while the wave span itself is logged once the wave closes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_as(
+        &self,
+        span: SpanId,
+        name: &str,
+        category: &str,
+        ts_us: u64,
+        dur_us: u64,
+        pid: u64,
+        tid: u64,
+        parent: Option<SpanId>,
+        args: Vec<TraceArg>,
+    ) {
+        self.push(TraceEvent {
+            phase: 'X',
+            name: name.to_string(),
+            category: category.to_string(),
+            ts_us,
+            dur_us: dur_us.max(1),
+            pid,
+            tid,
+            span: Some(span),
+            parent,
+            args,
+        });
+    }
+
+    /// Records an instant event (`ph: "i"`) at the current time.
+    pub fn instant(&self, name: &str, category: &str, pid: u64, tid: u64, args: Vec<TraceArg>) {
+        let ts_us = self.now_us();
+        self.push(TraceEvent {
+            phase: 'i',
+            name: name.to_string(),
+            category: category.to_string(),
+            ts_us,
+            dur_us: 0,
+            pid,
+            tid,
+            span: None,
+            parent: None,
+            args,
+        });
+    }
+
+    /// Records a counter sample (`ph: "C"`) — renders as a stacked
+    /// area track in the trace viewer.
+    pub fn counter(&self, name: &str, pid: u64, series: &[(&str, f64)]) {
+        let ts_us = self.now_us();
+        let args = series.iter().map(|(k, v)| arg_num(k, *v)).collect();
+        self.push(TraceEvent {
+            phase: 'C',
+            name: name.to_string(),
+            category: "counter".to_string(),
+            ts_us,
+            dur_us: 0,
+            pid,
+            tid: 0,
+            span: None,
+            parent: None,
+            args,
+        });
+    }
+
+    /// Names a `pid` lane in the viewer (`ph: "M"`, `process_name`).
+    pub fn name_process(&self, pid: u64, name: &str) {
+        self.push(TraceEvent {
+            phase: 'M',
+            name: "process_name".to_string(),
+            category: "__metadata".to_string(),
+            ts_us: 0,
+            dur_us: 0,
+            pid,
+            tid: 0,
+            span: None,
+            parent: None,
+            args: vec![arg_str("name", name)],
+        });
+    }
+
+    /// Names a `tid` lane within a `pid` (`ph: "M"`, `thread_name`).
+    pub fn name_thread(&self, pid: u64, tid: u64, name: &str) {
+        self.push(TraceEvent {
+            phase: 'M',
+            name: "thread_name".to_string(),
+            category: "__metadata".to_string(),
+            ts_us: 0,
+            dur_us: 0,
+            pid,
+            tid,
+            span: None,
+            parent: None,
+            args: vec![arg_str("name", name)],
+        });
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().dropped
+    }
+
+    /// Copies the current ring contents (oldest first).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().events.iter().cloned().collect()
+    }
+
+    /// Renders the ring as Chrome trace JSON:
+    /// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+    pub fn render_chrome_trace(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 96 + 64);
+        out.push_str("{\"traceEvents\":[");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_event(&mut out, ev);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+fn render_event(out: &mut String, ev: &TraceEvent) {
+    out.push_str("{\"ph\":\"");
+    out.push(ev.phase);
+    out.push_str("\",\"name\":");
+    out.push_str(&arg_str("", &ev.name).json);
+    out.push_str(",\"cat\":");
+    out.push_str(&arg_str("", &ev.category).json);
+    out.push_str(&format!(
+        ",\"ts\":{},\"pid\":{},\"tid\":{}",
+        ev.ts_us, ev.pid, ev.tid
+    ));
+    if ev.phase == 'X' {
+        out.push_str(&format!(",\"dur\":{}", ev.dur_us));
+    }
+    if ev.phase == 'i' {
+        // Instant scope: thread.
+        out.push_str(",\"s\":\"t\"");
+    }
+    let mut args: Vec<&TraceArg> = ev.args.iter().collect();
+    let span_arg;
+    let parent_arg;
+    if let Some(span) = ev.span {
+        span_arg = arg_num("span", span.0 as f64);
+        args.push(&span_arg);
+    }
+    if let Some(parent) = ev.parent {
+        parent_arg = arg_num("parent", parent.0 as f64);
+        args.push(&parent_arg);
+    }
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, a) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&arg_str("", &a.key).json);
+            out.push(':');
+            out.push_str(&a.json);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+impl Serialize for TraceEvent {
+    fn serialize(&self, emitter: &mut Emitter) {
+        let mut s = String::new();
+        render_event(&mut s, self);
+        emitter.raw(&s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let t = Tracer::new(3);
+        for i in 0..5 {
+            t.instant(&format!("e{i}"), "test", 1, 0, vec![]);
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "e2");
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn complete_links_parent_and_renders_json() {
+        let t = Tracer::new(16);
+        let job = t.complete("job", "job", 0, 1000, 1, 0, None, vec![]);
+        let wave = t.complete("wave 0", "wave", 0, 400, 1, 0, Some(job), vec![]);
+        t.complete(
+            "map 3",
+            "task",
+            10,
+            200,
+            1,
+            1,
+            Some(wave),
+            vec![arg_num("records", 42.0), arg_str("outcome", "completed")],
+        );
+        let json = t.render_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"map 3\""));
+        assert!(json.contains("\"outcome\":\"completed\""));
+        assert!(json.contains("\"parent\":2"));
+        crate::json::validate(&json).expect("chrome trace must be valid JSON");
+    }
+
+    #[test]
+    fn counter_and_metadata_events_render() {
+        let t = Tracer::new(16);
+        t.name_process(7, "job_0007");
+        t.name_thread(7, 2, "slot 2");
+        t.counter("pool", 0, &[("queued", 3.0), ("busy", 2.0)]);
+        let json = t.render_chrome_trace();
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"queued\":3"));
+        crate::json::validate(&json).expect("valid JSON");
+    }
+
+    #[test]
+    fn string_args_escape_control_characters() {
+        let a = arg_str("k", "a\"b\\c\nd\u{1}");
+        assert_eq!(a.json, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(arg_num("k", f64::NAN).json, "null");
+    }
+}

@@ -17,8 +17,9 @@ use approxhadoop_stats::sampling::random_order;
 use crate::control::{Coordinator, FixedCoordinator, JobControl, MapDirective};
 use crate::event::{JobEvent, JobSession};
 use crate::input::InputSource;
+use crate::instrument::{BoundTracker, EngineObs};
 use crate::mapper::Mapper;
-use crate::metrics::{JobMetrics, MapStats};
+use crate::metrics::{JobMetrics, MapStats, TaskOutcome, TaskOutcomeRecord};
 use crate::pool::{SlotPool, TenantId};
 use crate::reducer::{DedupState, MapOutputMeta, ReduceContext, ReduceEvent, Reducer};
 use crate::types::{partition_for, TaskId};
@@ -47,6 +48,10 @@ pub struct JobConfig {
     /// A task is a straggler when it runs longer than
     /// `straggler_factor × mean completed-map time`.
     pub straggler_factor: f64,
+    /// Optional observability context: when set, the tracker records
+    /// registry metrics and a `job → wave → task` span tree into it.
+    /// `None` (the default) runs fully uninstrumented.
+    pub obs: Option<Arc<approxhadoop_obs::Obs>>,
 }
 
 impl Default for JobConfig {
@@ -62,6 +67,7 @@ impl Default for JobConfig {
             seed: 0,
             speculative: false,
             straggler_factor: 2.0,
+            obs: None,
         }
     }
 }
@@ -253,6 +259,12 @@ where
         let mut finished = 0usize;
         let mut dropping = false;
         let mut fatal: Option<RuntimeError> = None;
+        let mut last_wave = 0usize;
+        let mut eobs = config
+            .obs
+            .as_ref()
+            .map(|o| EngineObs::new(Arc::clone(o), 1, "run_job"));
+        let mut bound_tracker = BoundTracker::new(start, num_reducers);
 
         let notify_drop = |task: usize, txs: &[Sender<ReduceEvent<M::Key, M::Value>>]| {
             for tx in txs {
@@ -273,6 +285,14 @@ where
                             metrics.total_records += stats.total_records;
                             metrics.sampled_records += stats.sampled_records;
                             coordinator.on_map_complete(&stats);
+                            metrics.task_outcomes.push(TaskOutcomeRecord {
+                                task: stats.task,
+                                outcome: TaskOutcome::Completed,
+                            });
+                            if let Some(e) = eobs.as_mut() {
+                                e.task_completed(&stats);
+                                e.task_outcome(TaskOutcome::Completed);
+                            }
                             metrics.map_stats.push(stats);
                             // Kill the losing sibling attempt, if any.
                             for ((t, _a), ra) in running.iter() {
@@ -290,6 +310,13 @@ where
                         if !completed.contains(&task.0) && !sibling_running {
                             finished += 1;
                             metrics.killed_maps += 1;
+                            metrics.task_outcomes.push(TaskOutcomeRecord {
+                                task,
+                                outcome: TaskOutcome::Killed,
+                            });
+                            if let Some(e) = eobs.as_ref() {
+                                e.task_outcome(TaskOutcome::Killed);
+                            }
                             notify_drop(task.0, &reducer_txs);
                         }
                     }
@@ -305,6 +332,13 @@ where
                         if !completed.contains(&task.0) {
                             finished += 1;
                             metrics.killed_maps += 1;
+                            metrics.task_outcomes.push(TaskOutcomeRecord {
+                                task,
+                                outcome: TaskOutcome::Killed,
+                            });
+                            if let Some(e) = eobs.as_ref() {
+                                e.task_outcome(TaskOutcome::Killed);
+                            }
                             notify_drop(task.0, &reducer_txs);
                         }
                         if fatal.is_none() {
@@ -326,6 +360,13 @@ where
                 while let Some(t) = pending.pop_front() {
                     finished += 1;
                     metrics.dropped_maps += 1;
+                    metrics.task_outcomes.push(TaskOutcomeRecord {
+                        task: TaskId(t),
+                        outcome: TaskOutcome::Dropped,
+                    });
+                    if let Some(e) = eobs.as_ref() {
+                        e.task_outcome(TaskOutcome::Dropped);
+                    }
                     notify_drop(t, &reducer_txs);
                 }
                 for ra in running.values() {
@@ -352,9 +393,20 @@ where
                     MapDirective::Drop => {
                         finished += 1;
                         metrics.dropped_maps += 1;
+                        metrics.task_outcomes.push(TaskOutcomeRecord {
+                            task: TaskId(t),
+                            outcome: TaskOutcome::Dropped,
+                        });
+                        if let Some(e) = eobs.as_ref() {
+                            e.directive(false, 0.0);
+                            e.task_outcome(TaskOutcome::Dropped);
+                        }
                         notify_drop(t, &reducer_txs);
                     }
                     MapDirective::Run { sampling_ratio } => {
+                        if let Some(e) = eobs.as_ref() {
+                            e.directive(true, sampling_ratio);
+                        }
                         let kill = Arc::new(AtomicBool::new(false));
                         busy[server] += 1;
                         if local {
@@ -441,6 +493,15 @@ where
                     break;
                 }
             }
+
+            // 5. Trace/telemetry bookkeeping (no-ops when uninstrumented).
+            if finished != last_wave {
+                last_wave = finished;
+                if let Some(e) = eobs.as_mut() {
+                    e.wave_tick(finished, total, control.worst_bound_across_reducers(1));
+                }
+            }
+            bound_tracker.poll(&control, &mut metrics.bound_series, eobs.as_ref());
         }
 
         // Shut down: close the dispatch channel (workers exit after
@@ -461,6 +522,10 @@ where
             }
         }
         metrics.wall_secs = start.elapsed().as_secs_f64();
+        bound_tracker.poll(&control, &mut metrics.bound_series, eobs.as_ref());
+        if let Some(e) = eobs.as_mut() {
+            e.finish(&metrics);
+        }
         if let Some(e) = fatal {
             return Err(e);
         }
@@ -574,6 +639,11 @@ where
     let mut fatal: Option<RuntimeError> = None;
     let mut last_wave = 0usize;
     let mut last_bound: Option<f64> = None;
+    let mut eobs = config
+        .obs
+        .as_ref()
+        .map(|o| EngineObs::new(Arc::clone(o), session.job.0 + 2, &session.job.to_string()));
+    let mut bound_tracker = BoundTracker::new(start, num_reducers);
 
     let notify_drop = |task: usize, txs: &[Sender<ReduceEvent<M::Key, M::Value>>]| {
         for tx in txs {
@@ -592,6 +662,14 @@ where
                         metrics.total_records += stats.total_records;
                         metrics.sampled_records += stats.sampled_records;
                         coordinator.on_map_complete(&stats);
+                        metrics.task_outcomes.push(TaskOutcomeRecord {
+                            task: stats.task,
+                            outcome: TaskOutcome::Completed,
+                        });
+                        if let Some(e) = eobs.as_mut() {
+                            e.task_completed(&stats);
+                            e.task_outcome(TaskOutcome::Completed);
+                        }
                         metrics.map_stats.push(stats);
                     }
                 }
@@ -600,6 +678,13 @@ where
                     if !completed.contains(&task.0) {
                         finished += 1;
                         metrics.killed_maps += 1;
+                        metrics.task_outcomes.push(TaskOutcomeRecord {
+                            task,
+                            outcome: TaskOutcome::Killed,
+                        });
+                        if let Some(e) = eobs.as_ref() {
+                            e.task_outcome(TaskOutcome::Killed);
+                        }
                         notify_drop(task.0, &reducer_txs);
                     }
                 }
@@ -608,6 +693,13 @@ where
                     if !completed.contains(&task.0) {
                         finished += 1;
                         metrics.killed_maps += 1;
+                        metrics.task_outcomes.push(TaskOutcomeRecord {
+                            task,
+                            outcome: TaskOutcome::Killed,
+                        });
+                        if let Some(e) = eobs.as_ref() {
+                            e.task_outcome(TaskOutcome::Killed);
+                        }
                         notify_drop(task.0, &reducer_txs);
                     }
                     if fatal.is_none() {
@@ -641,6 +733,13 @@ where
             while let Some(t) = pending.pop_front() {
                 finished += 1;
                 metrics.dropped_maps += 1;
+                metrics.task_outcomes.push(TaskOutcomeRecord {
+                    task: TaskId(t),
+                    outcome: TaskOutcome::Dropped,
+                });
+                if let Some(e) = eobs.as_ref() {
+                    e.task_outcome(TaskOutcome::Dropped);
+                }
                 notify_drop(t, &reducer_txs);
             }
             for kill in running.values() {
@@ -657,9 +756,20 @@ where
                 MapDirective::Drop => {
                     finished += 1;
                     metrics.dropped_maps += 1;
+                    metrics.task_outcomes.push(TaskOutcomeRecord {
+                        task: TaskId(t),
+                        outcome: TaskOutcome::Dropped,
+                    });
+                    if let Some(e) = eobs.as_ref() {
+                        e.directive(false, 0.0);
+                        e.task_outcome(TaskOutcome::Dropped);
+                    }
                     notify_drop(t, &reducer_txs);
                 }
                 MapDirective::Run { sampling_ratio } => {
+                    if let Some(e) = eobs.as_ref() {
+                        e.directive(true, sampling_ratio);
+                    }
                     let kill = Arc::new(AtomicBool::new(false));
                     let work = WorkItem {
                         task: TaskId(t),
@@ -683,6 +793,13 @@ where
                         running.remove(&t);
                         finished += 1;
                         metrics.killed_maps += 1;
+                        metrics.task_outcomes.push(TaskOutcomeRecord {
+                            task: TaskId(t),
+                            outcome: TaskOutcome::Killed,
+                        });
+                        if let Some(e) = eobs.as_ref() {
+                            e.task_outcome(TaskOutcome::Killed);
+                        }
                         notify_drop(t, &reducer_txs);
                         if fatal.is_none() {
                             fatal = Some(RuntimeError::invalid(
@@ -710,16 +827,21 @@ where
             Err(RecvTimeoutError::Disconnected) => unreachable!("tracker holds a sender"),
         }
 
-        // 5. Stream progress to the submitter.
+        // 5. Stream progress to the submitter and record telemetry.
+        let worst_bound = control.worst_bound_across_reducers(1);
         if finished != last_wave {
             last_wave = finished;
             session.emit(JobEvent::Wave {
                 job: session.job,
                 finished,
                 total,
+                worst_bound,
             });
+            if let Some(e) = eobs.as_mut() {
+                e.wave_tick(finished, total, worst_bound);
+            }
         }
-        if let Some(bound) = control.worst_bound_across_reducers(1) {
+        if let Some(bound) = worst_bound {
             if last_bound != Some(bound) {
                 last_bound = Some(bound);
                 session.emit(JobEvent::Estimate {
@@ -728,14 +850,20 @@ where
                 });
             }
         }
+        bound_tracker.poll(&control, &mut metrics.bound_series, eobs.as_ref());
     }
 
     if finished != last_wave {
+        let worst_bound = control.worst_bound_across_reducers(1);
         session.emit(JobEvent::Wave {
             job: session.job,
             finished,
             total,
+            worst_bound,
         });
+        if let Some(e) = eobs.as_mut() {
+            e.wave_tick(finished, total, worst_bound);
+        }
     }
 
     // Shut down: every submitted attempt has reported (finished == total
@@ -753,6 +881,10 @@ where
         }
     }
     metrics.wall_secs = start.elapsed().as_secs_f64();
+    bound_tracker.poll(&control, &mut metrics.bound_series, eobs.as_ref());
+    if let Some(e) = eobs.as_mut() {
+        e.finish(&metrics);
+    }
     if let Some(e) = fatal {
         return Err(e);
     }

@@ -34,6 +34,10 @@ pub enum JobEvent {
         finished: usize,
         /// Total maps in the job.
         total: usize,
+        /// Running worst relative error bound across reducers, once
+        /// every reducer has reported at least once. Lets submitters
+        /// implement client-side early stopping.
+        worst_bound: Option<f64>,
     },
     /// All reducers have reported an error bound; this is the worst one.
     Estimate {

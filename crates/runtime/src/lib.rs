@@ -65,6 +65,7 @@ pub mod engine;
 pub mod error;
 pub mod event;
 pub mod input;
+mod instrument;
 pub mod mapper;
 pub mod metrics;
 pub mod pool;

@@ -25,7 +25,7 @@ pub struct MapStats {
 }
 
 /// Terminal state of a map task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub enum TaskOutcome {
     /// Ran to completion and shipped output.
     Completed,
@@ -33,6 +33,30 @@ pub enum TaskOutcome {
     Dropped,
     /// Launched and killed mid-flight (counts as dropped for sampling).
     Killed,
+}
+
+/// The terminal state of one specific map task, recorded so exported
+/// snapshots show *which* maps were dropped or killed, not just counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct TaskOutcomeRecord {
+    /// The task.
+    pub task: TaskId,
+    /// How it ended.
+    pub outcome: TaskOutcome,
+}
+
+/// One point of the per-reducer error-bound convergence series: a
+/// reducer's bound estimate after some number of maps were folded in.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct BoundPoint {
+    /// Seconds since the job started when the bound was recorded.
+    pub t_secs: f64,
+    /// Reduce partition that reported.
+    pub reducer: usize,
+    /// Maps folded into the estimate at that point.
+    pub maps_processed: usize,
+    /// The reducer's worst relative error bound (∞ serializes as null).
+    pub relative_bound: f64,
 }
 
 /// Aggregate metrics of one job execution.
@@ -61,6 +85,10 @@ pub struct JobMetrics {
     pub deadline_hit: bool,
     /// Per-attempt statistics of completed maps.
     pub map_stats: Vec<MapStats>,
+    /// Terminal state of every map task (task id → outcome).
+    pub task_outcomes: Vec<TaskOutcomeRecord>,
+    /// Per-reducer error-bound convergence over the job's lifetime.
+    pub bound_series: Vec<BoundPoint>,
 }
 
 impl JobMetrics {

@@ -14,6 +14,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use approxhadoop_obs::Obs;
 
 /// Identifier of a tenant (one registered job or traffic class).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -26,7 +29,8 @@ struct TenantQueue {
     weight: f64,
     /// Start-time fair-queuing virtual time.
     vtime: f64,
-    queue: std::collections::VecDeque<PoolTask>,
+    /// Queued tasks, each with its enqueue instant for wait-time metrics.
+    queue: std::collections::VecDeque<(PoolTask, Instant)>,
 }
 
 #[derive(Default)]
@@ -50,8 +54,28 @@ impl PoolState {
             })
     }
 
-    /// Pops the next task under weighted fair sharing.
-    fn pop_fair(&mut self) -> Option<PoolTask> {
+    /// Fairness skew: spread between the most- and least-served active
+    /// tenants' virtual times. `0` with fewer than two active tenants;
+    /// a persistently large value means weighted sharing is failing.
+    fn vtime_skew(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut active = 0usize;
+        for t in self.tenants.values().filter(|t| !t.queue.is_empty()) {
+            active += 1;
+            min = min.min(t.vtime);
+            max = max.max(t.vtime);
+        }
+        if active < 2 {
+            0.0
+        } else {
+            max - min
+        }
+    }
+
+    /// Pops the next task under weighted fair sharing, returning the
+    /// task, when it was enqueued, and the owning tenant.
+    fn pop_fair(&mut self) -> Option<(PoolTask, Instant, u64)> {
         let tenant = self
             .tenants
             .iter()
@@ -65,9 +89,9 @@ impl PoolState {
             })
             .map(|(id, _)| *id)?;
         let tq = self.tenants.get_mut(&tenant).expect("tenant exists");
-        let task = tq.queue.pop_front();
+        let (task, enqueued) = tq.queue.pop_front()?;
         tq.vtime += 1.0 / tq.weight.max(1e-9);
-        task
+        Some((task, enqueued, tenant))
     }
 }
 
@@ -78,6 +102,22 @@ struct PoolShared {
     busy: AtomicUsize,
     queued: AtomicUsize,
     slots: usize,
+    /// Optional observability context: queue/slot gauges, per-tenant
+    /// wait histograms, fairness skew, and `pid 0` trace counters.
+    obs: Option<Arc<Obs>>,
+}
+
+impl PoolShared {
+    /// Publishes queue-depth/busy gauges and the pool trace counter.
+    fn record_occupancy(&self) {
+        let Some(obs) = &self.obs else { return };
+        let queued = self.queued.load(Ordering::SeqCst) as f64;
+        let busy = self.busy.load(Ordering::SeqCst) as f64;
+        obs.registry.gauge("pool_queue_depth", &[]).set(queued);
+        obs.registry.gauge("pool_busy_slots", &[]).set(busy);
+        obs.tracer
+            .counter("pool", 0, &[("queued", queued), ("busy", busy)]);
+    }
 }
 
 /// A fixed-size pool of worker threads shared by many concurrent jobs.
@@ -108,7 +148,22 @@ impl SlotPool {
     ///
     /// Panics if `slots == 0`.
     pub fn new(slots: usize) -> Arc<SlotPool> {
+        Self::new_with_obs(slots, None)
+    }
+
+    /// Creates a pool with `slots` worker threads that publishes queue
+    /// depth, slot occupancy, per-tenant wait times, and fair-share
+    /// skew into `obs` (pool metrics live on trace lane `pid 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn new_with_obs(slots: usize, obs: Option<Arc<Obs>>) -> Arc<SlotPool> {
         assert!(slots > 0, "slot pool needs at least one slot");
+        if let Some(o) = &obs {
+            o.tracer.name_process(0, "slot-pool");
+            o.registry.gauge("pool_slots", &[]).set(slots as f64);
+        }
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState::default()),
             ready: Condvar::new(),
@@ -116,6 +171,7 @@ impl SlotPool {
             busy: AtomicUsize::new(0),
             queued: AtomicUsize::new(0),
             slots,
+            obs,
         });
         let workers = (0..slots)
             .map(|i| {
@@ -182,7 +238,7 @@ impl SlotPool {
             return false;
         };
         let was_empty = tq.queue.is_empty();
-        tq.queue.push_back(task);
+        tq.queue.push_back((task, Instant::now()));
         if was_empty {
             // Re-activating after idle: forfeit unused past share.
             let floor = tq.vtime;
@@ -192,6 +248,12 @@ impl SlotPool {
         }
         self.shared.queued.fetch_add(1, Ordering::SeqCst);
         drop(state);
+        if let Some(obs) = &self.shared.obs {
+            obs.registry
+                .counter("pool_submitted_total", &[("tenant", &tenant.0.to_string())])
+                .inc();
+        }
+        self.shared.record_occupancy();
         self.shared.ready.notify_one();
         true
     }
@@ -227,25 +289,34 @@ impl Drop for SlotPool {
 
 fn worker_loop(shared: Arc<PoolShared>) {
     loop {
-        let task = {
+        let (task, enqueued, tenant, skew) = {
             let mut state = shared.state.lock().unwrap();
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(task) = state.pop_fair() {
+                if let Some((task, enqueued, tenant)) = state.pop_fair() {
                     shared.queued.fetch_sub(1, Ordering::SeqCst);
-                    break task;
+                    break (task, enqueued, tenant, state.vtime_skew());
                 }
                 state = shared.ready.wait(state).unwrap();
             }
         };
         shared.busy.fetch_add(1, Ordering::SeqCst);
+        if let Some(obs) = &shared.obs {
+            obs.registry.counter("pool_dispatched_total", &[]).inc();
+            obs.registry
+                .histogram("pool_wait_secs", &[("tenant", &tenant.to_string())])
+                .observe(enqueued.elapsed().as_secs_f64());
+            obs.registry.gauge("pool_vtime_skew", &[]).set(skew);
+        }
+        shared.record_occupancy();
         // Map attempts contain user code; a panic must not kill the
         // shared worker — the owning job's tracker sees the attempt
         // vanish and fails that job alone.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
         shared.busy.fetch_sub(1, Ordering::SeqCst);
+        shared.record_occupancy();
     }
 }
 
@@ -399,6 +470,32 @@ mod tests {
             h_in_front >= 5,
             "3:1 weight should dominate early dispatches: {order:?}"
         );
+    }
+
+    #[test]
+    fn instrumented_pool_records_metrics() {
+        let obs = Obs::shared();
+        let pool = SlotPool::new_with_obs(2, Some(Arc::clone(&obs)));
+        let tenant = pool.register_tenant(1.0);
+        for _ in 0..10 {
+            pool.submit(tenant, Box::new(|| {}));
+        }
+        drain(&pool);
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counter_total("pool_submitted_total"), 10);
+        assert_eq!(snap.counter_total("pool_dispatched_total"), 10);
+        assert_eq!(snap.gauge("pool_slots"), Some(2.0));
+        let text = obs.registry.render_prometheus();
+        assert!(
+            text.contains("pool_wait_secs_count{tenant=\"0\"} 10"),
+            "missing wait histogram: {text}"
+        );
+        // Occupancy counters also stream onto trace lane pid 0.
+        assert!(obs
+            .tracer
+            .events()
+            .iter()
+            .any(|e| e.phase == 'C' && e.name == "pool"));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! submitter signed up for, and precise jobs stay precise.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use approxhadoop_obs::{arg_num, Obs};
 use parking_lot::Mutex;
 
 /// How far a job may be degraded: the caller's error budget expressed
@@ -157,14 +159,23 @@ struct ControllerState {
 pub struct AdmissionController {
     config: AdmissionConfig,
     state: Mutex<ControllerState>,
+    obs: Option<Arc<Obs>>,
 }
 
 impl AdmissionController {
     /// Creates a controller.
     pub fn new(config: AdmissionConfig) -> Self {
+        Self::with_obs(config, None)
+    }
+
+    /// Creates a controller that publishes its feedback-loop state
+    /// (p99 estimate, window length, degrade factor, per-decision
+    /// trace events) into `obs`.
+    pub fn with_obs(config: AdmissionConfig, obs: Option<Arc<Obs>>) -> Self {
         AdmissionController {
             config,
             state: Mutex::new(ControllerState::default()),
+            obs,
         }
     }
 
@@ -183,6 +194,14 @@ impl AdmissionController {
         while state.latencies.len() > self.config.window {
             state.latencies.pop_front();
         }
+        if let Some(obs) = &self.obs {
+            obs.registry
+                .histogram("admission_job_latency_secs", &[])
+                .observe(latency_secs.max(0.0));
+            obs.registry
+                .gauge("admission_window_len", &[])
+                .set(state.latencies.len() as f64);
+        }
         if !self.config.enabled {
             return;
         }
@@ -197,6 +216,24 @@ impl AdmissionController {
             if state.degrade < 1e-3 {
                 state.degrade = 0.0;
             }
+        }
+        if let Some(obs) = &self.obs {
+            if let Some(p) = p99 {
+                obs.registry.gauge("admission_p99_secs", &[]).set(p);
+            }
+            obs.registry
+                .gauge("admission_degrade", &[])
+                .set(state.degrade);
+            if overloaded {
+                obs.registry
+                    .counter("admission_overloaded_total", &[])
+                    .inc();
+            }
+            obs.tracer.counter(
+                "admission",
+                0,
+                &[("degrade", state.degrade), ("p99_secs", p99.unwrap_or(0.0))],
+            );
         }
     }
 
@@ -236,6 +273,28 @@ impl AdmissionController {
             sampling_ratio,
         };
         state.decisions.push(decision.clone());
+        if let Some(obs) = &self.obs {
+            obs.registry.counter("admission_decisions_total", &[]).inc();
+            obs.registry.gauge("admission_degrade", &[]).set(degrade);
+            // One instant event per decision: the caller's budget
+            // (before) next to the ratios actually imposed (after).
+            obs.tracer.instant(
+                &format!("admit job {job}"),
+                "admission",
+                0,
+                0,
+                vec![
+                    arg_num("base_drop_ratio", budget.base_drop_ratio),
+                    arg_num("max_drop_ratio", budget.max_drop_ratio),
+                    arg_num("base_sampling_ratio", budget.base_sampling_ratio),
+                    arg_num("min_sampling_ratio", budget.min_sampling_ratio),
+                    arg_num("degrade", degrade),
+                    arg_num("drop_ratio", drop_ratio),
+                    arg_num("sampling_ratio", sampling_ratio),
+                    arg_num("queue_depth", queue_depth as f64),
+                ],
+            );
+        }
         decision
     }
 

@@ -18,7 +18,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use approxhadoop_core::multistage::{Aggregation, MultiStageMapper, MultiStageReducer};
+use approxhadoop_core::multistage::{
+    Aggregation, BoundMonitor, MultiStageMapper, MultiStageReducer,
+};
+use approxhadoop_core::target::SharedApproxState;
+use approxhadoop_obs::{Obs, RegistrySnapshot};
+use approxhadoop_runtime::metrics::BoundPoint;
 use approxhadoop_stats::Interval;
 use approxhadoop_workloads::wikilog::{LogEntry, WikiLog};
 use rand::rngs::StdRng;
@@ -94,6 +99,9 @@ pub struct JobOutcome {
     /// Worst relative 95%-confidence half-width across output keys
     /// (`None` if the job produced no bounded keys).
     pub worst_relative_bound: Option<f64>,
+    /// Per-reducer error-bound convergence over the job's lifetime:
+    /// how fast the bound tightened as maps were folded in.
+    pub bound_series: Vec<BoundPoint>,
 }
 
 /// One phase (controller on or off) of a load run.
@@ -119,6 +127,13 @@ pub struct PhaseReport {
     pub decisions: Vec<DegradeDecision>,
     /// Per-job outcomes, in completion order.
     pub jobs: Vec<JobOutcome>,
+    /// Prometheus text exposition of the observability registry at
+    /// phase end. When phases share an `Obs` context (the default in
+    /// [`run`]), counters are cumulative across phases, exactly as a
+    /// live scrape would see them.
+    pub prometheus: String,
+    /// The same registry as a structured JSON snapshot.
+    pub metrics: RegistrySnapshot,
 }
 
 /// The full report: both phases plus the headline comparison.
@@ -160,9 +175,21 @@ fn worst_relative_bound(outputs: &[(u64, Interval)]) -> Option<f64> {
         .fold(None, |acc, b| Some(acc.map_or(b, |a: f64| a.max(b))))
 }
 
-/// Runs one phase: the full arrival sequence against a fresh service.
+/// Runs one phase: the full arrival sequence against a fresh service
+/// with its own observability context.
 pub fn run_phase(config: &LoadConfig, controller_enabled: bool) -> PhaseReport {
-    let service = JobService::new(
+    run_phase_with_obs(config, controller_enabled, Obs::shared())
+}
+
+/// Runs one phase against a fresh service publishing into `obs` —
+/// callers that keep the `Arc` can render the Chrome trace or scrape
+/// the registry afterwards.
+pub fn run_phase_with_obs(
+    config: &LoadConfig,
+    controller_enabled: bool,
+    obs: Arc<Obs>,
+) -> PhaseReport {
+    let service = JobService::with_obs(
         config.slots,
         AdmissionConfig {
             p99_target_secs: config.p99_target_secs,
@@ -174,6 +201,7 @@ pub fn run_phase(config: &LoadConfig, controller_enabled: bool) -> PhaseReport {
             enabled: controller_enabled,
             ..Default::default()
         },
+        Arc::clone(&obs),
     );
     let arrivals = arrival_times(config.jobs, config.arrival_rate, config.seed);
     let budget = ApproxBudget::up_to(config.max_drop_ratio, config.min_sampling_ratio);
@@ -215,7 +243,21 @@ pub fn run_phase(config: &LoadConfig, controller_enabled: bool) -> PhaseReport {
                 Arc::new(MultiStageMapper::new(
                     |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| emit(e.project, e.bytes as f64),
                 )),
-                |_| MultiStageReducer::<u64>::new(Aggregation::Sum, 0.95),
+                |_| {
+                    // A monitor (without a freeze target) makes the
+                    // reducer stream its error bound to the JobTracker
+                    // after every map output — that is what feeds the
+                    // bound-convergence series and live bound gauges.
+                    MultiStageReducer::<u64>::new(Aggregation::Sum, 0.95).with_monitor(
+                        BoundMonitor {
+                            shared: Arc::new(SharedApproxState::new(1)),
+                            report_absolute: false,
+                            check_every: 1,
+                            freeze_threshold: None,
+                            min_maps_before_freeze: usize::MAX,
+                        },
+                    )
+                },
             )
             .expect("valid loadgen spec");
         let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
@@ -234,7 +276,7 @@ pub fn run_phase(config: &LoadConfig, controller_enabled: bool) -> PhaseReport {
                     let result = handle.wait();
                     let latency = submitted.elapsed().as_secs_f64();
                     in_flight.fetch_sub(1, Ordering::SeqCst);
-                    let result = result.expect("loadgen job failed");
+                    let mut result = result.expect("loadgen job failed");
                     let _ = done_tx.send(JobOutcome {
                         job: id.0,
                         name,
@@ -248,6 +290,7 @@ pub fn run_phase(config: &LoadConfig, controller_enabled: bool) -> PhaseReport {
                         executed_maps: result.metrics.executed_maps,
                         dropped_maps: result.metrics.dropped_maps,
                         worst_relative_bound: worst_relative_bound(&result.outputs),
+                        bound_series: std::mem::take(&mut result.metrics.bound_series),
                     });
                 })
                 .expect("spawn waiter"),
@@ -273,14 +316,22 @@ pub fn run_phase(config: &LoadConfig, controller_enabled: bool) -> PhaseReport {
         overloaded_observations: service.controller().overloaded_observations(),
         decisions: service.controller().decisions(),
         jobs,
+        prometheus: obs.registry.render_prometheus(),
+        metrics: obs.registry.snapshot(),
     }
 }
 
 /// Runs the baseline (controller off) and controlled (controller on)
 /// phases over the same arrival sequence and reports both.
 pub fn run(config: &LoadConfig) -> LoadReport {
-    let baseline = run_phase(config, false);
-    let controlled = run_phase(config, true);
+    run_with_obs(config, Obs::shared())
+}
+
+/// [`run`] with a caller-supplied observability context shared by both
+/// phases, so the Chrome trace shows them back to back on one timeline.
+pub fn run_with_obs(config: &LoadConfig, obs: Arc<Obs>) -> LoadReport {
+    let baseline = run_phase_with_obs(config, false, Arc::clone(&obs));
+    let controlled = run_phase_with_obs(config, true, obs);
     let p99_improvement_secs = baseline.p99_latency_secs - controlled.p99_latency_secs;
     let p99_speedup = baseline.p99_latency_secs / controlled.p99_latency_secs.max(1e-9);
     LoadReport {

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver};
 
+use approxhadoop_obs::Obs;
 use approxhadoop_runtime::engine::{run_job_on_pool, JobConfig, JobResult};
 use approxhadoop_runtime::event::{CancelHandle, JobEvent, JobId, JobSession};
 use approxhadoop_runtime::input::InputSource;
@@ -120,17 +121,39 @@ pub struct JobService {
     pool: Arc<SlotPool>,
     controller: Arc<AdmissionController>,
     next_job: AtomicU64,
+    obs: Arc<Obs>,
 }
 
 impl JobService {
     /// Creates a service with `slots` shared map slots and the given
-    /// admission configuration.
+    /// admission configuration. The service always carries an
+    /// observability context (see [`JobService::with_obs`] to share
+    /// one across services or pre-register metrics).
     pub fn new(slots: usize, admission: AdmissionConfig) -> Self {
+        Self::with_obs(slots, admission, Obs::shared())
+    }
+
+    /// Creates a service publishing metrics and trace events into a
+    /// caller-supplied [`Obs`] context: the pool reports queue/slot
+    /// gauges and per-tenant waits, the admission controller reports
+    /// its feedback-loop state and per-decision events, and every job
+    /// records a `job → wave → task` span tree on its own trace lane.
+    pub fn with_obs(slots: usize, admission: AdmissionConfig, obs: Arc<Obs>) -> Self {
         JobService {
-            pool: SlotPool::new(slots),
-            controller: Arc::new(AdmissionController::new(admission)),
+            pool: SlotPool::new_with_obs(slots, Some(Arc::clone(&obs))),
+            controller: Arc::new(AdmissionController::with_obs(
+                admission,
+                Some(Arc::clone(&obs)),
+            )),
             next_job: AtomicU64::new(0),
+            obs,
         }
+    }
+
+    /// The service-wide observability context: metrics registry
+    /// (Prometheus text / JSON snapshot) and trace ring (Chrome trace).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// The shared slot pool (for instrumentation).
@@ -186,6 +209,7 @@ impl JobService {
             seed: spec.seed,
             speculative: false,
             straggler_factor: 2.0,
+            obs: Some(Arc::clone(&self.obs)),
         };
 
         let (event_tx, event_rx) = unbounded();

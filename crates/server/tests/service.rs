@@ -251,3 +251,65 @@ fn event_stream_brackets_the_job() {
         }
     )));
 }
+
+#[test]
+fn wave_events_carry_running_bound_when_reducers_report() {
+    use approxhadoop_core::multistage::{
+        Aggregation, BoundMonitor, MultiStageMapper, MultiStageReducer,
+    };
+    use approxhadoop_core::target::SharedApproxState;
+
+    // A GroupedReducer never reports a bound: every wave says `None`.
+    let service = JobService::new(2, AdmissionConfig::default());
+    let h = submit_sum(&service, JobSpec::default(), blocks(6, 10), 0);
+    let events = h.events().clone();
+    h.wait().unwrap();
+    for e in events.try_iter() {
+        if let JobEvent::Wave { worst_bound, .. } = e {
+            assert_eq!(worst_bound, None, "unmonitored job must not report");
+        }
+    }
+
+    // A monitored multistage reducer streams its bound; the final wave
+    // (all maps finished) must carry it.
+    let h = service
+        .submit(
+            JobSpec::default(),
+            Arc::new(VecSource::new(blocks(6, 10))),
+            Arc::new(MultiStageMapper::new(
+                |x: &u32, emit: &mut dyn FnMut(u8, f64)| emit((x % 4) as u8, *x as f64),
+            )),
+            |_| {
+                MultiStageReducer::<u8>::new(Aggregation::Sum, 0.95).with_monitor(BoundMonitor {
+                    shared: Arc::new(SharedApproxState::new(1)),
+                    report_absolute: false,
+                    check_every: 1,
+                    freeze_threshold: None,
+                    min_maps_before_freeze: usize::MAX,
+                })
+            },
+        )
+        .unwrap();
+    let events = h.events().clone();
+    h.wait().unwrap();
+    let waves: Vec<JobEvent> = events
+        .try_iter()
+        .filter(|e| matches!(e, JobEvent::Wave { .. }))
+        .collect();
+    assert!(!waves.is_empty());
+    let bound_of = |e: &JobEvent| match e {
+        JobEvent::Wave {
+            finished,
+            total,
+            worst_bound,
+            ..
+        } => (*finished, *total, *worst_bound),
+        _ => unreachable!(),
+    };
+    let (finished, total, worst_bound) = bound_of(waves.last().unwrap());
+    assert_eq!((finished, total), (6, 6));
+    assert!(
+        worst_bound.is_some(),
+        "final wave of a monitored job must carry the running bound"
+    );
+}

@@ -38,6 +38,11 @@ USAGE:
         --seed N             RNG seed (default 0)
         --reduce-tasks N     reduce tasks (default 2)
         --top K              keys to print (default 10)
+        --fault-plan SPEC    inject faults, e.g. io=0.2,panic=0.05,seed=3
+        --max-task-retries N retry failed maps N times, then degrade the
+                             task to a dropped cluster (default 0 = abort)
+        --fault-bound B      fail a degraded job whose final relative
+                             error bound exceeds B (e.g. 0.05)
         --trace-out FILE     write a Chrome trace (job→wave→task spans)
         --metrics-out FILE   write Prometheus text metrics
 
@@ -59,6 +64,9 @@ USAGE:
         --p99-target SECS    admission p99 latency target (default 0.4)
         --max-drop R         per-job degradation budget (default 0.7)
         --min-sample R       per-job sampling floor (default 0.25)
+        --fault-plan SPEC    inject faults into every job's map path
+        --max-task-retries N per-task retries before degrade-to-drop
+        --fault-bound B      error-bound budget for degraded jobs
         --seed N             RNG seed (default 0)
 
   approxhadoop loadtest [options]

@@ -4,6 +4,7 @@ use approxhadoop_cluster::{simulate as sim, ClusterSpec, SimApprox, SimJobSpec};
 use approxhadoop_core::job::ApproxResult;
 use approxhadoop_core::spec::{ApproxSpec, ErrorTarget};
 use approxhadoop_runtime::engine::JobConfig;
+use approxhadoop_runtime::fault::{FaultPlan, FaultPolicy};
 use approxhadoop_runtime::metrics::JobMetrics;
 use approxhadoop_stats::Interval;
 use approxhadoop_workloads::apps;
@@ -100,11 +101,25 @@ fn scale(args: &Args) -> Result<Scale, UsageError> {
 }
 
 fn job_config(args: &Args) -> Result<JobConfig, UsageError> {
-    Ok(JobConfig {
+    let mut config = JobConfig {
         reduce_tasks: args.get_parsed("reduce-tasks", 2usize)?,
         seed: args.get_parsed("seed", 0u64)?,
         ..Default::default()
-    })
+    };
+    if let Some(spec) = args.get("fault-plan") {
+        config.fault_plan = Some(FaultPlan::parse(spec).map_err(UsageError)?);
+    }
+    let retries = args.get_parsed("max-task-retries", 0u32)?;
+    if retries > 0 {
+        config.fault_policy = FaultPolicy::tolerant(retries);
+    }
+    if let Some(raw) = args.get("fault-bound") {
+        let bound: f64 = raw
+            .parse()
+            .map_err(|_| UsageError(format!("invalid --fault-bound `{raw}`")))?;
+        config.fault_policy.max_degraded_bound = Some(bound);
+    }
+    Ok(config)
 }
 
 fn print_outputs<K: std::fmt::Display>(result: &ApproxResult<(K, Interval)>, top: usize) {
@@ -136,6 +151,12 @@ fn print_metrics(m: &JobMetrics, keys: usize) {
         m.effective_sampling_ratio() * 100.0,
         m.wall_secs
     );
+    if m.failed_maps > 0 || m.retried_maps > 0 || m.degraded_to_drop > 0 {
+        println!(
+            "fault tolerance: {} failed attempts, {} retries, {} tasks degraded to drops",
+            m.failed_maps, m.retried_maps, m.degraded_to_drop
+        );
+    }
 }
 
 /// `approxhadoop run <app> [options]`
@@ -375,6 +396,19 @@ pub fn serve(args: &Args) -> Result<(), UsageError> {
     let p99_target = args.get_parsed("p99-target", 0.4f64)?;
     let max_drop = args.get_parsed("max-drop", 0.7f64)?;
     let min_sample = args.get_parsed("min-sample", 0.25f64)?;
+    let max_task_retries = args.get_parsed("max-task-retries", 0u32)?;
+    let fault_plan = args
+        .get("fault-plan")
+        .map(FaultPlan::parse)
+        .transpose()
+        .map_err(UsageError)?;
+    let max_degraded_bound = args
+        .get("fault-bound")
+        .map(|raw| {
+            raw.parse::<f64>()
+                .map_err(|_| UsageError(format!("invalid --fault-bound `{raw}`")))
+        })
+        .transpose()?;
     let budget = ApproxBudget::up_to(max_drop, min_sample);
     budget.validate().map_err(UsageError)?;
     if slots == 0 {
@@ -422,6 +456,9 @@ pub fn serve(args: &Args) -> Result<(), UsageError> {
                 map_slots: slots.max(2),
                 seed: seed.wrapping_add(101 + j as u64),
                 budget,
+                max_task_retries,
+                fault_plan: fault_plan.clone(),
+                max_degraded_bound,
                 ..Default::default()
             };
             let handle = service
@@ -476,6 +513,15 @@ pub fn serve(args: &Args) -> Result<(), UsageError> {
                         "{} {job} bound {:.3}%",
                         stamp(start),
                         worst_relative_bound * 100.0
+                    ),
+                    JobEvent::TaskRetry {
+                        job,
+                        task,
+                        attempt,
+                        reason,
+                    } => println!(
+                        "{} {job} retrying {task} (attempt {attempt}): {reason}",
+                        stamp(start)
                     ),
                     JobEvent::Done { job, wall_secs } => {
                         println!("{} {job} done in {wall_secs:.3}s", stamp(start))

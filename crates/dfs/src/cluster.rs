@@ -7,6 +7,8 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use crate::block::{BlockId, BlockMeta};
+use crate::error::DfsError;
+use crate::fault::{FaultStats, FaultStatsSnapshot, ReadFaults, ReplicaOutcome};
 use crate::namenode::{NameNode, NodeId};
 use crate::store::{BlockStore, CompositeStore, GeneratorStore, MemoryStore};
 use crate::Result;
@@ -65,6 +67,8 @@ pub struct DfsCluster {
     memory: MemoryStore,
     store: Arc<Mutex<CompositeStore>>,
     config: DfsConfig,
+    faults: Arc<Mutex<Option<ReadFaults>>>,
+    fault_stats: Arc<FaultStats>,
 }
 
 impl std::fmt::Debug for DfsCluster {
@@ -82,6 +86,8 @@ impl Clone for DfsCluster {
             memory: self.memory.clone(),
             store: Arc::clone(&self.store),
             config: self.config,
+            faults: Arc::clone(&self.faults),
+            fault_stats: Arc::clone(&self.fault_stats),
         }
     }
 }
@@ -105,7 +111,22 @@ impl DfsCluster {
             memory,
             store: Arc::new(Mutex::new(composite)),
             config,
+            faults: Arc::new(Mutex::new(None)),
+            fault_stats: Arc::new(FaultStats::default()),
         }
+    }
+
+    /// Installs (or, with `None`, clears) a read-path fault-injection
+    /// plan. Applies to all clones of this cluster — the plan lives on
+    /// the shared cluster state, like a real datanode outage would.
+    pub fn set_read_faults(&self, faults: Option<ReadFaults>) {
+        *self.faults.lock() = faults.filter(ReadFaults::is_active);
+    }
+
+    /// Snapshot of the fault-injection counters (failed replica reads,
+    /// failovers, slow reads, exhausted blocks).
+    pub fn fault_stats(&self) -> FaultStatsSnapshot {
+        self.fault_stats.snapshot()
     }
 
     /// The cluster configuration.
@@ -202,8 +223,43 @@ impl DfsCluster {
     }
 
     /// Reads the contents of one block.
+    ///
+    /// With a fault plan installed (see [`DfsCluster::set_read_faults`])
+    /// the read walks the block's replicas in namenode placement order,
+    /// failing over past dead or faulty replicas, and only errors with
+    /// [`DfsError::AllReplicasFailed`] once every replica has failed.
     pub fn read_block(&self, id: BlockId) -> Result<Bytes> {
-        self.store.lock().read(id)
+        let faults = self.faults.lock().clone();
+        let Some(faults) = faults else {
+            return self.store.lock().read(id);
+        };
+        // Blocks the namenode cannot locate (e.g. deleted files) keep
+        // their fault-free error behaviour.
+        let Ok(replicas) = self.namenode.lock().locate(id).map(<[NodeId]>::to_vec) else {
+            return self.store.lock().read(id);
+        };
+        let total = replicas.len();
+        for (i, node) in replicas.into_iter().enumerate() {
+            match faults.replica_outcome(id, node) {
+                ReplicaOutcome::Fail => {
+                    self.fault_stats.record_failed_replica();
+                    if i + 1 < total {
+                        self.fault_stats.record_failover();
+                    }
+                }
+                ReplicaOutcome::Slow(delay) => {
+                    self.fault_stats.record_slow_read();
+                    std::thread::sleep(delay);
+                    return self.store.lock().read(id);
+                }
+                ReplicaOutcome::Healthy => return self.store.lock().read(id),
+            }
+        }
+        self.fault_stats.record_exhausted();
+        Err(DfsError::AllReplicasFailed {
+            block: id,
+            replicas: total,
+        })
     }
 
     /// Reads a block and splits it into text lines (records).
@@ -332,6 +388,95 @@ mod tests {
         let other = dfs.clone();
         dfs.write_lines("shared", &lines(3)).unwrap();
         assert!(other.exists("shared"));
+    }
+
+    #[test]
+    fn dead_datanode_fails_over_to_live_replica() {
+        let mut dfs = DfsCluster::new(DfsConfig {
+            datanodes: 3,
+            replication: 2,
+            block_records: 5,
+        });
+        let handle = dfs.write_lines("f", &lines(30)).unwrap();
+        // Kill whichever node hosts the primary replica of block 0 so at
+        // least one read must fail over.
+        let primary = handle.locations[0][0].0;
+        dfs.set_read_faults(Some(ReadFaults {
+            dead_nodes: vec![primary],
+            ..Default::default()
+        }));
+        for b in &handle.blocks {
+            // Every block still reads: replication 2 over 3 nodes leaves
+            // a live replica for every block.
+            assert!(dfs.read_block(b.id).is_ok(), "block {:?}", b.id);
+        }
+        let stats = dfs.fault_stats();
+        assert!(stats.failed_replica_reads > 0);
+        assert!(stats.failovers > 0, "stats: {stats:?}");
+        assert_eq!(stats.exhausted_reads, 0);
+    }
+
+    #[test]
+    fn all_replicas_dead_exhausts_the_read() {
+        let mut dfs = DfsCluster::new(DfsConfig {
+            datanodes: 2,
+            replication: 2,
+            block_records: 5,
+        });
+        let handle = dfs.write_lines("f", &lines(5)).unwrap();
+        dfs.set_read_faults(Some(ReadFaults {
+            dead_nodes: vec![0, 1],
+            ..Default::default()
+        }));
+        let err = dfs.read_block(handle.blocks[0].id).unwrap_err();
+        assert!(
+            matches!(err, DfsError::AllReplicasFailed { replicas: 2, .. }),
+            "got {err:?}"
+        );
+        assert_eq!(dfs.fault_stats().exhausted_reads, 1);
+        // Clearing the plan restores the read.
+        dfs.set_read_faults(None);
+        assert!(dfs.read_block(handle.blocks[0].id).is_ok());
+    }
+
+    #[test]
+    fn slow_replica_delays_but_succeeds() {
+        let mut dfs = DfsCluster::new(DfsConfig {
+            datanodes: 2,
+            replication: 1,
+            block_records: 50,
+        });
+        let handle = dfs.write_lines("f", &lines(100)).unwrap();
+        dfs.set_read_faults(Some(ReadFaults {
+            slow_replica_prob: 1.0,
+            slow_replica_delay: std::time::Duration::from_millis(5),
+            ..Default::default()
+        }));
+        let t0 = std::time::Instant::now();
+        for b in &handle.blocks {
+            assert!(dfs.read_block(b.id).is_ok());
+        }
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+        assert_eq!(dfs.fault_stats().slow_reads, 2);
+    }
+
+    #[test]
+    fn fault_plan_is_shared_across_clones() {
+        let mut dfs = DfsCluster::new(DfsConfig {
+            datanodes: 1,
+            replication: 1,
+            block_records: 10,
+        });
+        let handle = dfs.write_lines("f", &lines(3)).unwrap();
+        let clone = dfs.clone();
+        dfs.set_read_faults(Some(ReadFaults {
+            dead_nodes: vec![0],
+            ..Default::default()
+        }));
+        assert!(clone.read_block(handle.blocks[0].id).is_err());
+        // An inactive plan is treated as no plan.
+        dfs.set_read_faults(Some(ReadFaults::default()));
+        assert!(clone.read_block(handle.blocks[0].id).is_ok());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::block::BlockId;
+use crate::namenode::NodeId;
 
 /// Errors produced by the DFS substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +29,23 @@ pub enum DfsError {
         /// Description of the problem.
         reason: String,
     },
+    /// One replica of a block could not be read (dead or faulty
+    /// datanode). The read path normally fails over to the next replica;
+    /// this error surfaces directly only from per-replica probes.
+    ReplicaUnavailable {
+        /// The block being read.
+        block: BlockId,
+        /// The datanode whose replica failed.
+        node: NodeId,
+    },
+    /// Every replica of a block failed to read — the block is
+    /// effectively lost until a datanode recovers.
+    AllReplicasFailed {
+        /// The block being read.
+        block: BlockId,
+        /// How many replicas were tried.
+        replicas: usize,
+    },
 }
 
 impl fmt::Display for DfsError {
@@ -37,6 +55,12 @@ impl fmt::Display for DfsError {
             DfsError::FileExists { path } => write!(f, "file already exists: {path}"),
             DfsError::BlockNotFound { block } => write!(f, "block not found: {block:?}"),
             DfsError::InvalidConfig { reason } => write!(f, "invalid DFS config: {reason}"),
+            DfsError::ReplicaUnavailable { block, node } => {
+                write!(f, "replica of {block:?} on {node} unavailable")
+            }
+            DfsError::AllReplicasFailed { block, replicas } => {
+                write!(f, "all {replicas} replica(s) of {block:?} failed to read")
+            }
         }
     }
 }

@@ -1,0 +1,255 @@
+//! Deterministic read-path fault injection.
+//!
+//! [`ReadFaults`] describes which replica reads should fail or stall:
+//! whole datanodes can be declared dead, and per-replica read errors and
+//! slow reads are drawn from a seeded hash of `(block, node)` so a given
+//! plan always fails the *same* replicas — runs are reproducible and a
+//! failed read stays failed on retry (the retrying layer must fail over
+//! to another replica or give up, exactly like a real datanode outage).
+//!
+//! [`DfsCluster::read_block`](crate::DfsCluster::read_block) consults an
+//! installed plan before touching the store: replicas are tried in
+//! namenode placement order and the read only errors once *every*
+//! replica has failed. [`FaultStats`] counts what the injection did so
+//! tests and telemetry can assert failover actually happened.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::block::BlockId;
+use crate::namenode::NodeId;
+
+/// `splitmix64` — a tiny, high-quality mixing function.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic hash of `(seed, a, b, salt)` mapped to `[0, 1)`.
+///
+/// This is the shared coin for every fault-injection decision in the
+/// workspace: the same inputs always yield the same value, so injected
+/// faults are reproducible from the plan seed alone.
+pub fn unit_hash(seed: u64, a: u64, b: u64, salt: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(a ^ splitmix64(b ^ salt)));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// What the fault plan decides for one replica of one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaOutcome {
+    /// The replica serves the read normally.
+    Healthy,
+    /// The replica serves the read after the given delay (slow disk or
+    /// congested datanode).
+    Slow(Duration),
+    /// The replica read fails (dead datanode or injected I/O error).
+    Fail,
+}
+
+/// A seedable description of read-path faults to inject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadFaults {
+    /// Seed for all per-replica decisions.
+    pub seed: u64,
+    /// Datanodes considered dead: every replica read on them fails.
+    pub dead_nodes: Vec<usize>,
+    /// Probability that a given `(block, node)` replica read fails.
+    pub replica_error_prob: f64,
+    /// Probability that a given `(block, node)` replica read is slow.
+    pub slow_replica_prob: f64,
+    /// Delay applied to slow replica reads.
+    pub slow_replica_delay: Duration,
+}
+
+impl Default for ReadFaults {
+    fn default() -> Self {
+        ReadFaults {
+            seed: 0,
+            dead_nodes: Vec::new(),
+            replica_error_prob: 0.0,
+            slow_replica_prob: 0.0,
+            slow_replica_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+impl ReadFaults {
+    /// Validates probability ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("replica_error_prob", self.replica_error_prob),
+            ("slow_replica_prob", self.slow_replica_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must lie in [0, 1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_active(&self) -> bool {
+        !self.dead_nodes.is_empty() || self.replica_error_prob > 0.0 || self.slow_replica_prob > 0.0
+    }
+
+    /// The (deterministic) fate of reading `block` from `node`.
+    pub fn replica_outcome(&self, block: BlockId, node: NodeId) -> ReplicaOutcome {
+        if self.dead_nodes.contains(&node.0) {
+            return ReplicaOutcome::Fail;
+        }
+        if self.replica_error_prob > 0.0
+            && unit_hash(self.seed, block.0, node.0 as u64, 0xFA17) < self.replica_error_prob
+        {
+            return ReplicaOutcome::Fail;
+        }
+        if self.slow_replica_prob > 0.0
+            && unit_hash(self.seed, block.0, node.0 as u64, 0x510E) < self.slow_replica_prob
+        {
+            return ReplicaOutcome::Slow(self.slow_replica_delay);
+        }
+        ReplicaOutcome::Healthy
+    }
+}
+
+/// Cluster-wide counters of what fault injection did on the read path.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    failed_replica_reads: AtomicU64,
+    failovers: AtomicU64,
+    slow_reads: AtomicU64,
+    exhausted_reads: AtomicU64,
+}
+
+impl FaultStats {
+    pub(crate) fn record_failed_replica(&self) {
+        self.failed_replica_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_slow_read(&self) {
+        self.slow_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_exhausted(&self) {
+        self.exhausted_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of the counters.
+    pub fn snapshot(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            failed_replica_reads: self.failed_replica_reads.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            slow_reads: self.slow_reads.load(Ordering::Relaxed),
+            exhausted_reads: self.exhausted_reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time values of the [`FaultStats`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStatsSnapshot {
+    /// Replica reads that failed (dead node or injected error).
+    pub failed_replica_reads: u64,
+    /// Reads that failed over to a subsequent replica after a failure.
+    pub failovers: u64,
+    /// Replica reads that were delayed by the plan.
+    pub slow_reads: u64,
+    /// Block reads that failed on *every* replica.
+    pub exhausted_reads: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_hash_is_deterministic_and_in_range() {
+        for a in 0..50u64 {
+            for b in 0..4u64 {
+                let v = unit_hash(7, a, b, 0xFA17);
+                assert!((0.0..1.0).contains(&v));
+                assert_eq!(v, unit_hash(7, a, b, 0xFA17));
+            }
+        }
+        // Different salts decorrelate the streams.
+        assert_ne!(unit_hash(7, 1, 1, 0xFA17), unit_hash(7, 1, 1, 0x510E));
+    }
+
+    #[test]
+    fn unit_hash_rate_roughly_matches_probability() {
+        let p = 0.3;
+        let hits = (0..10_000u64)
+            .filter(|&a| unit_hash(42, a, 0, 0xFA17) < p)
+            .count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - p).abs() < 0.03, "rate {rate} too far from {p}");
+    }
+
+    #[test]
+    fn dead_nodes_always_fail() {
+        let f = ReadFaults {
+            dead_nodes: vec![1],
+            ..Default::default()
+        };
+        assert!(f.is_active());
+        for b in 0..20 {
+            assert_eq!(
+                f.replica_outcome(BlockId(b), NodeId(1)),
+                ReplicaOutcome::Fail
+            );
+            assert_eq!(
+                f.replica_outcome(BlockId(b), NodeId(0)),
+                ReplicaOutcome::Healthy
+            );
+        }
+    }
+
+    #[test]
+    fn outcomes_are_stable_per_replica() {
+        let f = ReadFaults {
+            seed: 3,
+            replica_error_prob: 0.5,
+            slow_replica_prob: 0.5,
+            ..Default::default()
+        };
+        for b in 0..50 {
+            for n in 0..4 {
+                let once = f.replica_outcome(BlockId(b), NodeId(n));
+                assert_eq!(once, f.replica_outcome(BlockId(b), NodeId(n)));
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        let mut f = ReadFaults::default();
+        assert!(f.validate().is_ok());
+        f.replica_error_prob = 1.5;
+        assert!(f.validate().is_err());
+        f.replica_error_prob = 0.0;
+        f.slow_replica_prob = -0.1;
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn stats_snapshot_counts() {
+        let s = FaultStats::default();
+        s.record_failed_replica();
+        s.record_failed_replica();
+        s.record_failover();
+        s.record_slow_read();
+        s.record_exhausted();
+        let snap = s.snapshot();
+        assert_eq!(snap.failed_replica_reads, 2);
+        assert_eq!(snap.failovers, 1);
+        assert_eq!(snap.slow_reads, 1);
+        assert_eq!(snap.exhausted_reads, 1);
+    }
+}

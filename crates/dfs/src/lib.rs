@@ -44,12 +44,14 @@
 pub mod block;
 pub mod cluster;
 pub mod error;
+pub mod fault;
 pub mod namenode;
 pub mod store;
 
 pub use block::{BlockId, BlockMeta};
 pub use cluster::{DfsCluster, DfsConfig, FileHandle};
 pub use error::DfsError;
+pub use fault::{FaultStats, FaultStatsSnapshot, ReadFaults, ReplicaOutcome};
 pub use namenode::{NameNode, NodeId};
 
 /// Result alias for DFS operations.

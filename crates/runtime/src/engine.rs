@@ -16,6 +16,7 @@ use approxhadoop_stats::sampling::random_order;
 
 use crate::control::{Coordinator, FixedCoordinator, JobControl, MapDirective};
 use crate::event::{JobEvent, JobSession};
+use crate::fault::{FaultDecision, FaultPlan, FaultPolicy};
 use crate::input::InputSource;
 use crate::instrument::{BoundTracker, EngineObs};
 use crate::mapper::Mapper;
@@ -46,8 +47,20 @@ pub struct JobConfig {
     /// Enable speculative execution of stragglers.
     pub speculative: bool,
     /// A task is a straggler when it runs longer than
-    /// `straggler_factor × mean completed-map time`.
+    /// `straggler_factor × mean completed-map time`. Must be finite and
+    /// at least `1.0` (below that, every task is "slower than itself"
+    /// and gets speculatively relaunched).
     pub straggler_factor: f64,
+    /// Deterministic fault injection (testing/chaos); `None` injects
+    /// nothing. DFS-level knobs additionally need the plan installed on
+    /// the cluster via
+    /// [`DfsCluster::set_read_faults`](approxhadoop_dfs::DfsCluster::set_read_faults).
+    pub fault_plan: Option<FaultPlan>,
+    /// How the tracker reacts to failed map attempts: bounded retry with
+    /// backoff, server blacklisting, and degrade-to-drop. The default
+    /// policy (no retries, no degrading) fails the job on the first
+    /// exhausted task, matching the engine's historical behaviour.
+    pub fault_policy: FaultPolicy,
     /// Optional observability context: when set, the tracker records
     /// registry metrics and a `job → wave → task` span tree into it.
     /// `None` (the default) runs fully uninstrumented.
@@ -67,6 +80,8 @@ impl Default for JobConfig {
             seed: 0,
             speculative: false,
             straggler_factor: 2.0,
+            fault_plan: None,
+            fault_policy: FaultPolicy::default(),
             obs: None,
         }
     }
@@ -95,6 +110,18 @@ impl JobConfig {
                 self.drop_ratio
             )));
         }
+        if !(self.straggler_factor.is_finite() && self.straggler_factor >= 1.0) {
+            return Err(RuntimeError::invalid(format!(
+                "straggler_factor must be finite and >= 1.0, got {}",
+                self.straggler_factor
+            )));
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate().map_err(RuntimeError::invalid)?;
+        }
+        self.fault_policy
+            .validate()
+            .map_err(RuntimeError::invalid)?;
         Ok(())
     }
 }
@@ -115,18 +142,39 @@ struct WorkItem {
     sampling_ratio: f64,
     seed: u64,
     kill: Arc<AtomicBool>,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 enum WorkerMsg {
-    Completed { stats: MapStats, attempt: u32 },
-    Killed { task: TaskId, attempt: u32 },
-    Failed { task: TaskId, error: RuntimeError },
+    Completed {
+        stats: MapStats,
+        attempt: u32,
+    },
+    Killed {
+        task: TaskId,
+        attempt: u32,
+    },
+    Failed {
+        task: TaskId,
+        attempt: u32,
+        error: RuntimeError,
+    },
 }
 
 struct RunningAttempt {
     started: Instant,
     kill: Arc<AtomicBool>,
     server: usize,
+}
+
+/// A failed task waiting out its backoff before redispatch.
+struct RetryEntry {
+    due: Instant,
+    task: usize,
+    attempt: u32,
+    sampling_ratio: f64,
+    /// The server whose attempt just failed — retries prefer any other.
+    avoid_server: Option<usize>,
 }
 
 /// Runs a job with the default fixed-ratio policy derived from
@@ -265,6 +313,18 @@ where
             .as_ref()
             .map(|o| EngineObs::new(Arc::clone(o), 1, "run_job"));
         let mut bound_tracker = BoundTracker::new(start, num_reducers);
+        let policy = config.fault_policy.clone();
+        let fault: Option<Arc<FaultPlan>> = config
+            .fault_plan
+            .as_ref()
+            .filter(|p| p.injects_map_faults())
+            .cloned()
+            .map(Arc::new);
+        let mut failures: HashMap<usize, u32> = HashMap::new();
+        let mut task_ratio: HashMap<usize, f64> = HashMap::new();
+        let mut retry_queue: Vec<RetryEntry> = Vec::new();
+        let mut server_failures = vec![0u32; servers];
+        let mut blacklisted = vec![false; servers];
 
         let notify_drop = |task: usize, txs: &[Sender<ReduceEvent<M::Key, M::Value>>]| {
             for tx in txs {
@@ -317,34 +377,78 @@ where
                             if let Some(e) = eobs.as_ref() {
                                 e.task_outcome(TaskOutcome::Killed);
                             }
-                            notify_drop(task.0, &reducer_txs);
+                            if fatal.is_none() {
+                                notify_drop(task.0, &reducer_txs);
+                            }
                         }
                     }
-                    WorkerMsg::Failed { task, error } => {
-                        running.retain(|(t, _), ra| {
-                            if *t == task.0 {
-                                busy[ra.server] = busy[ra.server].saturating_sub(1);
-                                false
+                    WorkerMsg::Failed {
+                        task,
+                        attempt,
+                        error,
+                    } => {
+                        let mut failed_server = None;
+                        if let Some(ra) = running.remove(&(task.0, attempt)) {
+                            busy[ra.server] = busy[ra.server].saturating_sub(1);
+                            failed_server = Some(ra.server);
+                            server_failures[ra.server] += 1;
+                            if policy.blacklist_after > 0
+                                && !blacklisted[ra.server]
+                                && server_failures[ra.server] >= policy.blacklist_after
+                            {
+                                blacklisted[ra.server] = true;
+                                if let Some(e) = eobs.as_ref() {
+                                    e.server_blacklisted();
+                                }
+                            }
+                        }
+                        metrics.failed_maps += 1;
+                        if let Some(e) = eobs.as_ref() {
+                            e.task_failed();
+                        }
+                        let sibling_running = running.keys().any(|(t, _)| *t == task.0);
+                        if !completed.contains(&task.0) && !sibling_running {
+                            let fails = failures.entry(task.0).or_insert(0);
+                            *fails += 1;
+                            if !dropping && *fails <= policy.max_task_retries {
+                                metrics.retried_maps += 1;
+                                if let Some(e) = eobs.as_ref() {
+                                    e.task_retry();
+                                }
+                                retry_queue.push(RetryEntry {
+                                    due: Instant::now() + policy.backoff_for(*fails),
+                                    task: task.0,
+                                    attempt: attempt + 1,
+                                    sampling_ratio: task_ratio.get(&task.0).copied().unwrap_or(1.0),
+                                    avoid_server: failed_server,
+                                });
+                            } else if policy.degrade_to_drop {
+                                finished += 1;
+                                metrics.degraded_to_drop += 1;
+                                metrics.task_outcomes.push(TaskOutcomeRecord {
+                                    task,
+                                    outcome: TaskOutcome::Failed,
+                                });
+                                if let Some(e) = eobs.as_ref() {
+                                    e.task_outcome(TaskOutcome::Failed);
+                                    e.task_degraded();
+                                }
+                                notify_drop(task.0, &reducer_txs);
                             } else {
-                                true
+                                finished += 1;
+                                metrics.task_outcomes.push(TaskOutcomeRecord {
+                                    task,
+                                    outcome: TaskOutcome::Failed,
+                                });
+                                if let Some(e) = eobs.as_ref() {
+                                    e.task_outcome(TaskOutcome::Failed);
+                                }
+                                if fatal.is_none() {
+                                    fatal = Some(error);
+                                }
+                                dropping = true;
                             }
-                        });
-                        if !completed.contains(&task.0) {
-                            finished += 1;
-                            metrics.killed_maps += 1;
-                            metrics.task_outcomes.push(TaskOutcomeRecord {
-                                task,
-                                outcome: TaskOutcome::Killed,
-                            });
-                            if let Some(e) = eobs.as_ref() {
-                                e.task_outcome(TaskOutcome::Killed);
-                            }
-                            notify_drop(task.0, &reducer_txs);
                         }
-                        if fatal.is_none() {
-                            fatal = Some(error);
-                        }
-                        dropping = true;
                     }
                 }
             };
@@ -357,6 +461,20 @@ where
                 dropping = true;
             }
             if dropping {
+                for entry in retry_queue.drain(..) {
+                    finished += 1;
+                    metrics.dropped_maps += 1;
+                    metrics.task_outcomes.push(TaskOutcomeRecord {
+                        task: TaskId(entry.task),
+                        outcome: TaskOutcome::Dropped,
+                    });
+                    if let Some(e) = eobs.as_ref() {
+                        e.task_outcome(TaskOutcome::Dropped);
+                    }
+                    if fatal.is_none() {
+                        notify_drop(entry.task, &reducer_txs);
+                    }
+                }
                 while let Some(t) = pending.pop_front() {
                     finished += 1;
                     metrics.dropped_maps += 1;
@@ -367,10 +485,57 @@ where
                     if let Some(e) = eobs.as_ref() {
                         e.task_outcome(TaskOutcome::Dropped);
                     }
-                    notify_drop(t, &reducer_txs);
+                    if fatal.is_none() {
+                        notify_drop(t, &reducer_txs);
+                    }
                 }
                 for ra in running.values() {
                     ra.kill.store(true, Ordering::SeqCst);
+                }
+            }
+
+            // 2a. Redispatch failed tasks whose retry backoff elapsed,
+            //     preferring a server other than the one that just
+            //     failed and skipping blacklisted servers (unless every
+            //     server is blacklisted).
+            if !dropping {
+                loop {
+                    let now = Instant::now();
+                    let Some(pos) = retry_queue.iter().position(|e| e.due <= now) else {
+                        break;
+                    };
+                    let all_black = blacklisted.iter().all(|&b| b);
+                    let usable =
+                        |sv: usize| busy[sv] < capacity[sv] && (all_black || !blacklisted[sv]);
+                    let avoid = retry_queue[pos].avoid_server;
+                    let Some(server) = (0..servers)
+                        .find(|&sv| usable(sv) && Some(sv) != avoid)
+                        .or_else(|| (0..servers).find(|&sv| usable(sv)))
+                    else {
+                        break;
+                    };
+                    let entry = retry_queue.swap_remove(pos);
+                    let kill = Arc::new(AtomicBool::new(false));
+                    busy[server] += 1;
+                    running.insert(
+                        (entry.task, entry.attempt),
+                        RunningAttempt {
+                            started: Instant::now(),
+                            kill: Arc::clone(&kill),
+                            server,
+                        },
+                    );
+                    let _ = task_txs[server].send(WorkItem {
+                        task: TaskId(entry.task),
+                        attempt: entry.attempt,
+                        sampling_ratio: entry.sampling_ratio,
+                        // Same read seed as the original attempt: a retry
+                        // re-draws the exact sample, keeping the estimator
+                        // independent of the fault history.
+                        seed: config.seed ^ (entry.task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        kill,
+                        fault: fault.clone(),
+                    });
                 }
             }
 
@@ -379,7 +544,10 @@ where
             //    free server prefers a task whose block it hosts (HDFS
             //    data locality).
             while !dropping && !pending.is_empty() {
-                let Some(server) = (0..servers).find(|&sv| busy[sv] < capacity[sv]) else {
+                let all_black = blacklisted.iter().all(|&b| b);
+                let Some(server) = (0..servers)
+                    .find(|&sv| busy[sv] < capacity[sv] && (all_black || !blacklisted[sv]))
+                else {
                     break;
                 };
                 let local_pos = pending
@@ -412,6 +580,7 @@ where
                         if local {
                             metrics.local_maps += 1;
                         }
+                        task_ratio.insert(t, sampling_ratio);
                         running.insert(
                             (t, 0),
                             RunningAttempt {
@@ -426,6 +595,7 @@ where
                             sampling_ratio,
                             seed: config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                             kill,
+                            fault: fault.clone(),
                         });
                     }
                 }
@@ -453,9 +623,14 @@ where
                     duplicated.insert(t);
                     metrics.speculative_attempts += 1;
                     let kill = Arc::new(AtomicBool::new(false));
-                    // Duplicate on the least-loaded server (not the one
-                    // already struggling with the original attempt).
-                    let server = (0..servers).min_by_key(|&sv| busy[sv]).unwrap_or(0);
+                    // Duplicate on the least-loaded non-blacklisted
+                    // server (not the one already struggling with the
+                    // original attempt).
+                    let server = (0..servers)
+                        .filter(|&sv| !blacklisted[sv])
+                        .min_by_key(|&sv| busy[sv])
+                        .or_else(|| (0..servers).min_by_key(|&sv| busy[sv]))
+                        .unwrap_or(0);
                     busy[server] += 1;
                     running.insert(
                         (t, 1),
@@ -471,6 +646,7 @@ where
                         sampling_ratio: 1.0,
                         seed: config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         kill,
+                        fault: fault.clone(),
                     });
                 }
             }
@@ -495,13 +671,22 @@ where
             }
 
             // 5. Trace/telemetry bookkeeping (no-ops when uninstrumented).
+            //    Once a fatal error is latched the bound is meaningless
+            //    (the estimate will be discarded), so stop publishing it.
             if finished != last_wave {
                 last_wave = finished;
                 if let Some(e) = eobs.as_mut() {
-                    e.wave_tick(finished, total, control.worst_bound_across_reducers(1));
+                    let bound = if fatal.is_none() {
+                        control.worst_bound_across_reducers(1)
+                    } else {
+                        None
+                    };
+                    e.wave_tick(finished, total, bound);
                 }
             }
-            bound_tracker.poll(&control, &mut metrics.bound_series, eobs.as_ref());
+            if fatal.is_none() {
+                bound_tracker.poll(&control, &mut metrics.bound_series, eobs.as_ref());
+            }
         }
 
         // Shut down: close the dispatch channel (workers exit after
@@ -522,7 +707,9 @@ where
             }
         }
         metrics.wall_secs = start.elapsed().as_secs_f64();
-        bound_tracker.poll(&control, &mut metrics.bound_series, eobs.as_ref());
+        if fatal.is_none() {
+            bound_tracker.poll(&control, &mut metrics.bound_series, eobs.as_ref());
+        }
         if let Some(e) = eobs.as_mut() {
             e.finish(&metrics);
         }
@@ -534,6 +721,7 @@ where
                 what: "reduce task".into(),
             });
         }
+        check_degrade_budget(&policy, &metrics, &control)?;
         Ok(JobResult { outputs, metrics })
     });
 
@@ -644,6 +832,16 @@ where
         .as_ref()
         .map(|o| EngineObs::new(Arc::clone(o), session.job.0 + 2, &session.job.to_string()));
     let mut bound_tracker = BoundTracker::new(start, num_reducers);
+    let policy = config.fault_policy.clone();
+    let fault: Option<Arc<FaultPlan>> = config
+        .fault_plan
+        .as_ref()
+        .filter(|p| p.injects_map_faults())
+        .cloned()
+        .map(Arc::new);
+    let mut failures: HashMap<usize, u32> = HashMap::new();
+    let mut task_ratio: HashMap<usize, f64> = HashMap::new();
+    let mut retry_queue: Vec<RetryEntry> = Vec::new();
 
     let notify_drop = |task: usize, txs: &[Sender<ReduceEvent<M::Key, M::Value>>]| {
         for tx in txs {
@@ -685,27 +883,69 @@ where
                         if let Some(e) = eobs.as_ref() {
                             e.task_outcome(TaskOutcome::Killed);
                         }
-                        notify_drop(task.0, &reducer_txs);
+                        if fatal.is_none() {
+                            notify_drop(task.0, &reducer_txs);
+                        }
                     }
                 }
-                WorkerMsg::Failed { task, error } => {
+                WorkerMsg::Failed {
+                    task,
+                    attempt,
+                    error,
+                } => {
                     running.remove(&task.0);
+                    metrics.failed_maps += 1;
+                    if let Some(e) = eobs.as_ref() {
+                        e.task_failed();
+                    }
                     if !completed.contains(&task.0) {
-                        finished += 1;
-                        metrics.killed_maps += 1;
-                        metrics.task_outcomes.push(TaskOutcomeRecord {
-                            task,
-                            outcome: TaskOutcome::Killed,
-                        });
-                        if let Some(e) = eobs.as_ref() {
-                            e.task_outcome(TaskOutcome::Killed);
+                        let fails = failures.entry(task.0).or_insert(0);
+                        *fails += 1;
+                        if !dropping && *fails <= policy.max_task_retries {
+                            metrics.retried_maps += 1;
+                            if let Some(e) = eobs.as_ref() {
+                                e.task_retry();
+                            }
+                            session.emit(JobEvent::TaskRetry {
+                                job: session.job,
+                                task,
+                                attempt: attempt + 1,
+                                reason: error.to_string(),
+                            });
+                            retry_queue.push(RetryEntry {
+                                due: Instant::now() + policy.backoff_for(*fails),
+                                task: task.0,
+                                attempt: attempt + 1,
+                                sampling_ratio: task_ratio.get(&task.0).copied().unwrap_or(1.0),
+                                avoid_server: None,
+                            });
+                        } else if policy.degrade_to_drop {
+                            finished += 1;
+                            metrics.degraded_to_drop += 1;
+                            metrics.task_outcomes.push(TaskOutcomeRecord {
+                                task,
+                                outcome: TaskOutcome::Failed,
+                            });
+                            if let Some(e) = eobs.as_ref() {
+                                e.task_outcome(TaskOutcome::Failed);
+                                e.task_degraded();
+                            }
+                            notify_drop(task.0, &reducer_txs);
+                        } else {
+                            finished += 1;
+                            metrics.task_outcomes.push(TaskOutcomeRecord {
+                                task,
+                                outcome: TaskOutcome::Failed,
+                            });
+                            if let Some(e) = eobs.as_ref() {
+                                e.task_outcome(TaskOutcome::Failed);
+                            }
+                            if fatal.is_none() {
+                                fatal = Some(error);
+                            }
+                            dropping = true;
                         }
-                        notify_drop(task.0, &reducer_txs);
                     }
-                    if fatal.is_none() {
-                        fatal = Some(error);
-                    }
-                    dropping = true;
                 }
             }
         };
@@ -730,6 +970,20 @@ where
             dropping = true;
         }
         if dropping {
+            for entry in retry_queue.drain(..) {
+                finished += 1;
+                metrics.dropped_maps += 1;
+                metrics.task_outcomes.push(TaskOutcomeRecord {
+                    task: TaskId(entry.task),
+                    outcome: TaskOutcome::Dropped,
+                });
+                if let Some(e) = eobs.as_ref() {
+                    e.task_outcome(TaskOutcome::Dropped);
+                }
+                if fatal.is_none() {
+                    notify_drop(entry.task, &reducer_txs);
+                }
+            }
             while let Some(t) = pending.pop_front() {
                 finished += 1;
                 metrics.dropped_maps += 1;
@@ -740,10 +994,62 @@ where
                 if let Some(e) = eobs.as_ref() {
                     e.task_outcome(TaskOutcome::Dropped);
                 }
-                notify_drop(t, &reducer_txs);
+                if fatal.is_none() {
+                    notify_drop(t, &reducer_txs);
+                }
             }
             for kill in running.values() {
                 kill.store(true, Ordering::SeqCst);
+            }
+        }
+
+        // 2a. Redispatch failed tasks whose retry backoff elapsed.
+        while !dropping && running.len() < in_flight_cap {
+            let now = Instant::now();
+            let Some(pos) = retry_queue.iter().position(|e| e.due <= now) else {
+                break;
+            };
+            let entry = retry_queue.swap_remove(pos);
+            let kill = Arc::new(AtomicBool::new(false));
+            let work = WorkItem {
+                task: TaskId(entry.task),
+                attempt: entry.attempt,
+                sampling_ratio: entry.sampling_ratio,
+                // Same read seed as the original attempt: a retry
+                // re-draws the exact sample, keeping the estimator
+                // independent of the fault history.
+                seed: config.seed ^ (entry.task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                kill: Arc::clone(&kill),
+                fault: fault.clone(),
+            };
+            running.insert(entry.task, kill);
+            let input = Arc::clone(&input);
+            let mapper = Arc::clone(&mapper);
+            let attempt_txs = reducer_txs.clone();
+            let msg_tx = msg_tx.clone();
+            let accepted = pool.submit(
+                tenant,
+                Box::new(move || {
+                    run_map_attempt(&*input, &*mapper, &work, &attempt_txs, &msg_tx);
+                }),
+            );
+            if !accepted {
+                running.remove(&entry.task);
+                finished += 1;
+                metrics.killed_maps += 1;
+                metrics.task_outcomes.push(TaskOutcomeRecord {
+                    task: TaskId(entry.task),
+                    outcome: TaskOutcome::Killed,
+                });
+                if let Some(e) = eobs.as_ref() {
+                    e.task_outcome(TaskOutcome::Killed);
+                }
+                if fatal.is_none() {
+                    fatal = Some(RuntimeError::invalid(
+                        "slot pool rejected task (pool shut down or tenant unregistered)",
+                    ));
+                }
+                dropping = true;
             }
         }
 
@@ -770,6 +1076,7 @@ where
                     if let Some(e) = eobs.as_ref() {
                         e.directive(true, sampling_ratio);
                     }
+                    task_ratio.insert(t, sampling_ratio);
                     let kill = Arc::new(AtomicBool::new(false));
                     let work = WorkItem {
                         task: TaskId(t),
@@ -777,6 +1084,7 @@ where
                         sampling_ratio,
                         seed: config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         kill: Arc::clone(&kill),
+                        fault: fault.clone(),
                     };
                     running.insert(t, kill);
                     let input = Arc::clone(&input);
@@ -800,7 +1108,6 @@ where
                         if let Some(e) = eobs.as_ref() {
                             e.task_outcome(TaskOutcome::Killed);
                         }
-                        notify_drop(t, &reducer_txs);
                         if fatal.is_none() {
                             fatal = Some(RuntimeError::invalid(
                                 "slot pool rejected task (pool shut down or tenant unregistered)",
@@ -828,7 +1135,13 @@ where
         }
 
         // 5. Stream progress to the submitter and record telemetry.
-        let worst_bound = control.worst_bound_across_reducers(1);
+        //    Once a fatal error is latched the bound is meaningless (the
+        //    estimate will be discarded), so stop publishing it.
+        let worst_bound = if fatal.is_none() {
+            control.worst_bound_across_reducers(1)
+        } else {
+            None
+        };
         if finished != last_wave {
             last_wave = finished;
             session.emit(JobEvent::Wave {
@@ -850,11 +1163,17 @@ where
                 });
             }
         }
-        bound_tracker.poll(&control, &mut metrics.bound_series, eobs.as_ref());
+        if fatal.is_none() {
+            bound_tracker.poll(&control, &mut metrics.bound_series, eobs.as_ref());
+        }
     }
 
     if finished != last_wave {
-        let worst_bound = control.worst_bound_across_reducers(1);
+        let worst_bound = if fatal.is_none() {
+            control.worst_bound_across_reducers(1)
+        } else {
+            None
+        };
         session.emit(JobEvent::Wave {
             job: session.job,
             finished,
@@ -881,7 +1200,9 @@ where
         }
     }
     metrics.wall_secs = start.elapsed().as_secs_f64();
-    bound_tracker.poll(&control, &mut metrics.bound_series, eobs.as_ref());
+    if fatal.is_none() {
+        bound_tracker.poll(&control, &mut metrics.bound_series, eobs.as_ref());
+    }
     if let Some(e) = eobs.as_mut() {
         e.finish(&metrics);
     }
@@ -893,6 +1214,7 @@ where
             what: "reduce task".into(),
         });
     }
+    check_degrade_budget(&policy, &metrics, &control)?;
     if let Some(bound) = control.worst_bound_across_reducers(1) {
         if last_bound != Some(bound) {
             session.emit(JobEvent::Estimate {
@@ -902,6 +1224,34 @@ where
         }
     }
     Ok(JobResult { outputs, metrics })
+}
+
+/// Enforces a degraded job's error budget: when tasks were degraded to
+/// drops and the policy carries a `max_degraded_bound`, the final worst
+/// relative bound across reducers must not exceed it. An unbounded
+/// (∞/NaN) result also fails the check.
+fn check_degrade_budget(
+    policy: &FaultPolicy,
+    metrics: &JobMetrics,
+    control: &JobControl,
+) -> Result<()> {
+    let Some(limit) = policy.max_degraded_bound else {
+        return Ok(());
+    };
+    if metrics.degraded_to_drop == 0 {
+        return Ok(());
+    }
+    let Some(worst_bound) = control.worst_bound_across_reducers(1) else {
+        return Ok(());
+    };
+    if worst_bound.is_nan() || worst_bound > limit {
+        return Err(RuntimeError::DegradeBudgetExceeded {
+            worst_bound,
+            limit,
+            degraded_maps: metrics.degraded_to_drop,
+        });
+    }
+    Ok(())
 }
 
 /// Executes one map attempt on a task-tracker thread.
@@ -922,12 +1272,28 @@ fn run_map_attempt<S, M>(
         });
         return;
     }
+    let decision = work
+        .fault
+        .as_deref()
+        .map(|f| f.decide(work.task.0, work.attempt))
+        .unwrap_or(FaultDecision::None);
+    if decision == FaultDecision::IoError {
+        let _ = msg_tx.send(WorkerMsg::Failed {
+            task: work.task,
+            attempt: work.attempt,
+            error: RuntimeError::InjectedFault {
+                what: format!("input read of {} (attempt {})", work.task, work.attempt),
+            },
+        });
+        return;
+    }
     let t0 = Instant::now();
     let read = match input.read_split(work.task.0, work.sampling_ratio, work.seed) {
         Ok(r) => r,
         Err(e) => {
             let _ = msg_tx.send(WorkerMsg::Failed {
                 task: work.task,
+                attempt: work.attempt,
                 error: e,
             });
             return;
@@ -938,6 +1304,9 @@ fn run_map_attempt<S, M>(
     // User map code may panic; contain it so the JobTracker can fail the
     // job cleanly instead of losing a worker thread (and hanging).
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if decision == FaultDecision::MapPanic {
+            panic!("injected map panic in {}", work.task);
+        }
         let mut parts: Vec<Vec<(M::Key, M::Value)>> =
             (0..num_reducers).map(|_| Vec::new()).collect();
         let mut emitted = 0u64;
@@ -973,6 +1342,7 @@ fn run_map_attempt<S, M>(
         Err(_) => {
             let _ = msg_tx.send(WorkerMsg::Failed {
                 task: work.task,
+                attempt: work.attempt,
                 error: RuntimeError::TaskPanicked {
                     what: format!("user map code in {}", work.task),
                 },

@@ -25,6 +25,22 @@ pub enum RuntimeError {
     },
     /// The job was cancelled by its owner before completion.
     Cancelled,
+    /// A fault injected by the job's [`FaultPlan`](crate::fault::FaultPlan).
+    InjectedFault {
+        /// Description of the injected fault.
+        what: String,
+    },
+    /// Tasks were degraded to drops after exhausting their retries, but
+    /// the resulting worst relative error bound exceeds the job's
+    /// budget ([`FaultPolicy::max_degraded_bound`](crate::fault::FaultPolicy::max_degraded_bound)).
+    DegradeBudgetExceeded {
+        /// Worst relative error bound across reducers after degrading.
+        worst_bound: f64,
+        /// The configured limit the bound had to stay under.
+        limit: f64,
+        /// Map tasks that were degraded to drops.
+        degraded_maps: usize,
+    },
 }
 
 impl RuntimeError {
@@ -43,6 +59,16 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Input { source } => write!(f, "input error: {source}"),
             RuntimeError::TaskPanicked { what } => write!(f, "task panicked: {what}"),
             RuntimeError::Cancelled => write!(f, "job cancelled"),
+            RuntimeError::InjectedFault { what } => write!(f, "injected fault: {what}"),
+            RuntimeError::DegradeBudgetExceeded {
+                worst_bound,
+                limit,
+                degraded_maps,
+            } => write!(
+                f,
+                "degraded job exceeds its error budget: worst relative bound {worst_bound:.4} > \
+                 limit {limit:.4} after {degraded_maps} map task(s) degraded to drops"
+            ),
         }
     }
 }

@@ -8,6 +8,8 @@ use std::time::Instant;
 
 use crossbeam::channel::Sender;
 
+use crate::types::TaskId;
+
 /// Identifier of a job within a [`crate::pool::SlotPool`]-backed service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize)]
 pub struct JobId(pub u64);
@@ -45,6 +47,17 @@ pub enum JobEvent {
         job: JobId,
         /// Worst relative error bound across reducers (∞ = unbounded).
         worst_relative_bound: f64,
+    },
+    /// A failed map attempt is being retried.
+    TaskRetry {
+        /// The job.
+        job: JobId,
+        /// The failing task.
+        task: TaskId,
+        /// The attempt number about to be scheduled.
+        attempt: u32,
+        /// Why the previous attempt failed.
+        reason: String,
     },
     /// The job finished successfully.
     Done {

@@ -98,10 +98,44 @@ impl EngineObs {
             TaskOutcome::Completed => "completed",
             TaskOutcome::Dropped => "dropped",
             TaskOutcome::Killed => "killed",
+            TaskOutcome::Failed => "failed",
         };
         self.obs
             .registry
             .counter("engine_tasks_total", &[("outcome", label)])
+            .inc();
+    }
+
+    /// Counts one failed map attempt.
+    pub(crate) fn task_failed(&self) {
+        self.obs
+            .registry
+            .counter("engine_task_failures_total", &[])
+            .inc();
+    }
+
+    /// Counts one retry scheduled after a failure.
+    pub(crate) fn task_retry(&self) {
+        self.obs
+            .registry
+            .counter("engine_task_retries_total", &[])
+            .inc();
+    }
+
+    /// Counts one task degraded to a dropped cluster after exhausting
+    /// its retries.
+    pub(crate) fn task_degraded(&self) {
+        self.obs
+            .registry
+            .counter("engine_tasks_degraded_total", &[])
+            .inc();
+    }
+
+    /// Counts one server blacklisted after repeated attempt failures.
+    pub(crate) fn server_blacklisted(&self) {
+        self.obs
+            .registry
+            .counter("engine_servers_blacklisted_total", &[])
             .inc();
     }
 
@@ -212,6 +246,9 @@ impl EngineObs {
                 arg_num("executed_maps", metrics.executed_maps as f64),
                 arg_num("dropped_maps", metrics.dropped_maps as f64),
                 arg_num("killed_maps", metrics.killed_maps as f64),
+                arg_num("failed_maps", metrics.failed_maps as f64),
+                arg_num("retried_maps", metrics.retried_maps as f64),
+                arg_num("degraded_to_drop", metrics.degraded_to_drop as f64),
                 arg_num("wall_secs", metrics.wall_secs),
             ],
         );

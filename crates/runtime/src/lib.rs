@@ -18,7 +18,13 @@
 //!   block at a per-task sampling ratio decided at schedule time and
 //!   reports `(m_i, M_i)` with the map output;
 //! * **speculative execution** of stragglers (duplicate launch, first
-//!   completion wins).
+//!   completion wins);
+//! * **fault tolerance** ([`fault`]): deterministic fault injection
+//!   ([`fault::FaultPlan`]), bounded per-task retry with exponential
+//!   backoff and server blacklisting, and **degrade-to-drop** — a task
+//!   that exhausts its retries is absorbed into the sampling design as
+//!   a dropped cluster (widening the confidence interval) instead of
+//!   failing the job ([`fault::FaultPolicy`]).
 //!
 //! Approximation *policy* — error estimation, ratio selection, target
 //! bounds — lives in `approxhadoop-core`, which drives this engine
@@ -64,6 +70,7 @@ pub mod control;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod input;
 mod instrument;
 pub mod mapper;
@@ -77,6 +84,7 @@ pub use control::{Coordinator, FixedCoordinator, JobControl, MapDirective};
 pub use engine::{run_job, run_job_on_pool, run_job_with_coordinator, JobConfig, JobResult};
 pub use error::RuntimeError;
 pub use event::{CancelHandle, JobEvent, JobId, JobSession};
+pub use fault::{FaultDecision, FaultPlan, FaultPolicy};
 pub use mapper::MapTaskContext;
 pub use pool::{SlotPool, TenantId};
 pub use types::{Key, TaskId, Value};

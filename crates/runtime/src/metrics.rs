@@ -33,6 +33,11 @@ pub enum TaskOutcome {
     Dropped,
     /// Launched and killed mid-flight (counts as dropped for sampling).
     Killed,
+    /// Failed every attempt (I/O error or panic) — and, under a
+    /// degrade-to-drop policy, was absorbed into the sampling design as
+    /// a dropped cluster. Never conflated with [`TaskOutcome::Killed`],
+    /// which marks *intentional* kills.
+    Failed,
 }
 
 /// The terminal state of one specific map task, recorded so exported
@@ -70,6 +75,14 @@ pub struct JobMetrics {
     pub dropped_maps: usize,
     /// Maps killed while running.
     pub killed_maps: usize,
+    /// Failed map *attempts* (each failed attempt counts, including ones
+    /// whose task later succeeded on retry).
+    pub failed_maps: usize,
+    /// Retry attempts scheduled after failures.
+    pub retried_maps: usize,
+    /// Tasks that exhausted their retries and were degraded to dropped
+    /// clusters instead of aborting the job.
+    pub degraded_to_drop: usize,
     /// Speculative duplicate attempts launched.
     pub speculative_attempts: usize,
     /// Maps scheduled on a server holding a replica of their block.
@@ -92,12 +105,14 @@ pub struct JobMetrics {
 }
 
 impl JobMetrics {
-    /// Fraction of maps that did **not** complete (dropped + killed).
+    /// Fraction of maps that did **not** complete (dropped + killed +
+    /// degraded to drop).
     pub fn drop_fraction(&self) -> f64 {
         if self.total_maps == 0 {
             0.0
         } else {
-            (self.dropped_maps + self.killed_maps) as f64 / self.total_maps as f64
+            (self.dropped_maps + self.killed_maps + self.degraded_to_drop) as f64
+                / self.total_maps as f64
         }
     }
 

@@ -150,6 +150,9 @@ struct ControllerState {
     degrade: f64,
     decisions: Vec<DegradeDecision>,
     overloaded_observations: u64,
+    failed_maps: u64,
+    retried_maps: u64,
+    degraded_maps: u64,
 }
 
 /// The feedback loop: records completed-job latencies, compares p99 and
@@ -296,6 +299,37 @@ impl AdmissionController {
             );
         }
         decision
+    }
+
+    /// Records one completed job's fault-tolerance accounting: failed
+    /// map attempts, retries scheduled, and tasks degraded to dropped
+    /// clusters. Service-wide totals are exposed via
+    /// [`AdmissionController::fault_totals`] and, when the controller
+    /// carries an [`Obs`] context, as `admission_failed_maps_total` /
+    /// `admission_retried_maps_total` / `admission_degraded_maps_total`.
+    pub fn on_job_faults(&self, failed: usize, retried: usize, degraded: usize) {
+        let mut state = self.state.lock();
+        state.failed_maps += failed as u64;
+        state.retried_maps += retried as u64;
+        state.degraded_maps += degraded as u64;
+        if let Some(obs) = &self.obs {
+            obs.registry
+                .counter("admission_failed_maps_total", &[])
+                .add(failed as u64);
+            obs.registry
+                .counter("admission_retried_maps_total", &[])
+                .add(retried as u64);
+            obs.registry
+                .counter("admission_degraded_maps_total", &[])
+                .add(degraded as u64);
+        }
+    }
+
+    /// Service-wide fault totals as
+    /// `(failed_maps, retried_maps, degraded_maps)`.
+    pub fn fault_totals(&self) -> (u64, u64, u64) {
+        let state = self.state.lock();
+        (state.failed_maps, state.retried_maps, state.degraded_maps)
     }
 
     /// p99 latency over the sliding window, if any jobs completed.

@@ -235,6 +235,7 @@ pub fn run_phase_with_obs(
             seed: config.seed.wrapping_add(101 + j as u64),
             budget,
             deadline: None,
+            ..Default::default()
         };
         let handle = service
             .submit(

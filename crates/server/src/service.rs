@@ -22,7 +22,7 @@ use approxhadoop_runtime::input::InputSource;
 use approxhadoop_runtime::mapper::Mapper;
 use approxhadoop_runtime::pool::SlotPool;
 use approxhadoop_runtime::reducer::Reducer;
-use approxhadoop_runtime::{FixedCoordinator, RuntimeError};
+use approxhadoop_runtime::{FaultPlan, FaultPolicy, FixedCoordinator, RuntimeError};
 
 use crate::admission::{AdmissionConfig, AdmissionController, ApproxBudget};
 
@@ -47,6 +47,15 @@ pub struct JobSpec {
     /// Optional deadline: on expiry remaining maps are dropped and the
     /// job completes approximately (never killed).
     pub deadline: Option<Duration>,
+    /// Retries per failed map task before it is degraded to a dropped
+    /// cluster (`0` = fail fast on the first task failure).
+    pub max_task_retries: u32,
+    /// Optional deterministic fault injection for this job's map path
+    /// (testing/chaos).
+    pub fault_plan: Option<FaultPlan>,
+    /// With retries enabled, fail the job anyway if the final worst
+    /// relative error bound of a degraded run exceeds this limit.
+    pub max_degraded_bound: Option<f64>,
 }
 
 impl Default for JobSpec {
@@ -59,6 +68,9 @@ impl Default for JobSpec {
             seed: 0,
             budget: ApproxBudget::precise(),
             deadline: None,
+            max_task_retries: 0,
+            fault_plan: None,
+            max_degraded_bound: None,
         }
     }
 }
@@ -209,6 +221,13 @@ impl JobService {
             seed: spec.seed,
             speculative: false,
             straggler_factor: 2.0,
+            fault_plan: spec.fault_plan.clone(),
+            fault_policy: FaultPolicy {
+                max_task_retries: spec.max_task_retries,
+                degrade_to_drop: spec.max_task_retries > 0,
+                max_degraded_bound: spec.max_degraded_bound,
+                ..Default::default()
+            },
             obs: Some(Arc::clone(&self.obs)),
         };
 
@@ -256,6 +275,12 @@ impl JobService {
                 // other completions (and failures) feed the controller.
                 if !matches!(outcome, Err(RuntimeError::Cancelled)) {
                     controller.on_job_complete(submitted.elapsed().as_secs_f64(), pool.queued());
+                }
+                if let Ok(r) = &outcome {
+                    let m = &r.metrics;
+                    if m.failed_maps > 0 || m.retried_maps > 0 || m.degraded_to_drop > 0 {
+                        controller.on_job_faults(m.failed_maps, m.retried_maps, m.degraded_to_drop);
+                    }
                 }
                 match &outcome {
                     Ok(r) => session.emit(JobEvent::Done {
@@ -313,6 +338,28 @@ mod tests {
         let result = h.wait().unwrap();
         assert_eq!(result.outputs, vec![12]);
         assert_eq!(service.submitted(), 1);
+    }
+
+    #[test]
+    fn faulty_job_retries_and_feeds_fault_totals() {
+        let service = JobService::new(4, AdmissionConfig::default());
+        let blocks: Vec<Vec<u32>> = (0..8).map(|i| vec![i, i]).collect();
+        let spec = JobSpec {
+            max_task_retries: 5,
+            fault_plan: Some(FaultPlan::parse("io=0.4,seed=1").unwrap()),
+            ..Default::default()
+        };
+        let h = count_job(&service, spec, blocks);
+        let result = h.wait().unwrap();
+        assert_eq!(result.outputs, vec![16], "all retries must succeed");
+        assert!(result.metrics.failed_maps > 0, "plan must inject failures");
+        assert_eq!(result.metrics.failed_maps, result.metrics.retried_maps);
+        assert_eq!(result.metrics.degraded_to_drop, 0);
+        assert_eq!(result.metrics.killed_maps, 0, "failures are not kills");
+        let (failed, retried, degraded) = service.controller().fault_totals();
+        assert_eq!(failed, result.metrics.failed_maps as u64);
+        assert_eq!(retried, result.metrics.retried_maps as u64);
+        assert_eq!(degraded, 0);
     }
 
     /// An input whose `splits()` is empty — `VecSource` refuses to be

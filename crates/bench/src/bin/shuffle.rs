@@ -1,0 +1,387 @@
+//! Shuffle fast-path benchmark: map-side combining on vs off.
+//!
+//! Runs two raw-pair workloads through the real engine — word count
+//! (`(word, 1)` folded by [`SumCombiner`]) and a log-ratio aggregation
+//! (`(server, (bytes, 1))` folded by [`PairSumCombiner`]) — first with
+//! combining disabled, then enabled, and reports shuffle volume
+//! (pre-/post-combine pairs, approximate bytes), throughput
+//! (records/s), and p50/p99 map task times.
+//!
+//! The approximation templates (`MultiStageMapper`, `RatioMapper`)
+//! already ship one statistic per key per task, so they gain nothing
+//! here — this benchmark exercises the raw-emission path those
+//! templates bypass.
+//!
+//! Human-readable narration goes to stdout; one JSON document lands in
+//! `BENCH_shuffle.json` (or `--out PATH`).
+//!
+//! ```text
+//! shuffle [--smoke] [--check] [--out PATH]
+//! ```
+//!
+//! * `--smoke` shrinks the datasets for CI;
+//! * `--check` exits non-zero unless combining cut wordcount shuffle
+//!   pairs by ≥10× and both variants agreed on every output.
+
+use approxhadoop_bench::{header, reps, timed, Summary};
+use approxhadoop_runtime::combine::{Combined, PairSumCombiner, SumCombiner};
+use approxhadoop_runtime::engine::{run_job, JobConfig};
+use approxhadoop_runtime::input::VecSource;
+use approxhadoop_runtime::mapper::FnMapper;
+use approxhadoop_runtime::metrics::JobMetrics;
+use approxhadoop_runtime::reducer::GroupedReducer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Measurements of one engine variant (combining on or off).
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+struct VariantReport {
+    combining: bool,
+    wall_secs_mean: f64,
+    wall_secs_min: f64,
+    records_per_sec: f64,
+    emitted_pairs: u64,
+    shuffled_pairs: u64,
+    approx_shuffled_bytes: u64,
+    map_p50_secs: f64,
+    map_p99_secs: f64,
+}
+
+/// Side-by-side comparison for one workload.
+#[derive(Debug, Clone, serde::Serialize)]
+struct WorkloadReport {
+    name: String,
+    records: u64,
+    uncombined: VariantReport,
+    combined: VariantReport,
+    /// `emitted / shuffled` of the combined run.
+    pair_reduction: f64,
+    /// Uncombined mean wall over combined mean wall.
+    speedup: f64,
+    /// Whether both variants produced the same reduce outputs.
+    outputs_match: bool,
+}
+
+#[derive(Debug, Clone, serde::Serialize)]
+struct Report {
+    reps: usize,
+    smoke: bool,
+    workloads: Vec<WorkloadReport>,
+}
+
+/// Zipf-ish text corpus: frequent words dominate, so per-task
+/// combining collapses many `(word, 1)` pairs per key.
+fn wordcount_corpus(blocks: usize, lines: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..blocks)
+        .map(|_| {
+            (0..lines)
+                .map(|_| {
+                    let n = rng.gen_range(6..12);
+                    (0..n)
+                        .map(|_| {
+                            let u: f64 = rng.gen();
+                            format!("w{}", (u * u * 800.0) as u32)
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Synthetic access log: `(server, response_bytes)` per request.
+fn log_corpus(blocks: usize, entries: usize, seed: u64) -> Vec<Vec<(u32, f64)>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..blocks)
+        .map(|_| {
+            (0..entries)
+                .map(|_| (rng.gen_range(0..64u32), rng.gen_range(200.0..20_000.0)))
+                .collect()
+        })
+        .collect()
+}
+
+/// p-th percentile (0–100) of an unsorted sample.
+fn percentile(values: &mut [f64], p: usize) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.sort_by(f64::total_cmp);
+    values[(values.len() * p / 100).min(values.len() - 1)]
+}
+
+fn variant_report(
+    combining: bool,
+    walls: &[f64],
+    metrics: &JobMetrics,
+    task_secs: &mut [f64],
+    bytes_per_pair: f64,
+) -> VariantReport {
+    let wall = Summary::of(walls);
+    VariantReport {
+        combining,
+        wall_secs_mean: wall.mean,
+        wall_secs_min: wall.min,
+        records_per_sec: metrics.total_records as f64 / wall.mean,
+        emitted_pairs: metrics.emitted_pairs,
+        shuffled_pairs: metrics.shuffled_pairs,
+        approx_shuffled_bytes: (metrics.shuffled_pairs as f64 * bytes_per_pair) as u64,
+        map_p50_secs: percentile(task_secs, 50),
+        map_p99_secs: percentile(task_secs, 99),
+    }
+}
+
+/// Runs one workload `reps` times per variant via `run(combining, seed)`
+/// and assembles the comparison row.
+fn bench_workload<O: PartialEq>(
+    name: &str,
+    bytes_per_pair: f64,
+    mut run: impl FnMut(bool, u64) -> (f64, JobMetrics, Vec<O>),
+) -> WorkloadReport {
+    let mut variants = Vec::new();
+    let mut outputs: Vec<Vec<O>> = Vec::new();
+    for combining in [false, true] {
+        let mut walls = Vec::new();
+        let mut task_secs = Vec::new();
+        let mut last = None;
+        for seed in 0..reps() as u64 {
+            let (secs, metrics, out) = run(combining, seed);
+            walls.push(secs);
+            task_secs.extend(metrics.map_stats.iter().map(|s| s.duration_secs));
+            last = Some((metrics, out));
+        }
+        let (metrics, out) = last.expect("at least one rep");
+        variants.push(variant_report(
+            combining,
+            &walls,
+            &metrics,
+            &mut task_secs,
+            bytes_per_pair,
+        ));
+        outputs.push(out);
+    }
+    let (uncombined, combined) = (variants[0], variants[1]);
+    WorkloadReport {
+        name: name.to_string(),
+        records: run(true, 0).1.total_records,
+        uncombined,
+        combined,
+        pair_reduction: combined.emitted_pairs as f64 / combined.shuffled_pairs.max(1) as f64,
+        speedup: uncombined.wall_secs_mean / combined.wall_secs_mean,
+        outputs_match: outputs[0] == outputs[1],
+    }
+}
+
+fn run_wordcount(
+    blocks: &[Vec<String>],
+    combining: bool,
+    seed: u64,
+) -> (f64, JobMetrics, Vec<(String, u64)>) {
+    let input = VecSource::new(blocks.to_vec());
+    let mapper = Combined::new(
+        FnMapper::new(|line: &String, emit: &mut dyn FnMut(String, u64)| {
+            for w in line.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        }),
+        SumCombiner,
+    );
+    let (secs, result) = timed(|| {
+        run_job(
+            &input,
+            &mapper,
+            |_| {
+                GroupedReducer::new(|k: &String, vs: &[u64]| {
+                    Some((k.clone(), vs.iter().sum::<u64>()))
+                })
+            },
+            JobConfig {
+                combining,
+                reduce_tasks: 4,
+                seed,
+                ..Default::default()
+            },
+        )
+        .expect("wordcount job")
+    });
+    let mut outputs = result.outputs;
+    outputs.sort();
+    (secs, result.metrics, outputs)
+}
+
+/// One log-ratio output row: `(server, (Σbytes, Σreqs))`, rounded to
+/// integers so the float fold order (which combining legitimately
+/// changes) cannot fail the equality check.
+type RatioRow = (u32, (u64, u64));
+
+fn run_logratio(
+    blocks: &[Vec<(u32, f64)>],
+    combining: bool,
+    seed: u64,
+) -> (f64, JobMetrics, Vec<RatioRow>) {
+    let input = VecSource::new(blocks.to_vec());
+    let mapper = Combined::new(
+        FnMapper::new(|r: &(u32, f64), emit: &mut dyn FnMut(u32, (f64, f64))| {
+            emit(r.0, (r.1, 1.0));
+        }),
+        PairSumCombiner,
+    );
+    let (secs, result) = timed(|| {
+        run_job(
+            &input,
+            &mapper,
+            |_| {
+                GroupedReducer::new(|k: &u32, vs: &[(f64, f64)]| {
+                    let y: f64 = vs.iter().map(|p| p.0).sum();
+                    let x: f64 = vs.iter().map(|p| p.1).sum();
+                    Some((*k, (y.round() as u64, x.round() as u64)))
+                })
+            },
+            JobConfig {
+                combining,
+                reduce_tasks: 4,
+                seed,
+                ..Default::default()
+            },
+        )
+        .expect("log-ratio job")
+    });
+    let mut outputs = result.outputs;
+    outputs.sort();
+    (secs, result.metrics, outputs)
+}
+
+fn print_row(name: &str, v: &VariantReport) {
+    println!(
+        "{:>10} {:>9} | {:>9.3} | {:>11.0} | {:>12} | {:>12} | {:>9.4} | {:>9.4}",
+        name,
+        if v.combining { "+combine" } else { "-combine" },
+        v.wall_secs_mean,
+        v.records_per_sec,
+        v.emitted_pairs,
+        v.shuffled_pairs,
+        v.map_p50_secs,
+        v.map_p99_secs,
+    );
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut check = false;
+    let mut out = "BENCH_shuffle.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("error: missing value for --out");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown option `{other}` (expected --smoke/--check/--out)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    header(
+        "Shuffle",
+        "Map-side combining: shuffle volume and throughput, combining off vs on",
+    );
+    let (wc_blocks, wc_lines, lr_blocks, lr_entries) = if smoke {
+        (8, 150, 8, 300)
+    } else {
+        (32, 6000, 32, 20_000)
+    };
+
+    let corpus = wordcount_corpus(wc_blocks, wc_lines, 42);
+    let word_bytes: usize = corpus
+        .iter()
+        .flatten()
+        .map(|l| l.split_whitespace().map(str::len).sum::<usize>())
+        .sum();
+    let words: usize = corpus
+        .iter()
+        .flatten()
+        .map(|l| l.split_whitespace().count())
+        .sum();
+    // Approximate wire size: key bytes + 8-byte count.
+    let wc_pair_bytes = word_bytes as f64 / words.max(1) as f64 + 8.0;
+    let logs = log_corpus(lr_blocks, lr_entries, 43);
+
+    println!(
+        "{:>10} {:>9} | {:>9} | {:>11} | {:>12} | {:>12} | {:>9} | {:>9}",
+        "workload", "variant", "wall(s)", "records/s", "emitted", "shuffled", "p50 map", "p99 map"
+    );
+    let reports = vec![
+        bench_workload("wordcount", wc_pair_bytes, |combining, seed| {
+            run_wordcount(&corpus, combining, seed)
+        }),
+        // Key (4 B) + two f64 components.
+        bench_workload("log-ratio", 20.0, |combining, seed| {
+            run_logratio(&logs, combining, seed)
+        }),
+    ];
+    for w in &reports {
+        print_row(&w.name, &w.uncombined);
+        print_row(&w.name, &w.combined);
+        println!(
+            "{:>20} | pairs ÷{:.1}, bytes ÷{:.1}, speedup {:.2}x, outputs match: {}",
+            w.name,
+            w.pair_reduction,
+            w.uncombined.approx_shuffled_bytes as f64
+                / w.combined.approx_shuffled_bytes.max(1) as f64,
+            w.speedup,
+            w.outputs_match,
+        );
+    }
+
+    let report = Report {
+        reps: reps(),
+        smoke,
+        workloads: reports,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).expect("write benchmark report");
+    println!("wrote {out}");
+
+    if check {
+        let mut failures = Vec::new();
+        for w in &report.workloads {
+            if !w.outputs_match {
+                failures.push(format!(
+                    "{}: combined and uncombined outputs differ",
+                    w.name
+                ));
+            }
+            if w.combined.shuffled_pairs >= w.uncombined.shuffled_pairs {
+                failures.push(format!(
+                    "{}: combining did not shrink the shuffle ({} vs {})",
+                    w.name, w.combined.shuffled_pairs, w.uncombined.shuffled_pairs
+                ));
+            }
+        }
+        // The ≥10× gate needs the full-size corpus; smoke blocks are
+        // too small for per-task key collapse to reach it.
+        let wc = &report.workloads[0];
+        if !report.smoke && wc.pair_reduction < 10.0 {
+            failures.push(format!(
+                "wordcount pair reduction {:.1}x below the 10x gate",
+                wc.pair_reduction
+            ));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("all checks passed");
+    }
+}

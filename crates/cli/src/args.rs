@@ -110,6 +110,20 @@ impl Args {
         }
         let drop: f64 = self.get_parsed("drop", 0.0)?;
         let sample: f64 = self.get_parsed("sample", 1.0)?;
+        // Reject out-of-range ratios here, at the user boundary: a typo'd
+        // `--sample 0` used to be clamped deep in the sampler to a
+        // 1-in-a-billion sample, yielding a garbage interval instead of
+        // an error.
+        if !(sample > 0.0 && sample <= 1.0) {
+            return Err(UsageError(format!(
+                "--sample must lie in (0, 1], got `{sample}`"
+            )));
+        }
+        if !(0.0..1.0).contains(&drop) {
+            return Err(UsageError(format!(
+                "--drop must lie in [0, 1), got `{drop}`"
+            )));
+        }
         if drop == 0.0 && sample >= 1.0 {
             Ok(ApproxSpec::Precise)
         } else {
@@ -199,5 +213,26 @@ mod tests {
         let a = parse("run x --seed abc");
         assert!(a.get_parsed::<u64>("seed", 0).is_err());
         assert!(Args::parse(vec!["--".to_string()]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_ratios_are_rejected() {
+        // Regression: `--sample 0` used to silently clamp to a 1e-9
+        // sampling ratio instead of erroring out.
+        assert!(parse("run x --sample 0").approx_spec().is_err());
+        assert!(parse("run x --sample -0.5").approx_spec().is_err());
+        assert!(parse("run x --sample 1.5").approx_spec().is_err());
+        assert!(parse("run x --sample nan").approx_spec().is_err());
+        assert!(parse("run x --drop 1").approx_spec().is_err());
+        assert!(parse("run x --drop -0.1").approx_spec().is_err());
+        // Boundary values stay accepted.
+        assert_eq!(
+            parse("run x --sample 1 --drop 0").approx_spec().unwrap(),
+            ApproxSpec::Precise
+        );
+        assert_eq!(
+            parse("run x --sample 0.01").approx_spec().unwrap(),
+            ApproxSpec::ratios(0.0, 0.01)
+        );
     }
 }

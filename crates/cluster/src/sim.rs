@@ -343,6 +343,7 @@ pub fn simulate(
             total_records: job.records_per_map,
             sampled_records: fin.sampled,
             emitted: 1,
+            shuffled: 1,
             duration_secs: fin.duration,
             read_secs: job.records_per_map as f64 * job.timing.tr / cluster.speed,
         });

@@ -71,7 +71,7 @@ pub mod threestage;
 pub mod userdef;
 
 pub use error::CoreError;
-pub use keystat::KeyStat;
+pub use keystat::{KeyStat, KeyStatCombiner};
 pub use spec::{ApproxSpec, ErrorTarget, PilotSpec};
 
 /// Result alias for core operations.

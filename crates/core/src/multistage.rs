@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
+use approxhadoop_runtime::combine::Combiner;
 use approxhadoop_runtime::mapper::{MapTaskContext, Mapper};
 use approxhadoop_runtime::reducer::{MapOutputMeta, ReduceContext, Reducer};
 use approxhadoop_runtime::types::{Key, TaskId};
@@ -112,6 +113,10 @@ where
         for (k, stat) in state.per_key {
             emit(k, stat);
         }
+    }
+
+    fn combiner(&self) -> Option<&dyn Combiner<K, KeyStat>> {
+        Some(&crate::keystat::KeyStatCombiner)
     }
 }
 

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 use std::marker::PhantomData;
 
+use approxhadoop_runtime::combine::Combiner;
 use approxhadoop_runtime::mapper::{MapTaskContext, Mapper};
 use approxhadoop_runtime::reducer::{MapOutputMeta, ReduceContext, Reducer};
 use approxhadoop_runtime::types::{Key, TaskId};
@@ -47,6 +48,18 @@ impl PairStat {
         self.sum_x += other.sum_x;
         self.sum_x_sq += other.sum_x_sq;
         self.sum_xy += other.sum_xy;
+    }
+}
+
+/// Map-side combiner for [`PairStat`] values: merging is component-wise
+/// addition of the paired sums the ratio estimator consumes, so
+/// pre-combining preserves the reported intervals exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairStatCombiner;
+
+impl<K> Combiner<K, PairStat> for PairStatCombiner {
+    fn combine(&self, _key: &K, acc: &mut PairStat, incoming: PairStat) {
+        acc.merge(&incoming);
     }
 }
 
@@ -115,6 +128,10 @@ where
         for (k, stat) in state.per_key {
             emit(k, stat);
         }
+    }
+
+    fn combiner(&self) -> Option<&dyn Combiner<K, PairStat>> {
+        Some(&PairStatCombiner)
     }
 }
 

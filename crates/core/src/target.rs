@@ -525,6 +525,7 @@ mod tests {
                 total_records: 1000,
                 sampled_records: 100,
                 emitted: 0,
+                shuffled: 0,
                 // read = 1000·1e-4 = 0.1; process = 100·2e-3 = 0.2
                 read_secs: 0.1,
                 duration_secs: 0.1 + 0.2,
@@ -679,6 +680,7 @@ mod tests {
                 total_records: 1000,
                 sampled_records: 1000,
                 emitted: 10,
+                shuffled: 10,
                 duration_secs: 0.5,
                 read_secs: 0.1,
             });

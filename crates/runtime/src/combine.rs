@@ -1,0 +1,270 @@
+//! Map-side combiners: algebraic folding of same-key pairs inside the
+//! map task, before anything reaches the shuffle channels.
+//!
+//! A [`Combiner`] collapses the stream of `(key, value)` emissions of a
+//! map task into at most one value per key per reduce partition — the
+//! classic Hadoop combiner optimisation. Because the engine applies the
+//! combiner *per reducer partition*, a map task ships one pre-combined,
+//! pre-partitioned batch per reducer instead of every raw pair.
+//!
+//! **Correctness contract:** the combiner's fold must be an associative,
+//! commutative reduction that the job's reducer also applies — i.e. the
+//! value type forms a monoid under `combine` and the reducer treats
+//! incoming values as partial aggregates. The approximation templates in
+//! `approxhadoop-core` satisfy this by construction: their per-key
+//! statistics (`KeyStat`, `PairStat`) carry exactly the per-cluster
+//! `Σv` / `Σv²` sums the multi-stage estimators consume, and merging is
+//! plain addition, so confidence intervals are identical with combining
+//! on or off.
+
+use std::marker::PhantomData;
+
+use crate::mapper::{MapTaskContext, Mapper};
+use crate::types::{Key, Value};
+
+/// Folds a freshly emitted value into the accumulated value for `key`.
+///
+/// Implementations must be pure with respect to the key: the same
+/// `(acc, incoming)` pair must fold identically on every call, or
+/// combined and uncombined runs diverge.
+pub trait Combiner<K, V>: Send + Sync {
+    /// Folds `incoming` into `acc` (the running combined value for
+    /// `key` within the current map task and reduce partition).
+    fn combine(&self, key: &K, acc: &mut V, incoming: V);
+}
+
+/// Sums numeric values per key — the word-count combiner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumCombiner;
+
+macro_rules! impl_sum_combiner {
+    ($($t:ty),*) => {
+        $(impl<K> Combiner<K, $t> for SumCombiner {
+            fn combine(&self, _key: &K, acc: &mut $t, incoming: $t) {
+                *acc += incoming;
+            }
+        })*
+    };
+}
+
+impl_sum_combiner!(u32, u64, i32, i64, f32, f64);
+
+/// Keeps the smallest value per key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinCombiner;
+
+impl<K, V: PartialOrd + Send + Sync> Combiner<K, V> for MinCombiner {
+    fn combine(&self, _key: &K, acc: &mut V, incoming: V) {
+        if incoming < *acc {
+            *acc = incoming;
+        }
+    }
+}
+
+/// Keeps the largest value per key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxCombiner;
+
+impl<K, V: PartialOrd + Send + Sync> Combiner<K, V> for MaxCombiner {
+    fn combine(&self, _key: &K, acc: &mut V, incoming: V) {
+        if incoming > *acc {
+            *acc = incoming;
+        }
+    }
+}
+
+/// Sums `(y, x)` pairs component-wise — the combiner for raw
+/// mean/ratio-style emissions where the reducer divides `Σy / Σx`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairSumCombiner;
+
+impl<K> Combiner<K, (f64, f64)> for PairSumCombiner {
+    fn combine(&self, _key: &K, acc: &mut (f64, f64), incoming: (f64, f64)) {
+        acc.0 += incoming.0;
+        acc.1 += incoming.1;
+    }
+}
+
+/// A combiner from a closure `f(key, &mut acc, incoming)`.
+pub struct FnCombiner<K, V, F> {
+    f: F,
+    _marker: PhantomData<fn(K, V)>,
+}
+
+impl<K, V, F> FnCombiner<K, V, F>
+where
+    F: Fn(&K, &mut V, V) + Send + Sync,
+{
+    /// Wraps `f` as a [`Combiner`].
+    pub fn new(f: F) -> Self {
+        FnCombiner {
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K, V, F> Combiner<K, V> for FnCombiner<K, V, F>
+where
+    K: Send + Sync,
+    V: Send + Sync,
+    F: Fn(&K, &mut V, V) + Send + Sync,
+{
+    fn combine(&self, key: &K, acc: &mut V, incoming: V) {
+        (self.f)(key, acc, incoming)
+    }
+}
+
+/// Attaches a combiner to any [`Mapper`], opting the job into the
+/// map-side combining fast path without changing the mapper itself.
+pub struct Combined<M, C> {
+    mapper: M,
+    combiner: C,
+}
+
+impl<M, C> Combined<M, C> {
+    /// Pairs `mapper` with `combiner`.
+    pub fn new(mapper: M, combiner: C) -> Self {
+        Combined { mapper, combiner }
+    }
+}
+
+impl<M, C> Mapper for Combined<M, C>
+where
+    M: Mapper,
+    C: Combiner<M::Key, M::Value>,
+{
+    type Item = M::Item;
+    type Key = M::Key;
+    type Value = M::Value;
+    type TaskState = M::TaskState;
+
+    fn begin_task(&self, ctx: &MapTaskContext) -> Self::TaskState {
+        self.mapper.begin_task(ctx)
+    }
+
+    fn map(
+        &self,
+        state: &mut Self::TaskState,
+        item: Self::Item,
+        emit: &mut dyn FnMut(Self::Key, Self::Value),
+    ) {
+        self.mapper.map(state, item, emit)
+    }
+
+    fn end_task(&self, state: Self::TaskState, emit: &mut dyn FnMut(Self::Key, Self::Value)) {
+        self.mapper.end_task(state, emit)
+    }
+
+    fn combiner(&self) -> Option<&dyn Combiner<Self::Key, Self::Value>> {
+        Some(&self.combiner)
+    }
+}
+
+/// Folds one emission into a per-partition combined table, or appends it
+/// to the raw pair list when no combiner is active. Used by the engine's
+/// map attempt; public so custom engines (e.g. the cluster simulator)
+/// can reuse the exact routing logic.
+pub fn route_emission<K: Key, V: Value>(
+    combiner: Option<&dyn Combiner<K, V>>,
+    raw: &mut [Vec<(K, V)>],
+    combined: &mut [std::collections::BTreeMap<K, V>],
+    partition: usize,
+    key: K,
+    value: V,
+) {
+    match combiner {
+        Some(c) => {
+            let table = &mut combined[partition];
+            if let Some(acc) = table.get_mut(&key) {
+                c.combine(&key, acc, value);
+            } else {
+                table.insert(key, value);
+            }
+        }
+        None => raw[partition].push((key, value)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::FnMapper;
+    use crate::types::TaskId;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn sum_combiner_adds() {
+        let c = SumCombiner;
+        let mut acc = 3u64;
+        Combiner::<&str, u64>::combine(&c, &"k", &mut acc, 4);
+        assert_eq!(acc, 7);
+        let mut f = 1.5f64;
+        Combiner::<u32, f64>::combine(&c, &0, &mut f, 2.5);
+        assert_eq!(f, 4.0);
+    }
+
+    #[test]
+    fn min_max_combiners_track_extremes() {
+        let mut acc = 5.0f64;
+        Combiner::<u8, f64>::combine(&MinCombiner, &0, &mut acc, 7.0);
+        assert_eq!(acc, 5.0);
+        Combiner::<u8, f64>::combine(&MinCombiner, &0, &mut acc, 2.0);
+        assert_eq!(acc, 2.0);
+        Combiner::<u8, f64>::combine(&MaxCombiner, &0, &mut acc, 9.0);
+        assert_eq!(acc, 9.0);
+    }
+
+    #[test]
+    fn pair_sum_combiner_adds_componentwise() {
+        let mut acc = (1.0, 2.0);
+        Combiner::<u8, (f64, f64)>::combine(&PairSumCombiner, &0, &mut acc, (3.0, 4.0));
+        assert_eq!(acc, (4.0, 6.0));
+    }
+
+    #[test]
+    fn fn_combiner_applies_closure() {
+        let c = FnCombiner::new(|_k: &u32, acc: &mut Vec<u32>, mut v: Vec<u32>| {
+            acc.append(&mut v);
+        });
+        let mut acc = vec![1];
+        c.combine(&0, &mut acc, vec![2, 3]);
+        assert_eq!(acc, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn combined_adapter_exposes_combiner_and_delegates() {
+        let m = Combined::new(
+            FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u32, u64)| emit(*v % 2, 1)),
+            SumCombiner,
+        );
+        assert!(m.combiner().is_some());
+        let ctx = MapTaskContext {
+            task: TaskId(0),
+            sampling_ratio: 1.0,
+            attempt: 0,
+        };
+        let mut out = Vec::new();
+        m.begin_task(&ctx);
+        m.map(&mut (), 3, &mut |k, v| out.push((k, v)));
+        m.end_task((), &mut |k, v| out.push((k, v)));
+        assert_eq!(out, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn route_emission_combines_or_appends() {
+        let mut raw: Vec<Vec<(u32, u64)>> = vec![Vec::new(), Vec::new()];
+        let mut combined: Vec<BTreeMap<u32, u64>> = vec![BTreeMap::new(), BTreeMap::new()];
+        // No combiner: raw append.
+        route_emission(None, &mut raw, &mut combined, 0, 7, 1);
+        route_emission(None, &mut raw, &mut combined, 0, 7, 1);
+        assert_eq!(raw[0], vec![(7, 1), (7, 1)]);
+        assert!(combined[0].is_empty());
+        // Combiner: folded into the table.
+        let c = SumCombiner;
+        route_emission(Some(&c), &mut raw, &mut combined, 1, 9, 1);
+        route_emission(Some(&c), &mut raw, &mut combined, 1, 9, 1);
+        assert!(raw[1].is_empty());
+        assert_eq!(combined[1].get(&9), Some(&2));
+    }
+}

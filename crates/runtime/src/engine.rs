@@ -3,7 +3,7 @@
 //! tasks, and implements task dropping, mid-flight kills and speculative
 //! execution.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -65,6 +65,11 @@ pub struct JobConfig {
     /// registry metrics and a `job → wave → task` span tree into it.
     /// `None` (the default) runs fully uninstrumented.
     pub obs: Option<Arc<approxhadoop_obs::Obs>>,
+    /// Enable map-side combining for mappers that provide a
+    /// [`crate::combine::Combiner`] (on by default). Turning this off
+    /// forces the raw per-pair shuffle path — useful for A/B perf
+    /// comparisons; results are identical either way.
+    pub combining: bool,
 }
 
 impl Default for JobConfig {
@@ -83,6 +88,7 @@ impl Default for JobConfig {
             fault_plan: None,
             fault_policy: FaultPolicy::default(),
             obs: None,
+            combining: true,
         }
     }
 }
@@ -143,6 +149,7 @@ struct WorkItem {
     seed: u64,
     kill: Arc<AtomicBool>,
     fault: Option<Arc<FaultPlan>>,
+    combining: bool,
 }
 
 enum WorkerMsg {
@@ -344,6 +351,8 @@ where
                             metrics.executed_maps += 1;
                             metrics.total_records += stats.total_records;
                             metrics.sampled_records += stats.sampled_records;
+                            metrics.emitted_pairs += stats.emitted;
+                            metrics.shuffled_pairs += stats.shuffled;
                             coordinator.on_map_complete(&stats);
                             metrics.task_outcomes.push(TaskOutcomeRecord {
                                 task: stats.task,
@@ -535,6 +544,7 @@ where
                         seed: config.seed ^ (entry.task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         kill,
                         fault: fault.clone(),
+                        combining: config.combining,
                     });
                 }
             }
@@ -596,6 +606,7 @@ where
                             seed: config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                             kill,
                             fault: fault.clone(),
+                            combining: config.combining,
                         });
                     }
                 }
@@ -647,6 +658,7 @@ where
                         seed: config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         kill,
                         fault: fault.clone(),
+                        combining: config.combining,
                     });
                 }
             }
@@ -859,6 +871,8 @@ where
                         metrics.executed_maps += 1;
                         metrics.total_records += stats.total_records;
                         metrics.sampled_records += stats.sampled_records;
+                        metrics.emitted_pairs += stats.emitted;
+                        metrics.shuffled_pairs += stats.shuffled;
                         coordinator.on_map_complete(&stats);
                         metrics.task_outcomes.push(TaskOutcomeRecord {
                             task: stats.task,
@@ -1021,6 +1035,7 @@ where
                 seed: config.seed ^ (entry.task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 kill: Arc::clone(&kill),
                 fault: fault.clone(),
+                combining: config.combining,
             };
             running.insert(entry.task, kill);
             let input = Arc::clone(&input);
@@ -1085,6 +1100,7 @@ where
                         seed: config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         kill: Arc::clone(&kill),
                         fault: fault.clone(),
+                        combining: config.combining,
                     };
                     running.insert(t, kill);
                     let input = Arc::clone(&input);
@@ -1288,8 +1304,11 @@ fn run_map_attempt<S, M>(
         return;
     }
     let t0 = Instant::now();
-    let read = match input.read_split(work.task.0, work.sampling_ratio, work.seed) {
-        Ok(r) => r,
+    // Clone-free read path: the source yields records lazily (precise
+    // reads iterate blocks in place; sampled reads materialise only the
+    // sample) instead of handing back a fully cloned vector.
+    let stream = match input.stream_split(work.task.0, work.sampling_ratio, work.seed) {
+        Ok(s) => s,
         Err(e) => {
             let _ = msg_tx.send(WorkerMsg::Failed {
                 task: work.task,
@@ -1300,15 +1319,27 @@ fn run_map_attempt<S, M>(
         }
     };
     let read_secs = t0.elapsed().as_secs_f64();
+    let total_records = stream.total;
+    let sampled_records = stream.sampled;
     let num_reducers = reducer_txs.len();
+    let combiner = if work.combining {
+        mapper.combiner()
+    } else {
+        None
+    };
     // User map code may panic; contain it so the JobTracker can fail the
     // job cleanly instead of losing a worker thread (and hanging).
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if decision == FaultDecision::MapPanic {
             panic!("injected map panic in {}", work.task);
         }
-        let mut parts: Vec<Vec<(M::Key, M::Value)>> =
-            (0..num_reducers).map(|_| Vec::new()).collect();
+        // Raw path: one Vec of pairs per reducer. Combining path: one
+        // ordered table per reducer (BTreeMap, so batch order — and with
+        // it the whole job — stays deterministic), folded in place as
+        // pairs are emitted.
+        let mut raw: Vec<Vec<(M::Key, M::Value)>> = (0..num_reducers).map(|_| Vec::new()).collect();
+        let mut combined: Vec<BTreeMap<M::Key, M::Value>> =
+            (0..num_reducers).map(|_| BTreeMap::new()).collect();
         let mut emitted = 0u64;
         let ctx = crate::mapper::MapTaskContext {
             task: work.task,
@@ -1317,7 +1348,7 @@ fn run_map_attempt<S, M>(
         };
         let mut state = mapper.begin_task(&ctx);
         let mut killed = false;
-        for item in read.items {
+        for item in stream {
             if work.kill.load(Ordering::Relaxed) {
                 killed = true;
                 break;
@@ -1325,19 +1356,19 @@ fn run_map_attempt<S, M>(
             mapper.map(&mut state, item, &mut |k, v| {
                 emitted += 1;
                 let p = partition_for(&k, num_reducers);
-                parts[p].push((k, v));
+                crate::combine::route_emission(combiner, &mut raw, &mut combined, p, k, v);
             });
         }
         if !killed {
             mapper.end_task(state, &mut |k, v| {
                 emitted += 1;
                 let p = partition_for(&k, num_reducers);
-                parts[p].push((k, v));
+                crate::combine::route_emission(combiner, &mut raw, &mut combined, p, k, v);
             });
         }
-        (parts, emitted, killed)
+        (raw, combined, emitted, killed)
     }));
-    let (mut parts, emitted, killed) = match run {
+    let (mut raw, mut combined, emitted, killed) = match run {
         Ok(r) => r,
         Err(_) => {
             let _ = msg_tx.send(WorkerMsg::Failed {
@@ -1360,19 +1391,29 @@ fn run_map_attempt<S, M>(
     let duration_secs = t0.elapsed().as_secs_f64();
     let meta = MapOutputMeta {
         task: work.task,
-        total_records: read.total,
-        sampled_records: read.sampled,
+        total_records,
+        sampled_records,
         duration_secs,
     };
+    let mut shuffled = 0u64;
     for (p, tx) in reducer_txs.iter().enumerate() {
-        let pairs = std::mem::take(&mut parts[p]);
+        // Each reducer receives one pre-partitioned batch; with a
+        // combiner it is pre-combined too (at most one pair per key),
+        // in key order.
+        let pairs: Vec<(M::Key, M::Value)> = if combiner.is_some() {
+            std::mem::take(&mut combined[p]).into_iter().collect()
+        } else {
+            std::mem::take(&mut raw[p])
+        };
+        shuffled += pairs.len() as u64;
         let _ = tx.send(ReduceEvent::MapOutput { meta, pairs });
     }
     let stats = MapStats {
         task: work.task,
-        total_records: read.total,
-        sampled_records: read.sampled,
+        total_records,
+        sampled_records,
         emitted,
+        shuffled,
         duration_secs,
         read_secs,
     };

@@ -37,12 +37,63 @@ pub struct SampledItems<I> {
     pub sampled: u64,
 }
 
+/// A streaming view of one (possibly sampled) split: the counts are
+/// known up front, the records are yielded lazily so sources can avoid
+/// materialising or cloning whole blocks on the hot path.
+pub struct SplitStream<'a, I> {
+    /// `M_i` — total records in the split.
+    pub total: u64,
+    /// `m_i` — records the iterator will yield.
+    pub sampled: u64,
+    iter: Box<dyn Iterator<Item = I> + Send + 'a>,
+}
+
+impl<'a, I> SplitStream<'a, I> {
+    /// Wraps an iterator with its split counts. `sampled` must equal the
+    /// number of items `iter` yields.
+    pub fn new(total: u64, sampled: u64, iter: impl Iterator<Item = I> + Send + 'a) -> Self {
+        SplitStream {
+            total,
+            sampled,
+            iter: Box::new(iter),
+        }
+    }
+}
+
+impl<I: Send + 'static> SplitStream<'static, I> {
+    /// Adapts an already-materialised [`SampledItems`] read.
+    pub fn from_items(read: SampledItems<I>) -> Self {
+        SplitStream::new(read.total, read.sampled, read.items.into_iter())
+    }
+}
+
+impl<I> Iterator for SplitStream<'_, I> {
+    type Item = I;
+
+    fn next(&mut self) -> Option<I> {
+        self.iter.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+impl<I> std::fmt::Debug for SplitStream<'_, I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SplitStream")
+            .field("total", &self.total)
+            .field("sampled", &self.sampled)
+            .finish_non_exhaustive()
+    }
+}
+
 /// A source of input splits for a job.
 ///
 /// Implementations must be shareable across task-tracker threads.
 pub trait InputSource: Send + Sync {
     /// The record type produced.
-    type Item: Send;
+    type Item: Send + 'static;
 
     /// Describes every split of the input. Called once at job start.
     fn splits(&self) -> Vec<SplitMeta>;
@@ -58,22 +109,52 @@ pub trait InputSource: Send + Sync {
         sampling_ratio: f64,
         seed: u64,
     ) -> Result<SampledItems<Self::Item>>;
+
+    /// Streaming form of [`read_split`](InputSource::read_split): yields
+    /// the same records in the same order without requiring callers to
+    /// hold the whole sampled vector. The engine's hot path uses this;
+    /// the default delegates to `read_split`, and sources override it to
+    /// skip the extra clone/materialisation.
+    fn stream_split(
+        &self,
+        index: usize,
+        sampling_ratio: f64,
+        seed: u64,
+    ) -> Result<SplitStream<'_, Self::Item>> {
+        let read = self.read_split(index, sampling_ratio, seed)?;
+        Ok(SplitStream::from_items(read))
+    }
+}
+
+/// Computes the systematic-sample indices for a block of `total` records
+/// at `ratio`: `None` means "keep every record" (`ratio >= 1.0`), so
+/// precise reads never touch an index vector.
+///
+/// `ratio` must lie in `(0, 1]`; `0`, negatives and NaN are programming
+/// errors (the `JobConfig`/CLI boundary validates user input), checked by
+/// `debug_assert` here and by the sampler's own assertion in release.
+pub fn sample_systematic_indices(total: usize, ratio: f64, seed: u64) -> Option<Vec<usize>> {
+    debug_assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "sampling ratio must be in (0, 1], got {ratio}"
+    );
+    if ratio >= 1.0 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = SystematicSampler::from_ratio(ratio);
+    Some(sampler.sample_indices(&mut rng, total))
 }
 
 /// Samples `items` systematically at `ratio`, returning the sampled
 /// subset; keeps everything at `ratio >= 1.0`. Utility for implementing
-/// [`InputSource::read_split`].
+/// [`InputSource::read_split`]. Same ratio contract as
+/// [`sample_systematic_indices`].
 pub fn sample_systematic<I: Clone>(items: &[I], ratio: f64, seed: u64) -> Vec<I> {
-    if ratio >= 1.0 {
-        return items.to_vec();
+    match sample_systematic_indices(items.len(), ratio, seed) {
+        None => items.to_vec(),
+        Some(idx) => idx.into_iter().map(|i| items[i].clone()).collect(),
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let sampler = SystematicSampler::from_ratio(ratio.max(1e-9));
-    sampler
-        .sample_indices(&mut rng, items.len())
-        .into_iter()
-        .map(|i| items[i].clone())
-        .collect()
 }
 
 /// In-memory input source: one `Vec` of items per split. The workhorse of
@@ -148,6 +229,31 @@ impl<I: Clone + Send + Sync + 'static> InputSource for VecSource<I> {
             items,
         })
     }
+
+    fn stream_split(
+        &self,
+        index: usize,
+        sampling_ratio: f64,
+        seed: u64,
+    ) -> Result<SplitStream<'_, I>> {
+        let block = &self.blocks[index];
+        let total = block.len() as u64;
+        Ok(
+            match sample_systematic_indices(block.len(), sampling_ratio, seed) {
+                // Precise read: iterate the block in place, no index vector,
+                // no second materialisation.
+                None => SplitStream::new(total, total, block.iter().cloned()),
+                Some(idx) => {
+                    let sampled = idx.len() as u64;
+                    SplitStream::new(
+                        total,
+                        sampled,
+                        idx.into_iter().map(move |i| block[i].clone()),
+                    )
+                }
+            },
+        )
+    }
 }
 
 /// A generator-backed source: splits are produced on demand by a
@@ -198,6 +304,36 @@ where
             sampled: items.len() as u64,
             items,
         })
+    }
+
+    fn stream_split(
+        &self,
+        index: usize,
+        sampling_ratio: f64,
+        seed: u64,
+    ) -> Result<SplitStream<'_, I>> {
+        let block = (self.generator)(index);
+        let total = block.len() as u64;
+        Ok(
+            match sample_systematic_indices(block.len(), sampling_ratio, seed) {
+                // Precise read: move records out of the generated block
+                // instead of sampling-by-clone.
+                None => SplitStream::new(total, total, block.into_iter()),
+                Some(idx) => {
+                    let sampled = idx.len() as u64;
+                    let mut keep = idx.into_iter().peekable();
+                    let iter = block.into_iter().enumerate().filter_map(move |(i, item)| {
+                        if keep.peek() == Some(&i) {
+                            keep.next();
+                            Some(item)
+                        } else {
+                            None
+                        }
+                    });
+                    SplitStream::new(total, sampled, iter)
+                }
+            },
+        )
     }
 }
 
@@ -260,7 +396,55 @@ mod tests {
     fn sample_systematic_full_ratio() {
         let items = vec![1, 2, 3];
         assert_eq!(sample_systematic(&items, 1.0, 0), items);
-        assert_eq!(sample_systematic(&items, 2.0, 0), items);
+        assert_eq!(sample_systematic_indices(items.len(), 1.0, 0), None);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "sampling ratio must be in (0, 1]")]
+    fn sample_systematic_rejects_zero_ratio() {
+        // Regression: ratio 0 used to be silently clamped to 1e-9,
+        // turning a typo into a near-empty sample with garbage bounds.
+        sample_systematic(&[1, 2, 3], 0.0, 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "sampling ratio must be in (0, 1]")]
+    fn sample_systematic_rejects_nan_ratio() {
+        sample_systematic(&[1, 2, 3], f64::NAN, 0);
+    }
+
+    #[test]
+    fn stream_split_matches_read_split() {
+        let src = VecSource::new(vec![(0..1000).collect::<Vec<i32>>()]);
+        for &(ratio, seed) in &[(1.0, 0), (0.1, 7), (0.37, 13), (0.003, 99)] {
+            let read = src.read_split(0, ratio, seed).unwrap();
+            let stream = src.stream_split(0, ratio, seed).unwrap();
+            assert_eq!(stream.total, read.total);
+            assert_eq!(stream.sampled, read.sampled);
+            let streamed: Vec<i32> = stream.collect();
+            assert_eq!(streamed, read.items, "ratio {ratio} seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fn_source_stream_matches_read() {
+        let metas = (0..3)
+            .map(|i| SplitMeta {
+                index: i,
+                records: 50,
+                bytes: 0,
+                locations: vec![],
+            })
+            .collect();
+        let src = FnSource::new(metas, |i| (0..50).map(|j| i * 100 + j).collect::<Vec<_>>());
+        for &(ratio, seed) in &[(1.0, 0), (0.2, 5), (0.5, 42)] {
+            let read = src.read_split(1, ratio, seed).unwrap();
+            let stream = src.stream_split(1, ratio, seed).unwrap();
+            assert_eq!(stream.sampled, read.sampled);
+            assert_eq!(stream.collect::<Vec<_>>(), read.items);
+        }
     }
 
     #[test]

@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod combine;
 pub mod control;
 pub mod engine;
 pub mod error;
@@ -80,6 +81,9 @@ pub mod reducer;
 pub mod text;
 pub mod types;
 
+pub use combine::{
+    Combined, Combiner, FnCombiner, MaxCombiner, MinCombiner, PairSumCombiner, SumCombiner,
+};
 pub use control::{Coordinator, FixedCoordinator, JobControl, MapDirective};
 pub use engine::{run_job, run_job_on_pool, run_job_with_coordinator, JobConfig, JobResult};
 pub use error::RuntimeError;

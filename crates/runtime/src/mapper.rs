@@ -6,6 +6,7 @@
 //! `approxhadoop-core` use this to aggregate per-key statistics within a
 //! task before shuffling them.
 
+use crate::combine::Combiner;
 use crate::types::{Key, TaskId, Value};
 
 /// Context of one map task attempt, visible to the mapper.
@@ -24,7 +25,7 @@ pub struct MapTaskContext {
 /// `TaskState`.
 pub trait Mapper: Send + Sync {
     /// Input record type.
-    type Item: Send;
+    type Item: Send + 'static;
     /// Intermediate key type.
     type Key: Key;
     /// Intermediate value type.
@@ -47,6 +48,18 @@ pub trait Mapper: Send + Sync {
     /// aggregates).
     fn end_task(&self, state: Self::TaskState, emit: &mut dyn FnMut(Self::Key, Self::Value)) {
         let _ = (state, emit);
+    }
+
+    /// The map-side combiner for this mapper's emissions, if any.
+    ///
+    /// Returning `Some` opts the job into the combining fast path: the
+    /// engine folds same-key pairs per reduce partition inside the map
+    /// task, so each map ships at most one value per key per reducer.
+    /// Only return `Some` when the reducer treats incoming values as
+    /// partial aggregates (see [`crate::combine`]); the default is no
+    /// combining.
+    fn combiner(&self) -> Option<&dyn Combiner<Self::Key, Self::Value>> {
+        None
     }
 }
 

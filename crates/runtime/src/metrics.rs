@@ -16,8 +16,11 @@ pub struct MapStats {
     pub total_records: u64,
     /// `m_i` — records actually processed after sampling.
     pub sampled_records: u64,
-    /// Intermediate pairs emitted.
+    /// Intermediate pairs emitted by the map function (pre-combining).
     pub emitted: u64,
+    /// Intermediate pairs actually shipped to reducers (post-combining;
+    /// equals `emitted` when no combiner is active).
+    pub shuffled: u64,
     /// Wall-clock duration of the attempt in seconds.
     pub duration_secs: f64,
     /// Portion spent reading/parsing the block in seconds.
@@ -91,6 +94,10 @@ pub struct JobMetrics {
     pub total_records: u64,
     /// Sum of `m_i` over executed maps.
     pub sampled_records: u64,
+    /// Total pairs emitted by map functions (pre-combining).
+    pub emitted_pairs: u64,
+    /// Total pairs shipped through the shuffle (post-combining).
+    pub shuffled_pairs: u64,
     /// Wall-clock job duration in seconds.
     pub wall_secs: f64,
     /// Whether the job hit its deadline and finished by dropping the
@@ -126,6 +133,16 @@ impl JobMetrics {
         }
     }
 
+    /// Shuffle reduction factor achieved by map-side combining
+    /// (`emitted_pairs / shuffled_pairs`); `1.0` when nothing shuffled.
+    pub fn combine_factor(&self) -> f64 {
+        if self.shuffled_pairs == 0 {
+            1.0
+        } else {
+            self.emitted_pairs as f64 / self.shuffled_pairs as f64
+        }
+    }
+
     /// Mean duration of completed map attempts in seconds.
     pub fn mean_map_secs(&self) -> f64 {
         if self.map_stats.is_empty() {
@@ -157,6 +174,17 @@ mod tests {
     }
 
     #[test]
+    fn combine_factor_reports_reduction() {
+        let m = JobMetrics {
+            emitted_pairs: 1000,
+            shuffled_pairs: 40,
+            ..Default::default()
+        };
+        assert!((m.combine_factor() - 25.0).abs() < 1e-12);
+        assert_eq!(JobMetrics::default().combine_factor(), 1.0);
+    }
+
+    #[test]
     fn empty_metrics_are_safe() {
         let m = JobMetrics::default();
         assert_eq!(m.drop_fraction(), 0.0);
@@ -175,6 +203,7 @@ mod tests {
                 total_records: 10,
                 sampled_records: 5,
                 emitted: 3,
+                shuffled: 3,
                 duration_secs: 0.1,
                 read_secs: 0.05,
             }],
@@ -194,6 +223,7 @@ mod tests {
             total_records: 1,
             sampled_records: 1,
             emitted: 0,
+            shuffled: 0,
             duration_secs: d,
             read_secs: 0.0,
         };

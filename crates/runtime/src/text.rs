@@ -4,7 +4,9 @@
 
 use approxhadoop_dfs::{DfsCluster, FileHandle};
 
-use crate::input::{sample_systematic, InputSource, SampledItems, SplitMeta};
+use crate::input::{
+    sample_systematic, sample_systematic_indices, InputSource, SampledItems, SplitMeta, SplitStream,
+};
 use crate::Result;
 
 /// Reads a DFS text file, producing one record per line; each DFS block
@@ -66,6 +68,36 @@ impl InputSource for TextSource {
             items,
         })
     }
+
+    fn stream_split(
+        &self,
+        index: usize,
+        sampling_ratio: f64,
+        seed: u64,
+    ) -> Result<SplitStream<'_, String>> {
+        let meta = &self.handle.blocks[index];
+        let lines = self.dfs.read_block_lines(meta.id)?;
+        let total = lines.len() as u64;
+        Ok(
+            match sample_systematic_indices(lines.len(), sampling_ratio, seed) {
+                // Precise read: move the lines out instead of cloning them.
+                None => SplitStream::new(total, total, lines.into_iter()),
+                Some(idx) => {
+                    let sampled = idx.len() as u64;
+                    let mut keep = idx.into_iter().peekable();
+                    let iter = lines.into_iter().enumerate().filter_map(move |(i, line)| {
+                        if keep.peek() == Some(&i) {
+                            keep.next();
+                            Some(line)
+                        } else {
+                            None
+                        }
+                    });
+                    SplitStream::new(total, sampled, iter)
+                }
+            },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +142,18 @@ mod tests {
         let read = src.read_split(0, 0.1, 3).unwrap();
         assert_eq!(read.total, 50);
         assert_eq!(read.sampled, 5);
+    }
+
+    #[test]
+    fn stream_matches_read() {
+        let (_dfs, src) = setup();
+        for &(ratio, seed) in &[(1.0, 0u64), (0.1, 3)] {
+            let read = src.read_split(0, ratio, seed).unwrap();
+            let stream = src.stream_split(0, ratio, seed).unwrap();
+            assert_eq!(stream.total, read.total);
+            assert_eq!(stream.sampled, read.sampled);
+            assert_eq!(stream.collect::<Vec<_>>(), read.items);
+        }
     }
 
     #[test]

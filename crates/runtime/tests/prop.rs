@@ -4,6 +4,7 @@
 
 use std::collections::HashMap;
 
+use approxhadoop_runtime::combine::{Combined, SumCombiner};
 use approxhadoop_runtime::engine::{run_job, JobConfig};
 use approxhadoop_runtime::input::VecSource;
 use approxhadoop_runtime::mapper::FnMapper;
@@ -132,5 +133,52 @@ proptest! {
         for s in &result.metrics.map_stats {
             prop_assert!(s.sampled_records <= s.total_records);
         }
+    }
+
+    /// Map-side combining never changes the job's output — the combined
+    /// run folds `(word, 1)` pairs into per-task partial sums, the
+    /// uncombined run ships every pair, and both must agree with the
+    /// sequential reference while the combined shuffle is never larger.
+    #[test]
+    fn combining_preserves_grouped_counts(
+        blocks in blocks_strategy(),
+        map_slots in 1usize..6,
+        reduce_tasks in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let run = |combining: bool| {
+            let input = VecSource::new(blocks.clone());
+            let mapper = Combined::new(
+                FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u32, u64)| emit(v % 7, 1)),
+                SumCombiner,
+            );
+            run_job(
+                &input,
+                &mapper,
+                |_| GroupedReducer::new(|k: &u32, vs: &[u64]| Some((*k, vs.iter().sum::<u64>()))),
+                JobConfig { combining, map_slots, reduce_tasks, seed, ..Default::default() },
+            )
+            .unwrap()
+        };
+        let with = run(true);
+        let without = run(false);
+
+        let mut expected: HashMap<u32, u64> = HashMap::new();
+        for v in blocks.iter().flatten() {
+            *expected.entry(v % 7).or_default() += 1;
+        }
+        let got_with: HashMap<u32, u64> = with.outputs.into_iter().collect();
+        let got_without: HashMap<u32, u64> = without.outputs.into_iter().collect();
+        prop_assert_eq!(&got_with, &expected);
+        prop_assert_eq!(&got_without, &expected);
+
+        // Accounting: pre-combine emission counts match, the combined
+        // shuffle is no larger, and without combining nothing shrinks.
+        prop_assert_eq!(with.metrics.emitted_pairs, without.metrics.emitted_pairs);
+        prop_assert!(with.metrics.shuffled_pairs <= with.metrics.emitted_pairs);
+        prop_assert_eq!(without.metrics.shuffled_pairs, without.metrics.emitted_pairs);
+        // At most 7 distinct keys leave each executed map task.
+        let max_pairs = 7 * with.metrics.executed_maps as u64;
+        prop_assert!(with.metrics.shuffled_pairs <= max_pairs);
     }
 }

@@ -219,6 +219,7 @@ impl JobService {
             sampling_ratio: decision.sampling_ratio,
             drop_ratio: decision.drop_ratio,
             seed: spec.seed,
+            combining: true,
             speculative: false,
             straggler_factor: 2.0,
             fault_plan: spec.fault_plan.clone(),

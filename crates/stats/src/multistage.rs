@@ -50,7 +50,18 @@ pub struct ClusterObservation {
 impl ClusterObservation {
     /// The unbiased estimate of this cluster's total: `(Mᵢ/mᵢ)·Σⱼ vᵢⱼ`.
     /// An empty cluster (`Mᵢ = mᵢ = 0`) has total `0`.
+    ///
+    /// `sampled_units == 0` with `total_units > 0` is an *invalid*
+    /// observation (no expansion factor exists): callers that skip
+    /// validation would silently read a biased `0.0`, so the invariant
+    /// is debug-asserted here.
     pub fn estimated_total(&self) -> f64 {
+        debug_assert!(
+            self.sampled_units > 0 || self.total_units == 0,
+            "invalid cluster observation: sampled_units == 0 with total_units == {} \
+             (validate() rejects this)",
+            self.total_units
+        );
         if self.sampled_units == 0 {
             return 0.0;
         }
@@ -307,7 +318,20 @@ impl RatioEstimator {
         let mut ty = 0.0;
         let mut tx = 0.0;
         for o in &self.observations {
-            if o.sampled_units == 0 || o.sampled_units > o.total_units {
+            if o.sampled_units == 0 {
+                // An entirely empty block (M_i = m_i = 0) is a legitimate
+                // zero-weight cluster, exactly as TwoStageEstimator (and
+                // ClusterObservation::validate) treats it — it still
+                // counts toward n below, just contributes nothing here.
+                if o.total_units == 0 && o.sum_y == 0.0 && o.sum_x == 0.0 {
+                    continue;
+                }
+                return Err(StatsError::invalid(
+                    "sampled_units",
+                    "must sample at least one unit per executed non-empty cluster",
+                ));
+            }
+            if o.sampled_units > o.total_units {
                 return Err(StatsError::invalid(
                     "sampled_units",
                     "must be in [1, total_units]",
@@ -945,6 +969,99 @@ mod tests {
         let iv = est.estimate(0.95).unwrap();
         assert!((iv.estimate - 8.0).abs() < 1e-12);
         assert_eq!(iv.half_width, 0.0);
+    }
+
+    #[test]
+    fn ratio_and_mean_tolerate_empty_blocks() {
+        // Regression: an input ending in an empty block used to make
+        // avg/ratio jobs fail with InvalidInput while the same job's
+        // sum succeeded (TwoStageEstimator already skipped it).
+        let mut est = RatioEstimator::new(3);
+        est.push(PairedClusterObservation {
+            cluster_id: 0,
+            total_units: 2,
+            sampled_units: 2,
+            sum_y: 30.0,
+            sum_y_sq: 500.0,
+            sum_x: 3.0,
+            sum_x_sq: 5.0,
+            sum_xy: 38.0,
+        });
+        est.push(PairedClusterObservation {
+            cluster_id: 1,
+            total_units: 2,
+            sampled_units: 2,
+            sum_y: 10.0,
+            sum_y_sq: 60.0,
+            sum_x: 2.0,
+            sum_x_sq: 2.0,
+            sum_xy: 10.0,
+        });
+        est.push(PairedClusterObservation {
+            cluster_id: 2,
+            total_units: 0,
+            sampled_units: 0,
+            sum_y: 0.0,
+            sum_y_sq: 0.0,
+            sum_x: 0.0,
+            sum_x_sq: 0.0,
+            sum_xy: 0.0,
+        });
+        let iv = est.estimate(0.95).unwrap();
+        assert!((iv.estimate - 8.0).abs() < 1e-12);
+        // All non-empty clusters fully enumerated and n = N: a census.
+        assert_eq!(iv.half_width, 0.0);
+
+        let mut mean = MeanEstimator::new(2);
+        mean.push(ClusterObservation {
+            cluster_id: 0,
+            total_units: 3,
+            sampled_units: 3,
+            sum: 6.0,
+            sum_sq: 14.0,
+        });
+        mean.push(ClusterObservation {
+            cluster_id: 1,
+            total_units: 0,
+            sampled_units: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+        });
+        let iv = mean.estimate(0.95).unwrap();
+        assert!((iv.estimate - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_estimator_still_rejects_invalid_observation() {
+        // sampled == 0 with a non-empty block stays an error.
+        let mut est = RatioEstimator::new(2);
+        est.push(PairedClusterObservation {
+            cluster_id: 0,
+            total_units: 10,
+            sampled_units: 0,
+            sum_y: 0.0,
+            sum_y_sq: 0.0,
+            sum_x: 0.0,
+            sum_x_sq: 0.0,
+            sum_xy: 0.0,
+        });
+        assert!(est.estimate(0.95).is_err());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "invalid cluster observation")]
+    fn estimated_total_debug_asserts_invalid_observation() {
+        // Direct callers that skip validate() used to read a silent
+        // (biased) 0.0 here.
+        let obs = ClusterObservation {
+            cluster_id: 0,
+            total_units: 10,
+            sampled_units: 0,
+            sum: 5.0,
+            sum_sq: 25.0,
+        };
+        let _ = obs.estimated_total();
     }
 
     #[test]

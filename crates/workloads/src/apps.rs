@@ -456,14 +456,24 @@ pub fn kmeans(
     for iter in 0..iterations {
         let cents = centroids.clone();
         let dims = data.dims;
-        let mapper = approxhadoop_runtime::mapper::FnMapper::new(
-            move |p: &Point, emit: &mut dyn FnMut(usize, CentroidUpdate)| {
-                let i = nearest(p, &cents);
-                let d2 = dist_sq(p, &cents[i]);
-                let mut u = CentroidUpdate::zero(dims);
-                u.add(p, d2);
-                emit(i, u);
-            },
+        // Map-side combining: per-centroid updates merge associatively
+        // (the reducer below merge-folds anyway), so each map task ships
+        // at most k pre-merged updates instead of one per point.
+        let mapper = approxhadoop_runtime::combine::Combined::new(
+            approxhadoop_runtime::mapper::FnMapper::new(
+                move |p: &Point, emit: &mut dyn FnMut(usize, CentroidUpdate)| {
+                    let i = nearest(p, &cents);
+                    let d2 = dist_sq(p, &cents[i]);
+                    let mut u = CentroidUpdate::zero(dims);
+                    u.add(p, d2);
+                    emit(i, u);
+                },
+            ),
+            approxhadoop_runtime::combine::FnCombiner::new(
+                |_k: &usize, acc: &mut CentroidUpdate, incoming: CentroidUpdate| {
+                    acc.merge(&incoming);
+                },
+            ),
         );
         let mut cfg = config.clone();
         cfg.sampling_ratio = sampling_ratio;

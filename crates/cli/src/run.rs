@@ -119,6 +119,9 @@ fn job_config(args: &Args) -> Result<JobConfig, UsageError> {
             .map_err(|_| UsageError(format!("invalid --fault-bound `{raw}`")))?;
         config.fault_policy.max_degraded_bound = Some(bound);
     }
+    // Surface bad flag combinations as usage errors up front, before any
+    // data is generated or a job is started.
+    config.validate().map_err(|e| UsageError(e.to_string()))?;
     Ok(config)
 }
 

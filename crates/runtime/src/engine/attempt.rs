@@ -1,0 +1,363 @@
+//! One map attempt: the unit of work a scheduler dispatches to an
+//! executor, and the worker-side code that runs it.
+//!
+//! Attempts are deliberately generic-free on the control path: a
+//! [`WorkItem`] describes *what* to run (task, attempt number, sampling
+//! ratio, read seed, kill flag, fault plan) and a [`WorkerMsg`] reports
+//! *how it went*, so the [`super::scheduler::JobTracker`] never touches
+//! the job's key/value types.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::Sender;
+
+use crate::fault::{FaultDecision, FaultPlan};
+use crate::input::InputSource;
+use crate::mapper::{MapTaskContext, Mapper};
+use crate::metrics::MapStats;
+use crate::reducer::{MapOutputMeta, ReduceEvent};
+use crate::types::{partition_for, TaskId};
+use crate::RuntimeError;
+
+use super::shuffle;
+
+/// A dispatched map attempt.
+pub(crate) struct WorkItem {
+    pub(crate) task: TaskId,
+    pub(crate) attempt: u32,
+    pub(crate) sampling_ratio: f64,
+    pub(crate) seed: u64,
+    pub(crate) kill: Arc<AtomicBool>,
+    pub(crate) fault: Option<Arc<FaultPlan>>,
+    pub(crate) combining: bool,
+}
+
+/// What a worker reports back to the tracker about one attempt.
+pub(crate) enum WorkerMsg {
+    Completed {
+        stats: MapStats,
+        attempt: u32,
+    },
+    Killed {
+        task: TaskId,
+        attempt: u32,
+    },
+    Failed {
+        task: TaskId,
+        attempt: u32,
+        error: RuntimeError,
+    },
+}
+
+/// The per-task read seed: identical across attempts so a retry (or a
+/// speculative sibling) re-draws the exact same sample, keeping the
+/// estimator independent of the fault history.
+pub(crate) fn read_seed(job_seed: u64, task: usize) -> u64 {
+    job_seed ^ (task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Executes one map attempt on a worker (task-tracker thread or pool
+/// slot): honors the kill flag, injects configured faults, streams the
+/// sampled split through the mapper (with optional map-side combining),
+/// ships one pre-partitioned batch per reducer, and reports the outcome.
+pub(crate) fn run_map_attempt<S, M>(
+    input: &S,
+    mapper: &M,
+    work: &WorkItem,
+    reducer_txs: &[Sender<ReduceEvent<M::Key, M::Value>>],
+    msg_tx: &Sender<WorkerMsg>,
+) where
+    S: InputSource,
+    M: Mapper<Item = S::Item>,
+{
+    if work.kill.load(Ordering::SeqCst) {
+        let _ = msg_tx.send(WorkerMsg::Killed {
+            task: work.task,
+            attempt: work.attempt,
+        });
+        return;
+    }
+    let decision = work
+        .fault
+        .as_deref()
+        .map(|f| f.decide(work.task.0, work.attempt))
+        .unwrap_or(FaultDecision::None);
+    if decision == FaultDecision::IoError {
+        let _ = msg_tx.send(WorkerMsg::Failed {
+            task: work.task,
+            attempt: work.attempt,
+            error: RuntimeError::InjectedFault {
+                what: format!("input read of {} (attempt {})", work.task, work.attempt),
+            },
+        });
+        return;
+    }
+    let t0 = Instant::now();
+    // Clone-free read path: the source yields records lazily (precise
+    // reads iterate blocks in place; sampled reads materialise only the
+    // sample) instead of handing back a fully cloned vector.
+    let stream = match input.stream_split(work.task.0, work.sampling_ratio, work.seed) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = msg_tx.send(WorkerMsg::Failed {
+                task: work.task,
+                attempt: work.attempt,
+                error: e,
+            });
+            return;
+        }
+    };
+    let read_secs = t0.elapsed().as_secs_f64();
+    let total_records = stream.total;
+    let sampled_records = stream.sampled;
+    let num_reducers = reducer_txs.len();
+    let combiner = if work.combining {
+        mapper.combiner()
+    } else {
+        None
+    };
+    // User map code may panic; contain it so the JobTracker can fail the
+    // job cleanly instead of losing a worker thread (and hanging).
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if decision == FaultDecision::MapPanic {
+            panic!("injected map panic in {}", work.task);
+        }
+        // Raw path: one Vec of pairs per reducer. Combining path: one
+        // ordered table per reducer (BTreeMap, so batch order — and with
+        // it the whole job — stays deterministic), folded in place as
+        // pairs are emitted.
+        let mut raw: Vec<Vec<(M::Key, M::Value)>> = (0..num_reducers).map(|_| Vec::new()).collect();
+        let mut combined: Vec<BTreeMap<M::Key, M::Value>> =
+            (0..num_reducers).map(|_| BTreeMap::new()).collect();
+        let mut emitted = 0u64;
+        let ctx = MapTaskContext {
+            task: work.task,
+            sampling_ratio: work.sampling_ratio,
+            attempt: work.attempt,
+        };
+        let mut state = mapper.begin_task(&ctx);
+        let mut killed = false;
+        for item in stream {
+            if work.kill.load(Ordering::Relaxed) {
+                killed = true;
+                break;
+            }
+            mapper.map(&mut state, item, &mut |k, v| {
+                emitted += 1;
+                let p = partition_for(&k, num_reducers);
+                crate::combine::route_emission(combiner, &mut raw, &mut combined, p, k, v);
+            });
+        }
+        if !killed {
+            mapper.end_task(state, &mut |k, v| {
+                emitted += 1;
+                let p = partition_for(&k, num_reducers);
+                crate::combine::route_emission(combiner, &mut raw, &mut combined, p, k, v);
+            });
+        }
+        (raw, combined, emitted, killed)
+    }));
+    let (mut raw, mut combined, emitted, killed) = match run {
+        Ok(r) => r,
+        Err(_) => {
+            let _ = msg_tx.send(WorkerMsg::Failed {
+                task: work.task,
+                attempt: work.attempt,
+                error: RuntimeError::TaskPanicked {
+                    what: format!("user map code in {}", work.task),
+                },
+            });
+            return;
+        }
+    };
+    if killed {
+        let _ = msg_tx.send(WorkerMsg::Killed {
+            task: work.task,
+            attempt: work.attempt,
+        });
+        return;
+    }
+    let duration_secs = t0.elapsed().as_secs_f64();
+    let meta = MapOutputMeta {
+        task: work.task,
+        total_records,
+        sampled_records,
+        duration_secs,
+    };
+    let shuffled = shuffle::ship_outputs(
+        reducer_txs,
+        meta,
+        combiner.is_some(),
+        &mut raw,
+        &mut combined,
+    );
+    let stats = MapStats {
+        task: work.task,
+        total_records,
+        sampled_records,
+        emitted,
+        shuffled,
+        duration_secs,
+        read_secs,
+    };
+    let _ = msg_tx.send(WorkerMsg::Completed {
+        stats,
+        attempt: work.attempt,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{run_job, JobConfig};
+    use crate::input::{SampledItems, SplitMeta, VecSource};
+    use crate::mapper::{FnMapper, Mapper};
+    use crate::reducer::{GroupedReducer, MapOutputMeta, ReduceContext, Reducer};
+    use crate::RuntimeError;
+
+    #[test]
+    fn read_seed_is_stable_per_task() {
+        assert_eq!(super::read_seed(7, 3), super::read_seed(7, 3));
+        assert_ne!(super::read_seed(7, 3), super::read_seed(7, 4));
+        assert_ne!(super::read_seed(7, 3), super::read_seed(8, 3));
+    }
+
+    /// Input source whose third split fails to read.
+    struct FailingSource;
+
+    impl crate::input::InputSource for FailingSource {
+        type Item = u32;
+
+        fn splits(&self) -> Vec<SplitMeta> {
+            (0..4)
+                .map(|i| SplitMeta {
+                    index: i,
+                    records: 1,
+                    bytes: 0,
+                    locations: vec![],
+                })
+                .collect()
+        }
+
+        fn read_split(
+            &self,
+            index: usize,
+            _ratio: f64,
+            _seed: u64,
+        ) -> crate::Result<SampledItems<u32>> {
+            if index == 2 {
+                Err(approxhadoop_dfs::DfsError::BlockNotFound {
+                    block: approxhadoop_dfs::BlockId(2),
+                }
+                .into())
+            } else {
+                Ok(SampledItems {
+                    items: vec![1],
+                    total: 1,
+                    sampled: 1,
+                })
+            }
+        }
+    }
+
+    #[test]
+    fn input_failure_aborts_job() {
+        let mapper = FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *i));
+        let result = run_job(
+            &FailingSource,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+            JobConfig::default(),
+        );
+        assert!(matches!(result, Err(RuntimeError::Input { .. })));
+    }
+
+    #[test]
+    fn panicking_mapper_fails_job_cleanly() {
+        let blocks: Vec<Vec<u32>> = (0..6).map(|i| vec![i as u32]).collect();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u32)| {
+            assert!(*v != 3, "poisoned item");
+            emit(0, *v);
+        });
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.len())),
+            JobConfig::default(),
+        );
+        assert!(
+            matches!(result, Err(RuntimeError::TaskPanicked { .. })),
+            "panic must surface as a job error"
+        );
+    }
+
+    /// A mapper that emits nothing at all still completes with correct
+    /// metadata flowing to the reducers.
+    #[test]
+    fn silent_mapper_completes() {
+        struct CountMaps(usize);
+        impl Reducer for CountMaps {
+            type Key = u8;
+            type Value = u32;
+            type Output = usize;
+            fn on_map_output(
+                &mut self,
+                meta: &MapOutputMeta,
+                pairs: Vec<(u8, u32)>,
+                _ctx: &mut ReduceContext,
+            ) {
+                assert!(pairs.is_empty());
+                assert_eq!(meta.total_records, 4);
+                self.0 += 1;
+            }
+            fn finish(&mut self, _ctx: &mut ReduceContext) -> Vec<usize> {
+                vec![self.0]
+            }
+        }
+        let blocks: Vec<Vec<u32>> = (0..6).map(|_| vec![0; 4]).collect();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|_: &u32, _emit: &mut dyn FnMut(u8, u32)| {});
+        let result = run_job(&input, &mapper, |_| CountMaps(0), JobConfig::default()).unwrap();
+        assert_eq!(result.outputs, vec![6]);
+    }
+
+    /// Stateful end_task emission arrives even when items were sampled
+    /// down to a single record.
+    #[test]
+    fn end_task_emission_with_heavy_sampling() {
+        let blocks: Vec<Vec<u32>> = (0..5).map(|_| (0..100).collect()).collect();
+        let input = VecSource::new(blocks);
+        struct PerTaskCount;
+        impl Mapper for PerTaskCount {
+            type Item = u32;
+            type Key = u8;
+            type Value = u64;
+            type TaskState = u64;
+            fn begin_task(&self, _c: &crate::mapper::MapTaskContext) -> u64 {
+                0
+            }
+            fn map(&self, s: &mut u64, _i: u32, _e: &mut dyn FnMut(u8, u64)) {
+                *s += 1;
+            }
+            fn end_task(&self, s: u64, emit: &mut dyn FnMut(u8, u64)) {
+                emit(0, s);
+            }
+        }
+        let result = run_job(
+            &input,
+            &PerTaskCount,
+            |_| GroupedReducer::new(|_: &u8, vs: &[u64]| Some((vs.len(), vs.iter().sum::<u64>()))),
+            JobConfig {
+                sampling_ratio: 0.01,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (tasks, items) = result.outputs[0];
+        assert_eq!(tasks, 5, "every task emits its count");
+        assert_eq!(items, 5, "1% of 100 items per task");
+    }
+}

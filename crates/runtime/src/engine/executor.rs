@@ -1,0 +1,587 @@
+//! Execution backends: *how* map attempts run, with zero scheduling
+//! authority.
+//!
+//! An [`Executor`] owns the worker side of a job — threads or pool
+//! slots, the shuffle senders, the worker message channel — and exposes
+//! exactly four verbs to the [`super::scheduler::JobTracker`]: dispatch
+//! an attempt, receive outcomes, and broadcast drop notifications. All
+//! decisions (what to run, where, when to kill) stay in the tracker.
+//!
+//! Two backends exist: [`ScopedExecutor`] runs attempts on job-private
+//! task-tracker threads spread over simulated servers (data locality,
+//! speculation and blacklisting apply), and [`PoolExecutor`] submits
+//! attempts to a shared [`SlotPool`] (one virtual server; the pool
+//! arbitrates slots across jobs).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::control::{Coordinator, JobControl};
+use crate::event::JobSession;
+use crate::input::InputSource;
+use crate::mapper::Mapper;
+use crate::pool::{SlotPool, TenantId};
+use crate::reducer::{ReduceEvent, Reducer};
+use crate::types::{Key, Value};
+use crate::{Result, RuntimeError};
+
+use super::attempt::{run_map_attempt, WorkItem, WorkerMsg};
+use super::clock::Clock;
+use super::scheduler::JobTracker;
+use super::shuffle;
+use super::{JobConfig, JobResult};
+
+/// The slot layout a tracker schedules over.
+pub(crate) struct Topology {
+    /// Map slots per server (`capacity.len()` servers).
+    pub(crate) capacity: Vec<usize>,
+    /// Whether server identity is meaningful: placement-aware topologies
+    /// get data locality, speculative duplicates, avoid-server retries
+    /// and per-server blacklisting; a placement-free topology (the
+    /// shared pool) is a single anonymous server.
+    pub(crate) placement: bool,
+}
+
+impl Topology {
+    /// Job-private servers with slots spread round-robin — the scoped
+    /// backend's simulated cluster.
+    pub(crate) fn scoped(config: &JobConfig) -> Self {
+        let servers = config.servers.min(config.map_slots).max(1);
+        let mut capacity = vec![0usize; servers];
+        for w in 0..config.map_slots {
+            capacity[w % servers] += 1;
+        }
+        Topology {
+            capacity,
+            placement: true,
+        }
+    }
+
+    /// One virtual server holding the job's whole in-flight cap — the
+    /// pool backend (the shared pool arbitrates real slots).
+    pub(crate) fn pooled(config: &JobConfig) -> Self {
+        Topology {
+            capacity: vec![config.map_slots],
+            placement: false,
+        }
+    }
+
+    pub(crate) fn servers(&self) -> usize {
+        self.capacity.len()
+    }
+}
+
+/// Result of waiting on an executor for worker events.
+pub(crate) enum RecvOutcome {
+    Msg(WorkerMsg),
+    Timeout,
+    /// Every worker-side sender is gone: no outcome can ever arrive.
+    Closed,
+}
+
+/// A backend that runs attempts and reports outcomes — nothing more.
+pub(crate) trait Executor {
+    /// Hands an attempt to `server`. Returns `false` if the backend
+    /// rejected it (e.g. the shared pool shut down mid-job).
+    fn dispatch(&mut self, server: usize, work: WorkItem) -> bool;
+    /// Blocks up to `timeout` for one worker message.
+    fn recv(&mut self, timeout: Duration) -> RecvOutcome;
+    /// Drains one already-queued worker message, if any.
+    fn try_recv(&mut self) -> Option<WorkerMsg>;
+    /// Tells every reducer that `task` will never deliver output.
+    fn notify_drop(&mut self, task: usize);
+}
+
+/// Backend over job-private task-tracker threads (one channel per
+/// simulated server; workers round-robin across them).
+struct ScopedExecutor<K: Key, V: Value> {
+    task_txs: Vec<Sender<WorkItem>>,
+    msg_rx: Receiver<WorkerMsg>,
+    reducer_txs: Vec<Sender<ReduceEvent<K, V>>>,
+}
+
+impl<K: Key, V: Value> Executor for ScopedExecutor<K, V> {
+    fn dispatch(&mut self, server: usize, work: WorkItem) -> bool {
+        let _ = self.task_txs[server].send(work);
+        true
+    }
+
+    fn recv(&mut self, timeout: Duration) -> RecvOutcome {
+        match self.msg_rx.recv_timeout(timeout) {
+            Ok(msg) => RecvOutcome::Msg(msg),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::Timeout,
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<WorkerMsg> {
+        self.msg_rx.try_recv().ok()
+    }
+
+    fn notify_drop(&mut self, task: usize) {
+        shuffle::broadcast_drop(&self.reducer_txs, task);
+    }
+}
+
+/// Backend over a shared [`SlotPool`]: each attempt is boxed and queued
+/// under the job's tenant; the pool decides when it actually runs.
+struct PoolExecutor<'p, S, M: Mapper> {
+    input: Arc<S>,
+    mapper: Arc<M>,
+    pool: &'p SlotPool,
+    tenant: TenantId,
+    msg_tx: Sender<WorkerMsg>,
+    msg_rx: Receiver<WorkerMsg>,
+    reducer_txs: Vec<Sender<ReduceEvent<M::Key, M::Value>>>,
+}
+
+impl<S, M> Executor for PoolExecutor<'_, S, M>
+where
+    S: InputSource + 'static,
+    M: Mapper<Item = S::Item> + 'static,
+{
+    fn dispatch(&mut self, _server: usize, work: WorkItem) -> bool {
+        let input = Arc::clone(&self.input);
+        let mapper = Arc::clone(&self.mapper);
+        let attempt_txs = self.reducer_txs.clone();
+        let msg_tx = self.msg_tx.clone();
+        self.pool.submit(
+            self.tenant,
+            Box::new(move || {
+                run_map_attempt(&*input, &*mapper, &work, &attempt_txs, &msg_tx);
+            }),
+        )
+    }
+
+    fn recv(&mut self, timeout: Duration) -> RecvOutcome {
+        match self.msg_rx.recv_timeout(timeout) {
+            Ok(msg) => RecvOutcome::Msg(msg),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::Timeout,
+            // Unreachable in practice: this executor holds `msg_tx`.
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<WorkerMsg> {
+        self.msg_rx.try_recv().ok()
+    }
+
+    fn notify_drop(&mut self, task: usize) {
+        shuffle::broadcast_drop(&self.reducer_txs, task);
+    }
+}
+
+/// Runs a job on job-private scoped threads: spawns reducers and task
+/// trackers, drives the [`JobTracker`] against a [`ScopedExecutor`],
+/// then joins everything and finalises.
+#[allow(clippy::too_many_arguments)] // internal driver: job + session + obs identity
+pub(crate) fn run_scoped<S, M, R, FR>(
+    input: &S,
+    mapper: &M,
+    make_reducer: FR,
+    config: JobConfig,
+    coordinator: &mut dyn Coordinator,
+    session: &JobSession,
+    clock: &dyn Clock,
+    obs_pid: u64,
+    obs_label: &str,
+) -> Result<JobResult<R::Output>>
+where
+    S: InputSource,
+    M: Mapper<Item = S::Item>,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+    FR: Fn(usize) -> R + Sync,
+{
+    let splits = input.splits();
+    let total = splits.len();
+    if total == 0 {
+        return Err(RuntimeError::invalid("input has no splits"));
+    }
+    let start = Instant::now();
+    let control = Arc::new(JobControl::new(config.reduce_tasks));
+    let topology = Topology::scoped(&config);
+    let servers = topology.servers();
+
+    let mut task_txs: Vec<Sender<WorkItem>> = Vec::with_capacity(servers);
+    let mut task_rxs = Vec::with_capacity(servers);
+    for _ in 0..servers {
+        let (tx, rx) = unbounded::<WorkItem>();
+        task_txs.push(tx);
+        task_rxs.push(rx);
+    }
+    let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
+    let (reducer_txs, reducer_rxs) =
+        shuffle::reducer_channels::<M::Key, M::Value>(config.reduce_tasks);
+
+    let make_reducer = &make_reducer;
+    let splits = &splits;
+    let config = &config;
+    let scope_result = crossbeam::thread::scope(|s| {
+        // ---- reduce tasks ----
+        let mut reducer_handles = Vec::new();
+        for (r, rx) in reducer_rxs.into_iter().enumerate() {
+            let control = Arc::clone(&control);
+            reducer_handles.push(s.spawn(move |_| {
+                shuffle::drain_reduce_events(make_reducer(r), rx, r, total, control)
+            }));
+        }
+
+        // ---- task trackers (map slots, spread across servers) ----
+        for w in 0..config.map_slots {
+            let task_rx = task_rxs[w % servers].clone();
+            let msg_tx = msg_tx.clone();
+            let reducer_txs = reducer_txs.clone();
+            s.spawn(move |_| {
+                for work in task_rx.iter() {
+                    run_map_attempt(input, mapper, &work, &reducer_txs, &msg_tx);
+                }
+            });
+        }
+        drop(task_rxs);
+        drop(msg_tx);
+
+        // ---- the scheduler ----
+        let mut executor = ScopedExecutor {
+            task_txs,
+            msg_rx,
+            reducer_txs,
+        };
+        let mut tracker = JobTracker::new(
+            config, splits, &control, session, clock, topology, start, obs_pid, obs_label,
+        );
+        tracker.run_loop(&mut executor, coordinator);
+
+        // Shut down: close the dispatch channels (workers exit after
+        // draining), then release our reducer senders so reducers can
+        // finish once the last worker exits.
+        drop(executor);
+
+        let mut outputs = Vec::new();
+        let mut panicked = false;
+        for h in reducer_handles {
+            match h.join() {
+                Ok(out) => outputs.extend(out),
+                Err(_) => panicked = true,
+            }
+        }
+        tracker
+            .finish(panicked)
+            .map(|metrics| JobResult { outputs, metrics })
+    });
+
+    match scope_result {
+        Ok(job) => job,
+        Err(_) => Err(RuntimeError::TaskPanicked {
+            what: "task tracker".into(),
+        }),
+    }
+}
+
+/// Runs a job against a shared [`SlotPool`]: spawns reducer threads,
+/// drives the [`JobTracker`] against a [`PoolExecutor`] on the calling
+/// thread, then joins everything and finalises.
+#[allow(clippy::too_many_arguments)] // internal driver: job + pool + session
+pub(crate) fn run_pooled<S, M, R, FR>(
+    input: Arc<S>,
+    mapper: Arc<M>,
+    make_reducer: FR,
+    config: JobConfig,
+    coordinator: &mut dyn Coordinator,
+    pool: &SlotPool,
+    tenant: TenantId,
+    session: &JobSession,
+    clock: &dyn Clock,
+) -> Result<JobResult<R::Output>>
+where
+    S: InputSource + 'static,
+    M: Mapper<Item = S::Item> + 'static,
+    R: Reducer<Key = M::Key, Value = M::Value> + Send + 'static,
+    R::Output: Send + 'static,
+    FR: Fn(usize) -> R,
+{
+    let splits = input.splits();
+    let total = splits.len();
+    if total == 0 {
+        return Err(RuntimeError::invalid("input has no splits"));
+    }
+    let start = Instant::now();
+    let control = Arc::new(JobControl::new(config.reduce_tasks));
+
+    let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
+    let (reducer_txs, reducer_rxs) =
+        shuffle::reducer_channels::<M::Key, M::Value>(config.reduce_tasks);
+    let mut reducer_handles = Vec::new();
+    for (r, rx) in reducer_rxs.into_iter().enumerate() {
+        let control = Arc::clone(&control);
+        let reducer = make_reducer(r);
+        reducer_handles.push(std::thread::spawn(move || {
+            shuffle::drain_reduce_events(reducer, rx, r, total, control)
+        }));
+    }
+
+    // ---- the scheduler (runs on the calling thread) ----
+    let topology = Topology::pooled(&config);
+    let label = session.job.to_string();
+    let mut tracker = JobTracker::new(
+        &config,
+        &splits,
+        &control,
+        session,
+        clock,
+        topology,
+        start,
+        session.job.0 + 2,
+        &label,
+    );
+    let mut executor = PoolExecutor {
+        input,
+        mapper,
+        pool,
+        tenant,
+        msg_tx,
+        msg_rx,
+        reducer_txs,
+    };
+    tracker.run_loop(&mut executor, coordinator);
+
+    // Shut down: every submitted attempt has reported (the tracker only
+    // exits once no closure still holds a reducer sender), so dropping
+    // our senders lets the reducers drain and finish.
+    drop(executor);
+
+    let mut outputs = Vec::new();
+    let mut panicked = false;
+    for h in reducer_handles {
+        match h.join() {
+            Ok(out) => outputs.extend(out),
+            Err(_) => panicked = true,
+        }
+    }
+    tracker
+        .finish(panicked)
+        .map(|metrics| JobResult { outputs, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use super::super::clock::FakeClock;
+    use super::super::testutil::{sum_reducer, word_blocks, word_mapper};
+    use super::super::{run_job, run_job_on_pool, JobConfig};
+    use super::run_pooled;
+    use crate::control::FixedCoordinator;
+    use crate::event::{JobEvent, JobId, JobSession};
+    use crate::input::VecSource;
+    use crate::mapper::FnMapper;
+    use crate::pool::SlotPool;
+    use crate::reducer::GroupedReducer;
+
+    #[test]
+    fn pool_word_count_matches_scoped_engine() {
+        let config = JobConfig {
+            map_slots: 3,
+            reduce_tasks: 2,
+            ..Default::default()
+        };
+        let scoped = run_job(
+            &VecSource::new(word_blocks()),
+            &word_mapper(),
+            |_| sum_reducer(),
+            config.clone(),
+        )
+        .unwrap();
+
+        let pool = SlotPool::new(3);
+        let tenant = pool.register_tenant(1.0);
+        let total = word_blocks().len();
+        let mut coordinator = FixedCoordinator::new(total, 1.0, 0.0, config.seed);
+        let session = JobSession::new(JobId(1));
+        let pooled = run_job_on_pool(
+            Arc::new(VecSource::new(word_blocks())),
+            Arc::new(word_mapper()),
+            |_| sum_reducer(),
+            config,
+            &mut coordinator,
+            &pool,
+            tenant,
+            &session,
+        )
+        .unwrap();
+
+        let mut a = scoped.outputs;
+        let mut b = pooled.outputs;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "pool and scoped backends must agree exactly");
+        assert_eq!(scoped.metrics.executed_maps, pooled.metrics.executed_maps);
+    }
+
+    #[test]
+    fn pool_jobs_share_slots_concurrently() {
+        let pool = SlotPool::new(4);
+        let mut handles = Vec::new();
+        for j in 0..3u64 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let tenant = pool.register_tenant(1.0);
+                let blocks: Vec<Vec<u32>> = (0..10).map(|_| (0..40).collect()).collect();
+                let mut coordinator = FixedCoordinator::new(10, 1.0, 0.0, j);
+                let session = JobSession::new(JobId(j + 1));
+                let result = run_job_on_pool(
+                    Arc::new(VecSource::new(blocks)),
+                    Arc::new(FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u64)| {
+                        emit((*v % 2) as u8, 1)
+                    })),
+                    |_| GroupedReducer::new(|_: &u8, vs: &[u64]| Some(vs.iter().sum::<u64>())),
+                    JobConfig {
+                        map_slots: 2,
+                        seed: j,
+                        ..Default::default()
+                    },
+                    &mut coordinator,
+                    &pool,
+                    tenant,
+                    &session,
+                )
+                .unwrap();
+                pool.unregister_tenant(tenant);
+                let total: u64 = result.outputs.iter().sum();
+                assert_eq!(total, 400, "job {j} lost records");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn pool_job_streams_wave_events() {
+        let pool = SlotPool::new(2);
+        let tenant = pool.register_tenant(1.0);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let session = JobSession::new(JobId(5)).with_events(tx);
+        let blocks: Vec<Vec<u32>> = (0..12).map(|_| (0..5).collect()).collect();
+        let mut coordinator = FixedCoordinator::new(12, 1.0, 0.0, 0);
+        run_job_on_pool(
+            Arc::new(VecSource::new(blocks)),
+            Arc::new(FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u64)| {
+                emit(0, *v as u64)
+            })),
+            |_| GroupedReducer::new(|_: &u8, vs: &[u64]| Some(vs.len())),
+            JobConfig {
+                map_slots: 2,
+                ..Default::default()
+            },
+            &mut coordinator,
+            &pool,
+            tenant,
+            &session,
+        )
+        .unwrap();
+        drop(session);
+        let waves: Vec<(usize, usize)> = rx
+            .try_iter()
+            .filter_map(|e| match e {
+                JobEvent::Wave {
+                    finished, total, ..
+                } => Some((finished, total)),
+                _ => None,
+            })
+            .collect();
+        assert!(!waves.is_empty(), "at least one wave event streams out");
+        for w in waves.windows(2) {
+            assert!(
+                w[0].0 <= w[1].0,
+                "wave progress must be monotone: {waves:?}"
+            );
+        }
+        let last = waves.last().unwrap();
+        assert_eq!(
+            *last,
+            (12, 12),
+            "the final wave flush reports full completion on every backend"
+        );
+    }
+
+    /// Deadline handling without wall-clock sleeps: the mapper advances a
+    /// fake clock past the deadline mid-job, and the tracker must degrade
+    /// the remainder to drops and complete approximately.
+    #[test]
+    fn pool_job_deadline_completes_approximately() {
+        let pool = SlotPool::new(1);
+        let tenant = pool.register_tenant(1.0);
+        let clock = Arc::new(FakeClock::new());
+        let deadline = clock.base() + Duration::from_millis(100);
+        let session = JobSession::new(JobId(6)).with_deadline(deadline);
+        let blocks: Vec<Vec<u32>> = (0..50).map(|i| vec![i as u32]).collect();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let mapper = {
+            let clock = Arc::clone(&clock);
+            let seen = Arc::clone(&seen);
+            FnMapper::new(move |_: &u32, emit: &mut dyn FnMut(u8, u64)| {
+                if seen.fetch_add(1, Ordering::SeqCst) == 9 {
+                    clock.advance(Duration::from_millis(200));
+                }
+                emit(0, 1);
+            })
+        };
+        let mut coordinator = FixedCoordinator::new(50, 1.0, 0.0, 0);
+        let result = run_pooled(
+            Arc::new(VecSource::new(blocks)),
+            Arc::new(mapper),
+            |_| GroupedReducer::new(|_: &u8, vs: &[u64]| Some(vs.len())),
+            JobConfig {
+                map_slots: 1,
+                ..Default::default()
+            },
+            &mut coordinator,
+            &pool,
+            tenant,
+            &session,
+            &*clock,
+        )
+        .unwrap();
+        assert!(result.metrics.deadline_hit, "deadline must be recorded");
+        assert!(
+            result.metrics.executed_maps < 50,
+            "deadline must cut the job short: {}",
+            result.metrics.executed_maps
+        );
+        assert!(result.metrics.dropped_maps > 0);
+        assert_eq!(
+            result.metrics.executed_maps + result.metrics.dropped_maps + result.metrics.killed_maps,
+            50
+        );
+    }
+
+    /// Reduce outputs partitioned across several reduce tasks cover every
+    /// key exactly once.
+    #[test]
+    fn multiple_reducers_cover_all_keys() {
+        let blocks: Vec<Vec<u32>> = (0..8)
+            .map(|b| (0..100).map(|i| b * 100 + i).collect())
+            .collect();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u32, u64)| emit(*v % 16, 1));
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|k: &u32, vs: &[u64]| Some((*k, vs.iter().sum::<u64>()))),
+            JobConfig {
+                map_slots: 2,
+                reduce_tasks: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut keys: Vec<u32> = result.outputs.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..16).collect::<Vec<u32>>(), "all keys, each once");
+        assert!(result.outputs.iter().all(|(_, n)| *n == 50));
+    }
+}

@@ -1,0 +1,640 @@
+//! The MapReduce engine: one scheduler, pluggable execution backends.
+//!
+//! The engine is split along the paper's own seam (§3): *deciding* what
+//! to run is the JobTracker's job, *running* it is the cluster's.
+//!
+//! * `scheduler` — the single `JobTracker` state machine owning every
+//!   control-flow decision: dispatch order and data locality, task
+//!   dropping, mid-flight kills, speculative execution, bounded retry
+//!   with backoff and blacklisting, degrade-to-drop plus its error
+//!   budget, wave accounting and event/telemetry emission.
+//! * `executor` — the `Executor` trait and its two backends: scoped
+//!   task-tracker threads (job-private simulated servers) and the
+//!   shared [`crate::pool::SlotPool`] (service mode).
+//! * `attempt` — the worker-side body of one map attempt.
+//! * `shuffle` — per-reducer channels, batch shipping, drop
+//!   broadcasts and the reduce-side drain loop.
+//! * `clock` — the time source scheduling decisions consult, swapped
+//!   for a fake in deterministic tests.
+//!
+//! The public entry points below are thin wrappers that validate the
+//! [`JobConfig`], pick a backend and hand everything to the tracker.
+
+mod attempt;
+mod clock;
+mod executor;
+mod scheduler;
+mod shuffle;
+
+use std::sync::Arc;
+
+use crate::control::{Coordinator, FixedCoordinator};
+use crate::event::{JobId, JobSession};
+use crate::fault::{FaultPlan, FaultPolicy};
+use crate::input::InputSource;
+use crate::mapper::Mapper;
+use crate::metrics::JobMetrics;
+use crate::pool::{SlotPool, TenantId};
+use crate::reducer::Reducer;
+use crate::{Result, RuntimeError};
+
+use clock::SystemClock;
+
+/// Configuration of one MapReduce job.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Concurrent map tasks across the cluster (total map slots).
+    pub map_slots: usize,
+    /// Simulated servers hosting the slots (slots are spread round-robin
+    /// across servers; the scheduler prefers tasks whose input block has
+    /// a replica on the assigned server — HDFS-style data locality).
+    pub servers: usize,
+    /// Number of reduce tasks.
+    pub reduce_tasks: usize,
+    /// Within-block input sampling ratio applied by the default policy
+    /// (`1.0` = precise).
+    pub sampling_ratio: f64,
+    /// Fraction of map tasks dropped by the default policy.
+    pub drop_ratio: f64,
+    /// Seed for task ordering, drop selection and per-task sampling.
+    pub seed: u64,
+    /// Enable speculative execution of stragglers.
+    pub speculative: bool,
+    /// A task is a straggler when it runs longer than
+    /// `straggler_factor × mean completed-map time`. Must be finite and
+    /// at least `1.0` (below that, every task is "slower than itself"
+    /// and gets speculatively relaunched).
+    pub straggler_factor: f64,
+    /// Deterministic fault injection (testing/chaos); `None` injects
+    /// nothing. DFS-level knobs additionally need the plan installed on
+    /// the cluster via
+    /// [`DfsCluster::set_read_faults`](approxhadoop_dfs::DfsCluster::set_read_faults).
+    pub fault_plan: Option<FaultPlan>,
+    /// How the tracker reacts to failed map attempts: bounded retry with
+    /// backoff, server blacklisting, and degrade-to-drop. The default
+    /// policy (no retries, no degrading) fails the job on the first
+    /// exhausted task, matching the engine's historical behaviour.
+    pub fault_policy: FaultPolicy,
+    /// Optional observability context: when set, the tracker records
+    /// registry metrics and a `job → wave → task` span tree into it.
+    /// `None` (the default) runs fully uninstrumented.
+    pub obs: Option<Arc<approxhadoop_obs::Obs>>,
+    /// Enable map-side combining for mappers that provide a
+    /// [`crate::combine::Combiner`] (on by default). Turning this off
+    /// forces the raw per-pair shuffle path — useful for A/B perf
+    /// comparisons; results are identical either way.
+    pub combining: bool,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            map_slots: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            servers: 1,
+            reduce_tasks: 1,
+            sampling_ratio: 1.0,
+            drop_ratio: 0.0,
+            seed: 0,
+            speculative: false,
+            straggler_factor: 2.0,
+            fault_plan: None,
+            fault_policy: FaultPolicy::default(),
+            obs: None,
+            combining: true,
+        }
+    }
+}
+
+impl JobConfig {
+    /// Checks every invariant a job needs to run — positive slot/server/
+    /// reducer counts, ratio ranges, a sane straggler factor, and the
+    /// embedded fault plan/policy. Every entry point (engine, job
+    /// service, CLI) funnels through this one check, so a config is
+    /// rejected identically no matter how it arrives.
+    pub fn validate(&self) -> Result<()> {
+        if self.map_slots == 0 {
+            return Err(RuntimeError::invalid("map_slots must be positive"));
+        }
+        if self.servers == 0 {
+            return Err(RuntimeError::invalid("servers must be positive"));
+        }
+        if self.reduce_tasks == 0 {
+            return Err(RuntimeError::invalid("reduce_tasks must be positive"));
+        }
+        if !(self.sampling_ratio > 0.0 && self.sampling_ratio <= 1.0) {
+            return Err(RuntimeError::invalid(format!(
+                "sampling_ratio must lie in (0, 1], got {}",
+                self.sampling_ratio
+            )));
+        }
+        if !(0.0..1.0).contains(&self.drop_ratio) {
+            return Err(RuntimeError::invalid(format!(
+                "drop_ratio must lie in [0, 1), got {}",
+                self.drop_ratio
+            )));
+        }
+        if !(self.straggler_factor.is_finite() && self.straggler_factor >= 1.0) {
+            return Err(RuntimeError::invalid(format!(
+                "straggler_factor must be finite and >= 1.0, got {}",
+                self.straggler_factor
+            )));
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate().map_err(RuntimeError::invalid)?;
+        }
+        self.fault_policy
+            .validate()
+            .map_err(RuntimeError::invalid)?;
+        Ok(())
+    }
+}
+
+/// The outcome of a job: reducer outputs (concatenated in reducer order)
+/// plus execution metrics.
+#[derive(Debug)]
+pub struct JobResult<O> {
+    /// All reducers' outputs.
+    pub outputs: Vec<O>,
+    /// Execution metrics.
+    pub metrics: JobMetrics,
+}
+
+/// Runs a job with the default fixed-ratio policy derived from
+/// `config.sampling_ratio` / `config.drop_ratio` — the paper's
+/// "user-specified dropping/sampling ratios" mode.
+pub fn run_job<S, M, R, FR>(
+    input: &S,
+    mapper: &M,
+    make_reducer: FR,
+    config: JobConfig,
+) -> Result<JobResult<R::Output>>
+where
+    S: InputSource,
+    M: Mapper<Item = S::Item>,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+    FR: Fn(usize) -> R + Sync,
+{
+    config.validate()?;
+    let total = input.splits().len();
+    if total == 0 {
+        return Err(RuntimeError::invalid("input has no splits"));
+    }
+    let mut coordinator =
+        FixedCoordinator::new(total, config.sampling_ratio, config.drop_ratio, config.seed);
+    run_job_with_coordinator(input, mapper, make_reducer, config, &mut coordinator)
+}
+
+/// Runs a job under an explicit [`Coordinator`] policy (used by the
+/// target-error-bound controller in `approxhadoop-core`).
+pub fn run_job_with_coordinator<S, M, R, FR>(
+    input: &S,
+    mapper: &M,
+    make_reducer: FR,
+    config: JobConfig,
+    coordinator: &mut dyn Coordinator,
+) -> Result<JobResult<R::Output>>
+where
+    S: InputSource,
+    M: Mapper<Item = S::Item>,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+    FR: Fn(usize) -> R + Sync,
+{
+    config.validate()?;
+    let session = JobSession::new(JobId(0));
+    executor::run_scoped(
+        input,
+        mapper,
+        make_reducer,
+        config,
+        coordinator,
+        &session,
+        &SystemClock,
+        1,
+        "run_job",
+    )
+}
+
+/// Runs a job on the scoped backend under a caller-owned [`JobSession`]:
+/// like [`run_job_with_coordinator`], plus cancellation (the job fails
+/// with [`RuntimeError::Cancelled`]), an optional deadline (remaining
+/// maps are dropped and the job completes **approximately**, flagged via
+/// [`JobMetrics::deadline_hit`]) and a stream of [`JobEvent`] progress
+/// events — the same session semantics [`run_job_on_pool`] offers, on
+/// job-private threads.
+///
+/// [`JobEvent`]: crate::event::JobEvent
+pub fn run_job_with_session<S, M, R, FR>(
+    input: &S,
+    mapper: &M,
+    make_reducer: FR,
+    config: JobConfig,
+    coordinator: &mut dyn Coordinator,
+    session: &JobSession,
+) -> Result<JobResult<R::Output>>
+where
+    S: InputSource,
+    M: Mapper<Item = S::Item>,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+    FR: Fn(usize) -> R + Sync,
+{
+    config.validate()?;
+    let label = session.job.to_string();
+    executor::run_scoped(
+        input,
+        mapper,
+        make_reducer,
+        config,
+        coordinator,
+        session,
+        &SystemClock,
+        session.job.0 + 2,
+        &label,
+    )
+}
+
+/// Runs a job on a shared [`SlotPool`] instead of job-private
+/// task-tracker threads — the service-mode entry point.
+///
+/// Differences from [`run_job_with_coordinator`]:
+///
+/// * map attempts execute on `pool` slots shared with other concurrent
+///   jobs, queued under `tenant` for weighted fair sharing; the job's
+///   own `config.map_slots` caps *its* attempts in flight, while the
+///   pool caps how many actually run at once across all jobs;
+/// * the per-job handle in `session` adds cancellation (job fails with
+///   [`RuntimeError::Cancelled`]), a deadline (remaining maps are
+///   dropped and the job completes **approximately**, flagged via
+///   [`JobMetrics::deadline_hit`]) and a stream of
+///   [`JobEvent::Wave`](crate::event::JobEvent::Wave) /
+///   [`JobEvent::Estimate`](crate::event::JobEvent::Estimate) progress
+///   events;
+/// * simulated data locality and speculative execution do not apply —
+///   the pool is one shared cluster, not per-job virtual servers.
+///
+/// `input` and `mapper` are `Arc`s because attempts outlive the borrow
+/// a scoped thread could give them: they run on pool workers owned by
+/// the service, not by this call.
+#[allow(clippy::too_many_arguments)] // the service-facing surface: job + policy + pool + session
+pub fn run_job_on_pool<S, M, R, FR>(
+    input: Arc<S>,
+    mapper: Arc<M>,
+    make_reducer: FR,
+    config: JobConfig,
+    coordinator: &mut dyn Coordinator,
+    pool: &SlotPool,
+    tenant: TenantId,
+    session: &JobSession,
+) -> Result<JobResult<R::Output>>
+where
+    S: InputSource + 'static,
+    M: Mapper<Item = S::Item> + 'static,
+    R: Reducer<Key = M::Key, Value = M::Value> + Send + 'static,
+    R::Output: Send + 'static,
+    FR: Fn(usize) -> R,
+{
+    config.validate()?;
+    executor::run_pooled(
+        input,
+        mapper,
+        make_reducer,
+        config,
+        coordinator,
+        pool,
+        tenant,
+        session,
+        &SystemClock,
+    )
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::mapper::FnMapper;
+    use crate::reducer::GroupedReducer;
+
+    pub(crate) fn word_blocks() -> Vec<Vec<String>> {
+        vec![
+            vec!["a b a".into(), "c".into()],
+            vec!["b c".into(), "a a".into()],
+            vec!["c c c".into()],
+        ]
+    }
+
+    #[allow(clippy::type_complexity)] // test helper returning the full generic
+    pub(crate) fn word_mapper(
+    ) -> FnMapper<String, String, u64, impl Fn(&String, &mut dyn FnMut(String, u64)) + Send + Sync>
+    {
+        FnMapper::new(|line: &String, emit: &mut dyn FnMut(String, u64)| {
+            for w in line.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        })
+    }
+
+    #[allow(clippy::type_complexity)] // test helper returning the full generic
+    pub(crate) fn sum_reducer(
+    ) -> GroupedReducer<String, u64, impl FnMut(&String, &[u64]) -> Option<(String, u64)> + Send>
+    {
+        GroupedReducer::new(|k: &String, vs: &[u64]| Some((k.clone(), vs.iter().sum::<u64>())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{sum_reducer, word_blocks, word_mapper};
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::input::VecSource;
+    use crate::mapper::FnMapper;
+    use crate::reducer::GroupedReducer;
+
+    #[test]
+    fn precise_word_count() {
+        let input = VecSource::new(word_blocks());
+        let mapper = word_mapper();
+        let result = run_job(&input, &mapper, |_| sum_reducer(), JobConfig::default()).unwrap();
+        let mut out = result.outputs;
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), 4),
+                ("b".to_string(), 2),
+                ("c".to_string(), 5)
+            ]
+        );
+        assert_eq!(result.metrics.executed_maps, 3);
+        assert_eq!(result.metrics.dropped_maps, 0);
+        assert_eq!(result.metrics.total_records, 5);
+        assert_eq!(result.metrics.sampled_records, 5);
+    }
+
+    #[test]
+    fn results_are_deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let input = VecSource::new(word_blocks());
+            let mapper = word_mapper();
+            let config = JobConfig {
+                seed,
+                reduce_tasks: 2,
+                sampling_ratio: 0.5,
+                ..Default::default()
+            };
+            let mut out = run_job(&input, &mapper, |_| sum_reducer(), config)
+                .unwrap()
+                .outputs;
+            out.sort();
+            out
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn drop_ratio_drops_exact_count() {
+        let blocks: Vec<Vec<u32>> = (0..20).map(|i| vec![i, i, i]).collect();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|item: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *item));
+        let config = JobConfig {
+            drop_ratio: 0.25,
+            ..Default::default()
+        };
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_k: &u8, vs: &[u32]| Some(vs.len())),
+            config,
+        )
+        .unwrap();
+        assert_eq!(result.metrics.dropped_maps, 5);
+        assert_eq!(result.metrics.executed_maps, 15);
+        assert_eq!(result.outputs, vec![45]); // 15 maps × 3 items
+    }
+
+    #[test]
+    fn sampling_ratio_reduces_processed_records() {
+        let blocks: Vec<Vec<u32>> = (0..4).map(|_| (0..100).collect()).collect();
+        let input = VecSource::new(blocks);
+        let mapper = FnMapper::new(|item: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *item));
+        let config = JobConfig {
+            sampling_ratio: 0.1,
+            ..Default::default()
+        };
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_k: &u8, vs: &[u32]| Some(vs.len())),
+            config,
+        )
+        .unwrap();
+        assert_eq!(result.metrics.total_records, 400);
+        assert_eq!(result.metrics.sampled_records, 40);
+        assert_eq!(result.outputs, vec![40]);
+    }
+
+    #[test]
+    fn single_block_single_slot() {
+        let input = VecSource::new(vec![vec![1u32, 2, 3]]);
+        let mapper = FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *i));
+        let config = JobConfig {
+            map_slots: 1,
+            ..Default::default()
+        };
+        let result = run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, vs: &[u32]| Some(vs.iter().sum::<u32>())),
+            config,
+        )
+        .unwrap();
+        assert_eq!(result.outputs, vec![6]);
+    }
+
+    // ---- JobConfig::validate: one unit test per rejection ----
+
+    fn rejects(config: JobConfig, what: &str) {
+        let err = config.validate().expect_err(what);
+        assert!(
+            matches!(err, RuntimeError::InvalidJob { .. }),
+            "{what}: unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_map_slots() {
+        rejects(
+            JobConfig {
+                map_slots: 0,
+                ..Default::default()
+            },
+            "map_slots = 0",
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_servers() {
+        rejects(
+            JobConfig {
+                servers: 0,
+                ..Default::default()
+            },
+            "servers = 0",
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_reduce_tasks() {
+        rejects(
+            JobConfig {
+                reduce_tasks: 0,
+                ..Default::default()
+            },
+            "reduce_tasks = 0",
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_sampling_ratios() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            rejects(
+                JobConfig {
+                    sampling_ratio: bad,
+                    ..Default::default()
+                },
+                "bad sampling_ratio",
+            );
+        }
+        assert!(JobConfig {
+            sampling_ratio: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_drop_ratios() {
+        for bad in [-0.1, 1.0, 1.5, f64::NAN] {
+            rejects(
+                JobConfig {
+                    drop_ratio: bad,
+                    ..Default::default()
+                },
+                "bad drop_ratio",
+            );
+        }
+        assert!(JobConfig {
+            drop_ratio: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_straggler_factor() {
+        for bad in [0.5, 0.0, -1.0, f64::NAN, f64::INFINITY] {
+            rejects(
+                JobConfig {
+                    straggler_factor: bad,
+                    ..Default::default()
+                },
+                "bad straggler_factor",
+            );
+        }
+        assert!(JobConfig {
+            straggler_factor: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_invalid_fault_plan() {
+        rejects(
+            JobConfig {
+                fault_plan: Some(FaultPlan {
+                    map_panic_prob: 1.5,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+            "map_panic_prob out of range",
+        );
+    }
+
+    #[test]
+    fn validate_rejects_invalid_fault_policy() {
+        let policy = crate::fault::FaultPolicy {
+            max_degraded_bound: Some(-0.2),
+            ..Default::default()
+        };
+        rejects(
+            JobConfig {
+                fault_policy: policy,
+                ..Default::default()
+            },
+            "negative max_degraded_bound",
+        );
+    }
+
+    // ---- entry points reject invalid configs identically ----
+
+    #[test]
+    fn zero_slots_rejected() {
+        let input = VecSource::new(vec![vec![1u32]]);
+        let mapper = FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *i));
+        let config = JobConfig {
+            map_slots: 0,
+            ..Default::default()
+        };
+        assert!(run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, _: &[u32]| Some(())),
+            config
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn zero_servers_rejected() {
+        let input = VecSource::new(vec![vec![1u32]]);
+        let mapper = FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *i));
+        let config = JobConfig {
+            servers: 0,
+            ..Default::default()
+        };
+        assert!(run_job(
+            &input,
+            &mapper,
+            |_| GroupedReducer::new(|_: &u8, _: &[u32]| Some(())),
+            config
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bad_ratios_rejected() {
+        let input = VecSource::new(vec![vec![1u32]]);
+        let mapper = FnMapper::new(|i: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *i));
+        for (sampling, drop) in [(0.0, 0.0), (1.5, 0.0), (1.0, 1.0), (1.0, -0.1)] {
+            let config = JobConfig {
+                sampling_ratio: sampling,
+                drop_ratio: drop,
+                ..Default::default()
+            };
+            assert!(
+                run_job(
+                    &input,
+                    &mapper,
+                    |_| GroupedReducer::new(|_: &u8, _: &[u32]| Some(())),
+                    config
+                )
+                .is_err(),
+                "sampling={sampling} drop={drop} should be rejected"
+            );
+        }
+    }
+}

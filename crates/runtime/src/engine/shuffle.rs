@@ -1,0 +1,156 @@
+//! Shuffle plumbing shared by every execution backend: per-reducer
+//! channels, pre-partitioned batch shipping, drop notifications, and the
+//! reduce-side drain loop.
+//!
+//! Both executors route map outputs through the same channel fabric, so
+//! the shuffle contract — one deduplicated `MapOutput`/`MapDropped`
+//! event per task per reducer — lives in exactly one place.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::control::JobControl;
+use crate::reducer::{DedupState, MapOutputMeta, ReduceContext, ReduceEvent, Reducer};
+use crate::types::{Key, TaskId, Value};
+
+/// Creates one unbounded channel per reduce task.
+#[allow(clippy::type_complexity)] // a (senders, receivers) pair, nothing deeper
+pub(crate) fn reducer_channels<K: Key, V: Value>(
+    reducers: usize,
+) -> (
+    Vec<Sender<ReduceEvent<K, V>>>,
+    Vec<Receiver<ReduceEvent<K, V>>>,
+) {
+    let mut txs = Vec::with_capacity(reducers);
+    let mut rxs = Vec::with_capacity(reducers);
+    for _ in 0..reducers {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    (txs, rxs)
+}
+
+/// Tells every reducer that `task` will never deliver output (dropped,
+/// killed, or degraded-to-drop) so barrier-less reducers can account for
+/// the missing cluster per Eq. 1–3.
+pub(crate) fn broadcast_drop<K: Key, V: Value>(txs: &[Sender<ReduceEvent<K, V>>], task: usize) {
+    for tx in txs {
+        let _ = tx.send(ReduceEvent::MapDropped { task: TaskId(task) });
+    }
+}
+
+/// Ships one map attempt's outputs: each reducer receives exactly one
+/// pre-partitioned batch (pre-combined and in key order when a combiner
+/// ran). Returns the number of pairs shuffled.
+pub(crate) fn ship_outputs<K: Key, V: Value>(
+    reducer_txs: &[Sender<ReduceEvent<K, V>>],
+    meta: MapOutputMeta,
+    combined_path: bool,
+    raw: &mut [Vec<(K, V)>],
+    combined: &mut [BTreeMap<K, V>],
+) -> u64 {
+    let mut shuffled = 0u64;
+    for (p, tx) in reducer_txs.iter().enumerate() {
+        let pairs: Vec<(K, V)> = if combined_path {
+            std::mem::take(&mut combined[p]).into_iter().collect()
+        } else {
+            std::mem::take(&mut raw[p])
+        };
+        shuffled += pairs.len() as u64;
+        let _ = tx.send(ReduceEvent::MapOutput { meta, pairs });
+    }
+    shuffled
+}
+
+/// The reduce-task body: drains shuffle events until every sender is
+/// gone, forwarding the first event per map task (speculative siblings
+/// deliver duplicates) to the user reducer, then finishes it.
+pub(crate) fn drain_reduce_events<R: Reducer>(
+    mut reducer: R,
+    rx: Receiver<ReduceEvent<R::Key, R::Value>>,
+    partition: usize,
+    total_maps: usize,
+    control: Arc<JobControl>,
+) -> Vec<R::Output> {
+    let mut ctx = ReduceContext::new(partition, total_maps, control);
+    let mut dedup = DedupState::new();
+    for event in rx.iter() {
+        match event {
+            ReduceEvent::MapOutput { meta, pairs } => {
+                if dedup.first(meta.task) {
+                    ctx.note_map();
+                    reducer.on_map_output(&meta, pairs, &mut ctx);
+                }
+            }
+            ReduceEvent::MapDropped { task } => {
+                if dedup.first(task) {
+                    ctx.note_map();
+                    reducer.on_map_dropped(task, &mut ctx);
+                }
+            }
+        }
+    }
+    reducer.finish(&mut ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reducer::GroupedReducer;
+
+    #[test]
+    fn ship_outputs_takes_raw_or_combined_path() {
+        let (txs, rxs) = reducer_channels::<u32, u64>(2);
+        let meta = MapOutputMeta {
+            task: TaskId(0),
+            total_records: 3,
+            sampled_records: 3,
+            duration_secs: 0.0,
+        };
+        let mut raw = vec![vec![(1u32, 1u64), (1, 1)], vec![(2, 1)]];
+        let mut combined = vec![BTreeMap::new(), BTreeMap::new()];
+        combined[0].insert(1u32, 2u64);
+        // Raw path ships every pair.
+        let shuffled = ship_outputs(&txs, meta, false, &mut raw, &mut combined);
+        assert_eq!(shuffled, 3);
+        // Combined path ships the folded table (raw was already drained).
+        let shuffled = ship_outputs(&txs, meta, true, &mut raw, &mut combined);
+        assert_eq!(shuffled, 1);
+        drop(txs);
+        let batches: Vec<_> = rxs[0].iter().collect();
+        assert_eq!(batches.len(), 2);
+    }
+
+    #[test]
+    fn drain_dedups_sibling_outputs_and_drops() {
+        let (txs, mut rxs) = reducer_channels::<u32, u64>(1);
+        let meta = MapOutputMeta {
+            task: TaskId(0),
+            total_records: 1,
+            sampled_records: 1,
+            duration_secs: 0.0,
+        };
+        // Two sibling attempts deliver the same task; one other task drops
+        // (twice — e.g. a killed sibling racing the drop broadcast).
+        for _ in 0..2 {
+            let _ = txs[0].send(ReduceEvent::MapOutput {
+                meta,
+                pairs: vec![(7u32, 1u64)],
+            });
+            broadcast_drop(&txs, 1);
+        }
+        drop(txs);
+        let control = Arc::new(JobControl::new(1));
+        let out = drain_reduce_events(
+            GroupedReducer::new(|k: &u32, vs: &[u64]| Some((*k, vs.len()))),
+            rxs.remove(0),
+            0,
+            2,
+            control,
+        );
+        assert_eq!(out, vec![(7, 1)], "duplicate deliveries must be ignored");
+    }
+}

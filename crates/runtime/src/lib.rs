@@ -5,8 +5,12 @@
 //!
 //! * a **JobTracker** ([`engine`]) that schedules one map task per input
 //!   block, **in random order** (required by the cluster-sampling
-//!   theory), on a pool of task-tracker worker threads with a fixed
-//!   number of map slots;
+//!   theory), on a fixed number of map slots. The scheduler is a single
+//!   backend-agnostic state machine; *where* attempts run is a pluggable
+//!   executor — job-private task-tracker threads ([`engine::run_job`],
+//!   [`engine::run_job_with_coordinator`], [`engine::run_job_with_session`])
+//!   or a shared, weighted-fair [`pool::SlotPool`]
+//!   ([`engine::run_job_on_pool`], service mode);
 //! * **task dropping**: tasks can be dropped before launch or **killed
 //!   while running**; dropped maps get a distinct terminal state and the
 //!   job still completes (paper Section 4.3);
@@ -85,7 +89,9 @@ pub use combine::{
     Combined, Combiner, FnCombiner, MaxCombiner, MinCombiner, PairSumCombiner, SumCombiner,
 };
 pub use control::{Coordinator, FixedCoordinator, JobControl, MapDirective};
-pub use engine::{run_job, run_job_on_pool, run_job_with_coordinator, JobConfig, JobResult};
+pub use engine::{
+    run_job, run_job_on_pool, run_job_with_coordinator, run_job_with_session, JobConfig, JobResult,
+};
 pub use error::RuntimeError;
 pub use event::{CancelHandle, JobEvent, JobId, JobSession};
 pub use fault::{FaultDecision, FaultPlan, FaultPolicy};

@@ -1,0 +1,246 @@
+//! Differential proof that the two executor backends are one scheduler.
+//!
+//! The same job — same input, same seed, same coordinator policy, same
+//! injected faults — is run once on job-private task-tracker threads
+//! (`run_job_with_session`) and once on a shared [`SlotPool`]
+//! (`run_job_on_pool`). Because the unified `JobTracker` owns every
+//! scheduling decision and the configuration below makes execution
+//! serial (one slot, one server, zero retry backoff), the two runs must
+//! produce **byte-identical** `JobEvent` streams, identical outputs,
+//! and identical task-level metrics. Any divergence means a scheduling
+//! decision leaked into a backend.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use approxhadoop_runtime::engine::{run_job_on_pool, run_job_with_session, JobConfig, JobResult};
+use approxhadoop_runtime::input::VecSource;
+use approxhadoop_runtime::mapper::FnMapper;
+use approxhadoop_runtime::pool::SlotPool;
+use approxhadoop_runtime::reducer::GroupedReducer;
+use approxhadoop_runtime::{FaultPlan, FaultPolicy, FixedCoordinator, JobEvent, JobId, JobSession};
+
+fn blocks() -> Vec<Vec<u32>> {
+    (0..24)
+        .map(|b| (0..60).map(|i| b * 60 + i).collect())
+        .collect()
+}
+
+/// Serial, fully deterministic configuration: one slot on one server
+/// (so message arrival order is the completion order), zero backoff (so
+/// retries redispatch immediately regardless of wall time), sampling and
+/// dropping engaged, and seeded io-fault injection exercising the
+/// retry → degrade path.
+fn config(seed: u64) -> JobConfig {
+    JobConfig {
+        map_slots: 1,
+        servers: 1,
+        reduce_tasks: 2,
+        sampling_ratio: 0.5,
+        drop_ratio: 0.2,
+        seed,
+        fault_plan: Some(FaultPlan {
+            seed,
+            map_io_error_prob: 0.15,
+            ..Default::default()
+        }),
+        fault_policy: FaultPolicy {
+            max_task_retries: 2,
+            retry_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            degrade_to_drop: true,
+            blacklist_after: 0,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+struct Run {
+    result: JobResult<(u8, u64)>,
+    events: Vec<JobEvent>,
+}
+
+fn run_scoped_backend(seed: u64) -> Run {
+    let input = VecSource::new(blocks());
+    let mapper = FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u64)| emit((*v % 8) as u8, 1));
+    let cfg = config(seed);
+    let mut coordinator = FixedCoordinator::new(24, cfg.sampling_ratio, cfg.drop_ratio, cfg.seed);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let session = JobSession::new(JobId(7)).with_events(tx);
+    let result = run_job_with_session(
+        &input,
+        &mapper,
+        |_| GroupedReducer::new(|k: &u8, vs: &[u64]| Some((*k, vs.iter().sum::<u64>()))),
+        cfg,
+        &mut coordinator,
+        &session,
+    )
+    .unwrap();
+    drop(session);
+    Run {
+        result,
+        events: rx.try_iter().collect(),
+    }
+}
+
+fn run_pool_backend(seed: u64) -> Run {
+    let cfg = config(seed);
+    let mut coordinator = FixedCoordinator::new(24, cfg.sampling_ratio, cfg.drop_ratio, cfg.seed);
+    let pool = SlotPool::new(1);
+    let tenant = pool.register_tenant(1.0);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let session = JobSession::new(JobId(7)).with_events(tx);
+    let result = run_job_on_pool(
+        Arc::new(VecSource::new(blocks())),
+        Arc::new(FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u64)| {
+            emit((*v % 8) as u8, 1)
+        })),
+        |_| GroupedReducer::new(|k: &u8, vs: &[u64]| Some((*k, vs.iter().sum::<u64>()))),
+        cfg,
+        &mut coordinator,
+        &pool,
+        tenant,
+        &session,
+    )
+    .unwrap();
+    drop(session);
+    pool.unregister_tenant(tenant);
+    Run {
+        result,
+        events: rx.try_iter().collect(),
+    }
+}
+
+#[test]
+fn event_streams_and_metrics_are_identical_across_backends() {
+    for seed in [3u64, 17, 42] {
+        let a = run_scoped_backend(seed);
+        let b = run_pool_backend(seed);
+
+        // Byte-identical lifecycle event streams.
+        assert_eq!(
+            a.events, b.events,
+            "seed {seed}: JobEvent streams diverged between backends"
+        );
+        assert_eq!(
+            format!("{:?}", a.events),
+            format!("{:?}", b.events),
+            "seed {seed}: rendered event streams diverged"
+        );
+        assert!(
+            !a.events.is_empty(),
+            "seed {seed}: the job must stream at least one wave"
+        );
+
+        // Identical reduce outputs.
+        let mut oa = a.result.outputs.clone();
+        let mut ob = b.result.outputs.clone();
+        oa.sort();
+        ob.sort();
+        assert_eq!(oa, ob, "seed {seed}: outputs diverged");
+
+        // Identical task-level accounting (everything but wall time).
+        let (ma, mb) = (&a.result.metrics, &b.result.metrics);
+        assert_eq!(ma.total_maps, mb.total_maps, "seed {seed}");
+        assert_eq!(ma.executed_maps, mb.executed_maps, "seed {seed}");
+        assert_eq!(ma.dropped_maps, mb.dropped_maps, "seed {seed}");
+        assert_eq!(ma.killed_maps, mb.killed_maps, "seed {seed}");
+        assert_eq!(ma.failed_maps, mb.failed_maps, "seed {seed}");
+        assert_eq!(ma.retried_maps, mb.retried_maps, "seed {seed}");
+        assert_eq!(ma.degraded_to_drop, mb.degraded_to_drop, "seed {seed}");
+        assert_eq!(ma.local_maps, mb.local_maps, "seed {seed}");
+        assert_eq!(
+            format!("{:?}", ma.task_outcomes),
+            format!("{:?}", mb.task_outcomes),
+            "seed {seed}: per-task terminal states diverged"
+        );
+
+        // Identical per-attempt sampling/shuffle accounting (timings
+        // excluded — they are the only legitimately nondeterministic
+        // fields).
+        let key = |m: &approxhadoop_runtime::metrics::MapStats| {
+            (
+                m.task,
+                m.total_records,
+                m.sampled_records,
+                m.emitted,
+                m.shuffled,
+            )
+        };
+        let sa: Vec<_> = ma.map_stats.iter().map(key).collect();
+        let sb: Vec<_> = mb.map_stats.iter().map(key).collect();
+        assert_eq!(sa, sb, "seed {seed}: map attempt statistics diverged");
+
+        // The config exercised the interesting paths.
+        assert!(ma.dropped_maps > 0, "seed {seed}: drop path not exercised");
+        assert!(
+            ma.retried_maps > 0 || ma.degraded_to_drop > 0,
+            "seed {seed}: fault path not exercised"
+        );
+    }
+}
+
+/// The same differential without faults, checking the common path and
+/// that wave progress events agree even when the job is precise.
+#[test]
+fn precise_runs_agree_exactly() {
+    let input = VecSource::new(blocks());
+    let mapper = FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u64)| emit(0, *v as u64));
+    let cfg = JobConfig {
+        map_slots: 1,
+        servers: 1,
+        ..Default::default()
+    };
+    let mut c1 = FixedCoordinator::new(24, 1.0, 0.0, cfg.seed);
+    let (tx1, rx1) = crossbeam::channel::unbounded();
+    let s1 = JobSession::new(JobId(7)).with_events(tx1);
+    let a = run_job_with_session(
+        &input,
+        &mapper,
+        |_| GroupedReducer::new(|_: &u8, vs: &[u64]| Some(vs.len())),
+        cfg.clone(),
+        &mut c1,
+        &s1,
+    )
+    .unwrap();
+    drop(s1);
+
+    let pool = SlotPool::new(1);
+    let tenant = pool.register_tenant(1.0);
+    let mut c2 = FixedCoordinator::new(24, 1.0, 0.0, cfg.seed);
+    let (tx2, rx2) = crossbeam::channel::unbounded();
+    let s2 = JobSession::new(JobId(7)).with_events(tx2);
+    let b = run_job_on_pool(
+        Arc::new(VecSource::new(blocks())),
+        Arc::new(FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u64)| {
+            emit(0, *v as u64)
+        })),
+        |_| GroupedReducer::new(|_: &u8, vs: &[u64]| Some(vs.len())),
+        cfg,
+        &mut c2,
+        &pool,
+        tenant,
+        &s2,
+    )
+    .unwrap();
+    drop(s2);
+
+    assert_eq!(a.outputs, vec![24 * 60]);
+    assert_eq!(a.outputs, b.outputs);
+    let ea: Vec<JobEvent> = rx1.try_iter().collect();
+    let eb: Vec<JobEvent> = rx2.try_iter().collect();
+    assert_eq!(ea, eb, "precise-run event streams diverged");
+    let last = ea.last().expect("at least one event");
+    assert!(
+        matches!(
+            last,
+            JobEvent::Wave {
+                finished: 24,
+                total: 24,
+                ..
+            }
+        ),
+        "both backends end with the trailing full-completion wave, got {last:?}"
+    );
+}

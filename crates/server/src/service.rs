@@ -208,16 +208,17 @@ impl JobService {
                 spec.weight
             )));
         }
-        let id = JobId(self.next_job.fetch_add(1, Ordering::SeqCst));
-        let decision = self
-            .controller
-            .admit(id.0, &spec.budget, self.pool.queued());
-        let config = JobConfig {
+        // Validate the engine configuration before allocating a job id,
+        // so rejected submissions are invisible (no id, no tracker
+        // thread, no admission-controller state). Only the sampling and
+        // drop ratios are decided later, by the admission controller,
+        // which produces them within valid range by construction.
+        let provisional = JobConfig {
             map_slots: spec.map_slots,
             servers: 1,
             reduce_tasks: spec.reduce_tasks,
-            sampling_ratio: decision.sampling_ratio,
-            drop_ratio: decision.drop_ratio,
+            sampling_ratio: 1.0,
+            drop_ratio: 0.0,
             seed: spec.seed,
             combining: true,
             speculative: false,
@@ -230,6 +231,16 @@ impl JobService {
                 ..Default::default()
             },
             obs: Some(Arc::clone(&self.obs)),
+        };
+        provisional.validate()?;
+        let id = JobId(self.next_job.fetch_add(1, Ordering::SeqCst));
+        let decision = self
+            .controller
+            .admit(id.0, &spec.budget, self.pool.queued());
+        let config = JobConfig {
+            sampling_ratio: decision.sampling_ratio,
+            drop_ratio: decision.drop_ratio,
+            ..provisional
         };
 
         let (event_tx, event_rx) = unbounded();

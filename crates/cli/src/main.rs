@@ -43,6 +43,13 @@ USAGE:
                              task to a dropped cluster (default 0 = abort)
         --fault-bound B      fail a degraded job whose final relative
                              error bound exceeds B (e.g. 0.05)
+        --backend B          threads (default) or process: run map
+                             attempts in separate worker OS processes
+                             (wikilog apps: project-popularity,
+                             page-popularity, request-rate, page-traffic)
+        --workers N          worker processes (process backend, default 2)
+        --shuffle-mem MIB    per-worker shuffle memory budget in MiB
+                             before map output spills to disk (default 64)
         --trace-out FILE     write a Chrome trace (job→wave→task spans)
         --metrics-out FILE   write Prometheus text metrics
 
@@ -67,6 +74,11 @@ USAGE:
         --fault-plan SPEC    inject faults into every job's map path
         --max-task-retries N per-task retries before degrade-to-drop
         --fault-bound B      error-bound budget for degraded jobs
+        --backend B          threads (default) or process: each job runs
+                             on its own worker OS processes instead of
+                             the shared slot pool
+        --workers N          worker processes per job (process backend)
+        --shuffle-mem MIB    per-worker shuffle budget in MiB (default 64)
         --seed N             RNG seed (default 0)
 
   approxhadoop loadtest [options]
@@ -75,8 +87,10 @@ USAGE:
       p50/p99 latency, per-job error bounds, degradation decisions).
       options: same as serve, but the defaults are heavier so the
       shared pool saturates: --jobs 16, --rate 8, --blocks 48,
-      --entries 50000. Also accepts --trace-out FILE (Chrome trace
-      of both phases) and --metrics-out FILE (Prometheus text).
+      --entries 50000. Also accepts --backend process / --workers N
+      (run every job on worker OS processes), --trace-out FILE
+      (Chrome trace of both phases) and --metrics-out FILE
+      (Prometheus text).
 ";
 
 fn main() {

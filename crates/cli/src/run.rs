@@ -100,12 +100,34 @@ fn scale(args: &Args) -> Result<Scale, UsageError> {
     }
 }
 
+/// Which executor runs the map side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// In-process task-tracker threads / the shared slot pool.
+    Threads,
+    /// Separate worker OS processes with a spill-capable shuffle.
+    Process,
+}
+
+fn backend(args: &Args) -> Result<Backend, UsageError> {
+    match args.get("backend").unwrap_or("threads") {
+        "threads" => Ok(Backend::Threads),
+        "process" => Ok(Backend::Process),
+        other => Err(UsageError(format!(
+            "unknown --backend `{other}` (expected `threads` or `process`)"
+        ))),
+    }
+}
+
 fn job_config(args: &Args) -> Result<JobConfig, UsageError> {
     let mut config = JobConfig {
         reduce_tasks: args.get_parsed("reduce-tasks", 2usize)?,
         seed: args.get_parsed("seed", 0u64)?,
         ..Default::default()
     };
+    config.workers = args.get_parsed("workers", config.workers)?;
+    let shuffle_mib: usize = args.get_parsed("shuffle-mem", config.shuffle_mem_bytes >> 20)?;
+    config.shuffle_mem_bytes = shuffle_mib << 20;
     if let Some(spec) = args.get("fault-plan") {
         config.fault_plan = Some(FaultPlan::parse(spec).map_err(UsageError)?);
     }
@@ -200,6 +222,20 @@ pub fn run_app(args: &Args) -> Result<(), UsageError> {
         seed,
     };
     let fail = |e: approxhadoop_core::CoreError| UsageError(e.to_string());
+
+    // The process backend dispatches the app by name to worker OS
+    // processes started from the sibling `approx-worker` binary.
+    if backend(args)? == Backend::Process {
+        use approxhadoop_runtime::engine::WorkerSpec;
+        let worker =
+            WorkerSpec::sibling("approx-worker", app).map_err(|e| UsageError(e.to_string()))?;
+        let r = apps::wikilog_process(app, &log, spec, config, &worker).map_err(fail)?;
+        print_outputs(&r, top);
+        if let Some(s) = &sinks {
+            s.write()?;
+        }
+        return Ok(());
+    }
 
     match app {
         "wiki-length" => print_outputs(&apps::wiki_length(&dump, spec, config).map_err(fail)?, top),
@@ -414,6 +450,9 @@ pub fn serve(args: &Args) -> Result<(), UsageError> {
         .transpose()?;
     let budget = ApproxBudget::up_to(max_drop, min_sample);
     budget.validate().map_err(UsageError)?;
+    let be = backend(args)?;
+    let workers = args.get_parsed("workers", 2usize)?;
+    let shuffle_mib: usize = args.get_parsed("shuffle-mem", 64usize)?;
     if slots == 0 {
         return Err(UsageError("--slots must be at least 1".into()));
     }
@@ -462,20 +501,33 @@ pub fn serve(args: &Args) -> Result<(), UsageError> {
                 max_task_retries,
                 fault_plan: fault_plan.clone(),
                 max_degraded_bound,
+                workers,
+                shuffle_mem_bytes: shuffle_mib << 20,
                 ..Default::default()
             };
-            let handle = service
-                .submit(
-                    spec,
-                    Arc::new(log.source()),
-                    Arc::new(MultiStageMapper::new(
-                        |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| {
-                            emit(e.project, e.bytes as f64)
-                        },
-                    )),
-                    |_| MultiStageReducer::<u64>::new(Aggregation::Sum, 0.95),
-                )
-                .map_err(|e| UsageError(e.to_string()))?;
+            let make_reducer = |_| MultiStageReducer::<u64>::new(Aggregation::Sum, 0.95);
+            let handle = match be {
+                Backend::Threads => service
+                    .submit(
+                        spec,
+                        Arc::new(log.source()),
+                        Arc::new(MultiStageMapper::new(
+                            |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| {
+                                emit(e.project, e.bytes as f64)
+                            },
+                        )),
+                        make_reducer,
+                    )
+                    .map_err(|e| UsageError(e.to_string()))?,
+                Backend::Process => {
+                    use approxhadoop_runtime::engine::WorkerSpec;
+                    let worker = WorkerSpec::sibling("approx-worker", "wikilog-project-bytes")
+                        .map_err(|e| UsageError(e.to_string()))?;
+                    service
+                        .submit_process(spec, Arc::new(log.source()), worker, make_reducer)
+                        .map_err(|e| UsageError(e.to_string()))?
+                }
+            };
             println!(
                 "{} {} submitted as {} (degrade {:.2}: drop {:.2}, sample {:.2})",
                 stamp(start),
@@ -580,6 +632,10 @@ pub fn loadtest(args: &Args) -> Result<(), UsageError> {
         min_sampling_ratio: args.get_parsed("min-sample", defaults.min_sampling_ratio)?,
         p99_target_secs: args.get_parsed("p99-target", defaults.p99_target_secs)?,
         seed: args.get_parsed("seed", defaults.seed)?,
+        process_workers: match backend(args)? {
+            Backend::Threads => 0,
+            Backend::Process => args.get_parsed("workers", 2usize)?,
+        },
     };
     if config.slots == 0 {
         return Err(UsageError("--slots must be at least 1".into()));

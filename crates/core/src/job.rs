@@ -4,10 +4,14 @@
 
 use std::sync::Arc;
 
-use approxhadoop_runtime::engine::{run_job, run_job_with_coordinator, JobConfig};
+use approxhadoop_ipc::Wire;
+use approxhadoop_runtime::engine::{
+    run_job, run_job_process, run_job_with_coordinator, JobConfig, WorkerSpec,
+};
 use approxhadoop_runtime::input::InputSource;
 use approxhadoop_runtime::metrics::JobMetrics;
 use approxhadoop_runtime::types::Key;
+use approxhadoop_runtime::{FixedCoordinator, JobId, JobSession};
 use approxhadoop_stats::Interval;
 
 use crate::extreme::{Extreme, ExtremeMapper, ExtremeOutput, ExtremeReducer};
@@ -190,6 +194,120 @@ where
         outputs.sort_by(|a, b| a.0.cmp(&b.0));
         // Keys are hash-partitioned: the global distinct-key estimate is
         // the sum over reducer partitions (all must have reported).
+        let slots = distinct_sink.lock();
+        let distinct_keys_estimate = if slots.iter().all(|s| s.is_some()) {
+            Some(slots.iter().map(|s| s.unwrap_or(0.0)).sum())
+        } else {
+            None
+        };
+        Ok(ApproxResult {
+            outputs,
+            metrics: job.metrics,
+            distinct_keys_estimate,
+        })
+    }
+
+    /// Runs the job on the **process backend**: map attempts execute in
+    /// `config.workers` worker processes started from `worker`, with a
+    /// spill-capable shuffle bounded by `config.shuffle_mem_bytes`.
+    ///
+    /// The worker binary — not this builder's `map_fn` — supplies the
+    /// map function: `worker.job` must name a registered job applying
+    /// the *same* mapping, or results will silently differ. All three
+    /// approximation modes work, including the target-error controller
+    /// (the bound monitor rides the reduce side, which stays in this
+    /// process).
+    pub fn run_on_workers<S>(
+        self,
+        input: &S,
+        worker: &WorkerSpec,
+    ) -> Result<ApproxResult<(K, Interval)>>
+    where
+        S: InputSource<Item = I>,
+        I: Wire,
+        K: Wire,
+    {
+        self.spec.validate()?;
+        let total = input.splits().len();
+        if total == 0 {
+            return Err(CoreError::invalid("input has no splits"));
+        }
+        let confidence = self.spec.confidence();
+        let agg = self.agg;
+        let mut config = self.config;
+        let distinct_sink: crate::multistage::DistinctSink =
+            Arc::new(parking_lot::Mutex::new(vec![None; config.reduce_tasks]));
+        let session = JobSession::new(JobId(0));
+
+        let job = match self.spec {
+            ApproxSpec::Precise | ApproxSpec::Ratios { .. } => {
+                let (drop_ratio, sampling_ratio) = match self.spec {
+                    ApproxSpec::Ratios {
+                        drop_ratio,
+                        sampling_ratio,
+                    } => (drop_ratio, sampling_ratio),
+                    _ => (0.0, 1.0),
+                };
+                config.sampling_ratio = sampling_ratio;
+                config.drop_ratio = drop_ratio;
+                let mut coordinator =
+                    FixedCoordinator::new(total, sampling_ratio, drop_ratio, config.seed);
+                run_job_process(
+                    input,
+                    worker,
+                    |_| {
+                        MultiStageReducer::<K>::new(agg, confidence)
+                            .with_distinct_sink(Arc::clone(&distinct_sink))
+                    },
+                    config,
+                    &mut coordinator,
+                    &session,
+                )?
+            }
+            ApproxSpec::Target {
+                target,
+                confidence,
+                pilot,
+            } => {
+                let shared = Arc::new(SharedApproxState::new(config.reduce_tasks));
+                let mut coordinator = TargetErrorCoordinator::new(
+                    total,
+                    target,
+                    confidence,
+                    config.map_slots,
+                    pilot,
+                    Arc::clone(&shared),
+                );
+                let report_absolute = matches!(target, ErrorTarget::Absolute(_));
+                let check_every = (total / 50).max(1);
+                let freeze_threshold = Some(match target {
+                    ErrorTarget::Relative(x) | ErrorTarget::Absolute(x) => x,
+                });
+                let min_maps_before_freeze = coordinator.wave1_count();
+                config.sampling_ratio = 1.0;
+                config.drop_ratio = 0.0;
+                run_job_process(
+                    input,
+                    worker,
+                    |_| {
+                        MultiStageReducer::<K>::new(agg, confidence)
+                            .with_distinct_sink(Arc::clone(&distinct_sink))
+                            .with_monitor(BoundMonitor {
+                                shared: Arc::clone(&shared),
+                                report_absolute,
+                                check_every,
+                                freeze_threshold,
+                                min_maps_before_freeze,
+                            })
+                    },
+                    config,
+                    &mut coordinator,
+                    &session,
+                )?
+            }
+        };
+        let mut outputs = job.outputs;
+        outputs.sort_by(|a, b| a.0.cmp(&b.0));
         let slots = distinct_sink.lock();
         let distinct_keys_estimate = if slots.iter().all(|s| s.is_some()) {
             Some(slots.iter().map(|s| s.unwrap_or(0.0)).sum())

@@ -1,5 +1,6 @@
 //! Per-task per-key statistics shipped through the shuffle.
 
+use approxhadoop_ipc::{Decoder, Wire, WireError};
 use approxhadoop_runtime::combine::Combiner;
 
 /// The statistics a map task accumulates for one intermediate key over
@@ -40,6 +41,22 @@ impl KeyStat {
         self.sum += other.sum;
         self.sum_sq += other.sum_sq;
         self.emitting_units += other.emitting_units;
+    }
+}
+
+impl Wire for KeyStat {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.sum.encode(out);
+        self.sum_sq.encode(out);
+        self.emitting_units.encode(out);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(KeyStat {
+            sum: f64::decode(d)?,
+            sum_sq: f64::decode(d)?,
+            emitting_units: u64::decode(d)?,
+        })
     }
 }
 

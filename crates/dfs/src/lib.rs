@@ -45,6 +45,7 @@ pub mod block;
 pub mod cluster;
 pub mod error;
 pub mod fault;
+pub mod filestore;
 pub mod namenode;
 pub mod store;
 
@@ -52,6 +53,7 @@ pub use block::{BlockId, BlockMeta};
 pub use cluster::{DfsCluster, DfsConfig, FileHandle};
 pub use error::DfsError;
 pub use fault::{FaultStats, FaultStatsSnapshot, ReadFaults, ReplicaOutcome};
+pub use filestore::{FileStore, FileStoreWriter};
 pub use namenode::{NameNode, NodeId};
 
 /// Result alias for DFS operations.

@@ -1,0 +1,140 @@
+//! Length-prefixed frames over a byte stream.
+//!
+//! Each frame is a `u32` little-endian payload length followed by the
+//! payload. The worker transport runs these over the child's stdin and
+//! stdout pipes — a Unix pipe delivers bytes in order with no message
+//! boundaries, so the prefix *is* the framing. A clean EOF **between**
+//! frames is a normal close ([`read_frame`] returns `Ok(None)`); EOF
+//! inside a frame, or a length above [`MAX_FRAME_LEN`], is an error
+//! (the peer died mid-message or the stream is corrupt).
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload (64 MiB). Larger transfers
+/// (map output partitions) are chunked by the caller; a prefix above
+/// this is treated as stream corruption rather than an allocation
+/// request.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Framing failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failed (includes EOF mid-frame).
+    Io(io::Error),
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The claimed payload length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds limit {MAX_FRAME_LEN}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes the stream,
+/// so the peer never waits on a buffered half-message.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    let len =
+        u32::try_from(payload.len()).map_err(|_| FrameError::Oversized { len: payload.len() })?;
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len: payload.len() });
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` means the stream closed cleanly between
+/// frames; EOF inside a frame is an [`FrameError::Io`] with kind
+/// [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip_in_sequence() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"beta").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"alpha");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"beta");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_between_frames_is_clean_close() {
+        let mut r = Cursor::new(Vec::new());
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_inside_prefix_is_error() {
+        let mut r = Cursor::new(vec![5u8, 0]);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn eof_inside_payload_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let mut r = Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+}

@@ -1,0 +1,35 @@
+//! Process-boundary transport for ApproxHadoop-RS.
+//!
+//! The multi-process worker backend (PR 6, ROADMAP open item 1) runs map
+//! attempts in separate OS processes, the way a real Hadoop TaskTracker
+//! forks task JVMs. Everything that crosses that boundary goes through
+//! this crate:
+//!
+//! * [`wire`] — a tiny, dependency-free, little-endian binary codec
+//!   ([`Wire`]) with explicit truncation/corruption errors. No schema
+//!   evolution, no varints: both sides of the pipe are always built from
+//!   the same workspace, so the format only has to be deterministic and
+//!   checkable, not forward-compatible.
+//! * [`frame`] — `u32` length-prefixed frames over any `Read`/`Write`
+//!   pair (the worker's stdin/stdout pipes). A clean EOF between frames
+//!   is a normal shutdown; a partial frame is an error.
+//! * [`mmap`] — a read-only memory map over a file, used by workers to
+//!   read their DFS block spool without copying it through a pipe.
+//! * [`process`] — minimal signalling (SIGTERM) for reaping child
+//!   workers that outlive a job.
+//!
+//! This is the **only** crate in the workspace allowed to contain
+//! `unsafe` code (the raw `mmap`/`munmap`/`kill` bindings); every other
+//! crate keeps `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod frame;
+pub mod mmap;
+pub mod process;
+pub mod wire;
+
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+pub use mmap::Mmap;
+pub use wire::{Decoder, Wire, WireError};

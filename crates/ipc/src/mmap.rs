@@ -1,0 +1,172 @@
+//! Read-only memory-mapped files.
+//!
+//! Workers read their input spool (the job's DFS blocks, materialised
+//! to one file by the parent) through `mmap(2)` instead of pulling the
+//! bytes through the command pipe: the kernel pages data in on demand
+//! and evicts it under pressure, so a spool far larger than RAM still
+//! works. The build is fully offline (no `libc`/`memmap2` crates), so
+//! the two syscalls are declared directly; all `unsafe` in the
+//! workspace lives in this crate.
+
+use std::ffi::c_void;
+use std::fs::File;
+use std::io;
+use std::os::unix::io::AsRawFd;
+
+const PROT_READ: i32 = 1;
+const MAP_PRIVATE: i32 = 2;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        length: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, length: usize) -> i32;
+}
+
+/// A read-only memory map of an entire file.
+///
+/// Dereferences to `&[u8]`; the mapping is private (copy-on-write, but
+/// never written) and unmapped on drop. An empty file maps to an empty
+/// slice without calling `mmap` (which rejects zero lengths).
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *mut c_void,
+    len: usize,
+}
+
+// The mapping is read-only and owned: sharing references across threads
+// is as safe as sharing `&[u8]`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: we pass a null addr (kernel chooses), a length equal to
+        // the file size, and a valid open fd; the resulting pages are
+        // mapped read-only and owned exclusively by this struct until
+        // `munmap` in `Drop`.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// Opens `path` and maps it read-only.
+    pub fn open(path: &std::path::Path) -> io::Result<Mmap> {
+        Mmap::map(&File::open(path)?)
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes, valid until Drop; no mutable aliases exist.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "approxhadoop-mmap-test-{}-{name}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"hello mmap").unwrap();
+        drop(f);
+        let m = Mmap::open(&path).unwrap();
+        assert_eq!(&m[..], b"hello mmap");
+        assert_eq!(m.len(), 10);
+        assert!(!m.is_empty());
+        drop(m);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        File::create(&path).unwrap();
+        let m = Mmap::open(&path).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(&m[..], b"");
+        drop(m);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(Mmap::open(&temp_path("does-not-exist")).is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! The little-endian binary codec used for every byte that crosses the
+//! worker process boundary.
+//!
+//! The format is deliberately primitive: fixed-width little-endian
+//! integers, `f64` as its IEEE-754 bit pattern (so values round-trip
+//! **bit-exactly** — the differential suites compare confidence
+//! intervals to the last bit), and length-prefixed byte strings and
+//! sequences. Decoding is fully checked: reading past the end yields
+//! [`WireError::Truncated`], and impossible lengths or invalid tags
+//! yield [`WireError::Corrupt`] instead of panicking or allocating
+//! unbounded memory.
+
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many remained.
+        remaining: usize,
+    },
+    /// The bytes were well-delimited but semantically impossible
+    /// (bad enum tag, length larger than the remaining buffer, invalid
+    /// UTF-8, trailing garbage).
+    Corrupt {
+        /// What was being decoded.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => {
+                write!(
+                    f,
+                    "truncated frame: needed {needed} bytes, {remaining} remain"
+                )
+            }
+            WireError::Corrupt { what } => write!(f, "corrupt frame while decoding {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for wire decoding.
+pub type Result<T> = std::result::Result<T, WireError>;
+
+/// A checked cursor over an encoded buffer.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decodes one `T` from the cursor.
+    pub fn decode<T: Wire>(&mut self) -> Result<T> {
+        T::decode(self)
+    }
+
+    /// Fails with [`WireError::Corrupt`] unless the buffer was consumed
+    /// exactly.
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(WireError::Corrupt {
+                what: "trailing bytes",
+            });
+        }
+        Ok(())
+    }
+
+    /// A checked length prefix: decodes a `u32` count and rejects values
+    /// that could not possibly fit in the remaining buffer (each element
+    /// occupies at least `min_elem_bytes`), so corrupt lengths never
+    /// trigger huge allocations.
+    pub fn seq_len(&mut self, min_elem_bytes: usize, what: &'static str) -> Result<usize> {
+        let n = u32::decode(self)? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::Corrupt { what });
+        }
+        Ok(n)
+    }
+}
+
+/// A value that can cross the worker process boundary.
+///
+/// Implementations must be **deterministic** (the same value always
+/// encodes to the same bytes) and **exact** (decoding the encoding
+/// yields a value indistinguishable from the original — for floats,
+/// bit-identical).
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the cursor.
+    fn decode(d: &mut Decoder<'_>) -> Result<Self>;
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Convenience: decodes a value that must occupy the whole buffer.
+    fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(buf);
+        let v = Self::decode(&mut d)?;
+        d.finish()?;
+        Ok(v)
+    }
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+                let n = std::mem::size_of::<$t>();
+                let b = d.take(n)?;
+                let mut a = [0u8; std::mem::size_of::<$t>()];
+                a.copy_from_slice(b);
+                Ok(<$t>::from_le_bytes(a))
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        let v = u64::decode(d)?;
+        usize::try_from(v).map_err(|_| WireError::Corrupt { what: "usize" })
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        match u8::decode(d)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Corrupt { what: "bool" }),
+        }
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        Ok(f64::from_bits(u64::decode(d)?))
+    }
+}
+
+impl Wire for f32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        Ok(f32::from_bits(u32::decode(d)?))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        let n = d.seq_len(1, "string length")?;
+        let b = d.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::Corrupt {
+            what: "utf-8 string",
+        })
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        let n = d.seq_len(1, "sequence length")?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(T::decode(d)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        match u8::decode(d)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(d)?)),
+            _ => Err(WireError::Corrupt { what: "option tag" }),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        Ok((A::decode(d)?, B::decode(d)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        Ok((A::decode(d)?, B::decode(d)?, C::decode(d)?))
+    }
+}
+
+impl Wire for std::time::Duration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_secs().encode(out);
+        self.subsec_nanos().encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        let secs = u64::decode(d)?;
+        let nanos = u32::decode(d)?;
+        if nanos >= 1_000_000_000 {
+            return Err(WireError::Corrupt {
+                what: "duration nanos",
+            });
+        }
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-7i64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(3.25f64);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(9u64));
+        roundtrip((1u8, 2u64, -3.5f64));
+        roundtrip(std::time::Duration::from_millis(1234));
+    }
+
+    #[test]
+    fn nan_roundtrips_bit_exactly() {
+        let weird = f64::from_bits(0x7ff8_0000_dead_beef);
+        let back = f64::from_bytes(&weird.to_bytes()).unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let bytes = 12345u64.to_bytes();
+        assert!(matches!(
+            u64::from_bytes(&bytes[..5]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut bytes = 1u32.to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            u32::from_bytes(&bytes),
+            Err(WireError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_lengths_are_corrupt_not_oom() {
+        // A Vec<u64> claiming u32::MAX elements in a 4-byte buffer.
+        let bytes = u32::MAX.to_bytes();
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(WireError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_tags_are_corrupt() {
+        assert!(matches!(
+            bool::from_bytes(&[2]),
+            Err(WireError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            Option::<u8>::from_bytes(&[7, 0]),
+            Err(WireError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut bytes = Vec::new();
+        2u32.encode(&mut bytes);
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            String::from_bytes(&bytes),
+            Err(WireError::Corrupt { .. })
+        ));
+    }
+}

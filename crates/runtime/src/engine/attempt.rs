@@ -24,30 +24,63 @@ use crate::RuntimeError;
 
 use super::shuffle;
 
-/// A dispatched map attempt.
-pub(crate) struct WorkItem {
-    pub(crate) task: TaskId,
-    pub(crate) attempt: u32,
-    pub(crate) sampling_ratio: f64,
-    pub(crate) seed: u64,
-    pub(crate) kill: Arc<AtomicBool>,
-    pub(crate) fault: Option<Arc<FaultPlan>>,
-    pub(crate) combining: bool,
+/// A dispatched map attempt — everything a backend needs to execute one
+/// map task, with no reference to the job's key/value types.
+///
+/// The scheduler builds one `WorkItem` per [`Executor::dispatch`] call;
+/// backends either run it in-process ([`crate::engine::run_job`], the
+/// pool) or serialize its plain-data fields over a pipe to a worker
+/// process (the `kill` flag cannot cross the process boundary — the
+/// process backend forwards kill requests as explicit `Kill` frames).
+///
+/// [`Executor::dispatch`]: crate::engine::Executor::dispatch
+pub struct WorkItem {
+    /// The map task to run.
+    pub task: TaskId,
+    /// Attempt number (`> 0` for retries and speculative duplicates).
+    pub attempt: u32,
+    /// Within-block input sampling ratio chosen at schedule time.
+    pub sampling_ratio: f64,
+    /// Per-task read seed — identical across attempts (see
+    /// `read_seed`), so retries re-draw the exact same sample.
+    pub seed: u64,
+    /// Cooperative kill flag: the tracker raises it to abort the attempt
+    /// mid-flight (task dropped, or a sibling finished first).
+    pub kill: Arc<AtomicBool>,
+    /// Deterministic fault-injection plan, if the job runs under one.
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Whether map-side combining is enabled for this job.
+    pub combining: bool,
 }
 
 /// What a worker reports back to the tracker about one attempt.
-pub(crate) enum WorkerMsg {
+///
+/// Exactly one `WorkerMsg` terminates every dispatched [`WorkItem`]; the
+/// tracker's accounting (waves, retries, degrade-to-drop, Eq. 1–3
+/// interval widening) is driven entirely by this stream.
+pub enum WorkerMsg {
+    /// The attempt ran to completion and shipped its outputs.
     Completed {
+        /// Execution statistics for the attempt.
         stats: MapStats,
+        /// Attempt number that completed.
         attempt: u32,
     },
+    /// The attempt observed its kill flag and aborted without shipping.
     Killed {
+        /// The killed task.
         task: TaskId,
+        /// Attempt number that was killed.
         attempt: u32,
     },
+    /// The attempt failed; the tracker decides between retry,
+    /// degrade-to-drop and failing the job.
     Failed {
+        /// The failed task.
         task: TaskId,
+        /// Attempt number that failed.
         attempt: u32,
+        /// Why the attempt failed.
         error: RuntimeError,
     },
 }

@@ -3,7 +3,7 @@
 //!
 //! An [`Executor`] owns the worker side of a job — threads or pool
 //! slots, the shuffle senders, the worker message channel — and exposes
-//! exactly four verbs to the [`super::scheduler::JobTracker`]: dispatch
+//! exactly four verbs to the engine's `JobTracker`: dispatch
 //! an attempt, receive outcomes, and broadcast drop notifications. All
 //! decisions (what to run, where, when to kill) stay in the tracker.
 //!
@@ -74,15 +74,44 @@ impl Topology {
 }
 
 /// Result of waiting on an executor for worker events.
-pub(crate) enum RecvOutcome {
+pub enum RecvOutcome {
+    /// One worker message arrived.
     Msg(WorkerMsg),
+    /// Nothing arrived within the timeout.
     Timeout,
     /// Every worker-side sender is gone: no outcome can ever arrive.
     Closed,
 }
 
 /// A backend that runs attempts and reports outcomes — nothing more.
-pub(crate) trait Executor {
+///
+/// The engine's `JobTracker` owns every scheduling decision (what to run,
+/// where, when to kill, when to retry); an `Executor` owns only the
+/// worker side of a job — threads, pool slots or worker processes, the
+/// shuffle senders, the message channel — and exposes exactly these
+/// four verbs. Three backends implement it: scoped task-tracker
+/// threads, the shared [`SlotPool`], and multi-process workers
+/// ([`super::process`]).
+///
+/// The contract every implementation must honour:
+///
+/// * `dispatch` never blocks on attempt *execution* — it enqueues the
+///   work and returns; `false` means the backend can no longer run
+///   anything (the tracker fails the job).
+/// * Every dispatched attempt is eventually terminated by exactly one
+///   [`WorkerMsg`] delivered through `recv`/`try_recv`, even if the
+///   worker running it dies (the process backend synthesizes a
+///   [`RuntimeError::WorkerLost`] failure).
+/// * `notify_drop` forwards a drop decision to every reduce task so the
+///   multi-stage estimators can widen their confidence intervals
+///   (Eq. 1–3 of the paper) — backends must deliver it exactly once per
+///   dropped task.
+///
+/// All methods are called from the tracker thread only; implementations
+/// need not be re-entrant.
+///
+/// [`SlotPool`]: crate::pool::SlotPool
+pub trait Executor {
     /// Hands an attempt to `server`. Returns `false` if the backend
     /// rejected it (e.g. the shared pool shut down mid-job).
     fn dispatch(&mut self, server: usize, work: WorkItem) -> bool;

@@ -23,9 +23,15 @@
 mod attempt;
 mod clock;
 mod executor;
+pub mod process;
 mod scheduler;
 mod shuffle;
 
+pub use attempt::{WorkItem, WorkerMsg};
+pub use executor::{Executor, RecvOutcome};
+pub use process::{run_job_process, WorkerSpec};
+
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use crate::control::{Coordinator, FixedCoordinator};
@@ -84,6 +90,19 @@ pub struct JobConfig {
     /// forces the raw per-pair shuffle path — useful for A/B perf
     /// comparisons; results are identical either way.
     pub combining: bool,
+    /// Worker **processes** spawned by the process backend
+    /// ([`run_job_process`]); each worker holds one map slot. Ignored by
+    /// the in-process backends, which size themselves from `map_slots`.
+    pub workers: usize,
+    /// Per-attempt in-memory shuffle budget (bytes of encoded pairs) on
+    /// the process backend. When an attempt's buffered map output
+    /// exceeds this budget the worker spills a sorted run to disk and
+    /// merges the runs back while shipping, so shuffles larger than RAM
+    /// complete. Ignored by the in-process backends.
+    pub shuffle_mem_bytes: usize,
+    /// Directory for process-backend scratch files (input spool, spill
+    /// runs). `None` (the default) uses the system temp directory.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for JobConfig {
@@ -103,6 +122,9 @@ impl Default for JobConfig {
             fault_policy: FaultPolicy::default(),
             obs: None,
             combining: true,
+            workers: 2,
+            shuffle_mem_bytes: 64 * 1024 * 1024,
+            spill_dir: None,
         }
     }
 }
@@ -122,6 +144,12 @@ impl JobConfig {
         }
         if self.reduce_tasks == 0 {
             return Err(RuntimeError::invalid("reduce_tasks must be positive"));
+        }
+        if self.workers == 0 {
+            return Err(RuntimeError::invalid("workers must be positive"));
+        }
+        if self.shuffle_mem_bytes == 0 {
+            return Err(RuntimeError::invalid("shuffle_mem_bytes must be positive"));
         }
         if !(self.sampling_ratio > 0.0 && self.sampling_ratio <= 1.0) {
             return Err(RuntimeError::invalid(format!(
@@ -490,6 +518,28 @@ mod tests {
                 ..Default::default()
             },
             "reduce_tasks = 0",
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_workers() {
+        rejects(
+            JobConfig {
+                workers: 0,
+                ..Default::default()
+            },
+            "workers = 0",
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_shuffle_mem() {
+        rejects(
+            JobConfig {
+                shuffle_mem_bytes: 0,
+                ..Default::default()
+            },
+            "shuffle_mem_bytes = 0",
         );
     }
 

@@ -1,0 +1,360 @@
+//! The multi-process execution backend: map attempts run in separate
+//! worker OS processes, talking to the scheduler over length-prefixed
+//! pipe frames, with a spill-capable shuffle on the worker side.
+//!
+//! # Architecture
+//!
+//! ```text
+//! parent (tracker thread)                 worker process (×N)
+//! ┌──────────────────────┐   ToWorker    ┌─────────────────────┐
+//! │ JobTracker           │ ───frames───▶ │ worker_main loop    │
+//! │   └─ ProcessExecutor │   (stdin)     │   └─ JobRegistry    │
+//! │        │             │               │        └─ mapper    │
+//! │        │             │  FromWorker   │   SpillShuffle      │
+//! │   reducer threads ◀──┼ ◀──frames──── │   (mem → runs →     │
+//! └──────────────────────┘   (stdout)    │    merge on drain)  │
+//!                                        └─────────────────────┘
+//!              shared: input spool file (FileStore, mmap)
+//! ```
+//!
+//! The parent snapshots the job's input into a spool file
+//! ([`approxhadoop_dfs::FileStore`]); workers `mmap` it and decode only
+//! the blocks they are assigned, so input bytes cross the process
+//! boundary zero-copy through the page cache rather than through the
+//! pipes. Each worker is one map slot on its own simulated server, so
+//! locality, speculation, blacklisting and degrade-to-drop behave
+//! exactly as on the scoped backend.
+//!
+//! Closures cannot be shipped to another process, so process-backend
+//! jobs are *named*: the worker binary registers mappers in a
+//! [`JobRegistry`] and the parent sends a [`WorkerSpec`] naming one of
+//! them plus an opaque params blob.
+//!
+//! # Failure semantics
+//!
+//! A worker that crashes (abort, OOM-kill, `kill -9`) surfaces as pipe
+//! EOF; the executor synthesizes a [`RuntimeError::WorkerLost`]
+//! failure for every attempt it owed, which flows into the tracker's
+//! bounded-retry / blacklist / degrade-to-drop machinery like any other
+//! task failure — and degraded tasks still widen the job's confidence
+//! intervals per Eq. 1–3 of the paper. The dead worker is respawned on
+//! the next dispatch to its slot.
+
+pub mod wire;
+
+mod executor;
+mod registry;
+mod spill;
+
+pub use registry::{worker_main, JobRegistry};
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use approxhadoop_dfs::{BlockId, FileStoreWriter};
+use approxhadoop_ipc::Wire;
+
+use crate::control::{Coordinator, JobControl};
+use crate::event::JobSession;
+use crate::input::InputSource;
+use crate::reducer::Reducer;
+use crate::types::{Key, Value};
+use crate::{Result, RuntimeError};
+
+use super::clock::{Clock, SystemClock};
+use super::executor::Topology;
+use super::scheduler::JobTracker;
+use super::shuffle;
+use super::{JobConfig, JobResult};
+
+use executor::{ProcObs, ProcessExecutor};
+use wire::{ToWorker, WorkerJobSpec};
+
+/// Which worker binary to launch and which registered job it should run.
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Path of the worker executable (a binary calling [`worker_main`]).
+    pub bin: PathBuf,
+    /// Name of the job in the worker's [`JobRegistry`].
+    pub job: String,
+    /// Opaque parameters handed to the registered builder.
+    pub params: Vec<u8>,
+}
+
+impl WorkerSpec {
+    /// A spec for `job` in the worker binary at `bin`, with no params.
+    pub fn new(bin: impl Into<PathBuf>, job: impl Into<String>) -> Self {
+        WorkerSpec {
+            bin: bin.into(),
+            job: job.into(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Attaches an opaque params blob for the worker-side job builder.
+    #[must_use]
+    pub fn with_params(mut self, params: Vec<u8>) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Resolves a worker binary installed next to the current
+    /// executable — the layout `cargo` produces for sibling `[[bin]]`
+    /// targets and the one deployments ship. Inside a test harness the
+    /// executable lives one level down in `deps/`, so the parent
+    /// directory is consulted too.
+    pub fn sibling(bin_name: &str, job: impl Into<String>) -> Result<Self> {
+        let exe = std::env::current_exe()
+            .map_err(|e| RuntimeError::invalid(format!("cannot locate current executable: {e}")))?;
+        let mut dirs: Vec<PathBuf> = Vec::new();
+        if let Some(dir) = exe.parent() {
+            dirs.push(dir.to_path_buf());
+            if dir.file_name().is_some_and(|n| n == "deps") {
+                if let Some(up) = dir.parent() {
+                    dirs.push(up.to_path_buf());
+                }
+            }
+        }
+        for dir in &dirs {
+            let candidate = dir.join(bin_name);
+            if candidate.is_file() {
+                return Ok(WorkerSpec::new(candidate, job));
+            }
+        }
+        Err(RuntimeError::invalid(format!(
+            "worker binary {bin_name:?} not found next to {}",
+            exe.display()
+        )))
+    }
+}
+
+/// Runs a job on the process backend: `config.workers` worker processes
+/// are spawned from `spec.bin`, each holding one map slot, and the job
+/// named by `spec.job` runs inside them.
+///
+/// Mirrors [`run_job_with_session`](super::run_job_with_session) —
+/// same coordinator/session semantics (cancellation, deadline, event
+/// stream), same scheduler — with these differences:
+///
+/// * the mapper is named via `spec` instead of passed as a value (it
+///   must be registered in the worker binary's [`JobRegistry`]);
+/// * the input is snapshotted into a spool file read by the workers via
+///   `mmap`, so `S::Item` must implement [`Wire`], as must the job's
+///   key and value types;
+/// * map output buffered beyond `config.shuffle_mem_bytes` spills
+///   sorted runs to disk and is merged back while shipping, so
+///   shuffles larger than memory complete (results are identical
+///   either way).
+pub fn run_job_process<S, R, FR>(
+    input: &S,
+    spec: &WorkerSpec,
+    make_reducer: FR,
+    config: JobConfig,
+    coordinator: &mut dyn Coordinator,
+    session: &JobSession,
+) -> Result<JobResult<R::Output>>
+where
+    S: InputSource,
+    S::Item: Wire,
+    R: Reducer,
+    R::Key: Key + Wire,
+    R::Value: Value + Wire,
+    FR: Fn(usize) -> R + Sync,
+{
+    config.validate()?;
+    let label = session.job.to_string();
+    run_process(
+        input,
+        spec,
+        make_reducer,
+        config,
+        coordinator,
+        session,
+        &SystemClock,
+        session.job.0 + 2,
+        &label,
+    )
+}
+
+/// Distinguishes concurrent jobs of one process in scratch-dir names.
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Owns the job's scratch directory (input spool + worker spill runs)
+/// and removes it on drop — after the workers are reaped, since the
+/// guard is created before the executor.
+struct ScratchGuard(PathBuf);
+
+impl Drop for ScratchGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Snapshots every split into a spool file the workers can `mmap`:
+/// one block per map task, payload = back-to-back item encodings.
+fn write_spool<S>(input: &S, total: usize, path: &Path) -> Result<()>
+where
+    S: InputSource,
+    S::Item: Wire,
+{
+    let mut writer = FileStoreWriter::create(path)?;
+    let mut payload = Vec::new();
+    for i in 0..total {
+        payload.clear();
+        let stream = input.stream_split(i, 1.0, 0)?;
+        let expect = stream.total;
+        let mut yielded = 0u64;
+        for item in stream {
+            item.encode(&mut payload);
+            yielded += 1;
+        }
+        if yielded != expect {
+            return Err(RuntimeError::invalid(format!(
+                "split {i} advertises {expect} records but yielded {yielded}"
+            )));
+        }
+        writer.append(BlockId(i as u64), expect, &payload)?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+/// The process-backend driver: spool the input, spawn reducers and the
+/// worker fleet, drive the [`JobTracker`] against a `ProcessExecutor`,
+/// then reap everything and finalise.
+#[allow(clippy::too_many_arguments)] // internal driver: job + session + obs identity
+fn run_process<S, R, FR>(
+    input: &S,
+    spec: &WorkerSpec,
+    make_reducer: FR,
+    config: JobConfig,
+    coordinator: &mut dyn Coordinator,
+    session: &JobSession,
+    clock: &dyn Clock,
+    obs_pid: u64,
+    obs_label: &str,
+) -> Result<JobResult<R::Output>>
+where
+    S: InputSource,
+    S::Item: Wire,
+    R: Reducer,
+    R::Key: Key + Wire,
+    R::Value: Value + Wire,
+    FR: Fn(usize) -> R + Sync,
+{
+    let splits = input.splits();
+    let total = splits.len();
+    if total == 0 {
+        return Err(RuntimeError::invalid("input has no splits"));
+    }
+    let start = Instant::now();
+
+    // Scratch space for the spool and the workers' spill runs. The
+    // guard is created before the executor so removal happens only
+    // after every worker is reaped.
+    let scratch = config
+        .spill_dir
+        .clone()
+        .unwrap_or_else(std::env::temp_dir)
+        .join(format!(
+            "approxhadoop-job-{}-{}-{}",
+            std::process::id(),
+            session.job.0,
+            SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+    std::fs::create_dir_all(&scratch).map_err(|e| {
+        RuntimeError::invalid(format!(
+            "cannot create scratch dir {}: {e}",
+            scratch.display()
+        ))
+    })?;
+    let _scratch_guard = ScratchGuard(scratch.clone());
+    let spool = scratch.join("input.spool");
+    write_spool(input, total, &spool)?;
+
+    let job_frame = ToWorker::Job(WorkerJobSpec {
+        job: spec.job.clone(),
+        params: spec.params.clone(),
+        spool: spool.to_string_lossy().into_owned(),
+        num_reducers: config.reduce_tasks as u32,
+        shuffle_mem_bytes: config.shuffle_mem_bytes as u64,
+        spill_dir: scratch.join("spill").to_string_lossy().into_owned(),
+    })
+    .to_bytes();
+
+    let control = Arc::new(JobControl::new(config.reduce_tasks));
+    let topology = Topology {
+        capacity: vec![1; config.workers],
+        placement: true,
+    };
+    let (reducer_txs, reducer_rxs) =
+        shuffle::reducer_channels::<R::Key, R::Value>(config.reduce_tasks);
+    let obs = config.obs.as_ref().map(|o| ProcObs::new(o, obs_label));
+
+    let make_reducer = &make_reducer;
+    let splits = &splits;
+    let config = &config;
+    let scope_result = crossbeam::thread::scope(|s| {
+        // ---- reduce tasks ----
+        let mut reducer_handles = Vec::new();
+        for (r, rx) in reducer_rxs.into_iter().enumerate() {
+            let control = Arc::clone(&control);
+            reducer_handles.push(s.spawn(move |_| {
+                shuffle::drain_reduce_events(make_reducer(r), rx, r, total, control)
+            }));
+        }
+        let join_reducers =
+            |handles: Vec<crossbeam::thread::ScopedJoinHandle<'_, Vec<R::Output>>>| {
+                let mut outputs = Vec::new();
+                let mut panicked = false;
+                for h in handles {
+                    match h.join() {
+                        Ok(out) => outputs.extend(out),
+                        Err(_) => panicked = true,
+                    }
+                }
+                (outputs, panicked)
+            };
+
+        // ---- the worker fleet ----
+        // A failed spawn drops the reducer senders held by `new`, so the
+        // reducers drain out before the error propagates.
+        let mut executor = match ProcessExecutor::<R::Key, R::Value>::new(
+            &spec.bin,
+            job_frame,
+            config.workers,
+            reducer_txs,
+            obs,
+        ) {
+            Ok(e) => e,
+            Err(e) => {
+                join_reducers(reducer_handles);
+                return Err(e);
+            }
+        };
+
+        // ---- the scheduler ----
+        let mut tracker = JobTracker::new(
+            config, splits, &control, session, clock, topology, start, obs_pid, obs_label,
+        );
+        tracker.run_loop(&mut executor, coordinator);
+
+        // Shut down: reap the workers (Shutdown → SIGTERM → SIGKILL,
+        // always waited) and release the reducer senders they fed.
+        drop(executor);
+
+        let (outputs, panicked) = join_reducers(reducer_handles);
+        tracker
+            .finish(panicked)
+            .map(|metrics| JobResult { outputs, metrics })
+    });
+
+    match scope_result {
+        Ok(job) => job,
+        Err(_) => Err(RuntimeError::TaskPanicked {
+            what: "task tracker".into(),
+        }),
+    }
+}

@@ -1,0 +1,522 @@
+//! The worker process side of the backend: a by-name job registry and
+//! the [`worker_main`] frame loop a worker binary runs.
+//!
+//! Closures cannot cross a process boundary, so process-backend jobs
+//! are **named**: a worker binary registers each job's mapper under a
+//! string name (plus a params decoder), and the parent ships only the
+//! name and an opaque params blob in the
+//! [`WorkerJobSpec`](super::wire::WorkerJobSpec). Both sides of a job
+//! must agree on the item/key/value `Wire` encodings — in practice the
+//! worker binary lives in the same crate as the code submitting the
+//! job, so the types are literally shared.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use approxhadoop_dfs::{BlockId, FileStore};
+use approxhadoop_ipc::{read_frame, write_frame, Decoder, Wire};
+
+use crate::fault::FaultDecision;
+use crate::input::sample_systematic_indices;
+use crate::mapper::{MapTaskContext, Mapper};
+use crate::types::{partition_for, TaskId};
+
+use super::spill::SpillShuffle;
+use super::wire::{FromWorker, ToWorker, WireJobError, WireMapStats, WireWorkItem, WorkerJobSpec};
+
+/// Kill flags of in-flight attempts, shared with the frame-reader
+/// thread and keyed by `(task, attempt)`.
+type KillMap = Arc<Mutex<HashMap<(u64, u32), Arc<AtomicBool>>>>;
+
+/// Map-output chunks are flushed to the pipe at roughly this size.
+const CHUNK_BYTES: usize = 1 << 20;
+
+/// The per-job environment a worker builds from its
+/// [`WorkerJobSpec`](super::wire::WorkerJobSpec).
+struct WorkerEnv {
+    spool: FileStore,
+    num_reducers: usize,
+    shuffle_mem_bytes: usize,
+    spill_dir: PathBuf,
+}
+
+/// Object-safe attempt runner; one per registered job, erased over the
+/// job's item/key/value types.
+trait RunnableJob: Send + Sync {
+    fn run_attempt(
+        &self,
+        env: &WorkerEnv,
+        work: &WireWorkItem,
+        kill: &AtomicBool,
+        send: &mut dyn FnMut(FromWorker) -> std::io::Result<()>,
+    ) -> std::io::Result<()>;
+}
+
+type JobBuilder = Box<dyn Fn(&[u8]) -> Result<Box<dyn RunnableJob>, String> + Send + Sync>;
+
+/// Maps job names to mapper builders inside a worker binary.
+///
+/// ```
+/// use approxhadoop_runtime::engine::process::JobRegistry;
+/// use approxhadoop_runtime::mapper::FnMapper;
+///
+/// let mut registry = JobRegistry::new();
+/// registry.register("mod8-count", |_params: &[u8]| {
+///     Ok(FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u64)| {
+///         emit((*v % 8) as u8, 1)
+///     }))
+/// });
+/// assert!(registry.contains("mod8-count"));
+/// ```
+#[derive(Default)]
+pub struct JobRegistry {
+    builders: HashMap<String, JobBuilder>,
+}
+
+impl JobRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `build` under `name`. The builder decodes the job's
+    /// params blob into a mapper; its item, key and value types must
+    /// implement [`Wire`] identically on the submitting side.
+    pub fn register<I, M, F>(&mut self, name: &str, build: F)
+    where
+        I: Wire + Clone + Send + Sync + 'static,
+        M: Mapper<Item = I> + 'static,
+        M::Key: Wire,
+        M::Value: Wire,
+        F: Fn(&[u8]) -> Result<M, String> + Send + Sync + 'static,
+    {
+        self.builders.insert(
+            name.to_string(),
+            Box::new(move |params| {
+                let mapper = build(params)?;
+                Ok(Box::new(TypedJob { mapper }) as Box<dyn RunnableJob>)
+            }),
+        );
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.builders.contains_key(name)
+    }
+
+    fn build(&self, name: &str, params: &[u8]) -> Result<Box<dyn RunnableJob>, String> {
+        match self.builders.get(name) {
+            Some(b) => b(params),
+            None => Err(format!("job {name:?} is not registered in this worker")),
+        }
+    }
+}
+
+struct TypedJob<M> {
+    mapper: M,
+}
+
+impl<I, M> RunnableJob for TypedJob<M>
+where
+    I: Wire + Clone + Send + Sync + 'static,
+    M: Mapper<Item = I>,
+    M::Key: Wire,
+    M::Value: Wire,
+{
+    /// Replicates `run_map_attempt` exactly — same fault decisions, same
+    /// kill points, same panic containment, same metadata — with the
+    /// shuffle buffer swapped for the spill-capable one and outputs
+    /// shipped as chunked frames instead of channel sends.
+    fn run_attempt(
+        &self,
+        env: &WorkerEnv,
+        work: &WireWorkItem,
+        kill: &AtomicBool,
+        send: &mut dyn FnMut(FromWorker) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        let task = TaskId(work.task as usize);
+        let fail = |send: &mut dyn FnMut(FromWorker) -> std::io::Result<()>,
+                    error: WireJobError| {
+            send(FromWorker::Failed {
+                task: work.task,
+                attempt: work.attempt,
+                error,
+            })
+        };
+        if kill.load(Ordering::SeqCst) {
+            return send(FromWorker::Killed {
+                task: work.task,
+                attempt: work.attempt,
+            });
+        }
+        let decision = work
+            .fault
+            .as_ref()
+            .map(|f| f.decide(work.task as usize, work.attempt))
+            .unwrap_or(FaultDecision::None);
+        if decision == FaultDecision::IoError {
+            return fail(
+                send,
+                WireJobError {
+                    kind: 0,
+                    what: format!("input read of {} (attempt {})", task, work.attempt),
+                },
+            );
+        }
+        let t0 = Instant::now();
+        let (items, total_records) = match read_block(&env.spool, work) {
+            Ok(r) => r,
+            Err(what) => return fail(send, WireJobError { kind: 2, what }),
+        };
+        let read_secs = t0.elapsed().as_secs_f64();
+        let sampled_records = items.len() as u64;
+        let num_reducers = env.num_reducers;
+        let combiner = if work.combining {
+            self.mapper.combiner()
+        } else {
+            None
+        };
+        let spill_dir = env
+            .spill_dir
+            .join(format!("attempt-{}-{}", work.task, work.attempt));
+        // Same containment as the in-process attempt body: user map code
+        // may panic, and the injected MapPanic fault panics on purpose.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if decision == FaultDecision::MapPanic {
+                panic!("injected map panic in {task}");
+            }
+            let mut shuffle =
+                SpillShuffle::new(num_reducers, combiner, env.shuffle_mem_bytes, spill_dir);
+            let mut emitted = 0u64;
+            let mut spill_err: Option<String> = None;
+            let ctx = MapTaskContext {
+                task,
+                sampling_ratio: work.sampling_ratio,
+                attempt: work.attempt,
+            };
+            let mut state = self.mapper.begin_task(&ctx);
+            let mut killed = false;
+            for item in items {
+                if kill.load(Ordering::Relaxed) {
+                    killed = true;
+                    break;
+                }
+                if spill_err.is_some() {
+                    break;
+                }
+                self.mapper.map(&mut state, item, &mut |k, v| {
+                    emitted += 1;
+                    let p = partition_for(&k, num_reducers);
+                    if spill_err.is_none() {
+                        if let Err(e) = shuffle.emit(p, k, v) {
+                            spill_err = Some(e);
+                        }
+                    }
+                });
+            }
+            if !killed && spill_err.is_none() {
+                self.mapper.end_task(state, &mut |k, v| {
+                    emitted += 1;
+                    let p = partition_for(&k, num_reducers);
+                    if spill_err.is_none() {
+                        if let Err(e) = shuffle.emit(p, k, v) {
+                            spill_err = Some(e);
+                        }
+                    }
+                });
+            }
+            (shuffle, emitted, killed, spill_err)
+        }));
+        let (mut shuffle, emitted, killed, spill_err) = match run {
+            Ok(r) => r,
+            Err(_) => {
+                return fail(
+                    send,
+                    WireJobError {
+                        kind: 1,
+                        what: format!("user map code in {task}"),
+                    },
+                );
+            }
+        };
+        if killed {
+            return send(FromWorker::Killed {
+                task: work.task,
+                attempt: work.attempt,
+            });
+        }
+        if let Some(what) = spill_err {
+            return fail(send, WireJobError { kind: 2, what });
+        }
+        // Drain the (possibly spilled) buffer into chunked Output
+        // frames: one partition at a time, flushing ~1 MiB of encoded
+        // pairs per frame so a huge shuffle never materialises in the
+        // worker.
+        let mut shuffled = 0u64;
+        let mut chunk: Vec<u8> = Vec::new();
+        let mut chunk_partition = 0usize;
+        let mut io_err: Option<std::io::Error> = None;
+        let drained = shuffle.drain(|p, k, v| {
+            if p != chunk_partition && !chunk.is_empty() {
+                let pairs = std::mem::take(&mut chunk);
+                if let Err(e) = send(FromWorker::Output {
+                    task: work.task,
+                    attempt: work.attempt,
+                    partition: chunk_partition as u32,
+                    pairs,
+                }) {
+                    io_err = Some(e);
+                    return Err("pipe closed".into());
+                }
+            }
+            chunk_partition = p;
+            k.encode(&mut chunk);
+            v.encode(&mut chunk);
+            shuffled += 1;
+            if chunk.len() >= CHUNK_BYTES {
+                let pairs = std::mem::take(&mut chunk);
+                if let Err(e) = send(FromWorker::Output {
+                    task: work.task,
+                    attempt: work.attempt,
+                    partition: p as u32,
+                    pairs,
+                }) {
+                    io_err = Some(e);
+                    return Err("pipe closed".into());
+                }
+            }
+            Ok(())
+        });
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        let report = match drained {
+            Ok(r) => r,
+            Err(what) => return fail(send, WireJobError { kind: 2, what }),
+        };
+        if !chunk.is_empty() {
+            send(FromWorker::Output {
+                task: work.task,
+                attempt: work.attempt,
+                partition: chunk_partition as u32,
+                pairs: chunk,
+            })?;
+        }
+        send(FromWorker::Done {
+            attempt: work.attempt,
+            stats: WireMapStats {
+                task: work.task,
+                total_records,
+                sampled_records,
+                emitted,
+                shuffled,
+                duration_secs: t0.elapsed().as_secs_f64(),
+                read_secs,
+            },
+            spill_runs: report.runs,
+            spill_bytes: report.bytes,
+        })
+    }
+}
+
+/// Decodes the attempt's block from the spool and applies systematic
+/// sampling with the same `(total, ratio, seed)` draw as the in-process
+/// input sources, so every backend processes the identical sample.
+fn read_block<I: Wire + Clone>(
+    spool: &FileStore,
+    work: &WireWorkItem,
+) -> Result<(Vec<I>, u64), String> {
+    let id = BlockId(work.task);
+    let buf = spool
+        .slice(id)
+        .ok_or_else(|| format!("spool has no block for task {}", work.task))?;
+    let total = spool
+        .records(id)
+        .ok_or_else(|| format!("spool has no record count for task {}", work.task))?;
+    let mut d = Decoder::new(buf);
+    let mut items = Vec::with_capacity(total as usize);
+    for _ in 0..total {
+        items.push(I::decode(&mut d).map_err(|e| format!("spool block corrupt: {e}"))?);
+    }
+    d.finish()
+        .map_err(|e| format!("spool block has trailing bytes: {e}"))?;
+    match sample_systematic_indices(total as usize, work.sampling_ratio, work.seed) {
+        None => Ok((items, total)),
+        Some(idx) => {
+            let sampled = idx
+                .into_iter()
+                .map(|i| {
+                    items
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| format!("sample index {i} out of range"))
+                })
+                .collect::<Result<Vec<I>, String>>()?;
+            Ok((sampled, total))
+        }
+    }
+}
+
+/// Runs the worker frame loop against the process's stdin/stdout until
+/// the parent sends `Shutdown` or closes the pipe, then exits the
+/// process. This is the entire body of a worker binary's `main`:
+///
+/// ```no_run
+/// use approxhadoop_runtime::engine::process::{worker_main, JobRegistry};
+///
+/// let mut registry = JobRegistry::new();
+/// // registry.register(...)
+/// worker_main(registry);
+/// ```
+pub fn worker_main(registry: JobRegistry) -> ! {
+    let code = worker_loop(
+        registry,
+        BufReader::new(std::io::stdin()),
+        BufWriter::new(std::io::stdout()),
+    );
+    std::process::exit(code)
+}
+
+/// The loop behind [`worker_main`], testable over arbitrary streams.
+/// Returns the process exit code.
+fn worker_loop<R, W>(registry: JobRegistry, reader: R, writer: W) -> i32
+where
+    R: Read + Send + 'static,
+    W: Write + Send + 'static,
+{
+    let mut reader = reader;
+    let spec: WorkerJobSpec = match read_frame(&mut reader) {
+        Ok(Some(frame)) => match ToWorker::from_bytes(&frame) {
+            Ok(ToWorker::Job(spec)) => spec,
+            _ => {
+                eprintln!("approx-worker: first frame was not a Job spec");
+                return 1;
+            }
+        },
+        _ => return 1,
+    };
+    let job = match registry.build(&spec.job, &spec.params) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("approx-worker: {e}");
+            return 1;
+        }
+    };
+    let spool = match FileStore::open(Path::new(&spec.spool)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("approx-worker: {e}");
+            return 1;
+        }
+    };
+    let env = WorkerEnv {
+        spool,
+        num_reducers: spec.num_reducers as usize,
+        shuffle_mem_bytes: spec.shuffle_mem_bytes as usize,
+        spill_dir: PathBuf::from(&spec.spill_dir),
+    };
+
+    let writer = Arc::new(Mutex::new(writer));
+    let send_frame = |fw: &FromWorker| -> std::io::Result<()> {
+        let mut w = writer.lock().expect("writer poisoned");
+        write_frame(&mut *w, &fw.to_bytes()).map_err(std::io::Error::other)?;
+        w.flush()
+    };
+    if send_frame(&FromWorker::Ready).is_err() {
+        return 1;
+    }
+
+    // Kill frames must land while an attempt is running, so frame
+    // reading happens on a side thread: it forwards Work to the main
+    // thread over a channel and flips kill flags in place. Shutdown and
+    // pipe EOF exit the process immediately — the parent has already
+    // discarded this worker's in-flight work.
+    let kills: KillMap = Arc::new(Mutex::new(HashMap::new()));
+    let (work_tx, work_rx) = std::sync::mpsc::channel::<(WireWorkItem, Arc<AtomicBool>)>();
+    let reader_kills = Arc::clone(&kills);
+    std::thread::spawn(move || loop {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) => match ToWorker::from_bytes(&frame) {
+                Ok(ToWorker::Work(work)) => {
+                    let kill = Arc::new(AtomicBool::new(false));
+                    reader_kills
+                        .lock()
+                        .expect("kills poisoned")
+                        .insert((work.task, work.attempt), Arc::clone(&kill));
+                    if work_tx.send((work, kill)).is_err() {
+                        std::process::exit(1);
+                    }
+                }
+                Ok(ToWorker::Kill { task, attempt }) => {
+                    if let Some(flag) = reader_kills
+                        .lock()
+                        .expect("kills poisoned")
+                        .get(&(task, attempt))
+                    {
+                        flag.store(true, Ordering::SeqCst);
+                    }
+                }
+                Ok(ToWorker::Shutdown) | Ok(ToWorker::Job(_)) => std::process::exit(0),
+                Err(e) => {
+                    eprintln!("approx-worker: corrupt frame: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Ok(None) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("approx-worker: pipe error: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+
+    for (work, kill) in work_rx {
+        let key = (work.task, work.attempt);
+        let result = job.run_attempt(&env, &work, &kill, &mut |fw| send_frame(&fw));
+        kills.lock().expect("kills poisoned").remove(&key);
+        if result.is_err() {
+            // The parent end of the pipe is gone; nothing left to serve.
+            return 1;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::FnMapper;
+
+    #[test]
+    fn registry_builds_registered_jobs_only() {
+        let mut r = JobRegistry::new();
+        r.register("count", |_p: &[u8]| {
+            Ok(FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u64)| {
+                emit((*v % 8) as u8, 1)
+            }))
+        });
+        assert!(r.contains("count"));
+        assert!(!r.contains("other"));
+        assert!(r.build("count", &[]).is_ok());
+        assert!(r.build("other", &[]).is_err());
+    }
+
+    #[test]
+    fn builder_params_errors_propagate() {
+        let mut r = JobRegistry::new();
+        r.register("strict", |p: &[u8]| {
+            if p.is_empty() {
+                return Err("params required".to_string());
+            }
+            Ok(FnMapper::new(|v: &u32, emit: &mut dyn FnMut(u8, u64)| {
+                emit(0, *v as u64)
+            }))
+        });
+        assert!(r.build("strict", &[]).is_err());
+        assert!(r.build("strict", &[1]).is_ok());
+    }
+}

@@ -1,0 +1,480 @@
+//! The process backend's wire protocol: typed frames exchanged between
+//! the parent (scheduler side) and a worker process over the worker's
+//! stdin/stdout pipes.
+//!
+//! Every frame is a length-prefixed byte payload
+//! ([`approxhadoop_ipc::write_frame`]) whose body is the
+//! [`Wire`] encoding of [`ToWorker`]
+//! (parent → worker) or [`FromWorker`] (worker → parent). Map output
+//! pairs travel as opaque byte chunks inside [`FromWorker::Output`] —
+//! the parent decodes them with the job's key/value types, so the
+//! protocol layer itself stays generic-free, mirroring how
+//! [`WorkItem`](crate::engine::WorkItem) /
+//! [`WorkerMsg`](crate::engine::WorkerMsg) keep the scheduler
+//! generic-free in process.
+
+use approxhadoop_ipc::{Decoder, Wire, WireError};
+
+use crate::fault::FaultPlan;
+use crate::metrics::MapStats;
+use crate::types::TaskId;
+use crate::RuntimeError;
+
+impl Wire for FaultPlan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seed.encode(out);
+        self.map_panic_prob.encode(out);
+        self.map_io_error_prob.encode(out);
+        self.dead_datanodes.encode(out);
+        self.replica_error_prob.encode(out);
+        self.slow_replica_prob.encode(out);
+        self.slow_replica_delay.encode(out);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(FaultPlan {
+            seed: Wire::decode(d)?,
+            map_panic_prob: Wire::decode(d)?,
+            map_io_error_prob: Wire::decode(d)?,
+            dead_datanodes: Wire::decode(d)?,
+            replica_error_prob: Wire::decode(d)?,
+            slow_replica_prob: Wire::decode(d)?,
+            slow_replica_delay: Wire::decode(d)?,
+        })
+    }
+}
+
+/// Everything a worker needs to set itself up for one job; sent as the
+/// first frame after spawn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerJobSpec {
+    /// Registry name of the job to run (see
+    /// [`JobRegistry`](super::JobRegistry)).
+    pub job: String,
+    /// Opaque job parameters, decoded by the registered builder.
+    pub params: Vec<u8>,
+    /// Path of the input spool file
+    /// ([`approxhadoop_dfs::FileStore`]) holding one block per map task.
+    pub spool: String,
+    /// Number of reduce partitions.
+    pub num_reducers: u32,
+    /// In-memory shuffle budget in bytes before spilling.
+    pub shuffle_mem_bytes: u64,
+    /// Directory for spill run files.
+    pub spill_dir: String,
+}
+
+impl Wire for WorkerJobSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.job.encode(out);
+        self.params.encode(out);
+        self.spool.encode(out);
+        self.num_reducers.encode(out);
+        self.shuffle_mem_bytes.encode(out);
+        self.spill_dir.encode(out);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(WorkerJobSpec {
+            job: Wire::decode(d)?,
+            params: Wire::decode(d)?,
+            spool: Wire::decode(d)?,
+            num_reducers: Wire::decode(d)?,
+            shuffle_mem_bytes: Wire::decode(d)?,
+            spill_dir: Wire::decode(d)?,
+        })
+    }
+}
+
+/// The plain-data fields of a [`WorkItem`](crate::engine::WorkItem),
+/// serializable across the process boundary. The in-process kill flag
+/// is replaced by explicit [`ToWorker::Kill`] frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireWorkItem {
+    /// Map task index.
+    pub task: u64,
+    /// Attempt number.
+    pub attempt: u32,
+    /// Input sampling ratio for this attempt.
+    pub sampling_ratio: f64,
+    /// Per-task read seed (attempt-independent).
+    pub seed: u64,
+    /// Whether map-side combining is enabled.
+    pub combining: bool,
+    /// Deterministic fault-injection plan, if any.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Wire for WireWorkItem {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.task.encode(out);
+        self.attempt.encode(out);
+        self.sampling_ratio.encode(out);
+        self.seed.encode(out);
+        self.combining.encode(out);
+        self.fault.encode(out);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(WireWorkItem {
+            task: Wire::decode(d)?,
+            attempt: Wire::decode(d)?,
+            sampling_ratio: Wire::decode(d)?,
+            seed: Wire::decode(d)?,
+            combining: Wire::decode(d)?,
+            fault: Wire::decode(d)?,
+        })
+    }
+}
+
+/// Frames the parent sends to a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToWorker {
+    /// Job setup; always the first frame.
+    Job(WorkerJobSpec),
+    /// Run one map attempt.
+    Work(WireWorkItem),
+    /// Abort a previously dispatched attempt (the wire form of raising
+    /// the in-process kill flag).
+    Kill {
+        /// Task of the attempt to abort.
+        task: u64,
+        /// Attempt number to abort.
+        attempt: u32,
+    },
+    /// Exit cleanly; no further frames follow.
+    Shutdown,
+}
+
+impl Wire for ToWorker {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ToWorker::Job(spec) => {
+                0u8.encode(out);
+                spec.encode(out);
+            }
+            ToWorker::Work(work) => {
+                1u8.encode(out);
+                work.encode(out);
+            }
+            ToWorker::Kill { task, attempt } => {
+                2u8.encode(out);
+                task.encode(out);
+                attempt.encode(out);
+            }
+            ToWorker::Shutdown => 3u8.encode(out),
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match u8::decode(d)? {
+            0 => Ok(ToWorker::Job(Wire::decode(d)?)),
+            1 => Ok(ToWorker::Work(Wire::decode(d)?)),
+            2 => Ok(ToWorker::Kill {
+                task: Wire::decode(d)?,
+                attempt: Wire::decode(d)?,
+            }),
+            3 => Ok(ToWorker::Shutdown),
+            _ => Err(WireError::Corrupt {
+                what: "ToWorker frame tag",
+            }),
+        }
+    }
+}
+
+/// [`MapStats`] in wire form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireMapStats {
+    /// Map task index.
+    pub task: u64,
+    /// `M_i` — total records in the task's block.
+    pub total_records: u64,
+    /// `m_i` — records processed after sampling.
+    pub sampled_records: u64,
+    /// Pairs emitted by the map function (pre-combining).
+    pub emitted: u64,
+    /// Pairs shipped to reducers (post-combining).
+    pub shuffled: u64,
+    /// Wall-clock duration of the attempt in seconds.
+    pub duration_secs: f64,
+    /// Portion spent reading the block in seconds.
+    pub read_secs: f64,
+}
+
+impl From<WireMapStats> for MapStats {
+    fn from(w: WireMapStats) -> Self {
+        MapStats {
+            task: TaskId(w.task as usize),
+            total_records: w.total_records,
+            sampled_records: w.sampled_records,
+            emitted: w.emitted,
+            shuffled: w.shuffled,
+            duration_secs: w.duration_secs,
+            read_secs: w.read_secs,
+        }
+    }
+}
+
+impl Wire for WireMapStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.task.encode(out);
+        self.total_records.encode(out);
+        self.sampled_records.encode(out);
+        self.emitted.encode(out);
+        self.shuffled.encode(out);
+        self.duration_secs.encode(out);
+        self.read_secs.encode(out);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(WireMapStats {
+            task: Wire::decode(d)?,
+            total_records: Wire::decode(d)?,
+            sampled_records: Wire::decode(d)?,
+            emitted: Wire::decode(d)?,
+            shuffled: Wire::decode(d)?,
+            duration_secs: Wire::decode(d)?,
+            read_secs: Wire::decode(d)?,
+        })
+    }
+}
+
+/// A [`RuntimeError`] crossing the process boundary.
+///
+/// The two failure shapes the scheduler's event stream renders —
+/// injected faults and user-code panics — are reconstructed as their
+/// original variants so retry/degrade event payloads are byte-identical
+/// to the in-process backends; anything else is carried as its
+/// `Display` output and resurfaces as [`RuntimeError::Remote`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireJobError {
+    /// 0 = `InjectedFault`, 1 = `TaskPanicked`, 2 = other.
+    pub kind: u8,
+    /// The variant's description (`what` for 0/1, full `Display` for 2).
+    pub what: String,
+}
+
+impl WireJobError {
+    /// Encodes a worker-side error for the wire.
+    pub fn from_error(e: &RuntimeError) -> Self {
+        match e {
+            RuntimeError::InjectedFault { what } => WireJobError {
+                kind: 0,
+                what: what.clone(),
+            },
+            RuntimeError::TaskPanicked { what } => WireJobError {
+                kind: 1,
+                what: what.clone(),
+            },
+            other => WireJobError {
+                kind: 2,
+                what: other.to_string(),
+            },
+        }
+    }
+
+    /// Reconstructs the parent-side [`RuntimeError`].
+    pub fn into_error(self) -> RuntimeError {
+        match self.kind {
+            0 => RuntimeError::InjectedFault { what: self.what },
+            1 => RuntimeError::TaskPanicked { what: self.what },
+            _ => RuntimeError::Remote { display: self.what },
+        }
+    }
+}
+
+impl Wire for WireJobError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kind.encode(out);
+        self.what.encode(out);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let kind = u8::decode(d)?;
+        if kind > 2 {
+            return Err(WireError::Corrupt {
+                what: "WireJobError kind",
+            });
+        }
+        Ok(WireJobError {
+            kind,
+            what: Wire::decode(d)?,
+        })
+    }
+}
+
+/// Frames a worker sends to the parent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromWorker {
+    /// Job setup succeeded; the worker is accepting work.
+    Ready,
+    /// One chunk of map output for a single reduce partition. Chunks
+    /// for an attempt arrive in partition order and are terminated by
+    /// the attempt's [`FromWorker::Done`] frame; `pairs` is a
+    /// back-to-back sequence of `(key, value)` encodings.
+    Output {
+        /// Task that produced the chunk.
+        task: u64,
+        /// Attempt number.
+        attempt: u32,
+        /// Destination reduce partition.
+        partition: u32,
+        /// Encoded `(key, value)` pairs, back to back.
+        pairs: Vec<u8>,
+    },
+    /// The attempt completed; all of its `Output` chunks precede this
+    /// frame on the pipe.
+    Done {
+        /// Attempt number that completed.
+        attempt: u32,
+        /// Execution statistics.
+        stats: WireMapStats,
+        /// Spill runs written while buffering this attempt's output.
+        spill_runs: u64,
+        /// Total bytes of spill runs written.
+        spill_bytes: u64,
+    },
+    /// The attempt observed a kill request and aborted.
+    Killed {
+        /// The killed task.
+        task: u64,
+        /// Attempt number.
+        attempt: u32,
+    },
+    /// The attempt failed.
+    Failed {
+        /// The failed task.
+        task: u64,
+        /// Attempt number.
+        attempt: u32,
+        /// The error, in wire form.
+        error: WireJobError,
+    },
+}
+
+impl Wire for FromWorker {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            FromWorker::Ready => 0u8.encode(out),
+            FromWorker::Output {
+                task,
+                attempt,
+                partition,
+                pairs,
+            } => {
+                1u8.encode(out);
+                task.encode(out);
+                attempt.encode(out);
+                partition.encode(out);
+                pairs.encode(out);
+            }
+            FromWorker::Done {
+                attempt,
+                stats,
+                spill_runs,
+                spill_bytes,
+            } => {
+                2u8.encode(out);
+                attempt.encode(out);
+                stats.encode(out);
+                spill_runs.encode(out);
+                spill_bytes.encode(out);
+            }
+            FromWorker::Killed { task, attempt } => {
+                3u8.encode(out);
+                task.encode(out);
+                attempt.encode(out);
+            }
+            FromWorker::Failed {
+                task,
+                attempt,
+                error,
+            } => {
+                4u8.encode(out);
+                task.encode(out);
+                attempt.encode(out);
+                error.encode(out);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match u8::decode(d)? {
+            0 => Ok(FromWorker::Ready),
+            1 => Ok(FromWorker::Output {
+                task: Wire::decode(d)?,
+                attempt: Wire::decode(d)?,
+                partition: Wire::decode(d)?,
+                pairs: Wire::decode(d)?,
+            }),
+            2 => Ok(FromWorker::Done {
+                attempt: Wire::decode(d)?,
+                stats: Wire::decode(d)?,
+                spill_runs: Wire::decode(d)?,
+                spill_bytes: Wire::decode(d)?,
+            }),
+            3 => Ok(FromWorker::Killed {
+                task: Wire::decode(d)?,
+                attempt: Wire::decode(d)?,
+            }),
+            4 => Ok(FromWorker::Failed {
+                task: Wire::decode(d)?,
+                attempt: Wire::decode(d)?,
+                error: Wire::decode(d)?,
+            }),
+            _ => Err(WireError::Corrupt {
+                what: "FromWorker frame tag",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn work_item_roundtrips_with_fault_plan() {
+        let w = WireWorkItem {
+            task: 9,
+            attempt: 2,
+            sampling_ratio: 0.25,
+            seed: 0xDEAD_BEEF,
+            combining: true,
+            fault: Some(FaultPlan {
+                seed: 7,
+                map_panic_prob: 0.1,
+                map_io_error_prob: 0.2,
+                dead_datanodes: vec![1, 3],
+                replica_error_prob: 0.3,
+                slow_replica_prob: 0.4,
+                slow_replica_delay: Duration::from_millis(12),
+            }),
+        };
+        let back = WireWorkItem::from_bytes(&ToWorker::Work(w.clone()).to_bytes()[1..]).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn error_reconstruction_preserves_display() {
+        for e in [
+            RuntimeError::InjectedFault { what: "x".into() },
+            RuntimeError::TaskPanicked { what: "y".into() },
+            RuntimeError::invalid("z"),
+        ] {
+            let display = e.to_string();
+            let back = WireJobError::from_bytes(&WireJobError::from_error(&e).to_bytes())
+                .unwrap()
+                .into_error();
+            assert_eq!(back.to_string(), display);
+        }
+    }
+
+    #[test]
+    fn frame_tags_are_validated() {
+        assert!(ToWorker::from_bytes(&[9]).is_err());
+        assert!(FromWorker::from_bytes(&[9]).is_err());
+        assert!(WireJobError::from_bytes(&[3, 0, 0, 0, 0]).is_err());
+    }
+}

@@ -30,6 +30,22 @@ pub enum RuntimeError {
         /// Description of the injected fault.
         what: String,
     },
+    /// A worker process died (crashed, was killed, or closed its pipe)
+    /// while attempts were in flight on it. The process backend reports
+    /// each orphaned attempt with this error so the tracker's retry /
+    /// blacklist / degrade-to-drop machinery treats a lost worker like
+    /// any other failed attempt.
+    WorkerLost {
+        /// Description of the lost worker and the attempt it owed.
+        what: String,
+    },
+    /// An error forwarded verbatim from a worker process that does not
+    /// map onto a structured variant; `display` is the worker-side
+    /// error's `Display` output, reproduced exactly.
+    Remote {
+        /// The worker-side error rendering.
+        display: String,
+    },
     /// Tasks were degraded to drops after exhausting their retries, but
     /// the resulting worst relative error bound exceeds the job's
     /// budget ([`FaultPolicy::max_degraded_bound`](crate::fault::FaultPolicy::max_degraded_bound)).
@@ -60,6 +76,8 @@ impl fmt::Display for RuntimeError {
             RuntimeError::TaskPanicked { what } => write!(f, "task panicked: {what}"),
             RuntimeError::Cancelled => write!(f, "job cancelled"),
             RuntimeError::InjectedFault { what } => write!(f, "injected fault: {what}"),
+            RuntimeError::WorkerLost { what } => write!(f, "worker lost: {what}"),
+            RuntimeError::Remote { display } => write!(f, "{display}"),
             RuntimeError::DegradeBudgetExceeded {
                 worst_bound,
                 limit,

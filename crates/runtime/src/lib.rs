@@ -8,9 +8,11 @@
 //!   theory), on a fixed number of map slots. The scheduler is a single
 //!   backend-agnostic state machine; *where* attempts run is a pluggable
 //!   executor — job-private task-tracker threads ([`engine::run_job`],
-//!   [`engine::run_job_with_coordinator`], [`engine::run_job_with_session`])
-//!   or a shared, weighted-fair [`pool::SlotPool`]
-//!   ([`engine::run_job_on_pool`], service mode);
+//!   [`engine::run_job_with_coordinator`], [`engine::run_job_with_session`]),
+//!   a shared, weighted-fair [`pool::SlotPool`]
+//!   ([`engine::run_job_on_pool`], service mode), or separate worker
+//!   **processes** with a spill-capable shuffle
+//!   ([`engine::run_job_process`], [`engine::process`]);
 //! * **task dropping**: tasks can be dropped before launch or **killed
 //!   while running**; dropped maps get a distinct terminal state and the
 //!   job still completes (paper Section 4.3);
@@ -90,7 +92,8 @@ pub use combine::{
 };
 pub use control::{Coordinator, FixedCoordinator, JobControl, MapDirective};
 pub use engine::{
-    run_job, run_job_on_pool, run_job_with_coordinator, run_job_with_session, JobConfig, JobResult,
+    run_job, run_job_on_pool, run_job_process, run_job_with_coordinator, run_job_with_session,
+    Executor, JobConfig, JobResult, RecvOutcome, WorkItem, WorkerMsg, WorkerSpec,
 };
 pub use error::RuntimeError;
 pub use event::{CancelHandle, JobEvent, JobId, JobSession};

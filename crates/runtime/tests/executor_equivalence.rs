@@ -1,11 +1,13 @@
-//! Differential proof that the two executor backends are one scheduler.
+//! Differential proof that the three executor backends are one
+//! scheduler.
 //!
 //! The same job — same input, same seed, same coordinator policy, same
-//! injected faults — is run once on job-private task-tracker threads
-//! (`run_job_with_session`) and once on a shared [`SlotPool`]
-//! (`run_job_on_pool`). Because the unified `JobTracker` owns every
+//! injected faults — is run on job-private task-tracker threads
+//! (`run_job_with_session`), on a shared [`SlotPool`]
+//! (`run_job_on_pool`), and on worker OS processes
+//! (`run_job_process`). Because the unified `JobTracker` owns every
 //! scheduling decision and the configuration below makes execution
-//! serial (one slot, one server, zero retry backoff), the two runs must
+//! serial (one slot, one server, zero retry backoff), the runs must
 //! produce **byte-identical** `JobEvent` streams, identical outputs,
 //! and identical task-level metrics. Any divergence means a scheduling
 //! decision leaked into a backend.
@@ -13,12 +15,20 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use approxhadoop_runtime::engine::{run_job_on_pool, run_job_with_session, JobConfig, JobResult};
+use approxhadoop_runtime::engine::{
+    run_job_on_pool, run_job_process, run_job_with_session, JobConfig, JobResult, WorkerSpec,
+};
 use approxhadoop_runtime::input::VecSource;
 use approxhadoop_runtime::mapper::FnMapper;
 use approxhadoop_runtime::pool::SlotPool;
 use approxhadoop_runtime::reducer::GroupedReducer;
 use approxhadoop_runtime::{FaultPlan, FaultPolicy, FixedCoordinator, JobEvent, JobId, JobSession};
+
+/// The worker binary holding this suite's registered jobs, built by
+/// cargo alongside the test.
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_approx-worker-rt")
+}
 
 fn blocks() -> Vec<Vec<u32>> {
     (0..24)
@@ -112,67 +122,107 @@ fn run_pool_backend(seed: u64) -> Run {
     }
 }
 
+fn run_process_backend(seed: u64) -> Run {
+    let input = VecSource::new(blocks());
+    let spec = WorkerSpec::new(worker_bin(), "mod8-count");
+    let cfg = JobConfig {
+        workers: 1,
+        ..config(seed)
+    };
+    let mut coordinator = FixedCoordinator::new(24, cfg.sampling_ratio, cfg.drop_ratio, cfg.seed);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let session = JobSession::new(JobId(7)).with_events(tx);
+    let result = run_job_process(
+        &input,
+        &spec,
+        |_| GroupedReducer::new(|k: &u8, vs: &[u64]| Some((*k, vs.iter().sum::<u64>()))),
+        cfg,
+        &mut coordinator,
+        &session,
+    )
+    .unwrap();
+    drop(session);
+    Run {
+        result,
+        events: rx.try_iter().collect(),
+    }
+}
+
+/// Asserts two backends produced byte-identical event streams, outputs
+/// and task accounting for one seed.
+fn assert_runs_identical(seed: u64, a: &Run, b: &Run, pair: &str) {
+    // Byte-identical lifecycle event streams.
+    assert_eq!(
+        a.events, b.events,
+        "seed {seed} [{pair}]: JobEvent streams diverged between backends"
+    );
+    assert_eq!(
+        format!("{:?}", a.events),
+        format!("{:?}", b.events),
+        "seed {seed} [{pair}]: rendered event streams diverged"
+    );
+    assert!(
+        !a.events.is_empty(),
+        "seed {seed} [{pair}]: the job must stream at least one wave"
+    );
+
+    // Identical reduce outputs.
+    let mut oa = a.result.outputs.clone();
+    let mut ob = b.result.outputs.clone();
+    oa.sort();
+    ob.sort();
+    assert_eq!(oa, ob, "seed {seed} [{pair}]: outputs diverged");
+
+    // Identical task-level accounting (everything but wall time).
+    let (ma, mb) = (&a.result.metrics, &b.result.metrics);
+    assert_eq!(ma.total_maps, mb.total_maps, "seed {seed} [{pair}]");
+    assert_eq!(ma.executed_maps, mb.executed_maps, "seed {seed} [{pair}]");
+    assert_eq!(ma.dropped_maps, mb.dropped_maps, "seed {seed} [{pair}]");
+    assert_eq!(ma.killed_maps, mb.killed_maps, "seed {seed} [{pair}]");
+    assert_eq!(ma.failed_maps, mb.failed_maps, "seed {seed} [{pair}]");
+    assert_eq!(ma.retried_maps, mb.retried_maps, "seed {seed} [{pair}]");
+    assert_eq!(
+        ma.degraded_to_drop, mb.degraded_to_drop,
+        "seed {seed} [{pair}]"
+    );
+    assert_eq!(ma.local_maps, mb.local_maps, "seed {seed} [{pair}]");
+    assert_eq!(
+        format!("{:?}", ma.task_outcomes),
+        format!("{:?}", mb.task_outcomes),
+        "seed {seed} [{pair}]: per-task terminal states diverged"
+    );
+
+    // Identical per-attempt sampling/shuffle accounting (timings
+    // excluded — they are the only legitimately nondeterministic
+    // fields).
+    let key = |m: &approxhadoop_runtime::metrics::MapStats| {
+        (
+            m.task,
+            m.total_records,
+            m.sampled_records,
+            m.emitted,
+            m.shuffled,
+        )
+    };
+    let sa: Vec<_> = ma.map_stats.iter().map(key).collect();
+    let sb: Vec<_> = mb.map_stats.iter().map(key).collect();
+    assert_eq!(
+        sa, sb,
+        "seed {seed} [{pair}]: map attempt statistics diverged"
+    );
+}
+
 #[test]
 fn event_streams_and_metrics_are_identical_across_backends() {
     for seed in [3u64, 17, 42] {
         let a = run_scoped_backend(seed);
         let b = run_pool_backend(seed);
-
-        // Byte-identical lifecycle event streams.
-        assert_eq!(
-            a.events, b.events,
-            "seed {seed}: JobEvent streams diverged between backends"
-        );
-        assert_eq!(
-            format!("{:?}", a.events),
-            format!("{:?}", b.events),
-            "seed {seed}: rendered event streams diverged"
-        );
-        assert!(
-            !a.events.is_empty(),
-            "seed {seed}: the job must stream at least one wave"
-        );
-
-        // Identical reduce outputs.
-        let mut oa = a.result.outputs.clone();
-        let mut ob = b.result.outputs.clone();
-        oa.sort();
-        ob.sort();
-        assert_eq!(oa, ob, "seed {seed}: outputs diverged");
-
-        // Identical task-level accounting (everything but wall time).
-        let (ma, mb) = (&a.result.metrics, &b.result.metrics);
-        assert_eq!(ma.total_maps, mb.total_maps, "seed {seed}");
-        assert_eq!(ma.executed_maps, mb.executed_maps, "seed {seed}");
-        assert_eq!(ma.dropped_maps, mb.dropped_maps, "seed {seed}");
-        assert_eq!(ma.killed_maps, mb.killed_maps, "seed {seed}");
-        assert_eq!(ma.failed_maps, mb.failed_maps, "seed {seed}");
-        assert_eq!(ma.retried_maps, mb.retried_maps, "seed {seed}");
-        assert_eq!(ma.degraded_to_drop, mb.degraded_to_drop, "seed {seed}");
-        assert_eq!(ma.local_maps, mb.local_maps, "seed {seed}");
-        assert_eq!(
-            format!("{:?}", ma.task_outcomes),
-            format!("{:?}", mb.task_outcomes),
-            "seed {seed}: per-task terminal states diverged"
-        );
-
-        // Identical per-attempt sampling/shuffle accounting (timings
-        // excluded — they are the only legitimately nondeterministic
-        // fields).
-        let key = |m: &approxhadoop_runtime::metrics::MapStats| {
-            (
-                m.task,
-                m.total_records,
-                m.sampled_records,
-                m.emitted,
-                m.shuffled,
-            )
-        };
-        let sa: Vec<_> = ma.map_stats.iter().map(key).collect();
-        let sb: Vec<_> = mb.map_stats.iter().map(key).collect();
-        assert_eq!(sa, sb, "seed {seed}: map attempt statistics diverged");
+        let c = run_process_backend(seed);
+        assert_runs_identical(seed, &a, &b, "scoped vs pool");
+        assert_runs_identical(seed, &a, &c, "scoped vs process");
 
         // The config exercised the interesting paths.
+        let ma = &a.result.metrics;
         assert!(ma.dropped_maps > 0, "seed {seed}: drop path not exercised");
         assert!(
             ma.retried_maps > 0 || ma.degraded_to_drop > 0,
@@ -226,11 +276,34 @@ fn precise_runs_agree_exactly() {
     .unwrap();
     drop(s2);
 
+    let spec = WorkerSpec::new(worker_bin(), "sum-all");
+    let mut c3 = FixedCoordinator::new(24, 1.0, 0.0, 0);
+    let (tx3, rx3) = crossbeam::channel::unbounded();
+    let s3 = JobSession::new(JobId(7)).with_events(tx3);
+    let c = run_job_process(
+        &VecSource::new(blocks()),
+        &spec,
+        |_| GroupedReducer::new(|_: &u8, vs: &[u64]| Some(vs.len())),
+        JobConfig {
+            workers: 1,
+            map_slots: 1,
+            servers: 1,
+            ..Default::default()
+        },
+        &mut c3,
+        &s3,
+    )
+    .unwrap();
+    drop(s3);
+
     assert_eq!(a.outputs, vec![24 * 60]);
     assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.outputs, c.outputs, "process backend outputs diverged");
     let ea: Vec<JobEvent> = rx1.try_iter().collect();
     let eb: Vec<JobEvent> = rx2.try_iter().collect();
+    let ec: Vec<JobEvent> = rx3.try_iter().collect();
     assert_eq!(ea, eb, "precise-run event streams diverged");
+    assert_eq!(ea, ec, "precise-run process event stream diverged");
     let last = ea.last().expect("at least one event");
     assert!(
         matches!(

@@ -23,6 +23,7 @@ use approxhadoop_core::multistage::{
 };
 use approxhadoop_core::target::SharedApproxState;
 use approxhadoop_obs::{Obs, RegistrySnapshot};
+use approxhadoop_runtime::engine::WorkerSpec;
 use approxhadoop_runtime::metrics::BoundPoint;
 use approxhadoop_stats::Interval;
 use approxhadoop_workloads::wikilog::{LogEntry, WikiLog};
@@ -53,6 +54,11 @@ pub struct LoadConfig {
     pub p99_target_secs: f64,
     /// Base seed for arrivals and per-job data/sampling.
     pub seed: u64,
+    /// `0` (the default) runs jobs on the shared thread pool; a
+    /// positive value runs every job on the **process backend** with
+    /// that many worker processes (started from the sibling
+    /// `approx-worker` binary) and a spill-capable shuffle.
+    pub process_workers: usize,
 }
 
 impl Default for LoadConfig {
@@ -67,6 +73,7 @@ impl Default for LoadConfig {
             min_sampling_ratio: 0.25,
             p99_target_secs: 0.4,
             seed: 0,
+            process_workers: 0,
         }
     }
 }
@@ -235,32 +242,42 @@ pub fn run_phase_with_obs(
             seed: config.seed.wrapping_add(101 + j as u64),
             budget,
             deadline: None,
+            workers: config.process_workers.max(1),
             ..Default::default()
         };
-        let handle = service
-            .submit(
-                spec,
-                Arc::new(log.source()),
-                Arc::new(MultiStageMapper::new(
-                    |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| emit(e.project, e.bytes as f64),
-                )),
-                |_| {
-                    // A monitor (without a freeze target) makes the
-                    // reducer stream its error bound to the JobTracker
-                    // after every map output — that is what feeds the
-                    // bound-convergence series and live bound gauges.
-                    MultiStageReducer::<u64>::new(Aggregation::Sum, 0.95).with_monitor(
-                        BoundMonitor {
-                            shared: Arc::new(SharedApproxState::new(1)),
-                            report_absolute: false,
-                            check_every: 1,
-                            freeze_threshold: None,
-                            min_maps_before_freeze: usize::MAX,
+        // A monitor (without a freeze target) makes the reducer stream
+        // its error bound to the JobTracker after every map output —
+        // that is what feeds the bound-convergence series and live
+        // bound gauges.
+        let make_reducer = |_| {
+            MultiStageReducer::<u64>::new(Aggregation::Sum, 0.95).with_monitor(BoundMonitor {
+                shared: Arc::new(SharedApproxState::new(1)),
+                report_absolute: false,
+                check_every: 1,
+                freeze_threshold: None,
+                min_maps_before_freeze: usize::MAX,
+            })
+        };
+        let handle = if config.process_workers > 0 {
+            let worker = WorkerSpec::sibling("approx-worker", "wikilog-project-bytes")
+                .expect("worker binary installed next to the load generator");
+            service
+                .submit_process(spec, Arc::new(log.source()), worker, make_reducer)
+                .expect("valid loadgen spec")
+        } else {
+            service
+                .submit(
+                    spec,
+                    Arc::new(log.source()),
+                    Arc::new(MultiStageMapper::new(
+                        |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| {
+                            emit(e.project, e.bytes as f64)
                         },
-                    )
-                },
-            )
-            .expect("valid loadgen spec");
+                    )),
+                    make_reducer,
+                )
+                .expect("valid loadgen spec")
+        };
         let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         peak.fetch_max(now, Ordering::SeqCst);
 

@@ -15,8 +15,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver};
 
+use approxhadoop_ipc::Wire;
 use approxhadoop_obs::Obs;
-use approxhadoop_runtime::engine::{run_job_on_pool, JobConfig, JobResult};
+use approxhadoop_runtime::engine::{
+    run_job_on_pool, run_job_process, JobConfig, JobResult, WorkerSpec,
+};
 use approxhadoop_runtime::event::{CancelHandle, JobEvent, JobId, JobSession};
 use approxhadoop_runtime::input::InputSource;
 use approxhadoop_runtime::mapper::Mapper;
@@ -56,10 +59,17 @@ pub struct JobSpec {
     /// With retries enabled, fail the job anyway if the final worst
     /// relative error bound of a degraded run exceeds this limit.
     pub max_degraded_bound: Option<f64>,
+    /// Worker processes the job runs on when submitted through
+    /// [`JobService::submit_process`]; ignored on the shared-pool path.
+    pub workers: usize,
+    /// Per-worker in-memory shuffle budget in bytes before map output
+    /// spills to sorted on-disk runs (process backend only).
+    pub shuffle_mem_bytes: usize,
 }
 
 impl Default for JobSpec {
     fn default() -> Self {
+        let engine = JobConfig::default();
         JobSpec {
             name: "job".to_string(),
             weight: 1.0,
@@ -71,6 +81,8 @@ impl Default for JobSpec {
             max_task_retries: 0,
             fault_plan: None,
             max_degraded_bound: None,
+            workers: engine.workers,
+            shuffle_mem_bytes: engine.shuffle_mem_bytes,
         }
     }
 }
@@ -231,6 +243,9 @@ impl JobService {
                 ..Default::default()
             },
             obs: Some(Arc::clone(&self.obs)),
+            workers: spec.workers,
+            shuffle_mem_bytes: spec.shuffle_mem_bytes,
+            spill_dir: None,
         };
         provisional.validate()?;
         let id = JobId(self.next_job.fetch_add(1, Ordering::SeqCst));
@@ -287,6 +302,142 @@ impl JobService {
                 // other completions (and failures) feed the controller.
                 if !matches!(outcome, Err(RuntimeError::Cancelled)) {
                     controller.on_job_complete(submitted.elapsed().as_secs_f64(), pool.queued());
+                }
+                if let Ok(r) = &outcome {
+                    let m = &r.metrics;
+                    if m.failed_maps > 0 || m.retried_maps > 0 || m.degraded_to_drop > 0 {
+                        controller.on_job_faults(m.failed_maps, m.retried_maps, m.degraded_to_drop);
+                    }
+                }
+                match &outcome {
+                    Ok(r) => session.emit(JobEvent::Done {
+                        job: id,
+                        wall_secs: r.metrics.wall_secs,
+                    }),
+                    Err(e) => session.emit(JobEvent::Failed {
+                        job: id,
+                        reason: e.to_string(),
+                    }),
+                }
+                let _ = result_tx.send(outcome);
+            })
+            .expect("spawn job tracker thread");
+
+        Ok(JobHandle {
+            id,
+            name: spec.name,
+            degrade: decision.degrade,
+            drop_ratio: decision.drop_ratio,
+            sampling_ratio: decision.sampling_ratio,
+            events: event_rx,
+            cancel,
+            result: result_rx,
+        })
+    }
+
+    /// Submits a job onto the **process backend**: the map work runs in
+    /// `spec.workers` separate worker processes (started from `worker`)
+    /// instead of on the shared slot pool, with a spill-capable shuffle
+    /// bounded by `spec.shuffle_mem_bytes`.
+    ///
+    /// Admission control still applies — the job's sampling/drop ratios
+    /// are degraded within its budget under load and its completion
+    /// feeds the latency controller — but weighted fair sharing does
+    /// not: process jobs own their workers outright, so `spec.weight`
+    /// is ignored beyond validation. The worker binary must register
+    /// the job named in `worker` (see `JobRegistry`).
+    pub fn submit_process<S, R, FR>(
+        &self,
+        spec: JobSpec,
+        input: Arc<S>,
+        worker: WorkerSpec,
+        make_reducer: FR,
+    ) -> Result<JobHandle<R::Output>, RuntimeError>
+    where
+        S: InputSource + 'static,
+        S::Item: Wire,
+        R: Reducer + Send + 'static,
+        R::Key: Wire,
+        R::Value: Wire,
+        R::Output: Send + 'static,
+        FR: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        spec.budget.validate().map_err(RuntimeError::invalid)?;
+        if !(spec.weight > 0.0 && spec.weight.is_finite()) {
+            return Err(RuntimeError::invalid(format!(
+                "weight must be positive and finite, got {}",
+                spec.weight
+            )));
+        }
+        let provisional = JobConfig {
+            map_slots: spec.map_slots,
+            servers: 1,
+            reduce_tasks: spec.reduce_tasks,
+            sampling_ratio: 1.0,
+            drop_ratio: 0.0,
+            seed: spec.seed,
+            combining: true,
+            speculative: false,
+            straggler_factor: 2.0,
+            fault_plan: spec.fault_plan.clone(),
+            fault_policy: FaultPolicy {
+                max_task_retries: spec.max_task_retries,
+                degrade_to_drop: spec.max_task_retries > 0,
+                max_degraded_bound: spec.max_degraded_bound,
+                ..Default::default()
+            },
+            obs: Some(Arc::clone(&self.obs)),
+            workers: spec.workers,
+            shuffle_mem_bytes: spec.shuffle_mem_bytes,
+            spill_dir: None,
+        };
+        provisional.validate()?;
+        let id = JobId(self.next_job.fetch_add(1, Ordering::SeqCst));
+        let decision = self
+            .controller
+            .admit(id.0, &spec.budget, self.pool.queued());
+        let config = JobConfig {
+            sampling_ratio: decision.sampling_ratio,
+            drop_ratio: decision.drop_ratio,
+            ..provisional
+        };
+
+        let (event_tx, event_rx) = unbounded();
+        let mut session = JobSession::new(id).with_events(event_tx);
+        if let Some(d) = spec.deadline {
+            session = session.with_deadline(Instant::now() + d);
+        }
+        let cancel = session.cancel_handle();
+        session.emit(JobEvent::Queued { job: id });
+
+        let (result_tx, result_rx) = unbounded();
+        let controller = Arc::clone(&self.controller);
+        let submitted = Instant::now();
+        let seed = spec.seed;
+        std::thread::Builder::new()
+            .name(format!("tracker-{id}"))
+            .spawn(move || {
+                let total = input.splits().len();
+                let outcome = if total == 0 {
+                    Err(RuntimeError::invalid("input has no splits"))
+                } else {
+                    let mut coordinator = FixedCoordinator::new(
+                        total,
+                        config.sampling_ratio,
+                        config.drop_ratio,
+                        seed,
+                    );
+                    run_job_process(
+                        input.as_ref(),
+                        &worker,
+                        make_reducer,
+                        config,
+                        &mut coordinator,
+                        &session,
+                    )
+                };
+                if !matches!(outcome, Err(RuntimeError::Cancelled)) {
+                    controller.on_job_complete(submitted.elapsed().as_secs_f64(), 0);
                 }
                 if let Ok(r) = &outcome {
                     let m = &r.metrics;

@@ -8,8 +8,9 @@ use approxhadoop_core::extreme::ExtremeOutput;
 use approxhadoop_core::job::{AggregationJob, ApproxResult, ExtremeJob};
 use approxhadoop_core::spec::ApproxSpec;
 use approxhadoop_core::userdef::UserDefinedMapper;
+use approxhadoop_core::CoreError;
 use approxhadoop_core::Result;
-use approxhadoop_runtime::engine::{run_job, JobConfig};
+use approxhadoop_runtime::engine::{run_job, JobConfig, WorkerSpec};
 use approxhadoop_runtime::input::VecSource;
 use approxhadoop_runtime::mapper::{MapTaskContext, Mapper};
 use approxhadoop_runtime::reducer::GroupedReducer;
@@ -110,6 +111,58 @@ pub fn page_traffic(
         .spec(spec)
         .config(config)
         .run(&log.source())
+}
+
+/// The wikilog aggregations on the **process backend**: map attempts
+/// execute in worker OS processes started from `worker.bin`, which must
+/// be a binary registering these jobs under their app names (the
+/// workspace's `approx-worker` does). `worker.job` is ignored — the job
+/// dispatched is always `app`.
+///
+/// Supported apps: `project-popularity`, `page-popularity`,
+/// `request-rate`, `page-traffic`. Results are identical to the
+/// in-process variants above for the same spec, config and seed.
+pub fn wikilog_process(
+    app: &str,
+    log: &WikiLog,
+    spec: ApproxSpec,
+    config: JobConfig,
+    worker: &WorkerSpec,
+) -> Result<ApproxResult<(u64, Interval)>> {
+    let worker = WorkerSpec::new(&worker.bin, app);
+    let source = log.source();
+    match app {
+        "project-popularity" => {
+            AggregationJob::count(|e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| {
+                emit(e.project, 1.0)
+            })
+            .spec(spec)
+            .config(config)
+            .run_on_workers(&source, &worker)
+        }
+        "page-popularity" => {
+            AggregationJob::count(|e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| emit(e.page, 1.0))
+                .spec(spec)
+                .config(config)
+                .run_on_workers(&source, &worker)
+        }
+        "request-rate" => AggregationJob::count(|e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| {
+            emit(e.timestamp / 3_600, 1.0)
+        })
+        .spec(spec)
+        .config(config)
+        .run_on_workers(&source, &worker),
+        "page-traffic" => AggregationJob::sum(|e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| {
+            emit(e.page, e.bytes as f64)
+        })
+        .spec(spec)
+        .config(config)
+        .run_on_workers(&source, &worker),
+        other => Err(CoreError::invalid(format!(
+            "application `{other}` is not available on the process backend (supported: \
+             project-popularity, page-popularity, request-rate, page-traffic)"
+        ))),
+    }
 }
 
 /// **Bytes per Access** (ratio aggregate): mean response size per access

@@ -6,6 +6,7 @@
 //! power-law popularity), request rates follow a diurnal pattern, and
 //! consecutive entries share temporal locality within a block.
 
+use approxhadoop_ipc::{Decoder, Wire, WireError};
 use approxhadoop_runtime::input::{FnSource, SplitMeta};
 use approxhadoop_stats::sampling::Zipf;
 use rand::rngs::StdRng;
@@ -28,6 +29,24 @@ pub struct LogEntry {
     pub page: u64,
     /// Response size in bytes.
     pub bytes: u64,
+}
+
+impl Wire for LogEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.timestamp.encode(out);
+        self.project.encode(out);
+        self.page.encode(out);
+        self.bytes.encode(out);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(LogEntry {
+            timestamp: u64::decode(d)?,
+            project: u64::decode(d)?,
+            page: u64::decode(d)?,
+            bytes: u64::decode(d)?,
+        })
+    }
 }
 
 impl LogEntry {

@@ -1,0 +1,57 @@
+//! The workspace's worker binary for the process backend.
+//!
+//! `approxhadoop run/serve/loadtest --backend process` starts `--workers N`
+//! copies of this binary (resolved as a sibling of the CLI executable)
+//! and dispatches map attempts to them over the pipe protocol. Every
+//! job the process backend can run must be registered here by name —
+//! the worker is a separate address space, so closures cannot cross;
+//! only the job name and its `Wire`-encoded parameters do.
+
+use approxhadoop::core::multistage::MultiStageMapper;
+use approxhadoop::runtime::engine::process::{worker_main, JobRegistry};
+use approxhadoop::workloads::wikilog::LogEntry;
+
+fn main() {
+    let mut registry = JobRegistry::new();
+
+    // The cross-crate differential suite: f64 values keyed mod 5,
+    // shuffled as per-key `KeyStat` sums for the Eq. 1–3 estimators.
+    registry.register("multistage-mod5-sum", |_params: &[u8]| {
+        Ok(MultiStageMapper::new(
+            |x: &f64, emit: &mut dyn FnMut(u8, f64)| emit((*x as u64 % 5) as u8, *x),
+        ))
+    });
+
+    // Per-project byte totals over the synthetic Wikipedia access log —
+    // the job `serve`/`loadtest` submit for every tenant.
+    registry.register("wikilog-project-bytes", |_params: &[u8]| {
+        Ok(MultiStageMapper::new(
+            |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| emit(e.project, e.bytes as f64),
+        ))
+    });
+
+    // The wikilog applications `approxhadoop run --backend process`
+    // dispatches (same map functions as `workloads::apps`).
+    registry.register("project-popularity", |_params: &[u8]| {
+        Ok(MultiStageMapper::new(
+            |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| emit(e.project, 1.0),
+        ))
+    });
+    registry.register("page-popularity", |_params: &[u8]| {
+        Ok(MultiStageMapper::new(
+            |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| emit(e.page, 1.0),
+        ))
+    });
+    registry.register("request-rate", |_params: &[u8]| {
+        Ok(MultiStageMapper::new(
+            |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| emit(e.timestamp / 3_600, 1.0),
+        ))
+    });
+    registry.register("page-traffic", |_params: &[u8]| {
+        Ok(MultiStageMapper::new(
+            |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| emit(e.page, e.bytes as f64),
+        ))
+    });
+
+    worker_main(registry);
+}

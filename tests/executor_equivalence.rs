@@ -18,7 +18,8 @@ use std::time::Duration;
 use approxhadoop::core::multistage::{Aggregation, MultiStageMapper, MultiStageReducer};
 use approxhadoop::runtime::control::{Coordinator, JobControl, MapDirective};
 use approxhadoop::runtime::engine::{
-    run_job_on_pool, run_job_with_coordinator, run_job_with_session, JobConfig,
+    run_job_on_pool, run_job_process, run_job_with_coordinator, run_job_with_session, JobConfig,
+    WorkerSpec,
 };
 use approxhadoop::runtime::fault::{FaultDecision, FaultPlan, FaultPolicy};
 use approxhadoop::runtime::input::{SplitMeta, VecSource};
@@ -94,10 +95,10 @@ fn multistage_intervals_are_identical_across_backends() {
         let mut c2 = FixedCoordinator::new(n_blocks, 0.6, 0.25, seed);
         let s2 = JobSession::new(JobId(7));
         let pooled = run_job_on_pool(
-            Arc::new(VecSource::new(blocks)),
+            Arc::new(VecSource::new(blocks.clone())),
             Arc::new(MultiStageMapper::new(ms_map)),
             |_| MultiStageReducer::<u8>::new(Aggregation::Sum, 0.95),
-            cfg,
+            cfg.clone(),
             &mut c2,
             &pool,
             tenant,
@@ -106,11 +107,43 @@ fn multistage_intervals_are_identical_across_backends() {
         .unwrap();
         pool.unregister_tenant(tenant);
 
+        // Third leg: the same job on worker OS processes. The mapper
+        // lives in the `approx-worker` binary (same map function, same
+        // KeyStat shuffle), so identical intervals prove the wire
+        // protocol, mmap'd block reads and spill-capable shuffle are
+        // invisible to the estimators.
+        let spec = WorkerSpec::new(env!("CARGO_BIN_EXE_approx-worker"), "multistage-mod5-sum");
+        let mut c3 = FixedCoordinator::new(n_blocks, 0.6, 0.25, seed);
+        let s3 = JobSession::new(JobId(7));
+        let processed = run_job_process(
+            &VecSource::new(blocks),
+            &spec,
+            |_| MultiStageReducer::<u8>::new(Aggregation::Sum, 0.95),
+            JobConfig { workers: 1, ..cfg },
+            &mut c3,
+            &s3,
+        )
+        .unwrap();
+
         let mut a: Vec<(u8, Interval)> = scoped.outputs;
         let mut b: Vec<(u8, Interval)> = pooled.outputs;
+        let mut c: Vec<(u8, Interval)> = processed.outputs;
         a.sort_by_key(|(k, _)| *k);
         b.sort_by_key(|(k, _)| *k);
+        c.sort_by_key(|(k, _)| *k);
         assert_eq!(a, b, "seed {seed}: intervals diverged between backends");
+        assert_eq!(
+            a, c,
+            "seed {seed}: process-backend intervals diverged from in-process"
+        );
+        assert_eq!(
+            scoped.metrics.dropped_maps, processed.metrics.dropped_maps,
+            "seed {seed}: process backend dropped a different cluster set"
+        );
+        assert_eq!(
+            scoped.metrics.degraded_to_drop, processed.metrics.degraded_to_drop,
+            "seed {seed}: process backend degraded differently"
+        );
         assert!(
             a.iter().any(|(_, iv)| iv.half_width > 0.0),
             "seed {seed}: the approximate run must have nonzero error bounds"

@@ -172,6 +172,53 @@ fn bench_obs_tracer(c: &mut Criterion) {
     });
 }
 
+fn bench_obs_http_endpoint(c: &mut Criterion) {
+    use std::io::{Read, Write};
+
+    use approxhadoop_obs::{serve_metrics, BoundSample, Obs};
+
+    // A scrape-sized context: 100 counter series, a few job series —
+    // what a live `/metrics` poll pays per request (accept + render +
+    // write, both sides on loopback).
+    let obs = Obs::shared();
+    for i in 0..100 {
+        obs.registry
+            .counter(
+                "approx_worker_records_total",
+                &[("job", &format!("job_{i:04}"))],
+            )
+            .add(i);
+    }
+    for j in 0..4 {
+        for p in 0..64 {
+            obs.jobs.record(
+                &format!("job_{j:04}"),
+                BoundSample {
+                    t_secs: p as f64 * 0.01,
+                    reducer: 0,
+                    maps_processed: p,
+                    relative_bound: 1.0 / (p + 1) as f64,
+                },
+            );
+        }
+    }
+    let server = serve_metrics("127.0.0.1:0", std::sync::Arc::clone(&obs)).unwrap();
+    let addr = server.local_addr();
+    let scrape = |path: &str| {
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").unwrap();
+        let mut body = Vec::new();
+        conn.read_to_end(&mut body).unwrap();
+        body.len()
+    };
+    c.bench_function("obs_http_metrics_scrape_100_series", |b| {
+        b.iter(|| black_box(scrape("/metrics")))
+    });
+    c.bench_function("obs_http_jobs_scrape_4x64_points", |b| {
+        b.iter(|| black_box(scrape("/jobs")))
+    });
+}
+
 criterion_group!(
     benches,
     bench_two_stage_estimator,
@@ -183,5 +230,6 @@ criterion_group!(
     bench_sampled_read,
     bench_obs_registry,
     bench_obs_tracer,
+    bench_obs_http_endpoint,
 );
 criterion_main!(benches);

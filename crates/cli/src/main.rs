@@ -50,8 +50,18 @@ USAGE:
         --workers N          worker processes (process backend, default 2)
         --shuffle-mem MIB    per-worker shuffle memory budget in MiB
                              before map output spills to disk (default 64)
-        --trace-out FILE     write a Chrome trace (job→wave→task spans)
+        --trace-out FILE     write a Chrome trace (job→wave→task→worker
+                             spans; worker spans come from the process
+                             backend's telemetry frames)
         --metrics-out FILE   write Prometheus text metrics
+        --obs-addr HOST:PORT serve GET /metrics (Prometheus text),
+                             /trace (Chrome trace JSON) and /jobs
+                             (bound-convergence series) live over HTTP
+                             while the command runs
+        --flight-dir DIR     write a flight-recorder dump (the
+                             scheduler's recent decisions as JSON) on
+                             job failure or worker crash; the
+                             APPROX_FLIGHT_DIR env var is the fallback
 
   approxhadoop simulate [options]
       Discrete-event cluster simulation (runtime + energy).
@@ -80,6 +90,10 @@ USAGE:
         --workers N          worker processes per job (process backend)
         --shuffle-mem MIB    per-worker shuffle budget in MiB (default 64)
         --seed N             RNG seed (default 0)
+        --trace-out FILE     write a Chrome trace of every tenant
+        --metrics-out FILE   write Prometheus text metrics
+        --obs-addr HOST:PORT serve /metrics, /trace and /jobs live
+                             over HTTP while the service runs
 
   approxhadoop loadtest [options]
       Fire the same Poisson job stream twice — admission controller
@@ -89,8 +103,9 @@ USAGE:
       shared pool saturates: --jobs 16, --rate 8, --blocks 48,
       --entries 50000. Also accepts --backend process / --workers N
       (run every job on worker OS processes), --trace-out FILE
-      (Chrome trace of both phases) and --metrics-out FILE
-      (Prometheus text).
+      (Chrome trace of both phases), --metrics-out FILE
+      (Prometheus text) and --obs-addr HOST:PORT (live /metrics,
+      /trace and /jobs over HTTP while the test runs).
 ";
 
 fn main() {

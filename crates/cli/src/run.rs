@@ -20,26 +20,45 @@ use crate::args::{Args, UsageError};
 /// Observability sinks requested on the command line: `--trace-out`
 /// writes Chrome trace-format JSON (load it at `chrome://tracing` or
 /// in Perfetto), `--metrics-out` writes the Prometheus text
-/// exposition of the metrics registry.
+/// exposition of the metrics registry, and `--obs-addr HOST:PORT`
+/// serves both live over HTTP (`GET /metrics`, `/trace`, `/jobs`)
+/// for the duration of the command.
 struct ObsSinks {
     obs: std::sync::Arc<approxhadoop_obs::Obs>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    /// Keeps the HTTP exporter alive until the command finishes.
+    _server: Option<approxhadoop_obs::ObsServer>,
 }
 
 /// `Some` only when at least one sink flag was given — uninstrumented
 /// runs stay uninstrumented.
-fn obs_sinks(args: &Args) -> Option<ObsSinks> {
+fn obs_sinks(args: &Args) -> Result<Option<ObsSinks>, UsageError> {
     let trace_out = args.get("trace-out").map(str::to_string);
     let metrics_out = args.get("metrics-out").map(str::to_string);
-    if trace_out.is_none() && metrics_out.is_none() {
-        return None;
+    let obs_addr = args.get("obs-addr").map(str::to_string);
+    if trace_out.is_none() && metrics_out.is_none() && obs_addr.is_none() {
+        return Ok(None);
     }
-    Some(ObsSinks {
-        obs: approxhadoop_obs::Obs::shared(),
+    let obs = approxhadoop_obs::Obs::shared();
+    let server = obs_addr
+        .map(|addr| {
+            approxhadoop_obs::serve_metrics(&addr, std::sync::Arc::clone(&obs))
+                .map_err(|e| UsageError(format!("cannot serve --obs-addr {addr}: {e}")))
+        })
+        .transpose()?;
+    if let Some(s) = &server {
+        eprintln!(
+            "serving /metrics, /trace and /jobs on http://{}/",
+            s.local_addr()
+        );
+    }
+    Ok(Some(ObsSinks {
+        obs,
         trace_out,
         metrics_out,
-    })
+        _server: server,
+    }))
 }
 
 impl ObsSinks {
@@ -128,6 +147,7 @@ fn job_config(args: &Args) -> Result<JobConfig, UsageError> {
     config.workers = args.get_parsed("workers", config.workers)?;
     let shuffle_mib: usize = args.get_parsed("shuffle-mem", config.shuffle_mem_bytes >> 20)?;
     config.shuffle_mem_bytes = shuffle_mib << 20;
+    config.flight_dir = args.get("flight-dir").map(std::path::PathBuf::from);
     if let Some(spec) = args.get("fault-plan") {
         config.fault_plan = Some(FaultPlan::parse(spec).map_err(UsageError)?);
     }
@@ -192,7 +212,7 @@ pub fn run_app(args: &Args) -> Result<(), UsageError> {
         .ok_or_else(|| UsageError("run requires an application name".into()))?
         .as_str();
     let spec = args.approx_spec()?;
-    let sinks = obs_sinks(args);
+    let sinks = obs_sinks(args)?;
     let mut config = job_config(args)?;
     if let Some(s) = &sinks {
         config.obs = Some(std::sync::Arc::clone(&s.obs));
@@ -466,13 +486,18 @@ pub fn serve(args: &Args) -> Result<(), UsageError> {
         "serving {jobs} jobs at {rate}/s over {slots} shared slots \
          (p99 target {p99_target}s, budget: drop<={max_drop}, sample>={min_sample})"
     );
-    let service = JobService::new(
-        slots,
-        AdmissionConfig {
-            p99_target_secs: p99_target,
-            ..Default::default()
-        },
-    );
+    let sinks = obs_sinks(args)?;
+    let admission = AdmissionConfig {
+        p99_target_secs: p99_target,
+        ..Default::default()
+    };
+    // With sinks the service publishes into the CLI's observability
+    // context so `--obs-addr` / `--metrics-out` / `--trace-out` see
+    // every tenant; without, it keeps its private default context.
+    let service = match &sinks {
+        Some(s) => JobService::with_obs(slots, admission, Arc::clone(&s.obs)),
+        None => JobService::new(slots, admission),
+    };
     let mut rng = StdRng::seed_from_u64(seed ^ 0xA11A_17A1);
     let start = Instant::now();
     let mut handles = Vec::new();
@@ -613,6 +638,9 @@ pub fn serve(args: &Args) -> Result<(), UsageError> {
         service.controller().p99().unwrap_or(0.0),
         service.controller().overloaded_observations()
     );
+    if let Some(s) = &sinks {
+        s.write()?;
+    }
     Ok(())
 }
 
@@ -650,7 +678,7 @@ pub fn loadtest(args: &Args) -> Result<(), UsageError> {
         "loadtest: {} jobs at {}/s over {} slots, twice (controller off, then on)",
         config.jobs, config.arrival_rate, config.slots
     );
-    let sinks = obs_sinks(args);
+    let sinks = obs_sinks(args)?;
     let report = match &sinks {
         Some(s) => run_with_obs(&config, std::sync::Arc::clone(&s.obs)),
         None => run(&config),

@@ -270,6 +270,18 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     }
 }
 
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+        self.3.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        Ok((A::decode(d)?, B::decode(d)?, C::decode(d)?, D::decode(d)?))
+    }
+}
+
 impl Wire for std::time::Duration {
     fn encode(&self, out: &mut Vec<u8>) {
         self.as_secs().encode(out);
@@ -310,6 +322,7 @@ mod tests {
         roundtrip(Option::<u32>::None);
         roundtrip(Some(9u64));
         roundtrip((1u8, 2u64, -3.5f64));
+        roundtrip((1u8, 2u64, -3.5f64, String::from("x")));
         roundtrip(std::time::Duration::from_millis(1234));
     }
 

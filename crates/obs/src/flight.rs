@@ -1,0 +1,162 @@
+//! A per-job flight recorder: a small bounded ring of recent events
+//! and scheduler decisions, dumped as structured JSON when a job ends
+//! badly (job failure, worker crash, degrade budget exhausted), so
+//! postmortems do not require rerunning the job with tracing enabled.
+//!
+//! The recorder is deliberately cheap — one mutex-guarded `VecDeque`
+//! of preformatted strings — so it can stay on unconditionally.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// One recorded entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Microseconds since the recorder was created.
+    pub ts_us: u64,
+    /// Entry kind, e.g. `"event"`, `"dispatch"`, `"retry"`, `"degrade"`.
+    pub kind: String,
+    /// Human-readable detail (usually a `Display`-rendered event).
+    pub detail: String,
+}
+
+/// Entries kept; older entries are evicted front-first.
+const DEFAULT_CAPACITY: usize = 256;
+
+/// A bounded ring of recent [`FlightEntry`]s for one job.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    epoch: std::time::Instant,
+    ring: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    entries: VecDeque<FlightEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` recent entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            epoch: std::time::Instant::now(),
+            ring: Mutex::new(Ring {
+                entries: VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY)),
+                capacity: capacity.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Records one entry, evicting the oldest when full.
+    pub fn record(&self, kind: &str, detail: impl Into<String>) {
+        let entry = FlightEntry {
+            ts_us: self.epoch.elapsed().as_micros() as u64,
+            kind: kind.to_string(),
+            detail: detail.into(),
+        };
+        let mut ring = self.ring.lock();
+        if ring.entries.len() >= ring.capacity {
+            ring.entries.pop_front();
+            ring.dropped += 1;
+        }
+        ring.entries.push_back(entry);
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().entries.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the ring as a structured JSON document:
+    /// `{"job":…,"reason":…,"dropped":…,"entries":[{"ts_us":…,"kind":…,"detail":…},…]}`.
+    pub fn dump_json(&self, job: &str, reason: &str) -> String {
+        let ring = self.ring.lock();
+        let mut out = String::from("{\"job\":");
+        out.push_str(&crate::trace::arg_str("", job).json);
+        out.push_str(",\"reason\":");
+        out.push_str(&crate::trace::arg_str("", reason).json);
+        out.push_str(&format!(",\"dropped\":{},\"entries\":[", ring.dropped));
+        for (i, e) in ring.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"ts_us\":{},\"kind\":{},\"detail\":{}}}",
+                e.ts_us,
+                crate::trace::arg_str("", &e.kind).json,
+                crate::trace::arg_str("", &e.detail).json
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = FlightRecorder::with_capacity(3);
+        for i in 0..5 {
+            rec.record("event", format!("e{i}"));
+        }
+        assert_eq!(rec.len(), 3);
+        let v = json::parse(&rec.dump_json("job_0001", "test")).expect("valid JSON");
+        assert_eq!(v.get("dropped").unwrap().as_f64(), Some(2.0));
+        let entries = v.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(
+            entries[0].get("detail").unwrap().as_str(),
+            Some("e2"),
+            "oldest surviving entry is e2"
+        );
+        assert_eq!(entries[2].get("detail").unwrap().as_str(), Some("e4"));
+    }
+
+    #[test]
+    fn dump_escapes_and_labels() {
+        let rec = FlightRecorder::default();
+        rec.record("decision", "kill \"task 3\"\nreason: slow");
+        let dump = rec.dump_json("job with \"quotes\"", "WorkerLost");
+        let v = json::parse(&dump).expect("valid JSON despite quotes/newlines");
+        assert_eq!(v.get("job").unwrap().as_str(), Some("job with \"quotes\""));
+        assert_eq!(v.get("reason").unwrap().as_str(), Some("WorkerLost"));
+        let entries = v.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(
+            entries[0].get("detail").unwrap().as_str(),
+            Some("kill \"task 3\"\nreason: slow")
+        );
+        assert!(entries[0].get("ts_us").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let rec = FlightRecorder::default();
+        rec.record("a", "first");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        rec.record("b", "second");
+        let v = json::parse(&rec.dump_json("j", "r")).unwrap();
+        let entries = v.get("entries").unwrap().as_array().unwrap();
+        let t0 = entries[0].get("ts_us").unwrap().as_f64().unwrap();
+        let t1 = entries[1].get("ts_us").unwrap().as_f64().unwrap();
+        assert!(t1 > t0);
+    }
+}

@@ -1,0 +1,318 @@
+//! A dependency-free HTTP exporter for live observability.
+//!
+//! [`serve_metrics`] binds a [`std::net::TcpListener`] and serves three
+//! read-only endpoints off a background thread, hand-rolling just
+//! enough HTTP/1.1 (request-line parsing, `Content-Length`,
+//! `Connection: close`) to satisfy `curl`, Prometheus scrapers, and
+//! browsers — the same no-framework discipline as the rest of the
+//! crate:
+//!
+//! * `GET /metrics` — the registry's Prometheus text exposition;
+//! * `GET /trace` — the tracer's Chrome-trace JSON (load it in
+//!   `chrome://tracing` / Perfetto while the job still runs);
+//! * `GET /jobs` — per-job bound-convergence series recorded on the
+//!   [`JobsBoard`], as JSON.
+//!
+//! The returned [`ObsServer`] owns the thread; dropping it stops the
+//! listener (a self-connect unblocks the pending `accept`).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::Obs;
+
+/// One point of a job's bound-convergence series: the worst relative
+/// 95%-confidence bound some reducer reported after `maps_processed`
+/// map outputs, `t_secs` into the job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundSample {
+    /// Seconds since the job started.
+    pub t_secs: f64,
+    /// Reducer index that reported the bound.
+    pub reducer: usize,
+    /// Map outputs the reducer had consumed at report time.
+    pub maps_processed: u64,
+    /// Relative half-width of the interval (0 = exact).
+    pub relative_bound: f64,
+}
+
+/// Per-job bound-convergence series, keyed by job label — the data
+/// behind the `/jobs` endpoint. Bounded per job so a long-running
+/// service cannot grow without limit.
+#[derive(Debug, Default)]
+pub struct JobsBoard {
+    series: Mutex<std::collections::BTreeMap<String, Vec<BoundSample>>>,
+}
+
+/// Points kept per job; older points are discarded front-first.
+const MAX_POINTS_PER_JOB: usize = 4096;
+
+impl JobsBoard {
+    /// Appends one sample to `job`'s series.
+    pub fn record(&self, job: &str, sample: BoundSample) {
+        let mut series = self.series.lock();
+        let points = series.entry(job.to_string()).or_default();
+        if points.len() >= MAX_POINTS_PER_JOB {
+            points.remove(0);
+        }
+        points.push(sample);
+    }
+
+    /// The recorded series for `job` (empty if unknown).
+    pub fn series(&self, job: &str) -> Vec<BoundSample> {
+        self.series.lock().get(job).cloned().unwrap_or_default()
+    }
+
+    /// Renders every job's series as one JSON document:
+    /// `{"jobs":{"job_0001":[{"t_secs":…,…},…],…}}`.
+    pub fn render_json(&self) -> String {
+        let series = self.series.lock();
+        let mut out = String::from("{\"jobs\":{");
+        for (i, (job, points)) in series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&crate::trace::arg_str("", job).json);
+            out.push_str(":[");
+            for (j, p) in points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"t_secs\":{},\"reducer\":{},\"maps_processed\":{},\"relative_bound\":{}}}",
+                    json_num(p.t_secs),
+                    p.reducer,
+                    p.maps_processed,
+                    json_num(p.relative_bound)
+                ));
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// JSON number rendering: non-finite values become `null`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Handle to a running exporter; dropping it shuts the listener down.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// The address the listener actually bound (port 0 resolves here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so the thread observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts the HTTP exporter on `addr` (e.g. `127.0.0.1:9090`; port `0`
+/// picks a free one — read it back from [`ObsServer::local_addr`]).
+/// Requests are served from a single background thread; every response
+/// is rendered fresh from `obs` at request time.
+pub fn serve_metrics(addr: &str, obs: Arc<Obs>) -> std::io::Result<ObsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("obs-http".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let _ = serve_one(stream, &obs);
+            }
+        })?;
+    Ok(ObsServer {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn serve_one(mut stream: TcpStream, obs: &Obs) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    // Read until the end of the request head; only the request line is
+    // interpreted. 8 KiB is plenty for any GET we answer.
+    let mut buf = [0u8; 8192];
+    let mut len = 0;
+    loop {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let request_line = head.lines().next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                obs.registry.render_prometheus(),
+            ),
+            "/trace" => (
+                "200 OK",
+                "application/json",
+                obs.tracer.render_chrome_trace(),
+            ),
+            "/jobs" => ("200 OK", "application/json", obs.jobs.render_json()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "try /metrics, /trace or /jobs\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("head/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn endpoints_serve_metrics_trace_and_jobs() {
+        let obs = Obs::shared();
+        obs.registry
+            .counter("approx_worker_records_total", &[("job", "job_0001")])
+            .add(42);
+        obs.tracer
+            .complete("map 0", "task", 0, 100, 1, 1, None, vec![]);
+        obs.jobs.record(
+            "job_0001",
+            BoundSample {
+                t_secs: 0.5,
+                reducer: 0,
+                maps_processed: 3,
+                relative_bound: 0.02,
+            },
+        );
+        let server = serve_metrics("127.0.0.1:0", Arc::clone(&obs)).expect("bind");
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("approx_worker_records_total{job=\"job_0001\"} 42"));
+
+        let (head, body) = get(addr, "/trace");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let v = json::parse(&body).expect("trace endpoint returns JSON");
+        assert!(v.get("traceEvents").is_some());
+
+        let (head, body) = get(addr, "/jobs");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let v = json::parse(&body).expect("jobs endpoint returns JSON");
+        let series = v
+            .get("jobs")
+            .and_then(|j| j.get("job_0001"))
+            .and_then(|s| s.as_array())
+            .expect("series for job_0001");
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].get("maps_processed").unwrap().as_f64(), Some(3.0));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn server_stops_on_drop() {
+        let obs = Obs::shared();
+        let server = serve_metrics("127.0.0.1:0", obs).expect("bind");
+        let addr = server.local_addr();
+        drop(server);
+        // The port is released: either connect fails or the peer closes
+        // without answering.
+        let answered = TcpStream::connect(addr)
+            .map(|mut s| {
+                let _ = write!(s, "GET /metrics HTTP/1.1\r\n\r\n");
+                let mut out = String::new();
+                s.read_to_string(&mut out)
+                    .map(|_| !out.is_empty())
+                    .unwrap_or(false)
+            })
+            .unwrap_or(false);
+        assert!(!answered, "server answered after drop");
+    }
+
+    #[test]
+    fn jobs_board_caps_series_length() {
+        let board = JobsBoard::default();
+        for i in 0..(MAX_POINTS_PER_JOB + 10) {
+            board.record(
+                "j",
+                BoundSample {
+                    t_secs: i as f64,
+                    reducer: 0,
+                    maps_processed: i as u64,
+                    relative_bound: 0.1,
+                },
+            );
+        }
+        let series = board.series("j");
+        assert_eq!(series.len(), MAX_POINTS_PER_JOB);
+        assert_eq!(series[0].maps_processed, 10, "oldest points evicted");
+    }
+}

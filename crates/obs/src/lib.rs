@@ -14,6 +14,10 @@
 //!   ([`Tracer::render_chrome_trace`]) for `chrome://tracing`.
 //! * [`json`] — a small JSON parser for validating exporter output
 //!   (the in-tree `serde_json` shim is writer-only).
+//! * [`serve_metrics`] — a dependency-free HTTP exporter serving
+//!   `/metrics`, `/trace` and `/jobs` live while jobs run.
+//! * [`FlightRecorder`] — a bounded ring of recent per-job events,
+//!   dumped as JSON when a job ends badly.
 //!
 //! Everything is in-tree (no external deps beyond the workspace shims)
 //! and instrumentation is optional: the runtime threads an
@@ -22,13 +26,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
+pub mod http;
 pub mod json;
 pub mod registry;
 pub mod trace;
 
+pub use flight::{FlightEntry, FlightRecorder};
+pub use http::{serve_metrics, BoundSample, JobsBoard, ObsServer};
 pub use registry::{
-    Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, HistogramSnapshot,
-    Label, Registry, RegistrySnapshot,
+    Counter, CounterDelta, CounterSample, DeltaCursor, Gauge, GaugeSample, Histogram,
+    HistogramSample, HistogramSnapshot, Label, Registry, RegistrySnapshot,
 };
 pub use trace::{arg_num, arg_str, SpanId, TraceArg, TraceEvent, Tracer};
 
@@ -42,6 +50,8 @@ pub struct Obs {
     pub registry: Registry,
     /// Span/event tracer.
     pub tracer: Tracer,
+    /// Per-job bound-convergence series for the `/jobs` endpoint.
+    pub jobs: JobsBoard,
 }
 
 impl Obs {

@@ -397,6 +397,51 @@ impl Registry {
         out
     }
 
+    /// Counter increments since `cursor` last saw this registry,
+    /// high-water-mark style: each call returns only the growth since
+    /// the previous call with the same cursor, so successive deltas sum
+    /// to the counter totals. Only counters travel — gauges and
+    /// histograms stay process-local (gauges are absolute values that
+    /// cannot be merged additively, and histogram buckets would need
+    /// bound negotiation).
+    pub fn counter_deltas(&self, cursor: &mut DeltaCursor) -> Vec<CounterDelta> {
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        for (key, c) in &inner.counters {
+            let now = c.get();
+            let seen = cursor.seen.get(key).copied().unwrap_or(0);
+            if now > seen {
+                cursor.seen.insert(key.clone(), now);
+                out.push(CounterDelta {
+                    name: key.name.clone(),
+                    labels: key
+                        .labels
+                        .iter()
+                        .map(|l| (l.key.clone(), l.value.clone()))
+                        .collect(),
+                    delta: now - seen,
+                });
+            }
+        }
+        out
+    }
+
+    /// Applies counter deltas produced by another registry's
+    /// [`Registry::counter_deltas`] — e.g. shipped from a worker
+    /// process. Counters are additive, so merging is order-insensitive
+    /// and idempotent-per-delta: each delta bumps the matching counter
+    /// here (creating it on first sight).
+    pub fn merge_delta(&self, deltas: &[CounterDelta]) {
+        for d in deltas {
+            let labels: Vec<(&str, &str)> = d
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            self.counter(&d.name, &labels).add(d.delta);
+        }
+    }
+
     /// A JSON-serializable snapshot of every metric.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let inner = self.inner.lock();
@@ -478,6 +523,33 @@ fn render_labels(labels: &[Label], extra: Option<(&str, &str)>) -> String {
         parts.push(format!("{k}=\"{}\"", escape_label(v)));
     }
     format!("{{{}}}", parts.join(","))
+}
+
+/// One counter's growth since a [`DeltaCursor`] last observed it —
+/// the unit shipped across the worker process boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDelta {
+    /// Metric name.
+    pub name: String,
+    /// Sorted `(key, value)` labels.
+    pub labels: Vec<(String, String)>,
+    /// Increment since the cursor's previous read.
+    pub delta: u64,
+}
+
+/// High-water marks for [`Registry::counter_deltas`]: remembers the
+/// last value seen per counter so repeated reads ship only growth.
+#[derive(Debug, Default)]
+pub struct DeltaCursor {
+    seen: BTreeMap<MetricKey, u64>,
+}
+
+impl DeltaCursor {
+    /// Creates a cursor that has seen nothing (first read ships
+    /// every counter's full value).
+    pub fn new() -> Self {
+        DeltaCursor::default()
+    }
 }
 
 /// JSON snapshot of one counter.
@@ -626,6 +698,45 @@ mod tests {
     #[should_panic]
     fn histogram_rejects_unordered_bounds() {
         Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn counter_deltas_are_high_water_marked() {
+        let r = Registry::new();
+        let c = r.counter("spill_bytes_total", &[("job", "j1")]);
+        let mut cursor = DeltaCursor::new();
+        assert!(r.counter_deltas(&mut cursor).is_empty(), "nothing yet");
+        c.add(10);
+        let d = r.counter_deltas(&mut cursor);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].delta, 10);
+        assert_eq!(d[0].labels, vec![("job".to_string(), "j1".to_string())]);
+        // No growth → no delta.
+        assert!(r.counter_deltas(&mut cursor).is_empty());
+        c.add(5);
+        let d = r.counter_deltas(&mut cursor);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].delta, 5, "only the growth ships");
+    }
+
+    #[test]
+    fn merge_delta_accumulates_into_matching_counters() {
+        let worker = Registry::new();
+        worker.counter("records_total", &[("job", "j")]).add(7);
+        worker.counter("spill_runs_total", &[("job", "j")]).add(2);
+        let mut cursor = DeltaCursor::new();
+        let first = worker.counter_deltas(&mut cursor);
+        worker.counter("records_total", &[("job", "j")]).add(3);
+        let second = worker.counter_deltas(&mut cursor);
+
+        let parent = Registry::new();
+        parent.counter("records_total", &[("job", "j")]).add(100);
+        // Order-insensitive: merging in either order yields the totals.
+        parent.merge_delta(&second);
+        parent.merge_delta(&first);
+        let s = parent.snapshot();
+        assert_eq!(s.counter_total("records_total"), 110);
+        assert_eq!(s.counter_total("spill_runs_total"), 2);
     }
 
     #[test]

@@ -279,6 +279,13 @@ impl Tracer {
         self.ring.lock().events.iter().cloned().collect()
     }
 
+    /// Takes the current ring contents (oldest first), leaving the ring
+    /// empty. Used by workers that ship completed spans to their parent
+    /// after each attempt: every span is delivered exactly once.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.ring.lock().events.drain(..).collect()
+    }
+
     /// Renders the ring as Chrome trace JSON:
     /// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
     pub fn render_chrome_trace(&self) -> String {
@@ -399,6 +406,18 @@ mod tests {
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"queued\":3"));
         crate::json::validate(&json).expect("valid JSON");
+    }
+
+    #[test]
+    fn drain_empties_the_ring_exactly_once() {
+        let t = Tracer::new(8);
+        t.instant("a", "test", 0, 0, vec![]);
+        t.instant("b", "test", 0, 0, vec![]);
+        let first = t.drain();
+        assert_eq!(first.len(), 2);
+        assert!(t.drain().is_empty(), "second drain must be empty");
+        t.instant("c", "test", 0, 0, vec![]);
+        assert_eq!(t.drain().len(), 1);
     }
 
     #[test]

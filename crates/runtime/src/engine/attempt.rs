@@ -51,6 +51,28 @@ pub struct WorkItem {
     pub fault: Option<Arc<FaultPlan>>,
     /// Whether map-side combining is enabled for this job.
     pub combining: bool,
+    /// Span id allocated for this attempt by the parent's tracer (0
+    /// when tracing is off). The process backend propagates it to the
+    /// worker so remote spans can be parented under the attempt's span
+    /// in the merged Chrome trace.
+    pub span: u64,
+}
+
+/// A span completed inside a worker process, reported back with the
+/// attempt's [`WorkerMsg::Completed`]. Timestamps are relative to the
+/// attempt's start on the worker's clock; the parent re-bases them into
+/// the task-attempt span's window, so worker/parent clock skew never
+/// shows in the merged trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteSpan {
+    /// Span name (e.g. `"read block"`).
+    pub name: String,
+    /// Span category (the process backend uses `"worker"`).
+    pub category: String,
+    /// Microseconds from the attempt's start to the span's start.
+    pub rel_ts_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
 }
 
 /// What a worker reports back to the tracker about one attempt.
@@ -65,6 +87,10 @@ pub enum WorkerMsg {
         stats: MapStats,
         /// Attempt number that completed.
         attempt: u32,
+        /// Spans completed inside the worker process (empty on the
+        /// in-process backends, which trace directly into the parent's
+        /// tracer).
+        spans: Vec<RemoteSpan>,
     },
     /// The attempt observed its kill flag and aborted without shipping.
     Killed {
@@ -239,6 +265,7 @@ pub(crate) fn run_map_attempt<S, M>(
     let _ = msg_tx.send(WorkerMsg::Completed {
         stats,
         attempt: work.attempt,
+        spans: Vec::new(),
     });
 }
 

@@ -27,7 +27,7 @@ pub mod process;
 mod scheduler;
 mod shuffle;
 
-pub use attempt::{WorkItem, WorkerMsg};
+pub use attempt::{RemoteSpan, WorkItem, WorkerMsg};
 pub use executor::{Executor, RecvOutcome};
 pub use process::{run_job_process, WorkerSpec};
 
@@ -103,6 +103,13 @@ pub struct JobConfig {
     /// Directory for process-backend scratch files (input spool, spill
     /// runs). `None` (the default) uses the system temp directory.
     pub spill_dir: Option<PathBuf>,
+    /// Directory for flight-recorder dumps: when the job fails (fatal
+    /// error, reducer panic, degrade-budget breach) or a worker process
+    /// crashes, the scheduler writes its recent-decision ring there as
+    /// `flight-<job>-<reason>.json`. `None` falls back to the
+    /// `APPROX_FLIGHT_DIR` environment variable; with neither set, no
+    /// dump is written.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for JobConfig {
@@ -125,6 +132,7 @@ impl Default for JobConfig {
             workers: 2,
             shuffle_mem_bytes: 64 * 1024 * 1024,
             spill_dir: None,
+            flight_dir: None,
         }
     }
 }

@@ -25,39 +25,41 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use approxhadoop_ipc::{read_frame, write_frame, Decoder, FrameError, Wire};
-use approxhadoop_obs::{Counter, Obs};
+use approxhadoop_obs::{Counter, CounterDelta, Obs};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::reducer::{MapOutputMeta, ReduceEvent};
 use crate::types::{Key, TaskId, Value};
 use crate::RuntimeError;
 
-use super::super::attempt::{WorkItem, WorkerMsg};
+use super::super::attempt::{RemoteSpan, WorkItem, WorkerMsg};
 use super::super::executor::{Executor, RecvOutcome};
 use super::super::shuffle;
 use super::wire::{FromWorker, ToWorker, WireWorkItem};
 
-/// Transport / spill counters, labelled per job.
+/// Transport counters, labelled per job. Spill counters live in the
+/// worker's own registry (incremented when a spill actually happens)
+/// and arrive via merged `Telemetry` deltas — but they are still
+/// pre-registered here so `/metrics` renders them at 0 before the
+/// first spill.
 pub(super) struct ProcObs {
     frames_tx: Arc<Counter>,
     bytes_tx: Arc<Counter>,
     frames_rx: Arc<Counter>,
     bytes_rx: Arc<Counter>,
-    spill_runs: Arc<Counter>,
-    spill_bytes: Arc<Counter>,
     restarts: Arc<Counter>,
 }
 
 impl ProcObs {
     pub(super) fn new(obs: &Obs, label: &str) -> Self {
         let c = |name: &str| obs.registry.counter(name, &[("job", label)]);
+        c("approx_process_spill_runs_total");
+        c("approx_process_spill_bytes_total");
         ProcObs {
             frames_tx: c("approx_process_frames_tx_total"),
             bytes_tx: c("approx_process_bytes_tx_total"),
             frames_rx: c("approx_process_frames_rx_total"),
             bytes_rx: c("approx_process_bytes_rx_total"),
-            spill_runs: c("approx_process_spill_runs_total"),
-            spill_bytes: c("approx_process_spill_bytes_total"),
             restarts: c("approx_process_worker_restarts_total"),
         }
     }
@@ -174,9 +176,15 @@ pub(super) struct ProcessExecutor<K: Key + Wire, V: Value + Wire> {
     ev_rx: Receiver<ExecEvent>,
     inflight: HashMap<(u64, u32), Inflight>,
     stash: OutputStash<K, V>,
+    /// Worker spans stashed per `(task, attempt)` between the attempt's
+    /// `Telemetry` frame and its `Done` frame.
+    span_stash: HashMap<(u64, u32), Vec<RemoteSpan>>,
     pending: VecDeque<WorkerMsg>,
     reducer_txs: Vec<Sender<ReduceEvent<K, V>>>,
     obs: Option<ProcObs>,
+    /// Parent registry worker counter deltas merge into; `Some` exactly
+    /// when the job spec carries a telemetry label.
+    merge_into: Option<Arc<Obs>>,
 }
 
 impl<K: Key + Wire, V: Value + Wire> ProcessExecutor<K, V> {
@@ -186,6 +194,7 @@ impl<K: Key + Wire, V: Value + Wire> ProcessExecutor<K, V> {
         workers: usize,
         reducer_txs: Vec<Sender<ReduceEvent<K, V>>>,
         obs: Option<ProcObs>,
+        merge_into: Option<Arc<Obs>>,
     ) -> crate::Result<Self> {
         let (ev_tx, ev_rx) = unbounded();
         let mut handles = Vec::with_capacity(workers);
@@ -212,9 +221,11 @@ impl<K: Key + Wire, V: Value + Wire> ProcessExecutor<K, V> {
             ev_rx,
             inflight: HashMap::new(),
             stash: HashMap::new(),
+            span_stash: HashMap::new(),
             pending: VecDeque::new(),
             reducer_txs,
             obs,
+            merge_into,
         })
     }
 
@@ -262,6 +273,7 @@ impl<K: Key + Wire, V: Value + Wire> ProcessExecutor<K, V> {
             return;
         }
         self.stash.remove(&key);
+        self.span_stash.remove(&key);
         self.pending.push_back(WorkerMsg::Failed {
             task: TaskId(key.0 as usize),
             attempt: key.1,
@@ -351,16 +363,17 @@ impl<K: Key + Wire, V: Value + Wire> ProcessExecutor<K, V> {
             FromWorker::Done {
                 attempt,
                 stats,
-                spill_runs,
-                spill_bytes,
+                // Spill totals now originate on the worker's registry at
+                // actual spill time and arrive merged via the attempt's
+                // Telemetry frame (which precedes Done); the Done copy
+                // is kept as the attempt's drain report, not re-counted
+                // here — adding it too would double the totals.
+                spill_runs: _,
+                spill_bytes: _,
             } => {
                 let key = (stats.task, attempt);
                 if self.inflight.remove(&key).is_none() {
                     return;
-                }
-                if let Some(o) = &self.obs {
-                    o.spill_runs.add(spill_runs);
-                    o.spill_bytes.add(spill_bytes);
                 }
                 let partitions = self.reducer_txs.len();
                 let parts = self
@@ -379,8 +392,12 @@ impl<K: Key + Wire, V: Value + Wire> ProcessExecutor<K, V> {
                 for (p, pairs) in parts.into_iter().enumerate() {
                     let _ = self.reducer_txs[p].send(ReduceEvent::MapOutput { meta, pairs });
                 }
-                self.pending
-                    .push_back(WorkerMsg::Completed { stats, attempt });
+                let spans = self.span_stash.remove(&key).unwrap_or_default();
+                self.pending.push_back(WorkerMsg::Completed {
+                    stats,
+                    attempt,
+                    spans,
+                });
             }
             FromWorker::Killed { task, attempt } => {
                 let key = (task, attempt);
@@ -388,6 +405,7 @@ impl<K: Key + Wire, V: Value + Wire> ProcessExecutor<K, V> {
                     return;
                 }
                 self.stash.remove(&key);
+                self.span_stash.remove(&key);
                 self.pending.push_back(WorkerMsg::Killed {
                     task: TaskId(task as usize),
                     attempt,
@@ -403,11 +421,51 @@ impl<K: Key + Wire, V: Value + Wire> ProcessExecutor<K, V> {
                     return;
                 }
                 self.stash.remove(&key);
+                self.span_stash.remove(&key);
                 self.pending.push_back(WorkerMsg::Failed {
                     task: TaskId(task as usize),
                     attempt,
                     error: error.into_error(),
                 });
+            }
+            FromWorker::Telemetry {
+                task,
+                attempt,
+                counters,
+                spans,
+            } => {
+                let key = (task, attempt);
+                if !self.inflight.contains_key(&key) {
+                    return;
+                }
+                let Some(obs) = &self.merge_into else { return };
+                // Counters merge immediately — a live /metrics scrape
+                // should reflect worker activity without waiting for the
+                // tracker to consume the attempt's Completed message.
+                let deltas: Vec<CounterDelta> = counters
+                    .into_iter()
+                    .map(|(name, labels, delta)| CounterDelta {
+                        name,
+                        labels,
+                        delta,
+                    })
+                    .collect();
+                obs.registry.merge_delta(&deltas);
+                // Spans wait for Done: they ride on the Completed message
+                // so the tracker can graft them under the attempt's span.
+                self.span_stash
+                    .entry(key)
+                    .or_default()
+                    .extend(
+                        spans
+                            .into_iter()
+                            .map(|(name, category, rel_ts_us, dur_us)| RemoteSpan {
+                                name,
+                                category,
+                                rel_ts_us,
+                                dur_us,
+                            }),
+                    );
             }
         }
     }
@@ -424,6 +482,7 @@ impl<K: Key + Wire, V: Value + Wire> Executor for ProcessExecutor<K, V> {
             seed: work.seed,
             combining: work.combining,
             fault: work.fault.as_deref().cloned(),
+            span: work.span,
         })
         .to_bytes();
         self.inflight.insert(

@@ -281,6 +281,14 @@ where
         num_reducers: config.reduce_tasks as u32,
         shuffle_mem_bytes: config.shuffle_mem_bytes as u64,
         spill_dir: scratch.join("spill").to_string_lossy().into_owned(),
+        // A non-empty label switches worker-side telemetry on: workers
+        // run their own registry/tracer and piggyback deltas on the
+        // frame stream.
+        telemetry_label: config
+            .obs
+            .as_ref()
+            .map(|_| obs_label.to_string())
+            .unwrap_or_default(),
     })
     .to_bytes();
 
@@ -327,6 +335,7 @@ where
             config.workers,
             reducer_txs,
             obs,
+            config.obs.clone(),
         ) {
             Ok(e) => e,
             Err(e) => {

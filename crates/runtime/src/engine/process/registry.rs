@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use approxhadoop_dfs::{BlockId, FileStore};
 use approxhadoop_ipc::{read_frame, write_frame, Decoder, Wire};
+use approxhadoop_obs::{DeltaCursor, Obs};
 
 use crate::fault::FaultDecision;
 use crate::input::sample_systematic_indices;
@@ -42,6 +43,17 @@ struct WorkerEnv {
     num_reducers: usize,
     shuffle_mem_bytes: usize,
     spill_dir: PathBuf,
+    telemetry: Option<WorkerTelemetry>,
+}
+
+/// The worker's own observability context, present when the job spec
+/// carried a non-empty `telemetry_label`. Counters accumulate in the
+/// local registry and flow back as high-water-marked deltas; spans
+/// accumulate in the local tracer ring and are drained per attempt.
+struct WorkerTelemetry {
+    obs: Arc<Obs>,
+    cursor: Mutex<DeltaCursor>,
+    label: String,
 }
 
 /// Object-safe attempt runner; one per registered job, erased over the
@@ -153,6 +165,39 @@ where
                 attempt: work.attempt,
             });
         }
+        // Telemetry setup: stamp the attempt's epoch in the local
+        // tracer's clock and discard spans left over from attempts that
+        // failed before reporting (their kill/fail paths skip the
+        // Telemetry frame), so nothing is misattributed.
+        let attempt_epoch_us = env.telemetry.as_ref().map(|t| {
+            let _ = t.obs.tracer.drain();
+            t.obs
+                .registry
+                .counter("approx_worker_attempts_total", &[("job", &t.label)])
+                .inc();
+            t.obs.tracer.now_us()
+        });
+        let span = |name: &str, from_us: u64| {
+            if let (Some(t), Some(_)) = (&env.telemetry, attempt_epoch_us) {
+                let now = t.obs.tracer.now_us();
+                t.obs.tracer.complete(
+                    name,
+                    "worker",
+                    from_us,
+                    now.saturating_sub(from_us).max(1),
+                    0,
+                    0,
+                    None,
+                    vec![],
+                );
+            }
+        };
+        let tracer_now = || {
+            env.telemetry
+                .as_ref()
+                .map(|t| t.obs.tracer.now_us())
+                .unwrap_or(0)
+        };
         let decision = work
             .fault
             .as_ref()
@@ -168,12 +213,20 @@ where
             );
         }
         let t0 = Instant::now();
+        let read_from_us = tracer_now();
         let (items, total_records) = match read_block(&env.spool, work) {
             Ok(r) => r,
             Err(what) => return fail(send, WireJobError { kind: 2, what }),
         };
+        span("read block", read_from_us);
         let read_secs = t0.elapsed().as_secs_f64();
         let sampled_records = items.len() as u64;
+        if let Some(t) = &env.telemetry {
+            t.obs
+                .registry
+                .counter("approx_worker_records_total", &[("job", &t.label)])
+                .add(sampled_records);
+        }
         let num_reducers = env.num_reducers;
         let combiner = if work.combining {
             self.mapper.combiner()
@@ -183,6 +236,17 @@ where
         let spill_dir = env
             .spill_dir
             .join(format!("attempt-{}-{}", work.task, work.attempt));
+        let spill_counters = env.telemetry.as_ref().map(|t| {
+            (
+                t.obs
+                    .registry
+                    .counter("approx_process_spill_runs_total", &[("job", &t.label)]),
+                t.obs
+                    .registry
+                    .counter("approx_process_spill_bytes_total", &[("job", &t.label)]),
+            )
+        });
+        let map_from_us = tracer_now();
         // Same containment as the in-process attempt body: user map code
         // may panic, and the injected MapPanic fault panics on purpose.
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -191,6 +255,9 @@ where
             }
             let mut shuffle =
                 SpillShuffle::new(num_reducers, combiner, env.shuffle_mem_bytes, spill_dir);
+            if let Some((runs, bytes)) = &spill_counters {
+                shuffle = shuffle.with_counters(Arc::clone(runs), Arc::clone(bytes));
+            }
             let mut emitted = 0u64;
             let mut spill_err: Option<String> = None;
             let ctx = MapTaskContext {
@@ -252,6 +319,8 @@ where
         if let Some(what) = spill_err {
             return fail(send, WireJobError { kind: 2, what });
         }
+        span("map+combine", map_from_us);
+        let drain_from_us = tracer_now();
         // Drain the (possibly spilled) buffer into chunked Output
         // frames: one partition at a time, flushing ~1 MiB of encoded
         // pairs per frame so a huge shuffle never materialises in the
@@ -304,6 +373,35 @@ where
                 attempt: work.attempt,
                 partition: chunk_partition as u32,
                 pairs: chunk,
+            })?;
+        }
+        span("drain shuffle", drain_from_us);
+        // Telemetry rides between the last Output chunk and the Done
+        // frame; span timestamps are re-based to the attempt epoch so
+        // the parent can graft them into the task-attempt span's window
+        // regardless of clock skew.
+        if let Some(tel) = &env.telemetry {
+            let epoch = attempt_epoch_us.unwrap_or(0);
+            let counters = tel
+                .obs
+                .registry
+                .counter_deltas(&mut tel.cursor.lock().expect("cursor poisoned"))
+                .into_iter()
+                .map(|d| (d.name, d.labels, d.delta))
+                .collect();
+            let spans = tel
+                .obs
+                .tracer
+                .drain()
+                .into_iter()
+                .filter(|e| e.phase == 'X')
+                .map(|e| (e.name, e.category, e.ts_us.saturating_sub(epoch), e.dur_us))
+                .collect();
+            send(FromWorker::Telemetry {
+                task: work.task,
+                attempt: work.attempt,
+                counters,
+                spans,
             })?;
         }
         send(FromWorker::Done {
@@ -418,6 +516,15 @@ where
         num_reducers: spec.num_reducers as usize,
         shuffle_mem_bytes: spec.shuffle_mem_bytes as usize,
         spill_dir: PathBuf::from(&spec.spill_dir),
+        telemetry: if spec.telemetry_label.is_empty() {
+            None
+        } else {
+            Some(WorkerTelemetry {
+                obs: Obs::shared(),
+                cursor: Mutex::new(DeltaCursor::new()),
+                label: spec.telemetry_label.clone(),
+            })
+        },
     };
 
     let writer = Arc::new(Mutex::new(writer));

@@ -25,9 +25,11 @@
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use approxhadoop_dfs::{BlockId, FileStore, FileStoreWriter};
 use approxhadoop_ipc::{Decoder, Wire};
+use approxhadoop_obs::Counter;
 
 use crate::combine::Combiner;
 use crate::types::{Key, Value};
@@ -91,6 +93,10 @@ pub(crate) struct SpillShuffle<'c, K: Key + Wire, V: Value + Wire> {
     combined: Vec<BTreeMap<K, V>>,
     runs: Vec<PathBuf>,
     report: SpillReport,
+    /// Optional live `(runs, bytes)` counters bumped at actual spill
+    /// time, so a scrape mid-attempt already reflects the disk traffic
+    /// (the [`SpillReport`] only surfaces at drain).
+    counters: Option<(Arc<Counter>, Arc<Counter>)>,
     scratch: Vec<u8>,
     cleaned: bool,
 }
@@ -114,9 +120,17 @@ impl<'c, K: Key + Wire, V: Value + Wire> SpillShuffle<'c, K, V> {
             combined: (0..partitions).map(|_| BTreeMap::new()).collect(),
             runs: Vec::new(),
             report: SpillReport::default(),
+            counters: None,
             scratch: Vec::new(),
             cleaned: false,
         }
+    }
+
+    /// Attaches live `(runs, bytes)` counters incremented inside
+    /// [`spill`](Self::spill) whenever a run file is actually written.
+    pub(crate) fn with_counters(mut self, runs: Arc<Counter>, bytes: Arc<Counter>) -> Self {
+        self.counters = Some((runs, bytes));
+        self
     }
 
     /// Routes one emission into partition `p`, spilling if the budget is
@@ -154,6 +168,7 @@ impl<'c, K: Key + Wire, V: Value + Wire> SpillShuffle<'c, K, V> {
         }
         let path = self.dir.join(format!("run-{:04}.spill", self.runs.len()));
         let mut w = FileStoreWriter::create(&path).map_err(|e| format!("spill: {e}"))?;
+        let bytes_before = self.report.bytes;
         let mut payload = Vec::new();
         for p in 0..self.raw.len() {
             payload.clear();
@@ -175,6 +190,10 @@ impl<'c, K: Key + Wire, V: Value + Wire> SpillShuffle<'c, K, V> {
         w.finish().map_err(|e| format!("spill: {e}"))?;
         self.runs.push(path);
         self.report.runs += 1;
+        if let Some((runs, bytes)) = &self.counters {
+            runs.inc();
+            bytes.add(self.report.bytes - bytes_before);
+        }
         self.mem_bytes = 0;
         Ok(())
     }
@@ -364,6 +383,28 @@ mod tests {
             collect(&mut s)
         };
         assert_eq!(a, b, "merged spill fold must equal the in-memory fold");
+    }
+
+    #[test]
+    fn live_counters_tick_at_spill_time_and_match_the_report() {
+        let obs = approxhadoop_obs::Obs::shared();
+        let runs = obs
+            .registry
+            .counter("approx_process_spill_runs_total", &[("job", "t")]);
+        let bytes = obs
+            .registry
+            .counter("approx_process_spill_bytes_total", &[("job", "t")]);
+        let mut s: SpillShuffle<'_, u32, u64> =
+            SpillShuffle::new(2, None, 2 * PAIR, test_dir("livecounters"))
+                .with_counters(Arc::clone(&runs), Arc::clone(&bytes));
+        for i in 0..10u64 {
+            s.emit((i % 2) as usize, i as u32, i).unwrap();
+        }
+        assert!(runs.get() > 0, "counters must tick before drain");
+        assert!(bytes.get() > 0);
+        let report = s.drain(|_, _, _| Ok(())).unwrap();
+        assert_eq!(runs.get(), report.runs, "live runs == drained report");
+        assert_eq!(bytes.get(), report.bytes, "live bytes == drained report");
     }
 
     #[test]

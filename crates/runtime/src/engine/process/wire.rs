@@ -62,6 +62,10 @@ pub struct WorkerJobSpec {
     pub shuffle_mem_bytes: u64,
     /// Directory for spill run files.
     pub spill_dir: String,
+    /// Job label for worker-side telemetry (`job` label on worker
+    /// counters). Empty means telemetry is disabled and the worker
+    /// sends no [`FromWorker::Telemetry`] frames.
+    pub telemetry_label: String,
 }
 
 impl Wire for WorkerJobSpec {
@@ -72,6 +76,7 @@ impl Wire for WorkerJobSpec {
         self.num_reducers.encode(out);
         self.shuffle_mem_bytes.encode(out);
         self.spill_dir.encode(out);
+        self.telemetry_label.encode(out);
     }
 
     fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
@@ -82,6 +87,7 @@ impl Wire for WorkerJobSpec {
             num_reducers: Wire::decode(d)?,
             shuffle_mem_bytes: Wire::decode(d)?,
             spill_dir: Wire::decode(d)?,
+            telemetry_label: Wire::decode(d)?,
         })
     }
 }
@@ -103,6 +109,9 @@ pub struct WireWorkItem {
     pub combining: bool,
     /// Deterministic fault-injection plan, if any.
     pub fault: Option<FaultPlan>,
+    /// Parent-allocated span id of the task attempt (0 when tracing is
+    /// off); worker spans from this attempt are parented under it.
+    pub span: u64,
 }
 
 impl Wire for WireWorkItem {
@@ -113,6 +122,7 @@ impl Wire for WireWorkItem {
         self.seed.encode(out);
         self.combining.encode(out);
         self.fault.encode(out);
+        self.span.encode(out);
     }
 
     fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
@@ -123,6 +133,7 @@ impl Wire for WireWorkItem {
             seed: Wire::decode(d)?,
             combining: Wire::decode(d)?,
             fault: Wire::decode(d)?,
+            span: Wire::decode(d)?,
         })
     }
 }
@@ -303,6 +314,16 @@ impl Wire for WireJobError {
     }
 }
 
+/// A completed worker-side span in wire form:
+/// `(name, category, rel_ts_us, dur_us)`. Timestamps are relative to
+/// the start of the attempt that produced them — the parent re-bases
+/// them into the task-attempt span's window, so worker/parent clock
+/// skew never shows in the merged trace.
+pub type WireSpan = (String, String, u64, u64);
+
+/// A counter delta in wire form: `(name, labels, delta)`.
+pub type WireCounterDelta = (String, Vec<(String, String)>, u64);
+
 /// Frames a worker sends to the parent.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FromWorker {
@@ -350,6 +371,22 @@ pub enum FromWorker {
         /// The error, in wire form.
         error: WireJobError,
     },
+    /// Compact telemetry piggybacked on the attempt's frame stream:
+    /// counter deltas since the worker's last report plus the spans the
+    /// attempt completed. Sent after the attempt's `Output` chunks and
+    /// before its `Done` frame, and only when the job spec carried a
+    /// non-empty `telemetry_label`.
+    Telemetry {
+        /// Task that produced the telemetry.
+        task: u64,
+        /// Attempt number.
+        attempt: u32,
+        /// Counter deltas since the worker's previous Telemetry frame.
+        counters: Vec<WireCounterDelta>,
+        /// Spans completed during the attempt, timestamps relative to
+        /// the attempt start.
+        spans: Vec<WireSpan>,
+    },
 }
 
 impl Wire for FromWorker {
@@ -395,6 +432,18 @@ impl Wire for FromWorker {
                 attempt.encode(out);
                 error.encode(out);
             }
+            FromWorker::Telemetry {
+                task,
+                attempt,
+                counters,
+                spans,
+            } => {
+                5u8.encode(out);
+                task.encode(out);
+                attempt.encode(out);
+                counters.encode(out);
+                spans.encode(out);
+            }
         }
     }
 
@@ -421,6 +470,12 @@ impl Wire for FromWorker {
                 task: Wire::decode(d)?,
                 attempt: Wire::decode(d)?,
                 error: Wire::decode(d)?,
+            }),
+            5 => Ok(FromWorker::Telemetry {
+                task: Wire::decode(d)?,
+                attempt: Wire::decode(d)?,
+                counters: Wire::decode(d)?,
+                spans: Wire::decode(d)?,
             }),
             _ => Err(WireError::Corrupt {
                 what: "FromWorker frame tag",
@@ -451,9 +506,26 @@ mod tests {
                 slow_replica_prob: 0.4,
                 slow_replica_delay: Duration::from_millis(12),
             }),
+            span: 41,
         };
         let back = WireWorkItem::from_bytes(&ToWorker::Work(w.clone()).to_bytes()[1..]).unwrap();
         assert_eq!(back, w);
+    }
+
+    #[test]
+    fn telemetry_frame_roundtrips() {
+        let t = FromWorker::Telemetry {
+            task: 4,
+            attempt: 1,
+            counters: vec![(
+                "approx_process_spill_runs_total".to_string(),
+                vec![("job".to_string(), "job_0003".to_string())],
+                2,
+            )],
+            spans: vec![("read block".to_string(), "worker".to_string(), 10, 250)],
+        };
+        let back = FromWorker::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use approxhadoop_obs::FlightRecorder;
 use approxhadoop_stats::sampling::random_order;
 
 use crate::control::{Coordinator, JobControl, MapDirective};
@@ -45,6 +46,8 @@ struct RunningAttempt {
     started: Instant,
     kill: Arc<AtomicBool>,
     server: usize,
+    /// Trace span id pre-allocated for the attempt (0 = tracing off).
+    span: u64,
 }
 
 /// A failed task waiting out its backoff before redispatch.
@@ -89,6 +92,10 @@ pub(crate) struct JobTracker<'a> {
     retry_queue: Vec<RetryEntry>,
     server_failures: Vec<u32>,
     blacklisted: Vec<bool>,
+    /// Bounded ring of recent scheduler decisions, dumped as a JSON
+    /// flight-recorder file when the job fails (see
+    /// [`JobConfig::flight_dir`]).
+    flight: FlightRecorder,
 }
 
 impl<'a> JobTracker<'a> {
@@ -149,6 +156,7 @@ impl<'a> JobTracker<'a> {
             retry_queue: Vec::new(),
             server_failures: vec![0; servers],
             blacklisted: vec![false; servers],
+            flight: FlightRecorder::default(),
             topology,
         }
     }
@@ -192,14 +200,22 @@ impl<'a> JobTracker<'a> {
             e.finish(&self.metrics);
         }
         if let Some(e) = self.fatal.take() {
+            self.flight.record("fatal", e.to_string());
+            self.dump_flight("job-failed");
             return Err(e);
         }
         if reducer_panicked {
+            self.flight.record("fatal", "reduce task panicked");
+            self.dump_flight("reducer-panicked");
             return Err(RuntimeError::TaskPanicked {
                 what: "reduce task".into(),
             });
         }
-        check_degrade_budget(&self.policy, &self.metrics, self.control)?;
+        if let Err(e) = check_degrade_budget(&self.policy, &self.metrics, self.control) {
+            self.flight.record("fatal", e.to_string());
+            self.dump_flight("degrade-budget-exceeded");
+            return Err(e);
+        }
         if let Some(bound) = self.control.worst_bound_across_reducers(1) {
             if self.last_bound != Some(bound) {
                 self.session.emit(JobEvent::Estimate {
@@ -259,6 +275,7 @@ impl<'a> JobTracker<'a> {
     fn drop_task(&mut self, exec: &mut dyn Executor, task: usize) {
         self.finished += 1;
         self.metrics.dropped_maps += 1;
+        self.flight.record("dropped", format!("task {task}"));
         self.record_outcome(TaskId(task), TaskOutcome::Dropped);
         if self.fatal.is_none() {
             exec.notify_drop(task);
@@ -374,13 +391,23 @@ impl<'a> JobTracker<'a> {
     ) {
         let kill = Arc::new(AtomicBool::new(false));
         self.busy[server] += 1;
+        let span = self
+            .eobs
+            .as_ref()
+            .map(|e| e.obs().tracer.new_span_id().0)
+            .unwrap_or(0);
         self.running.insert(
             (task, attempt),
             RunningAttempt {
                 started: self.clock.now(),
                 kill: Arc::clone(&kill),
                 server,
+                span,
             },
+        );
+        self.flight.record(
+            "launch",
+            format!("task {task} attempt {attempt} server {server} ratio {sampling_ratio:.3}"),
         );
         let work = WorkItem {
             task: TaskId(task),
@@ -390,6 +417,7 @@ impl<'a> JobTracker<'a> {
             kill,
             fault: self.fault.clone(),
             combining: self.config.combining,
+            span,
         };
         if !exec.dispatch(server, work) {
             self.running.remove(&(task, attempt));
@@ -482,9 +510,11 @@ impl<'a> JobTracker<'a> {
         msg: WorkerMsg,
     ) {
         match msg {
-            WorkerMsg::Completed { stats, attempt } => {
-                self.on_attempt_completed(coordinator, stats, attempt)
-            }
+            WorkerMsg::Completed {
+                stats,
+                attempt,
+                spans,
+            } => self.on_attempt_completed(coordinator, stats, attempt, spans),
             WorkerMsg::Killed { task, attempt } => self.on_attempt_killed(exec, task, attempt),
             WorkerMsg::Failed {
                 task,
@@ -502,7 +532,13 @@ impl<'a> JobTracker<'a> {
         coordinator: &mut dyn Coordinator,
         stats: MapStats,
         attempt: u32,
+        spans: Vec<crate::engine::RemoteSpan>,
     ) {
+        let span = self
+            .running
+            .get(&(stats.task.0, attempt))
+            .map(|ra| ra.span)
+            .unwrap_or(0);
         self.release_slot(stats.task.0, attempt);
         if self.completed.insert(stats.task.0) {
             self.finished += 1;
@@ -516,8 +552,15 @@ impl<'a> JobTracker<'a> {
                 task: stats.task,
                 outcome: TaskOutcome::Completed,
             });
+            self.flight.record(
+                "completed",
+                format!(
+                    "task {} attempt {attempt} records {}/{}",
+                    stats.task.0, stats.sampled_records, stats.total_records
+                ),
+            );
             if let Some(e) = self.eobs.as_mut() {
-                e.task_completed(&stats);
+                e.task_completed(&stats, span, &spans);
                 e.task_outcome(TaskOutcome::Completed);
             }
             let task = stats.task.0;
@@ -534,6 +577,8 @@ impl<'a> JobTracker<'a> {
     /// the task already completed or a sibling attempt is still running.
     fn on_attempt_killed(&mut self, exec: &mut dyn Executor, task: TaskId, attempt: u32) {
         self.release_slot(task.0, attempt);
+        self.flight
+            .record("killed", format!("task {} attempt {attempt}", task.0));
         let sibling_running = self.running.keys().any(|(t, _)| *t == task.0);
         if !self.completed.contains(&task.0) && !sibling_running {
             self.finished += 1;
@@ -566,11 +611,20 @@ impl<'a> JobTracker<'a> {
                     && self.server_failures[ra.server] >= self.policy.blacklist_after
                 {
                     self.blacklisted[ra.server] = true;
+                    self.flight
+                        .record("blacklist", format!("server {}", ra.server));
                     if let Some(e) = self.eobs.as_ref() {
                         e.server_blacklisted();
                     }
                 }
             }
+        }
+        self.flight.record(
+            "failed",
+            format!("task {} attempt {attempt}: {error}", task.0),
+        );
+        if matches!(error, RuntimeError::WorkerLost { .. }) {
+            self.dump_flight("worker-crash");
         }
         self.metrics.failed_maps += 1;
         if let Some(e) = self.eobs.as_ref() {
@@ -585,6 +639,10 @@ impl<'a> JobTracker<'a> {
         let fails = *fails;
         if !self.dropping && fails <= self.policy.max_task_retries {
             self.metrics.retried_maps += 1;
+            self.flight.record(
+                "retry",
+                format!("task {} attempt {} queued", task.0, attempt + 1),
+            );
             if let Some(e) = self.eobs.as_ref() {
                 e.task_retry();
             }
@@ -604,6 +662,8 @@ impl<'a> JobTracker<'a> {
         } else if self.policy.degrade_to_drop {
             self.finished += 1;
             self.metrics.degraded_to_drop += 1;
+            self.flight
+                .record("degraded", format!("task {} dropped after retries", task.0));
             self.record_outcome(task, TaskOutcome::Failed);
             if let Some(e) = self.eobs.as_ref() {
                 e.task_degraded();
@@ -617,6 +677,27 @@ impl<'a> JobTracker<'a> {
             }
             self.dropping = true;
         }
+    }
+
+    /// Writes the flight-recorder ring as `flight-<job>-<reason>.json`
+    /// into [`JobConfig::flight_dir`] (or `$APPROX_FLIGHT_DIR` when the
+    /// config carries none). A best-effort post-mortem aid: with neither
+    /// destination configured, or on I/O errors, it silently does
+    /// nothing — a failing job must not fail harder because its crash
+    /// dump could not be written.
+    fn dump_flight(&self, reason: &str) {
+        let Some(dir) = self
+            .config
+            .flight_dir
+            .clone()
+            .or_else(|| std::env::var_os("APPROX_FLIGHT_DIR").map(std::path::PathBuf::from))
+        else {
+            return;
+        };
+        let path = dir.join(format!("flight-{}-{reason}.json", self.session.job));
+        let json = self.flight.dump_json(&self.session.job.to_string(), reason);
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(path, json);
     }
 
     fn release_slot(&mut self, task: usize, attempt: u32) {
@@ -647,6 +728,13 @@ impl<'a> JobTracker<'a> {
         };
         if self.finished != self.last_wave {
             self.last_wave = self.finished;
+            self.flight.record(
+                "wave",
+                format!(
+                    "{}/{} finished, worst bound {:?}",
+                    self.finished, self.total, worst_bound
+                ),
+            );
             self.session.emit(JobEvent::Wave {
                 job: self.session.job,
                 finished: self.finished,

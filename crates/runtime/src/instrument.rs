@@ -20,9 +20,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use approxhadoop_obs::{arg_num, Obs, SpanId};
+use approxhadoop_obs::{arg_num, BoundSample, Obs, SpanId};
 
 use crate::control::{BoundReport, JobControl};
+use crate::engine::RemoteSpan;
 use crate::metrics::{BoundPoint, JobMetrics, MapStats, TaskOutcome};
 
 /// Sampling-ratio histogram buckets: ratios live in `(0, 1]`.
@@ -141,7 +142,13 @@ impl EngineObs {
 
     /// Retro-logs a completed map attempt as a task span under the
     /// current wave, with the read/process split as metrics and args.
-    pub(crate) fn task_completed(&mut self, stats: &MapStats) {
+    ///
+    /// `span` is the attempt's pre-allocated span id (0 when none was
+    /// allocated — a fresh id is drawn then). `remote` holds spans the
+    /// worker process recorded inside the attempt; their timestamps are
+    /// attempt-relative and get re-based into the task span's window, so
+    /// worker/parent clock skew never shows in the merged trace.
+    pub(crate) fn task_completed(&mut self, stats: &MapStats, span: u64, remote: &[RemoteSpan]) {
         let reg = &self.obs.registry;
         reg.histogram("engine_task_secs", &[("phase", "total")])
             .observe(stats.duration_secs);
@@ -159,7 +166,13 @@ impl EngineObs {
         };
         self.lanes[lane] = now;
         self.wave_dirty = true;
-        self.obs.tracer.complete(
+        let task_span = if span != 0 {
+            SpanId(span)
+        } else {
+            self.obs.tracer.new_span_id()
+        };
+        self.obs.tracer.complete_as(
+            task_span,
             &format!("map {}", stats.task.0),
             "task",
             start,
@@ -177,6 +190,22 @@ impl EngineObs {
                 arg_num("sampled", stats.sampled_records as f64),
             ],
         );
+        for r in remote {
+            // Clamp the re-based span inside [start, start + dur] so a
+            // worker whose clock ran ahead can't escape the task window.
+            let ts = start + r.rel_ts_us.min(dur.saturating_sub(1));
+            let max_dur = (start + dur).saturating_sub(ts).max(1);
+            self.obs.tracer.complete(
+                &r.name,
+                &r.category,
+                ts,
+                r.dur_us.clamp(1, max_dur),
+                self.pid,
+                lane as u64 + 1,
+                Some(task_span),
+                vec![],
+            );
+        }
     }
 
     /// Closes the current wave span (the finished count advanced) and
@@ -307,6 +336,15 @@ impl BoundTracker {
                         &[("job", e.job_label()), ("reducer", &reducer.to_string())],
                     )
                     .set(report.worst_relative_bound);
+                obs.jobs.record(
+                    e.job_label(),
+                    BoundSample {
+                        t_secs,
+                        reducer,
+                        maps_processed: report.maps_processed as u64,
+                        relative_bound: report.worst_relative_bound,
+                    },
+                );
             }
         }
     }

@@ -268,6 +268,150 @@ fn sibling_resolution_finds_worker_binary() {
     );
 }
 
+/// With an `Obs` attached, workers run their own registry/tracer and
+/// piggyback telemetry on the result stream: worker-originated
+/// counters merge into the parent registry, and worker spans arrive
+/// re-based and parented under the owning task-attempt span.
+#[test]
+fn worker_spans_nest_under_task_attempt_spans() {
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    use approxhadoop_obs::TraceEvent;
+
+    let obs = Obs::shared();
+    let config = JobConfig {
+        obs: Some(Arc::clone(&obs)),
+        ..retry_config()
+    };
+    let (result, _) = run_process(&WorkerSpec::new(worker_bin(), "mod8-count"), config);
+    assert_eq!(result.metrics.executed_maps, 12);
+
+    // Worker-originated counters merged into the parent registry.
+    let snap = obs.registry.snapshot();
+    assert_eq!(
+        snap.counter_total("approx_worker_attempts_total"),
+        12,
+        "one worker-side attempt counter tick per executed map"
+    );
+    assert!(
+        snap.counter_total("approx_worker_records_total") > 0,
+        "worker-side record counts must merge into the parent"
+    );
+
+    // Worker spans nest under task-attempt spans and stay inside them.
+    let events = obs.tracer.events();
+    let spans: HashMap<u64, &TraceEvent> = events
+        .iter()
+        .filter(|e| e.phase == 'X')
+        .filter_map(|e| e.span.map(|s| (s.0, e)))
+        .collect();
+    let workers: Vec<&&TraceEvent> = spans.values().filter(|e| e.category == "worker").collect();
+    let tasks: Vec<&&TraceEvent> = spans.values().filter(|e| e.category == "task").collect();
+    assert_eq!(tasks.len(), 12, "one task span per executed map");
+    assert!(
+        workers.len() >= tasks.len(),
+        "each attempt ships worker spans (read/map/drain), got {}",
+        workers.len()
+    );
+    let names: std::collections::HashSet<&str> = workers.iter().map(|e| e.name.as_str()).collect();
+    for phase in ["read block", "map+combine", "drain shuffle"] {
+        assert!(names.contains(phase), "missing worker span `{phase}`");
+    }
+    for w in &workers {
+        let parent = w.parent.expect("worker span has a parent");
+        let owner = spans.get(&parent.0).expect("worker parent span exists");
+        assert_eq!(owner.category, "task", "worker spans nest under tasks");
+        assert_eq!(owner.pid, w.pid, "worker spans stay on the job's lane");
+        assert_eq!(owner.tid, w.tid, "worker spans share the task's lane");
+        assert!(
+            w.ts_us >= owner.ts_us && w.ts_us + w.dur_us <= owner.ts_us + owner.dur_us,
+            "worker span [{}, {}] escapes task [{}, {}]",
+            w.ts_us,
+            w.ts_us + w.dur_us,
+            owner.ts_us,
+            owner.ts_us + owner.dur_us
+        );
+    }
+}
+
+/// A worker crash triggers a flight-recorder dump: the scheduler's
+/// recent-decision ring lands as structured JSON in the configured
+/// directory, even when retries save the job afterwards.
+#[test]
+fn worker_crash_writes_flight_recorder_dump() {
+    let dir = std::env::temp_dir().join(format!("approx-flight-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut params = Vec::new();
+    5u64.encode(&mut params);
+    0u32.encode(&mut params);
+    let crash_spec = WorkerSpec::new(worker_bin(), "crash-at").with_params(params);
+    let config = JobConfig {
+        flight_dir: Some(dir.clone()),
+        ..retry_config()
+    };
+    let (result, _) = run_process(&crash_spec, config);
+    assert_eq!(result.metrics.executed_maps, 12, "retries save the job");
+
+    let path = dir.join("flight-job_0009-worker-crash.json");
+    assert!(path.is_file(), "missing flight dump at {}", path.display());
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v = approxhadoop_obs::json::parse(&text).expect("flight dump parses as JSON");
+    assert_eq!(v.get("job").and_then(|j| j.as_str()), Some("job_0009"));
+    assert_eq!(
+        v.get("reason").and_then(|r| r.as_str()),
+        Some("worker-crash")
+    );
+    let entries = v
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .expect("entries array");
+    assert!(!entries.is_empty(), "dump must carry ring entries");
+    let kinds: Vec<&str> = entries
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(|k| k.as_str()))
+        .collect();
+    assert!(
+        kinds.contains(&"launch"),
+        "ring records launches: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&"failed"),
+        "ring records the crash as a failed attempt: {kinds:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Telemetry must be cheap on the process backend too: the same job
+/// with worker registries, spans, and telemetry frames enabled stays
+/// within noise of the uninstrumented run. (The documented budget is
+/// <= 5%; the assertion is looser so CI jitter cannot flake it.)
+#[test]
+fn process_telemetry_overhead_is_bounded() {
+    let run_once = |obs: Option<std::sync::Arc<Obs>>| -> f64 {
+        let config = JobConfig {
+            obs,
+            ..retry_config()
+        };
+        let start = std::time::Instant::now();
+        let (result, _) = run_process(&WorkerSpec::new(worker_bin(), "mod8-count"), config);
+        assert_eq!(result.metrics.executed_maps, 12);
+        start.elapsed().as_secs_f64()
+    };
+    // Warm up once, then best-of-3 each: process spawn and pipe setup
+    // dominate, so the minimum damps scheduler noise best.
+    run_once(None);
+    let plain = (0..3).map(|_| run_once(None)).fold(f64::MAX, f64::min);
+    let traced = (0..3)
+        .map(|_| run_once(Some(Obs::shared())))
+        .fold(f64::MAX, f64::min);
+    assert!(
+        traced <= plain * 1.5 + 0.1,
+        "telemetry-on run too slow: {traced:.4}s vs {plain:.4}s telemetry-off"
+    );
+}
+
 /// After a job completes, no worker process may survive — not even
 /// reparented to init. A worker whose parent pipe is gone exits on its
 /// own; the executor SIGTERMs and reaps the rest on drop.

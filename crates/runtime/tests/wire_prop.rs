@@ -30,6 +30,7 @@ fn work_item(
         sampling_ratio: ratio,
         seed,
         combining,
+        span: seed ^ task,
         fault: with_fault.then(|| FaultPlan {
             seed: fault_seed,
             map_panic_prob: 0.125,
@@ -73,6 +74,7 @@ proptest! {
                 prop_assert_eq!(got.sampling_ratio.to_bits(), w.sampling_ratio.to_bits());
                 prop_assert_eq!(got.seed, w.seed);
                 prop_assert_eq!(got.combining, w.combining);
+                prop_assert_eq!(got.span, w.span);
                 prop_assert_eq!(got.fault, w.fault);
             }
             other => prop_assert!(false, "decoded a different frame kind: {:?}", other),
@@ -142,7 +144,8 @@ proptest! {
                            params in prop::collection::vec(0u8..255, 0..64),
                            spool in "[a-z0-9/._-]{1,48}",
                            reducers in 1u32..64,
-                           budget in 1u64..1_000_000_000) {
+                           budget in 1u64..1_000_000_000,
+                           label in "[a-z0-9_]{0,16}") {
         let spec = WorkerJobSpec {
             job,
             params,
@@ -150,9 +153,61 @@ proptest! {
             num_reducers: reducers,
             shuffle_mem_bytes: budget,
             spill_dir: "/tmp/spill".to_string(),
+            telemetry_label: label,
         };
         let frame = ToWorker::Job(spec.clone()).to_bytes();
         prop_assert_eq!(ToWorker::from_bytes(&frame).unwrap(), ToWorker::Job(spec));
+    }
+
+    #[test]
+    fn telemetry_frames_roundtrip(task in 0u64..1_000_000,
+                                  attempt in 0u32..8,
+                                  counters in prop::collection::vec((0u8..8, 0u8..3, 0u64..1_000_000), 0..6),
+                                  spans in prop::collection::vec((0u8..8, 0u64..10_000_000, 1u64..10_000_000), 0..6)) {
+        let counters: Vec<_> = counters
+            .into_iter()
+            .map(|(name, labels, delta)| {
+                (
+                    format!("approx_counter_{name}_total"),
+                    (0..labels)
+                        .map(|l| (format!("label{l}"), format!("value{l}")))
+                        .collect::<Vec<_>>(),
+                    delta,
+                )
+            })
+            .collect();
+        let spans: Vec<_> = spans
+            .into_iter()
+            .map(|(name, rel_ts, dur)| (format!("span {name}"), "worker".to_string(), rel_ts, dur))
+            .collect();
+        let f = FromWorker::Telemetry { task, attempt, counters, spans };
+        prop_assert_eq!(FromWorker::from_bytes(&f.to_bytes()).unwrap(), f);
+    }
+
+    #[test]
+    fn telemetry_truncations_and_corruptions_are_rejected(
+            delta in 0u64..1_000_000,
+            flip in prop::collection::vec(0usize..4096, 1..8)) {
+        let f = FromWorker::Telemetry {
+            task: 9,
+            attempt: 1,
+            counters: vec![(
+                "approx_worker_records_total".to_string(),
+                vec![("job".to_string(), "job_0001".to_string())],
+                delta,
+            )],
+            spans: vec![("read block".to_string(), "worker".to_string(), 10, 250)],
+        };
+        let frame = f.to_bytes();
+        for cut in 0..frame.len() {
+            prop_assert!(FromWorker::from_bytes(&frame[..cut]).is_err());
+        }
+        let mut bad = frame.clone();
+        for fbit in flip {
+            let bit = fbit % (bad.len() * 8);
+            bad[bit / 8] ^= 1 << (bit % 8);
+        }
+        prop_assert!(decodes_cleanly::<FromWorker>(&bad));
     }
 
     #[test]

@@ -246,6 +246,7 @@ impl JobService {
             workers: spec.workers,
             shuffle_mem_bytes: spec.shuffle_mem_bytes,
             spill_dir: None,
+            flight_dir: None,
         };
         provisional.validate()?;
         let id = JobId(self.next_job.fetch_add(1, Ordering::SeqCst));
@@ -390,6 +391,7 @@ impl JobService {
             workers: spec.workers,
             shuffle_mem_bytes: spec.shuffle_mem_bytes,
             spill_dir: None,
+            flight_dir: None,
         };
         provisional.validate()?;
         let id = JobId(self.next_job.fetch_add(1, Ordering::SeqCst));

@@ -1,0 +1,428 @@
+//! Hot-path throughput benchmark: records/s on the map/shuffle/reduce
+//! per-record path, across input scales.
+//!
+//! Runs the wordcount workload through the real engine at three input
+//! scales, crossing `{raw, combined}` (map-side combining off/on) with
+//! `{precise, sampled}` (sampling ratio 1.0 / 0.25), and reports
+//! records/s per cell. This is the regression harness for the raw-speed
+//! work on the per-record path: the Fx partitioner, the hash-fold
+//! combine table, the reused map buffers, and the parallel reduce
+//! drain all show up here or nowhere.
+//!
+//! Human-readable narration goes to stdout; one JSON document lands in
+//! `BENCH_hotpath.json` (or `--out PATH`).
+//!
+//! ```text
+//! hotpath [--smoke] [--check] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! * `--smoke` shrinks the datasets for CI;
+//! * `--check` exits non-zero unless raw/combined outputs agree on
+//!   every scale and combining shrinks the shuffle;
+//! * `--baseline PATH` compares each scale's aggregate best-of-reps
+//!   records/s against a previously written report and exits non-zero
+//!   on any scale more than 20% slower than the baseline.
+
+use approxhadoop_bench::{header, reps, timed, Summary};
+use approxhadoop_runtime::combine::{Combined, SumCombiner};
+use approxhadoop_runtime::engine::{run_job, JobConfig};
+use approxhadoop_runtime::input::VecSource;
+use approxhadoop_runtime::mapper::FnMapper;
+use approxhadoop_runtime::reducer::GroupedReducer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fractional slowdown per cell tolerated against the baseline.
+const BASELINE_TOLERANCE: f64 = 0.20;
+
+/// One (combining × sampling) cell of a scale.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+struct CellReport {
+    combining: bool,
+    sampling_ratio: f64,
+    wall_secs_mean: f64,
+    wall_secs_min: f64,
+    /// Input records the maps actually processed (= total records at
+    /// ratio 1.0; the sampled subset otherwise).
+    processed_records: u64,
+    /// `processed_records / wall_secs_mean`.
+    records_per_sec: f64,
+    /// `processed_records / wall_secs_min` — best of the reps. The
+    /// baseline gate compares this, not the mean: the best rep tracks
+    /// the code's actual speed, while the mean also absorbs scheduler
+    /// noise that would make a 20% gate flaky.
+    records_per_sec_best: f64,
+    emitted_pairs: u64,
+    shuffled_pairs: u64,
+}
+
+/// All four cells of one input scale.
+#[derive(Debug, Clone, serde::Serialize)]
+struct ScaleReport {
+    name: String,
+    blocks: usize,
+    lines_per_block: usize,
+    total_records: u64,
+    cells: Vec<CellReport>,
+    /// Records processed across all four cells over the summed
+    /// best-rep walls — the value the baseline gate compares. One cell
+    /// of a one-core box is a few milliseconds of multi-threaded work
+    /// and can swing past any sane tolerance on scheduler noise alone;
+    /// the per-scale aggregate is stable, and a real per-record
+    /// regression slows every cell, so the aggregate still catches it.
+    aggregate_records_per_sec_best: f64,
+    /// Raw and combined precise runs produced identical reduce outputs.
+    outputs_match: bool,
+}
+
+#[derive(Debug, Clone, serde::Serialize)]
+struct Report {
+    reps: usize,
+    smoke: bool,
+    scales: Vec<ScaleReport>,
+}
+
+/// Zipf-ish text corpus (same generator shape as the shuffle bench):
+/// frequent words dominate, so combining has keys to collapse.
+fn wordcount_corpus(blocks: usize, lines: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..blocks)
+        .map(|_| {
+            (0..lines)
+                .map(|_| {
+                    let n = rng.gen_range(6..12);
+                    (0..n)
+                        .map(|_| {
+                            let u: f64 = rng.gen();
+                            format!("w{}", (u * u * 800.0) as u32)
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One wordcount run; returns `(wall, processed, emitted, shuffled,
+/// sorted outputs)`.
+fn run_wordcount(
+    input: &VecSource<String>,
+    combining: bool,
+    sampling_ratio: f64,
+    seed: u64,
+) -> (f64, u64, u64, u64, Vec<(String, u64)>) {
+    let mapper = Combined::new(
+        FnMapper::new(|line: &String, emit: &mut dyn FnMut(String, u64)| {
+            for w in line.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        }),
+        SumCombiner,
+    );
+    let (secs, result) = timed(|| {
+        run_job(
+            input,
+            &mapper,
+            |_| {
+                GroupedReducer::new(|k: &String, vs: &[u64]| {
+                    Some((k.clone(), vs.iter().sum::<u64>()))
+                })
+            },
+            JobConfig {
+                combining,
+                sampling_ratio,
+                reduce_tasks: 4,
+                seed,
+                ..Default::default()
+            },
+        )
+        .expect("wordcount job")
+    });
+    let processed: u64 = result
+        .metrics
+        .map_stats
+        .iter()
+        .map(|s| s.sampled_records)
+        .sum();
+    let mut outputs = result.outputs;
+    outputs.sort();
+    (
+        secs,
+        processed,
+        result.metrics.emitted_pairs,
+        result.metrics.shuffled_pairs,
+        outputs,
+    )
+}
+
+fn bench_cell(
+    input: &VecSource<String>,
+    combining: bool,
+    ratio: f64,
+) -> (CellReport, Vec<(String, u64)>) {
+    let mut walls = Vec::new();
+    let mut last = None;
+    for seed in 0..reps() as u64 {
+        let (secs, processed, emitted, shuffled, out) =
+            run_wordcount(input, combining, ratio, seed);
+        walls.push(secs);
+        last = Some((processed, emitted, shuffled, out));
+    }
+    let (processed, emitted, shuffled, out) = last.expect("at least one rep");
+    let wall = Summary::of(&walls);
+    (
+        CellReport {
+            combining,
+            sampling_ratio: ratio,
+            wall_secs_mean: wall.mean,
+            wall_secs_min: wall.min,
+            processed_records: processed,
+            records_per_sec: processed as f64 / wall.mean,
+            records_per_sec_best: processed as f64 / wall.min,
+            emitted_pairs: emitted,
+            shuffled_pairs: shuffled,
+        },
+        out,
+    )
+}
+
+fn bench_scale(name: &str, blocks: usize, lines: usize) -> ScaleReport {
+    let corpus = wordcount_corpus(blocks, lines, 42);
+    let total_records: u64 = corpus.iter().map(|b| b.len() as u64).sum();
+    let input = VecSource::new(corpus);
+    let mut cells = Vec::new();
+    let mut precise_outputs: Vec<Vec<(String, u64)>> = Vec::new();
+    for combining in [false, true] {
+        for ratio in [1.0, 0.25] {
+            let (cell, out) = bench_cell(&input, combining, ratio);
+            print_cell(name, &cell);
+            if ratio >= 1.0 {
+                precise_outputs.push(out);
+            }
+            cells.push(cell);
+        }
+    }
+    let processed: u64 = cells.iter().map(|c| c.processed_records).sum();
+    let best_walls: f64 = cells.iter().map(|c| c.wall_secs_min).sum();
+    ScaleReport {
+        name: name.to_string(),
+        blocks,
+        lines_per_block: lines,
+        total_records,
+        cells,
+        aggregate_records_per_sec_best: processed as f64 / best_walls,
+        outputs_match: precise_outputs[0] == precise_outputs[1],
+    }
+}
+
+fn print_cell(scale: &str, c: &CellReport) {
+    println!(
+        "{:>8} {:>9} {:>8} | {:>9.3} | {:>11.0} | {:>12} | {:>12}",
+        scale,
+        if c.combining { "+combine" } else { "-combine" },
+        if c.sampling_ratio >= 1.0 {
+            "precise"
+        } else {
+            "sampled"
+        },
+        c.wall_secs_mean,
+        c.records_per_sec,
+        c.emitted_pairs,
+        c.shuffled_pairs,
+    );
+}
+
+/// Extracts every `(scale key, aggregate records/s)` pair from a
+/// previously written report, parsed with the in-tree JSON reader (the
+/// serde shim is write-only).
+fn baseline_scales(
+    doc: &approxhadoop_obs::json::Value,
+) -> Option<std::collections::BTreeMap<(String, usize, usize), f64>> {
+    let mut scales = std::collections::BTreeMap::new();
+    for scale in doc.get("scales")?.as_array()? {
+        let name = scale.get("name")?.as_str()?.to_string();
+        let blocks = scale.get("blocks")?.as_f64()? as usize;
+        let lines = scale.get("lines_per_block")?.as_f64()? as usize;
+        let rps = scale.get("aggregate_records_per_sec_best")?.as_f64()?;
+        scales.insert((name, blocks, lines), rps);
+    }
+    Some(scales)
+}
+
+/// Compares `report` against the baseline at `path`; returns the list
+/// of regressions (empty = pass). Scales are matched by name *and*
+/// geometry, so a smoke run silently skips a full baseline's scales
+/// (and an all-skip comparison is an error, not a pass).
+fn compare_baseline(report: &Report, path: &str) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = approxhadoop_obs::json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let base_scales =
+        baseline_scales(&doc).ok_or_else(|| format!("{path} is not a hotpath report"))?;
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for s in &report.scales {
+        let key = (s.name.clone(), s.blocks, s.lines_per_block);
+        let Some(&base) = base_scales.get(&key) else {
+            continue;
+        };
+        compared += 1;
+        let floor = base * (1.0 - BASELINE_TOLERANCE);
+        if s.aggregate_records_per_sec_best < floor {
+            failures.push(format!(
+                "{}: {:.0} records/s aggregate is >{:.0}% below baseline {:.0}",
+                s.name,
+                s.aggregate_records_per_sec_best,
+                BASELINE_TOLERANCE * 100.0,
+                base,
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "baseline {path} has no scales matching this run \
+             (smoke vs full mismatch?)"
+        ));
+    }
+    Ok(failures)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut check = false;
+    let mut out = "BENCH_hotpath.json".to_string();
+    let mut baseline: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("error: missing value for --out");
+                    std::process::exit(2);
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(path) => baseline = Some(path),
+                None => {
+                    eprintln!("error: missing value for --baseline");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "error: unknown option `{other}` (expected --smoke/--check/--out/--baseline)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    header(
+        "Hot path",
+        "Per-record throughput across scales: {raw, combined} x {precise, sampled 0.25}",
+    );
+    // Smoke scales are sized so the slowest cell still takes tens of
+    // milliseconds — long enough that the baseline gate measures code
+    // speed, not timer granularity.
+    let scales: &[(&str, usize, usize)] = if smoke {
+        &[
+            ("small", 16, 4000),
+            ("medium", 24, 5000),
+            ("large", 32, 6000),
+        ]
+    } else {
+        &[
+            ("small", 8, 1500),
+            ("medium", 16, 6000),
+            ("large", 32, 12_000),
+        ]
+    };
+
+    println!(
+        "{:>8} {:>9} {:>8} | {:>9} | {:>11} | {:>12} | {:>12}",
+        "scale", "variant", "mode", "wall(s)", "records/s", "emitted", "shuffled"
+    );
+    let reports: Vec<ScaleReport> = scales
+        .iter()
+        .map(|&(name, blocks, lines)| bench_scale(name, blocks, lines))
+        .collect();
+    for s in &reports {
+        let raw = s
+            .cells
+            .iter()
+            .find(|c| !c.combining && c.sampling_ratio >= 1.0);
+        let comb = s
+            .cells
+            .iter()
+            .find(|c| c.combining && c.sampling_ratio >= 1.0);
+        if let (Some(raw), Some(comb)) = (raw, comb) {
+            println!(
+                "{:>8} | {} records, combine speedup {:.2}x, outputs match: {}",
+                s.name,
+                s.total_records,
+                raw.wall_secs_mean / comb.wall_secs_mean,
+                s.outputs_match,
+            );
+        }
+    }
+
+    let report = Report {
+        reps: reps(),
+        smoke,
+        scales: reports,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).expect("write benchmark report");
+    println!("wrote {out}");
+
+    let mut failures = Vec::new();
+    if check {
+        for s in &report.scales {
+            if !s.outputs_match {
+                failures.push(format!("{}: raw and combined outputs differ", s.name));
+            }
+            let raw = s
+                .cells
+                .iter()
+                .find(|c| !c.combining && c.sampling_ratio >= 1.0);
+            let comb = s
+                .cells
+                .iter()
+                .find(|c| c.combining && c.sampling_ratio >= 1.0);
+            if let (Some(raw), Some(comb)) = (raw, comb) {
+                if comb.shuffled_pairs >= raw.shuffled_pairs {
+                    failures.push(format!(
+                        "{}: combining did not shrink the shuffle ({} vs {})",
+                        s.name, comb.shuffled_pairs, raw.shuffled_pairs
+                    ));
+                }
+            }
+            for c in &s.cells {
+                if c.sampling_ratio < 1.0 && c.processed_records >= s.total_records {
+                    failures.push(format!(
+                        "{}: sampled cell processed every record ({})",
+                        s.name, c.processed_records
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(path) = baseline {
+        match compare_baseline(&report, &path) {
+            Ok(regressions) => failures.extend(regressions),
+            Err(e) => failures.push(e),
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("CHECK FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    if check {
+        println!("all checks passed");
+    }
+}

@@ -160,23 +160,101 @@ pub fn serve_metrics(addr: &str, obs: Arc<Obs>) -> std::io::Result<ObsServer> {
     })
 }
 
+/// Writes a complete `Connection: close` HTTP/1.1 response.
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// How one request head was (or failed to be) read.
+enum HeadRead {
+    /// Complete head, terminated by `\r\n\r\n`.
+    Complete(usize),
+    /// Peer closed before sending any byte — nothing to answer.
+    Empty,
+    /// Peer closed (or went silent past the read timeout) mid-head.
+    Truncated,
+    /// The head outgrew the buffer without a terminator.
+    Oversized,
+}
+
+/// Reads the request head into `buf`: up to the `\r\n\r\n` terminator,
+/// the buffer's capacity, EOF, or the socket read timeout — whichever
+/// comes first. Never spins: every iteration either makes progress or
+/// classifies the request as unanswerable.
+fn read_head(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<HeadRead> {
+    let mut len = 0;
+    loop {
+        if len == buf.len() {
+            return Ok(HeadRead::Oversized);
+        }
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => {
+                return Ok(if len == 0 {
+                    HeadRead::Empty
+                } else {
+                    HeadRead::Truncated
+                });
+            }
+            Ok(n) => {
+                // Only rescan the tail: the terminator can span at most 3
+                // bytes of the previous read.
+                let from = len.saturating_sub(3);
+                len += n;
+                if buf[from..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    return Ok(HeadRead::Complete(len));
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Slow or stalled client: classify instead of erroring so
+                // it still gets a 4xx before the close.
+                return Ok(HeadRead::Truncated);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 fn serve_one(mut stream: TcpStream, obs: &Obs) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
     // Read until the end of the request head; only the request line is
     // interpreted. 8 KiB is plenty for any GET we answer.
     let mut buf = [0u8; 8192];
-    let mut len = 0;
-    loop {
-        let n = stream.read(&mut buf[len..])?;
-        if n == 0 {
-            break;
+    let len = match read_head(&mut stream, &mut buf)? {
+        HeadRead::Complete(len) => len,
+        // Clean close: the peer never sent anything to answer.
+        HeadRead::Empty => return Ok(()),
+        HeadRead::Truncated => {
+            return respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain; charset=utf-8",
+                "request head ended before \\r\\n\\r\\n\n",
+            );
         }
-        len += n;
-        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
-            break;
+        HeadRead::Oversized => {
+            return respond(
+                &mut stream,
+                "431 Request Header Fields Too Large",
+                "text/plain; charset=utf-8",
+                "request head exceeds 8 KiB\n",
+            );
         }
-    }
+    };
     let head = String::from_utf8_lossy(&buf[..len]);
     let request_line = head.lines().next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
@@ -210,13 +288,7 @@ fn serve_one(mut stream: TcpStream, obs: &Obs) -> std::io::Result<()> {
             ),
         }
     };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    respond(&mut stream, status, content_type, &body)
 }
 
 #[cfg(test)]
@@ -295,6 +367,67 @@ mod tests {
             })
             .unwrap_or(false);
         assert!(!answered, "server answered after drop");
+    }
+
+    #[test]
+    fn oversized_request_head_gets_431() {
+        let obs = Obs::shared();
+        let server = serve_metrics("127.0.0.1:0", obs).expect("bind");
+        let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+        // A request line followed by a header that never ends: exactly
+        // the 8 KiB head buffer, no `\r\n\r\n` anywhere. Sending exactly
+        // the buffer size lets the server consume every byte before it
+        // answers, so the close is a clean FIN rather than an RST that
+        // could discard the response.
+        let prefix = "GET /metrics HTTP/1.1\r\nX-Pad: ";
+        write!(s, "{prefix}").unwrap();
+        let pad = vec![b'a'; 8192 - prefix.len()];
+        s.write_all(&pad).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read response");
+        assert!(
+            response.starts_with("HTTP/1.1 431"),
+            "expected 431, got: {}",
+            response.lines().next().unwrap_or_default()
+        );
+    }
+
+    #[test]
+    fn eof_before_head_terminator_gets_400() {
+        let obs = Obs::shared();
+        let server = serve_metrics("127.0.0.1:0", obs).expect("bind");
+        let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+        // Half a request, then shut down our write side: the server sees
+        // EOF before `\r\n\r\n` and must answer 400, not hang or die.
+        write!(s, "GET /metrics HTT").unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read response");
+        assert!(
+            response.starts_with("HTTP/1.1 400"),
+            "expected 400, got: {}",
+            response.lines().next().unwrap_or_default()
+        );
+    }
+
+    #[test]
+    fn immediate_close_is_served_cleanly() {
+        let obs = Obs::shared();
+        let server = serve_metrics("127.0.0.1:0", Arc::clone(&obs)).expect("bind");
+        let addr = server.local_addr();
+        // Connect-and-close without sending a byte: no response expected,
+        // and the server must keep serving afterwards.
+        {
+            let s = TcpStream::connect(addr).expect("connect");
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut resp = String::new();
+            let mut s = s;
+            s.read_to_string(&mut resp).expect("read");
+            assert!(resp.is_empty(), "unexpected response: {resp}");
+        }
+        let (head, _) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
     }
 
     #[test]

@@ -50,24 +50,42 @@ macro_rules! impl_sum_combiner {
 impl_sum_combiner!(u32, u64, i32, i64, f32, f64);
 
 /// Keeps the smallest value per key.
+///
+/// **NaN contract** (and for any `PartialOrd` type with unordered
+/// values): `f64::min`-style — an unordered value is ignored unless
+/// *every* value for the key is unordered, in which case one of them is
+/// kept. Concretely, a NaN accumulator is displaced by the first ordered
+/// incoming value, and a NaN incoming never displaces an ordered
+/// accumulator. Combined and uncombined runs agree as long as the
+/// reducer folds with the same rule (e.g. `f64::min` over the group).
+/// Without this rule a NaN accumulator would be sticky (`incoming < NaN`
+/// is always false) and combining on/off would diverge.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MinCombiner;
 
 impl<K, V: PartialOrd + Send + Sync> Combiner<K, V> for MinCombiner {
+    // `*acc != *acc` is the PartialOrd-generic probe for an unordered
+    // accumulator (true only for NaN-like values); `is_nan` does not
+    // exist for a generic `V`.
+    #[allow(clippy::eq_op)]
     fn combine(&self, _key: &K, acc: &mut V, incoming: V) {
-        if incoming < *acc {
+        if incoming < *acc || *acc != *acc {
             *acc = incoming;
         }
     }
 }
 
 /// Keeps the largest value per key.
+///
+/// Same NaN contract as [`MinCombiner`], mirroring `f64::max`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MaxCombiner;
 
 impl<K, V: PartialOrd + Send + Sync> Combiner<K, V> for MaxCombiner {
+    // Same unordered-accumulator probe as `MinCombiner`.
+    #[allow(clippy::eq_op)]
     fn combine(&self, _key: &K, acc: &mut V, incoming: V) {
-        if incoming > *acc {
+        if incoming > *acc || *acc != *acc {
             *acc = incoming;
         }
     }
@@ -161,27 +179,157 @@ where
     }
 }
 
+/// The per-partition map-side combine table: a pre-hashed open-addressing
+/// fold with a sort-at-drain step.
+///
+/// Earlier engine versions kept a `BTreeMap` per partition so batches
+/// shipped in key order for free, but that put an *ordered insert*
+/// (a chain of key comparisons plus possible node splits) on every
+/// single emission — the hottest loop in the whole system. The table is
+/// now a flat linear-probe array keyed by the caller-supplied
+/// [`fx_hash`](crate::types::fx_hash) — the *same* hash the partitioner
+/// already computed for the emission, so each pair is hashed exactly
+/// once — and the key sort happens once per batch, in
+/// [`CombineTable::drain_sorted`], at ship/spill time. Combined keys are
+/// unique within a table, so the sort has a single deterministic result
+/// and shipped batches stay bit-identical with the old ordered-insert
+/// path — the property the executor-equivalence differential suites pin.
+///
+/// Entries are only removed wholesale ([`drain_sorted`] /
+/// [`clear`](CombineTable::clear)), never individually, so linear
+/// probing needs no tombstones. Draining retains the slot array, so an
+/// arena-reused table (see `MapBuffers`) stops growing once it has seen
+/// its largest attempt.
+///
+/// [`drain_sorted`]: CombineTable::drain_sorted
+#[derive(Debug, Clone)]
+pub struct CombineTable<K, V> {
+    /// Power-of-two slot array: `(fx_hash, key, value)` or empty.
+    slots: Vec<Option<(u64, K, V)>>,
+    len: usize,
+}
+
+/// First allocation of a combine table, in slots.
+const COMBINE_TABLE_MIN_SLOTS: usize = 64;
+
+impl<K: Key, V: Value> CombineTable<K, V> {
+    /// An empty table (no allocation until the first fold).
+    pub fn new() -> Self {
+        CombineTable {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of distinct keys currently folded.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no pairs have been folded since the last drain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Folds one `(key, value)` emission into the table: a single probe
+    /// from the precomputed `hash` ([`fx_hash`](crate::types::fx_hash)
+    /// of `key`) combines on the hot (repeated-key) path and inserts the
+    /// first time a key is seen.
+    #[inline]
+    pub fn fold(&mut self, combiner: &dyn Combiner<K, V>, hash: u64, key: K, value: V) {
+        debug_assert_eq!(
+            hash,
+            crate::types::fx_hash(&key),
+            "hash must be fx_hash(key)"
+        );
+        // Grow at 3/4 load so probe chains stay short.
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            match &mut self.slots[i] {
+                Some((h, k, acc)) if *h == hash && *k == key => {
+                    combiner.combine(k, acc, value);
+                    return;
+                }
+                Some(_) => i = (i + 1) & mask,
+                empty @ None => {
+                    *empty = Some((hash, key, value));
+                    self.len += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Doubles the slot array (or makes the first allocation),
+    /// re-placing entries by their stored hash — keys are not re-hashed.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(COMBINE_TABLE_MIN_SLOTS);
+        let old = std::mem::take(&mut self.slots);
+        self.slots.resize_with(new_cap, || None);
+        let mask = new_cap - 1;
+        for entry in old.into_iter().flatten() {
+            let mut i = entry.0 as usize & mask;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(entry);
+        }
+    }
+
+    /// Drains every folded pair in ascending key order, leaving the
+    /// table empty but with its slot array intact. Keys are unique, so
+    /// the unstable sort is deterministic.
+    pub fn drain_sorted(&mut self) -> Vec<(K, V)> {
+        let mut pairs: Vec<(K, V)> = self
+            .slots
+            .iter_mut()
+            .filter_map(|slot| slot.take().map(|(_, k, v)| (k, v)))
+            .collect();
+        self.len = 0;
+        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        pairs
+    }
+
+    /// Discards all folded pairs, keeping the slot array.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+}
+
+impl<K: Key, V: Value> Default for CombineTable<K, V> {
+    fn default() -> Self {
+        CombineTable::new()
+    }
+}
+
 /// Folds one emission into a per-partition combined table, or appends it
-/// to the raw pair list when no combiner is active. Used by the engine's
+/// to the raw pair list when no combiner is active. `hash` is the
+/// [`fx_hash`](crate::types::fx_hash) of `key` — callers derive the
+/// partition from it ([`Partitioner::partition_of_hash`]) and pass it
+/// through so the combine probe never re-hashes. Used by the engine's
 /// map attempt; public so custom engines (e.g. the cluster simulator)
 /// can reuse the exact routing logic.
+///
+/// [`Partitioner::partition_of_hash`]: crate::types::Partitioner::partition_of_hash
+#[inline]
 pub fn route_emission<K: Key, V: Value>(
     combiner: Option<&dyn Combiner<K, V>>,
     raw: &mut [Vec<(K, V)>],
-    combined: &mut [std::collections::BTreeMap<K, V>],
+    combined: &mut [CombineTable<K, V>],
     partition: usize,
+    hash: u64,
     key: K,
     value: V,
 ) {
     match combiner {
-        Some(c) => {
-            let table = &mut combined[partition];
-            if let Some(acc) = table.get_mut(&key) {
-                c.combine(&key, acc, value);
-            } else {
-                table.insert(key, value);
-            }
-        }
+        Some(c) => combined[partition].fold(c, hash, key, value),
         None => raw[partition].push((key, value)),
     }
 }
@@ -191,7 +339,6 @@ mod tests {
     use super::*;
     use crate::mapper::FnMapper;
     use crate::types::TaskId;
-    use std::collections::BTreeMap;
 
     #[test]
     fn sum_combiner_adds() {
@@ -253,18 +400,168 @@ mod tests {
 
     #[test]
     fn route_emission_combines_or_appends() {
+        let h = crate::types::fx_hash::<u32>;
         let mut raw: Vec<Vec<(u32, u64)>> = vec![Vec::new(), Vec::new()];
-        let mut combined: Vec<BTreeMap<u32, u64>> = vec![BTreeMap::new(), BTreeMap::new()];
+        let mut combined: Vec<CombineTable<u32, u64>> =
+            vec![CombineTable::new(), CombineTable::new()];
         // No combiner: raw append.
-        route_emission(None, &mut raw, &mut combined, 0, 7, 1);
-        route_emission(None, &mut raw, &mut combined, 0, 7, 1);
+        route_emission(None, &mut raw, &mut combined, 0, h(&7), 7, 1);
+        route_emission(None, &mut raw, &mut combined, 0, h(&7), 7, 1);
         assert_eq!(raw[0], vec![(7, 1), (7, 1)]);
         assert!(combined[0].is_empty());
         // Combiner: folded into the table.
         let c = SumCombiner;
-        route_emission(Some(&c), &mut raw, &mut combined, 1, 9, 1);
-        route_emission(Some(&c), &mut raw, &mut combined, 1, 9, 1);
+        route_emission(Some(&c), &mut raw, &mut combined, 1, h(&9), 9, 1);
+        route_emission(Some(&c), &mut raw, &mut combined, 1, h(&9), 9, 1);
         assert!(raw[1].is_empty());
-        assert_eq!(combined[1].get(&9), Some(&2));
+        assert_eq!(combined[1].drain_sorted(), vec![(9, 2)]);
+    }
+
+    #[test]
+    fn combine_table_drains_in_key_order_and_keeps_capacity() {
+        let mut table: CombineTable<String, u64> = CombineTable::new();
+        let c = SumCombiner;
+        for i in [5u32, 1, 9, 1, 5, 3] {
+            let k = format!("k{i}");
+            table.fold(&c, crate::types::fx_hash(&k), k, 1);
+        }
+        assert_eq!(table.len(), 4);
+        let drained = table.drain_sorted();
+        assert_eq!(
+            drained,
+            vec![
+                ("k1".to_string(), 2),
+                ("k3".to_string(), 1),
+                ("k5".to_string(), 2),
+                ("k9".to_string(), 1),
+            ]
+        );
+        assert!(table.is_empty());
+        // Refilling after a drain reuses the retained allocation and
+        // yields the same deterministic order again.
+        for i in [9u32, 5, 3, 1, 1, 5] {
+            let k = format!("k{i}");
+            table.fold(&c, crate::types::fx_hash(&k), k, 1);
+        }
+        assert_eq!(
+            table
+                .drain_sorted()
+                .iter()
+                .map(|(k, _)| k.clone())
+                .collect::<Vec<_>>(),
+            vec!["k1", "k3", "k5", "k9"]
+        );
+    }
+
+    #[test]
+    fn combine_table_grows_past_initial_capacity() {
+        // Enough distinct keys to force several doublings; every key's
+        // count must survive the re-placements intact.
+        let mut table: CombineTable<u64, u64> = CombineTable::new();
+        let c = SumCombiner;
+        for round in 0..3u64 {
+            for k in 0..5000u64 {
+                let _ = round;
+                table.fold(&c, crate::types::fx_hash(&k), k, 1);
+            }
+        }
+        assert_eq!(table.len(), 5000);
+        let drained = table.drain_sorted();
+        assert_eq!(drained.len(), 5000);
+        assert!(drained
+            .iter()
+            .enumerate()
+            .all(|(i, &(k, v))| k == i as u64 && v == 3));
+    }
+
+    /// The reference fold for the Min/Max NaN contract: ignore NaN
+    /// unless every value is NaN.
+    fn min_ignoring_nan(values: &[f64]) -> f64 {
+        values.iter().copied().fold(f64::NAN, f64::min)
+    }
+
+    fn max_ignoring_nan(values: &[f64]) -> f64 {
+        values.iter().copied().fold(f64::NAN, f64::max)
+    }
+
+    /// Deterministic xorshift for the property tests below.
+    fn next_rand(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn min_max_combiners_ignore_nan_unless_all_nan() {
+        let mut acc = f64::NAN;
+        Combiner::<u8, f64>::combine(&MinCombiner, &0, &mut acc, f64::NAN);
+        assert!(acc.is_nan(), "all-NaN stream stays NaN");
+        Combiner::<u8, f64>::combine(&MinCombiner, &0, &mut acc, 4.0);
+        assert_eq!(acc, 4.0, "first ordered value displaces a NaN accumulator");
+        Combiner::<u8, f64>::combine(&MinCombiner, &0, &mut acc, f64::NAN);
+        assert_eq!(
+            acc, 4.0,
+            "NaN incoming never displaces an ordered accumulator"
+        );
+        Combiner::<u8, f64>::combine(&MinCombiner, &0, &mut acc, 2.0);
+        assert_eq!(acc, 2.0);
+
+        let mut acc = f64::NAN;
+        Combiner::<u8, f64>::combine(&MaxCombiner, &0, &mut acc, 4.0);
+        Combiner::<u8, f64>::combine(&MaxCombiner, &0, &mut acc, f64::NAN);
+        Combiner::<u8, f64>::combine(&MaxCombiner, &0, &mut acc, 9.0);
+        assert_eq!(acc, 9.0);
+    }
+
+    /// Property test for the satellite fix: over random NaN-bearing
+    /// streams, routing through the combiner (combining on) and reducing
+    /// the raw pairs with the reference fold (combining off) must agree
+    /// bit-for-bit. Before the fix a NaN accumulator was sticky and the
+    /// two paths diverged.
+    #[test]
+    fn min_max_combine_on_off_equivalence_with_nans() {
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        for case in 0..200 {
+            let keys = 1 + (next_rand(&mut rng) % 5) as u32;
+            let len = 1 + (next_rand(&mut rng) % 40) as usize;
+            let mut raw: Vec<Vec<(u32, f64)>> = vec![Vec::new()];
+            let mut min_tab: Vec<CombineTable<u32, f64>> = vec![CombineTable::new()];
+            let mut max_tab: Vec<CombineTable<u32, f64>> = vec![CombineTable::new()];
+            for _ in 0..len {
+                let key = (next_rand(&mut rng) % keys as u64) as u32;
+                let value = match next_rand(&mut rng) % 4 {
+                    0 => f64::NAN,
+                    _ => (next_rand(&mut rng) % 1000) as f64 - 500.0,
+                };
+                let h = crate::types::fx_hash(&key);
+                route_emission(None, &mut raw, &mut min_tab, 0, h, key, value);
+                route_emission(Some(&MinCombiner), &mut raw, &mut min_tab, 0, h, key, value);
+                route_emission(Some(&MaxCombiner), &mut raw, &mut max_tab, 0, h, key, value);
+            }
+            // Reference: group the raw pairs, fold with the documented
+            // NaN-ignoring rule.
+            let mut groups: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
+            for (k, v) in &raw[0] {
+                groups.entry(*k).or_default().push(*v);
+            }
+            for (k, min_v) in min_tab[0].drain_sorted() {
+                let want = min_ignoring_nan(&groups[&k]);
+                assert_eq!(
+                    min_v.to_bits(),
+                    want.to_bits(),
+                    "case {case}: min diverged for key {k}: {min_v} vs {want}"
+                );
+            }
+            for (k, max_v) in max_tab[0].drain_sorted() {
+                let want = max_ignoring_nan(&groups[&k]);
+                assert_eq!(
+                    max_v.to_bits(),
+                    want.to_bits(),
+                    "case {case}: max diverged for key {k}: {max_v} vs {want}"
+                );
+            }
+            raw[0].clear();
+        }
     }
 }

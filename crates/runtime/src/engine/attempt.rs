@@ -7,7 +7,6 @@
 //! *how it went*, so the [`super::scheduler::JobTracker`] never touches
 //! the job's key/value types.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -19,10 +18,16 @@ use crate::input::InputSource;
 use crate::mapper::{MapTaskContext, Mapper};
 use crate::metrics::MapStats;
 use crate::reducer::{MapOutputMeta, ReduceEvent};
-use crate::types::{partition_for, TaskId};
+use crate::types::{Partitioner, TaskId};
 use crate::RuntimeError;
 
 use super::shuffle;
+
+/// Records pulled from the input stream per timing slice: the lazy read
+/// work (block decode, sample filtering) is attributed to `read_secs`
+/// once per batch, so the clock is read twice per `READ_BATCH` records
+/// instead of twice per record.
+const READ_BATCH: usize = 256;
 
 /// A dispatched map attempt — everything a backend needs to execute one
 /// map task, with no reference to the job's key/value types.
@@ -128,6 +133,7 @@ pub(crate) fn run_map_attempt<S, M>(
     work: &WorkItem,
     reducer_txs: &[Sender<ReduceEvent<M::Key, M::Value>>],
     msg_tx: &Sender<WorkerMsg>,
+    bufs: &mut shuffle::MapBuffers<M::Key, M::Value>,
 ) where
     S: InputSource,
     M: Mapper<Item = S::Item>,
@@ -158,7 +164,7 @@ pub(crate) fn run_map_attempt<S, M>(
     // Clone-free read path: the source yields records lazily (precise
     // reads iterate blocks in place; sampled reads materialise only the
     // sample) instead of handing back a fully cloned vector.
-    let stream = match input.stream_split(work.task.0, work.sampling_ratio, work.seed) {
+    let mut stream = match input.stream_split(work.task.0, work.sampling_ratio, work.seed) {
         Ok(s) => s,
         Err(e) => {
             let _ = msg_tx.send(WorkerMsg::Failed {
@@ -169,7 +175,9 @@ pub(crate) fn run_map_attempt<S, M>(
             return;
         }
     };
-    let read_secs = t0.elapsed().as_secs_f64();
+    // Stream construction is only the first slice of read time; the lazy
+    // reads themselves are timed batch-by-batch in the loop below.
+    let construct_secs = t0.elapsed().as_secs_f64();
     let total_records = stream.total;
     let sampled_records = stream.sampled;
     let num_reducers = reducer_txs.len();
@@ -178,20 +186,24 @@ pub(crate) fn run_map_attempt<S, M>(
     } else {
         None
     };
+    bufs.reset(num_reducers);
+    let partitioner = Partitioner::new(num_reducers);
     // User map code may panic; contain it so the JobTracker can fail the
-    // job cleanly instead of losing a worker thread (and hanging).
+    // job cleanly instead of losing a worker thread (and hanging). The
+    // arena buffers are safe to reuse after a panic: `reset` discards
+    // any partial state at the start of the next attempt.
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if decision == FaultDecision::MapPanic {
             panic!("injected map panic in {}", work.task);
         }
-        // Raw path: one Vec of pairs per reducer. Combining path: one
-        // ordered table per reducer (BTreeMap, so batch order — and with
-        // it the whole job — stays deterministic), folded in place as
-        // pairs are emitted.
-        let mut raw: Vec<Vec<(M::Key, M::Value)>> = (0..num_reducers).map(|_| Vec::new()).collect();
-        let mut combined: Vec<BTreeMap<M::Key, M::Value>> =
-            (0..num_reducers).map(|_| BTreeMap::new()).collect();
+        // Raw path: one pre-sized Vec of pairs per reducer. Combining
+        // path: one hash-fold table per reducer, sorted once per batch
+        // at ship time (so batch order — and with it the whole job —
+        // stays deterministic).
+        let raw = &mut bufs.raw;
+        let combined = &mut bufs.combined;
         let mut emitted = 0u64;
+        let mut read_secs = construct_secs;
         let ctx = MapTaskContext {
             task: work.task,
             sampling_ratio: work.sampling_ratio,
@@ -199,27 +211,46 @@ pub(crate) fn run_map_attempt<S, M>(
         };
         let mut state = mapper.begin_task(&ctx);
         let mut killed = false;
-        for item in stream {
-            if work.kill.load(Ordering::Relaxed) {
-                killed = true;
-                break;
+        let mut batch: Vec<S::Item> = Vec::with_capacity(READ_BATCH);
+        let mut exhausted = false;
+        while !exhausted && !killed {
+            let rt = Instant::now();
+            while batch.len() < READ_BATCH {
+                match stream.next() {
+                    Some(item) => batch.push(item),
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                }
             }
-            mapper.map(&mut state, item, &mut |k, v| {
-                emitted += 1;
-                let p = partition_for(&k, num_reducers);
-                crate::combine::route_emission(combiner, &mut raw, &mut combined, p, k, v);
-            });
+            read_secs += rt.elapsed().as_secs_f64();
+            for item in batch.drain(..) {
+                if work.kill.load(Ordering::Relaxed) {
+                    killed = true;
+                    break;
+                }
+                mapper.map(&mut state, item, &mut |k, v| {
+                    emitted += 1;
+                    // One hash per pair, shared by the partitioner and
+                    // the combine-table probe.
+                    let h = crate::types::fx_hash(&k);
+                    let p = partitioner.partition_of_hash(h);
+                    crate::combine::route_emission(combiner, raw, combined, p, h, k, v);
+                });
+            }
         }
         if !killed {
             mapper.end_task(state, &mut |k, v| {
                 emitted += 1;
-                let p = partition_for(&k, num_reducers);
-                crate::combine::route_emission(combiner, &mut raw, &mut combined, p, k, v);
+                let h = crate::types::fx_hash(&k);
+                let p = partitioner.partition_of_hash(h);
+                crate::combine::route_emission(combiner, raw, combined, p, h, k, v);
             });
         }
-        (raw, combined, emitted, killed)
+        (emitted, killed, read_secs)
     }));
-    let (mut raw, mut combined, emitted, killed) = match run {
+    let (emitted, killed, read_secs) = match run {
         Ok(r) => r,
         Err(_) => {
             let _ = msg_tx.send(WorkerMsg::Failed {
@@ -246,13 +277,7 @@ pub(crate) fn run_map_attempt<S, M>(
         sampled_records,
         duration_secs,
     };
-    let shuffled = shuffle::ship_outputs(
-        reducer_txs,
-        meta,
-        combiner.is_some(),
-        &mut raw,
-        &mut combined,
-    );
+    let shuffled = shuffle::ship_outputs(reducer_txs, meta, combiner.is_some(), bufs);
     let stats = MapStats {
         task: work.task,
         total_records,
@@ -382,6 +407,92 @@ mod tests {
         let mapper = FnMapper::new(|_: &u32, _emit: &mut dyn FnMut(u8, u32)| {});
         let result = run_job(&input, &mapper, |_| CountMaps(0), JobConfig::default()).unwrap();
         assert_eq!(result.outputs, vec![6]);
+    }
+
+    /// A source whose stream is lazy and slow: each `next()` costs real
+    /// time, none of it spent at stream construction — the shape that
+    /// used to be invisible to `read_secs`.
+    struct SlowStreamSource {
+        items: u64,
+        per_item: std::time::Duration,
+    }
+
+    impl crate::input::InputSource for SlowStreamSource {
+        type Item = u64;
+
+        fn splits(&self) -> Vec<SplitMeta> {
+            vec![SplitMeta {
+                index: 0,
+                records: self.items,
+                bytes: 0,
+                locations: vec![],
+            }]
+        }
+
+        fn read_split(&self, _i: usize, _r: f64, _s: u64) -> crate::Result<SampledItems<u64>> {
+            unreachable!("the attempt path streams")
+        }
+
+        fn stream_split(
+            &self,
+            _index: usize,
+            _ratio: f64,
+            _seed: u64,
+        ) -> crate::Result<crate::input::SplitStream<'_, u64>> {
+            let per_item = self.per_item;
+            let iter = (0..self.items).inspect(move |_| std::thread::sleep(per_item));
+            Ok(crate::input::SplitStream::new(self.items, self.items, iter))
+        }
+    }
+
+    /// Regression for the read-timing misattribution: `stream_split` is
+    /// lazy, so timing only its construction booked essentially zero
+    /// read time and inflated compute time by the same amount. The
+    /// batched timer must attribute per-`next()` read work to
+    /// `read_secs`.
+    #[test]
+    fn read_secs_covers_lazy_stream_reads() {
+        use crossbeam::channel::unbounded;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let per_item = std::time::Duration::from_millis(2);
+        let items = 10u64;
+        let input = SlowStreamSource { items, per_item };
+        let mapper = FnMapper::new(|i: &u64, emit: &mut dyn FnMut(u8, u64)| emit(0, *i));
+        let (reduce_tx, _reduce_rx) = unbounded();
+        let (msg_tx, msg_rx) = unbounded();
+        let work = super::WorkItem {
+            task: crate::types::TaskId(0),
+            attempt: 0,
+            sampling_ratio: 1.0,
+            seed: 0,
+            kill: Arc::new(AtomicBool::new(false)),
+            fault: None,
+            combining: false,
+            span: 0,
+        };
+        let mut bufs = super::shuffle::MapBuffers::new();
+        super::run_map_attempt(&input, &mapper, &work, &[reduce_tx], &msg_tx, &mut bufs);
+
+        let super::WorkerMsg::Completed { stats, .. } = msg_rx.recv().unwrap() else {
+            panic!("attempt must complete");
+        };
+        // 10 items * 2 ms lives inside `next()`; allow generous slack for
+        // coarse sleep granularity, but well above the ~0 the old
+        // construction-only measurement would report.
+        let floor = (items as f64) * per_item.as_secs_f64() * 0.75;
+        assert!(
+            stats.read_secs >= floor,
+            "read_secs {} must cover lazy read work (floor {floor})",
+            stats.read_secs
+        );
+        assert!(
+            stats.read_secs <= stats.duration_secs,
+            "read_secs {} cannot exceed attempt duration {}",
+            stats.read_secs,
+            stats.duration_secs
+        );
     }
 
     /// Stateful end_task emission arrives even when items were sampled

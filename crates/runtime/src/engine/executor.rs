@@ -179,7 +179,11 @@ where
         self.pool.submit(
             self.tenant,
             Box::new(move || {
-                run_map_attempt(&*input, &*mapper, &work, &attempt_txs, &msg_tx);
+                // Pool slots are shared across jobs with different
+                // key/value types, so the buffers live per attempt here;
+                // the scoped and process backends reuse theirs.
+                let mut bufs = shuffle::MapBuffers::new();
+                run_map_attempt(&*input, &*mapper, &work, &attempt_txs, &msg_tx, &mut bufs);
             }),
         )
     }
@@ -263,8 +267,12 @@ where
             let msg_tx = msg_tx.clone();
             let reducer_txs = reducer_txs.clone();
             s.spawn(move |_| {
+                // One arena per task-tracker thread, reused across every
+                // attempt it runs: combine tables keep their hash-table
+                // allocations, raw pair vectors start pre-sized.
+                let mut bufs = shuffle::MapBuffers::new();
                 for work in task_rx.iter() {
-                    run_map_attempt(input, mapper, &work, &reducer_txs, &msg_tx);
+                    run_map_attempt(input, mapper, &work, &reducer_txs, &msg_tx, &mut bufs);
                 }
             });
         }

@@ -70,9 +70,23 @@ fn frame_io(e: FrameError) -> String {
 }
 
 /// Reader-thread events: a decoded worker frame (with its payload size
-/// for the byte counters), or the worker's pipe closing.
-enum ExecEvent {
+/// for the byte counters), an `Output` chunk decoded into typed pairs
+/// **on the reader thread**, or the worker's pipe closing.
+///
+/// Decoding the (potentially large) output chunks reader-side keeps the
+/// per-pair wire decode off the tracker thread and runs it in parallel
+/// across workers — the process backend's share of the parallel reduce
+/// drain (reduce partitions themselves each own a thread already).
+enum ExecEvent<K, V> {
     Msg(FromWorker, u64),
+    Output {
+        task: u64,
+        attempt: u32,
+        partition: u32,
+        /// The decoded chunk, or the wire error rendered reader-side.
+        pairs: Result<Vec<(K, V)>, String>,
+        bytes: u64,
+    },
     Gone(usize),
 }
 
@@ -84,12 +98,16 @@ struct WorkerHandle {
 }
 
 impl WorkerHandle {
-    fn spawn(
+    fn spawn<K, V>(
         bin: &Path,
         job_frame: &[u8],
         server: usize,
-        tx: Sender<ExecEvent>,
-    ) -> Result<Self, String> {
+        tx: Sender<ExecEvent<K, V>>,
+    ) -> Result<Self, String>
+    where
+        K: Key + Wire,
+        V: Value + Wire,
+    {
         let mut child = Command::new(bin)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
@@ -103,6 +121,24 @@ impl WorkerHandle {
             loop {
                 match read_frame(&mut r) {
                     Ok(Some(frame)) => match FromWorker::from_bytes(&frame) {
+                        Ok(FromWorker::Output {
+                            task,
+                            attempt,
+                            partition,
+                            pairs,
+                        }) => {
+                            let ev = ExecEvent::Output {
+                                task,
+                                attempt,
+                                partition,
+                                pairs: decode_pairs::<K, V>(&pairs)
+                                    .map_err(|e| format!("corrupt output chunk: {e}")),
+                                bytes: frame.len() as u64,
+                            };
+                            if tx.send(ev).is_err() {
+                                break;
+                            }
+                        }
                         Ok(msg) => {
                             if tx.send(ExecEvent::Msg(msg, frame.len() as u64)).is_err() {
                                 break;
@@ -172,8 +208,8 @@ pub(super) struct ProcessExecutor<K: Key + Wire, V: Value + Wire> {
     bin: PathBuf,
     job_frame: Vec<u8>,
     workers: Vec<WorkerHandle>,
-    ev_tx: Sender<ExecEvent>,
-    ev_rx: Receiver<ExecEvent>,
+    ev_tx: Sender<ExecEvent<K, V>>,
+    ev_rx: Receiver<ExecEvent<K, V>>,
     inflight: HashMap<(u64, u32), Inflight>,
     stash: OutputStash<K, V>,
     /// Worker spans stashed per `(task, attempt)` between the attempt's
@@ -300,7 +336,7 @@ impl<K: Key + Wire, V: Value + Wire> ProcessExecutor<K, V> {
         }
     }
 
-    fn handle(&mut self, ev: ExecEvent) {
+    fn handle(&mut self, ev: ExecEvent<K, V>) {
         match ev {
             ExecEvent::Msg(msg, bytes) => {
                 if let Some(o) = &self.obs {
@@ -308,6 +344,37 @@ impl<K: Key + Wire, V: Value + Wire> ProcessExecutor<K, V> {
                     o.bytes_rx.add(bytes);
                 }
                 self.handle_msg(msg);
+            }
+            ExecEvent::Output {
+                task,
+                attempt,
+                partition,
+                pairs,
+                bytes,
+            } => {
+                if let Some(o) = &self.obs {
+                    o.frames_rx.inc();
+                    o.bytes_rx.add(bytes);
+                }
+                let key = (task, attempt);
+                if !self.inflight.contains_key(&key) {
+                    return;
+                }
+                let partitions = self.reducer_txs.len();
+                match pairs {
+                    Ok(decoded) if (partition as usize) < partitions => {
+                        self.stash
+                            .entry(key)
+                            .or_insert_with(|| (0..partitions).map(|_| Vec::new()).collect())
+                            [partition as usize]
+                            .extend(decoded);
+                    }
+                    Ok(_) => self.fail_attempt(
+                        key,
+                        format!("worker sent output for unknown partition {partition}"),
+                    ),
+                    Err(e) => self.fail_attempt(key, e),
+                }
             }
             ExecEvent::Gone(server) => {
                 self.workers[server].dead = true;
@@ -334,32 +401,10 @@ impl<K: Key + Wire, V: Value + Wire> ProcessExecutor<K, V> {
     fn handle_msg(&mut self, msg: FromWorker) {
         match msg {
             FromWorker::Ready => {}
-            FromWorker::Output {
-                task,
-                attempt,
-                partition,
-                pairs,
-            } => {
-                let key = (task, attempt);
-                if !self.inflight.contains_key(&key) {
-                    return;
-                }
-                let partitions = self.reducer_txs.len();
-                match decode_pairs::<K, V>(&pairs) {
-                    Ok(decoded) if (partition as usize) < partitions => {
-                        self.stash
-                            .entry(key)
-                            .or_insert_with(|| (0..partitions).map(|_| Vec::new()).collect())
-                            [partition as usize]
-                            .extend(decoded);
-                    }
-                    Ok(_) => self.fail_attempt(
-                        key,
-                        format!("worker sent output for unknown partition {partition}"),
-                    ),
-                    Err(e) => self.fail_attempt(key, format!("corrupt output chunk: {e}")),
-                }
-            }
+            // Output chunks are decoded reader-side and arrive as
+            // `ExecEvent::Output`; one reaching this path would mean the
+            // reader forwarded it undecoded, which it never does.
+            FromWorker::Output { .. } => unreachable!("Output frames are decoded reader-side"),
             FromWorker::Done {
                 attempt,
                 stats,

@@ -24,7 +24,7 @@ use approxhadoop_obs::{DeltaCursor, Obs};
 use crate::fault::FaultDecision;
 use crate::input::sample_systematic_indices;
 use crate::mapper::{MapTaskContext, Mapper};
-use crate::types::{partition_for, TaskId};
+use crate::types::{fx_hash, Partitioner, TaskId};
 
 use super::spill::SpillShuffle;
 use super::wire::{FromWorker, ToWorker, WireJobError, WireMapStats, WireWorkItem, WorkerJobSpec};
@@ -247,6 +247,7 @@ where
             )
         });
         let map_from_us = tracer_now();
+        let partitioner = Partitioner::new(num_reducers);
         // Same containment as the in-process attempt body: user map code
         // may panic, and the injected MapPanic fault panics on purpose.
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -277,9 +278,10 @@ where
                 }
                 self.mapper.map(&mut state, item, &mut |k, v| {
                     emitted += 1;
-                    let p = partition_for(&k, num_reducers);
+                    let h = fx_hash(&k);
+                    let p = partitioner.partition_of_hash(h);
                     if spill_err.is_none() {
-                        if let Err(e) = shuffle.emit(p, k, v) {
+                        if let Err(e) = shuffle.emit(p, h, k, v) {
                             spill_err = Some(e);
                         }
                     }
@@ -288,9 +290,10 @@ where
             if !killed && spill_err.is_none() {
                 self.mapper.end_task(state, &mut |k, v| {
                     emitted += 1;
-                    let p = partition_for(&k, num_reducers);
+                    let h = fx_hash(&k);
+                    let p = partitioner.partition_of_hash(h);
                     if spill_err.is_none() {
-                        if let Err(e) = shuffle.emit(p, k, v) {
+                        if let Err(e) = shuffle.emit(p, h, k, v) {
                             spill_err = Some(e);
                         }
                     }

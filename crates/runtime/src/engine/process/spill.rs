@@ -11,8 +11,9 @@
 //!   drain concatenates runs chronologically (in-memory tail last) —
 //!   the final pair order is identical to a never-spilled run.
 //! * **combining path**: each run is one sorted snapshot of the
-//!   per-partition fold table (`BTreeMap` order); the drain performs a
-//!   streaming k-way merge by key, folding equal keys in run order.
+//!   per-partition fold table (hash-folded, sorted by key at spill
+//!   time); the drain performs a streaming k-way merge by key, folding
+//!   equal keys in run order.
 //!   Because combiners are associative reductions (see
 //!   [`crate::combine`]), the merged value per key equals the
 //!   never-spilled fold, and keys stream out in the same sorted order.
@@ -22,7 +23,6 @@
 //! partition, and are read back through `mmap`, so a drain never loads
 //! a whole run into memory.
 
-use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -31,7 +31,7 @@ use approxhadoop_dfs::{BlockId, FileStore, FileStoreWriter};
 use approxhadoop_ipc::{Decoder, Wire};
 use approxhadoop_obs::Counter;
 
-use crate::combine::Combiner;
+use crate::combine::{CombineTable, Combiner};
 use crate::types::{Key, Value};
 
 /// What one attempt spilled, reported back to the parent for the
@@ -90,7 +90,7 @@ pub(crate) struct SpillShuffle<'c, K: Key + Wire, V: Value + Wire> {
     dir_created: bool,
     mem_bytes: usize,
     raw: Vec<Vec<(K, V)>>,
-    combined: Vec<BTreeMap<K, V>>,
+    combined: Vec<CombineTable<K, V>>,
     runs: Vec<PathBuf>,
     report: SpillReport,
     /// Optional live `(runs, bytes)` counters bumped at actual spill
@@ -117,7 +117,7 @@ impl<'c, K: Key + Wire, V: Value + Wire> SpillShuffle<'c, K, V> {
             dir_created: false,
             mem_bytes: 0,
             raw: (0..partitions).map(|_| Vec::new()).collect(),
-            combined: (0..partitions).map(|_| BTreeMap::new()).collect(),
+            combined: (0..partitions).map(|_| CombineTable::new()).collect(),
             runs: Vec::new(),
             report: SpillReport::default(),
             counters: None,
@@ -133,12 +133,13 @@ impl<'c, K: Key + Wire, V: Value + Wire> SpillShuffle<'c, K, V> {
         self
     }
 
-    /// Routes one emission into partition `p`, spilling if the budget is
-    /// exceeded. The cost charged is the pair's encoded size — on the
-    /// combining path this is conservative (folding into an existing key
-    /// grows memory far less), which only makes spills earlier, never
-    /// later.
-    pub(crate) fn emit(&mut self, p: usize, key: K, value: V) -> Result<(), String> {
+    /// Routes one emission into partition `p` (whose key hashes to
+    /// `hash` under [`fx_hash`](crate::types::fx_hash)), spilling if the
+    /// budget is exceeded. The cost charged is the pair's encoded size —
+    /// on the combining path this is conservative (folding into an
+    /// existing key grows memory far less), which only makes spills
+    /// earlier, never later.
+    pub(crate) fn emit(&mut self, p: usize, hash: u64, key: K, value: V) -> Result<(), String> {
         self.scratch.clear();
         key.encode(&mut self.scratch);
         value.encode(&mut self.scratch);
@@ -148,6 +149,7 @@ impl<'c, K: Key + Wire, V: Value + Wire> SpillShuffle<'c, K, V> {
             &mut self.raw,
             &mut self.combined,
             p,
+            hash,
             key,
             value,
         );
@@ -178,7 +180,9 @@ impl<'c, K: Key + Wire, V: Value + Wire> SpillShuffle<'c, K, V> {
                 v.encode(&mut payload);
                 count += 1;
             }
-            for (k, v) in std::mem::take(&mut self.combined[p]) {
+            // The sort here keeps the run key-sorted — the invariant the
+            // drain's k-way merge depends on.
+            for (k, v) in self.combined[p].drain_sorted() {
                 k.encode(&mut payload);
                 v.encode(&mut payload);
                 count += 1;
@@ -220,7 +224,7 @@ impl<'c, K: Key + Wire, V: Value + Wire> SpillShuffle<'c, K, V> {
                 k.encode(&mut mem);
                 v.encode(&mut mem);
             }
-            for (k, v) in std::mem::take(&mut self.combined[p]) {
+            for (k, v) in self.combined[p].drain_sorted() {
                 k.encode(&mut mem);
                 v.encode(&mut mem);
             }
@@ -289,6 +293,15 @@ mod tests {
     use super::*;
     use crate::combine::SumCombiner;
 
+    impl<K: Key + Wire, V: Value + Wire> SpillShuffle<'_, K, V> {
+        /// Test shorthand for [`emit`](Self::emit): hashes the key
+        /// inline, as the map hot path does once per emission.
+        fn emit_kv(&mut self, p: usize, key: K, value: V) -> Result<(), String> {
+            let hash = crate::types::fx_hash(&key);
+            self.emit(p, hash, key, value)
+        }
+    }
+
     fn test_dir(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!(
             "approxhadoop-spill-test-{}-{name}",
@@ -313,9 +326,9 @@ mod tests {
     fn single_pair_larger_than_budget_spills_immediately() {
         let dir = test_dir("oversized");
         let mut s: SpillShuffle<'_, u32, u64> = SpillShuffle::new(2, None, PAIR - 1, dir.clone());
-        s.emit(0, 1, 100).unwrap();
+        s.emit_kv(0, 1, 100).unwrap();
         assert_eq!(s.report.runs, 1, "one pair over budget must spill at once");
-        s.emit(1, 2, 200).unwrap();
+        s.emit_kv(1, 2, 200).unwrap();
         let report = {
             let mut out = Vec::new();
             s.drain(|p, k, v| {
@@ -333,11 +346,11 @@ mod tests {
         // Exactly filling the budget does NOT spill; one more byte does.
         let dir = test_dir("boundary");
         let mut s: SpillShuffle<'_, u32, u64> = SpillShuffle::new(2, None, 3 * PAIR, dir);
-        s.emit(0, 1, 1).unwrap();
-        s.emit(1, 2, 2).unwrap();
-        s.emit(0, 3, 3).unwrap();
+        s.emit_kv(0, 1, 1).unwrap();
+        s.emit_kv(1, 2, 2).unwrap();
+        s.emit_kv(0, 3, 3).unwrap();
         assert_eq!(s.report.runs, 0, "exactly at budget must not spill");
-        s.emit(1, 4, 4).unwrap();
+        s.emit_kv(1, 4, 4).unwrap();
         assert_eq!(s.report.runs, 1, "first byte past budget spills");
         assert_eq!(
             collect(&mut s),
@@ -354,8 +367,8 @@ mod tests {
         for i in 0..40u64 {
             // Repeating keys, deliberately unsorted.
             let k = (40 - i) as u32 % 7;
-            spilled.emit((i % 2) as usize, k, i).unwrap();
-            plain.emit((i % 2) as usize, k, i).unwrap();
+            spilled.emit_kv((i % 2) as usize, k, i).unwrap();
+            plain.emit_kv((i % 2) as usize, k, i).unwrap();
         }
         assert!(spilled.report.runs > 1);
         assert_eq!(collect(&mut spilled), collect(&mut plain));
@@ -370,8 +383,8 @@ mod tests {
             SpillShuffle::new(2, Some(&c), usize::MAX, test_dir("combplain"));
         for i in 0..60u64 {
             let k = (i * 7 % 11) as u32;
-            spilled.emit((k % 2) as usize, k, i).unwrap();
-            plain.emit((k % 2) as usize, k, i).unwrap();
+            spilled.emit_kv((k % 2) as usize, k, i).unwrap();
+            plain.emit_kv((k % 2) as usize, k, i).unwrap();
         }
         assert!(spilled.report.runs > 5);
         let a = {
@@ -398,7 +411,7 @@ mod tests {
             SpillShuffle::new(2, None, 2 * PAIR, test_dir("livecounters"))
                 .with_counters(Arc::clone(&runs), Arc::clone(&bytes));
         for i in 0..10u64 {
-            s.emit((i % 2) as usize, i as u32, i).unwrap();
+            s.emit_kv((i % 2) as usize, i as u32, i).unwrap();
         }
         assert!(runs.get() > 0, "counters must tick before drain");
         assert!(bytes.get() > 0);
@@ -407,11 +420,76 @@ mod tests {
         assert_eq!(bytes.get(), report.bytes, "live bytes == drained report");
     }
 
+    /// Edge case: nothing ever spilled — the drain must serve the
+    /// non-empty in-memory partitions alone, bit-identical to what the
+    /// in-memory shuffle path would produce (sorted fold per partition
+    /// on the combining path, emission order on the raw path).
+    #[test]
+    fn drain_with_zero_runs_serves_in_memory_partitions() {
+        let c = SumCombiner;
+        let mut s: SpillShuffle<'_, u32, u64> =
+            SpillShuffle::new(2, Some(&c), usize::MAX, test_dir("zeroruns"));
+        for (k, v) in [(9u32, 1u64), (3, 2), (9, 3), (4, 4)] {
+            s.emit_kv((k % 2) as usize, k, v).unwrap();
+        }
+        assert_eq!(s.report.runs, 0, "budget never exceeded: no runs");
+        assert_eq!(
+            collect(&mut s),
+            vec![(0, 4, 4), (1, 3, 2), (1, 9, 4)],
+            "in-memory-only drain folds and sorts per partition"
+        );
+
+        let mut raw: SpillShuffle<'_, u32, u64> =
+            SpillShuffle::new(1, None, usize::MAX, test_dir("zerorunsraw"));
+        for (k, v) in [(9u32, 1u64), (3, 2), (9, 3)] {
+            raw.emit_kv(0, k, v).unwrap();
+        }
+        assert_eq!(raw.report.runs, 0);
+        assert_eq!(
+            collect(&mut raw),
+            vec![(0, 9, 1), (0, 3, 2), (0, 9, 3)],
+            "raw in-memory-only drain preserves emission order"
+        );
+    }
+
+    /// Edge case: runs whose key ranges do not overlap at all — the
+    /// k-way merge must stitch them into one sorted stream and still
+    /// match the never-spilled fold bit-for-bit.
+    #[test]
+    fn combined_merge_of_disjoint_key_ranges_matches_unspilled() {
+        let c = SumCombiner;
+        // Budget of 4 pairs per run; emit keys in disjoint phases so
+        // each run covers its own key range (0..4, then 100..104, then
+        // 50..54 — out of order across runs on purpose).
+        let mut spilled: SpillShuffle<'_, u32, u64> =
+            SpillShuffle::new(1, Some(&c), 4 * PAIR, test_dir("disjoint"));
+        let mut plain: SpillShuffle<'_, u32, u64> =
+            SpillShuffle::new(1, Some(&c), usize::MAX, test_dir("disjointplain"));
+        for base in [0u32, 100, 50] {
+            for i in 0..5u32 {
+                let k = base + i;
+                spilled.emit_kv(0, k, u64::from(k)).unwrap();
+                plain.emit_kv(0, k, u64::from(k)).unwrap();
+            }
+        }
+        assert!(
+            spilled.report.runs >= 3,
+            "each phase must land in its own run, got {}",
+            spilled.report.runs
+        );
+        let merged = collect(&mut spilled);
+        assert_eq!(merged, collect(&mut plain), "disjoint-range merge diverged");
+        let keys: Vec<u32> = merged.iter().map(|(_, k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "merged stream must be globally key-sorted");
+    }
+
     #[test]
     fn dropped_buffer_cleans_its_runs() {
         let dir = test_dir("dropcleanup");
         let mut s: SpillShuffle<'_, u32, u64> = SpillShuffle::new(1, None, 1, dir.clone());
-        s.emit(0, 1, 1).unwrap();
+        s.emit_kv(0, 1, 1).unwrap();
         assert!(dir.exists());
         drop(s);
         assert!(

@@ -6,14 +6,63 @@
 //! the shuffle contract — one deduplicated `MapOutput`/`MapDropped`
 //! event per task per reducer — lives in exactly one place.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+use crate::combine::CombineTable;
 use crate::control::JobControl;
 use crate::reducer::{DedupState, MapOutputMeta, ReduceContext, ReduceEvent, Reducer};
 use crate::types::{Key, TaskId, Value};
+
+/// Arena-reused per-reducer output buffers for map attempts.
+///
+/// A task-tracker thread keeps one `MapBuffers` alive across every
+/// attempt it runs, so the hot path stops paying per-attempt allocation:
+/// the combine tables keep their hash-table allocations across drains,
+/// and raw pair vectors (whose backing store is moved out when a batch
+/// ships) are pre-sized to the per-partition high-water mark of earlier
+/// attempts on the same worker.
+pub(crate) struct MapBuffers<K: Key, V: Value> {
+    /// Raw path: one pair vector per reduce partition.
+    pub(crate) raw: Vec<Vec<(K, V)>>,
+    /// Combining path: one hash-fold table per reduce partition.
+    pub(crate) combined: Vec<CombineTable<K, V>>,
+    /// Largest raw batch shipped per partition so far.
+    raw_hwm: Vec<usize>,
+}
+
+impl<K: Key, V: Value> MapBuffers<K, V> {
+    /// Empty buffers; [`MapBuffers::reset`] sizes them per attempt.
+    pub(crate) fn new() -> Self {
+        MapBuffers {
+            raw: Vec::new(),
+            combined: Vec::new(),
+            raw_hwm: Vec::new(),
+        }
+    }
+
+    /// Prepares the buffers for one attempt over `reducers` partitions:
+    /// discards leftovers from a killed or panicked predecessor (keeping
+    /// allocations), and pre-sizes fresh raw vectors to the high-water
+    /// mark so steady-state attempts never grow them incrementally.
+    pub(crate) fn reset(&mut self, reducers: usize) {
+        if self.raw.len() != reducers {
+            self.raw = (0..reducers).map(|_| Vec::new()).collect();
+            self.combined = (0..reducers).map(|_| CombineTable::new()).collect();
+            self.raw_hwm = vec![0; reducers];
+        }
+        for (v, &hwm) in self.raw.iter_mut().zip(&self.raw_hwm) {
+            v.clear();
+            if v.capacity() == 0 && hwm > 0 {
+                v.reserve(hwm);
+            }
+        }
+        for table in &mut self.combined {
+            table.clear();
+        }
+    }
+}
 
 /// Creates one unbounded channel per reduce task.
 #[allow(clippy::type_complexity)] // a (senders, receivers) pair, nothing deeper
@@ -44,20 +93,22 @@ pub(crate) fn broadcast_drop<K: Key, V: Value>(txs: &[Sender<ReduceEvent<K, V>>]
 
 /// Ships one map attempt's outputs: each reducer receives exactly one
 /// pre-partitioned batch (pre-combined and in key order when a combiner
-/// ran). Returns the number of pairs shuffled.
+/// ran — the hash tables are sorted here, once per batch, so shipped
+/// bytes stay identical to the old ordered-insert path). Returns the
+/// number of pairs shuffled.
 pub(crate) fn ship_outputs<K: Key, V: Value>(
     reducer_txs: &[Sender<ReduceEvent<K, V>>],
     meta: MapOutputMeta,
     combined_path: bool,
-    raw: &mut [Vec<(K, V)>],
-    combined: &mut [BTreeMap<K, V>],
+    bufs: &mut MapBuffers<K, V>,
 ) -> u64 {
     let mut shuffled = 0u64;
     for (p, tx) in reducer_txs.iter().enumerate() {
         let pairs: Vec<(K, V)> = if combined_path {
-            std::mem::take(&mut combined[p]).into_iter().collect()
+            bufs.combined[p].drain_sorted()
         } else {
-            std::mem::take(&mut raw[p])
+            bufs.raw_hwm[p] = bufs.raw_hwm[p].max(bufs.raw[p].len());
+            std::mem::take(&mut bufs.raw[p])
         };
         shuffled += pairs.len() as u64;
         let _ = tx.send(ReduceEvent::MapOutput { meta, pairs });
@@ -110,18 +161,85 @@ mod tests {
             sampled_records: 3,
             duration_secs: 0.0,
         };
-        let mut raw = vec![vec![(1u32, 1u64), (1, 1)], vec![(2, 1)]];
-        let mut combined = vec![BTreeMap::new(), BTreeMap::new()];
-        combined[0].insert(1u32, 2u64);
+        let mut bufs: MapBuffers<u32, u64> = MapBuffers::new();
+        bufs.reset(2);
+        bufs.raw[0] = vec![(1u32, 1u64), (1, 1)];
+        bufs.raw[1] = vec![(2, 1)];
+        let c = crate::combine::SumCombiner;
+        bufs.combined[0].fold(&c, crate::types::fx_hash(&1u32), 1u32, 2u64);
         // Raw path ships every pair.
-        let shuffled = ship_outputs(&txs, meta, false, &mut raw, &mut combined);
+        let shuffled = ship_outputs(&txs, meta, false, &mut bufs);
         assert_eq!(shuffled, 3);
         // Combined path ships the folded table (raw was already drained).
-        let shuffled = ship_outputs(&txs, meta, true, &mut raw, &mut combined);
+        let shuffled = ship_outputs(&txs, meta, true, &mut bufs);
         assert_eq!(shuffled, 1);
         drop(txs);
         let batches: Vec<_> = rxs[0].iter().collect();
         assert_eq!(batches.len(), 2);
+    }
+
+    #[test]
+    fn combined_batches_ship_in_key_order() {
+        let (txs, rxs) = reducer_channels::<String, u64>(1);
+        let meta = MapOutputMeta {
+            task: TaskId(0),
+            total_records: 4,
+            sampled_records: 4,
+            duration_secs: 0.0,
+        };
+        let mut bufs: MapBuffers<String, u64> = MapBuffers::new();
+        bufs.reset(1);
+        let c = crate::combine::SumCombiner;
+        for w in ["pear", "apple", "quince", "apple"] {
+            bufs.combined[0].fold(&c, crate::types::fx_hash(w), w.to_string(), 1u64);
+        }
+        ship_outputs(&txs, meta, true, &mut bufs);
+        drop(txs);
+        let batch = match rxs[0].iter().next().unwrap() {
+            ReduceEvent::MapOutput { pairs, .. } => pairs,
+            _ => panic!("expected a MapOutput event"),
+        };
+        assert_eq!(
+            batch,
+            vec![
+                ("apple".to_string(), 2),
+                ("pear".to_string(), 1),
+                ("quince".to_string(), 1),
+            ],
+            "hash-folded batches must still arrive sorted by key"
+        );
+    }
+
+    #[test]
+    fn map_buffers_reset_presizes_from_high_water_mark() {
+        let (txs, _rxs) = reducer_channels::<u32, u64>(1);
+        let meta = MapOutputMeta {
+            task: TaskId(0),
+            total_records: 64,
+            sampled_records: 64,
+            duration_secs: 0.0,
+        };
+        let mut bufs: MapBuffers<u32, u64> = MapBuffers::new();
+        bufs.reset(1);
+        bufs.raw[0].extend((0..64u32).map(|i| (i, 1u64)));
+        ship_outputs(&txs, meta, false, &mut bufs);
+        assert!(bufs.raw[0].capacity() == 0, "shipping moves the vector out");
+        bufs.reset(1);
+        assert!(
+            bufs.raw[0].capacity() >= 64,
+            "next attempt starts at the high-water mark, got {}",
+            bufs.raw[0].capacity()
+        );
+        // Leftovers from an aborted attempt are discarded on reset.
+        bufs.raw[0].push((9, 9));
+        bufs.combined[0].fold(
+            &crate::combine::SumCombiner,
+            crate::types::fx_hash(&1u32),
+            1u32,
+            1u64,
+        );
+        bufs.reset(1);
+        assert!(bufs.raw[0].is_empty() && bufs.combined[0].is_empty());
     }
 
     #[test]

@@ -88,7 +88,8 @@ pub mod text;
 pub mod types;
 
 pub use combine::{
-    Combined, Combiner, FnCombiner, MaxCombiner, MinCombiner, PairSumCombiner, SumCombiner,
+    CombineTable, Combined, Combiner, FnCombiner, MaxCombiner, MinCombiner, PairSumCombiner,
+    SumCombiner,
 };
 pub use control::{Coordinator, FixedCoordinator, JobControl, MapDirective};
 pub use engine::{
@@ -100,7 +101,7 @@ pub use event::{CancelHandle, JobEvent, JobId, JobSession};
 pub use fault::{FaultDecision, FaultPlan, FaultPolicy};
 pub use mapper::MapTaskContext;
 pub use pool::{SlotPool, TenantId};
-pub use types::{Key, TaskId, Value};
+pub use types::{FxHashMap, FxHasher, Key, Partitioner, TaskId, Value};
 
 /// Result alias for runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -7,11 +7,11 @@
 //! final output in [`Reducer::finish`]. Classic `reduce(key, values)`
 //! semantics are provided by [`GroupedReducer`].
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use crate::control::{BoundReport, JobControl};
-use crate::types::{Key, TaskId, Value};
+use crate::types::{FxHashMap, Key, TaskId, Value};
 
 /// Metadata accompanying one map task's output: exactly the statistics
 /// the multi-stage estimators need (`M_i`, `m_i`) plus timing.
@@ -136,8 +136,14 @@ pub trait Reducer: Send {
 
 /// Classic Hadoop-style grouped reduce: buffers all values per key and
 /// calls `f(key, values)` once per key at the end, in key order.
+///
+/// Grouping uses a hash table (fixed-key [`FxHashMap`]) so the
+/// per-record cost of the reduce drain is a single O(1) probe; the keys
+/// are sorted exactly once in [`Reducer::finish`], which keeps the
+/// output key order — and therefore every backend's bytes — identical
+/// to the earlier ordered-insert (`BTreeMap`) implementation.
 pub struct GroupedReducer<K: Key, V, F> {
-    groups: BTreeMap<K, Vec<V>>,
+    groups: FxHashMap<K, Vec<V>>,
     f: F,
 }
 
@@ -149,7 +155,7 @@ where
     /// key from the output.
     pub fn new(f: F) -> Self {
         GroupedReducer {
-            groups: BTreeMap::new(),
+            groups: FxHashMap::default(),
             f,
         }
     }
@@ -175,7 +181,8 @@ where
     }
 
     fn finish(&mut self, _ctx: &mut ReduceContext) -> Vec<O> {
-        let groups = std::mem::take(&mut self.groups);
+        let mut groups: Vec<(K, Vec<V>)> = self.groups.drain().collect();
+        groups.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         groups
             .iter()
             .filter_map(|(k, vs)| (self.f)(k, vs))

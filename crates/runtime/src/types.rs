@@ -1,7 +1,8 @@
-//! Core key/value/task types of the engine.
+//! Core key/value/task types of the engine, plus the fixed-key hash
+//! primitives the hot path is built on.
 
 use std::fmt::Debug;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 /// Marker trait for intermediate keys: hashable (for partitioning),
 /// orderable (for deterministic grouped output), cloneable, and sendable
@@ -24,15 +25,166 @@ impl std::fmt::Display for TaskId {
     }
 }
 
-/// Deterministic partitioner: maps a key to one of `partitions` reduce
-/// tasks using a fixed-key hash, so results are reproducible across runs
-/// and processes.
-pub fn partition_for<K: Hash>(key: &K, partitions: usize) -> usize {
-    debug_assert!(partitions > 0);
-    // DefaultHasher::new() uses fixed SipHash keys: stable across runs.
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+/// Multiplier for the Fx-style folded hash (golden-ratio derived, odd).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The engine's fixed-key hasher: a Fibonacci/Fx-style multiply hash.
+///
+/// Chosen over `DefaultHasher` (SipHash-1-3) because the hot path builds
+/// one hasher per emitted pair: construction is a single zeroed word,
+/// [`Hasher::write`] folds input 8 bytes at a time (the byte-slice fast
+/// path `String`/`&str` keys take, via `str`'s `Hash` impl), and there is
+/// no per-instance random state — the same key hashes identically across
+/// runs, threads, and worker processes, which the deterministic
+/// partitioner and the spill-run format both rely on.
+///
+/// Not DoS-resistant by design; intermediate keys come from the job's own
+/// mapper, not from untrusted network input.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            // The try_into cannot fail: chunks_exact yields 8-byte slices.
+            self.fold(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            // Pad the tail with its own length so "a" and "a\0" differ.
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            word[7] = tail.len() as u8;
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.fold(v as u64);
+        self.fold((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiply pushes entropy towards the high bits; fold them
+        // back down so users of the low bits (`% partitions`, hash-table
+        // bucket indices) see a mixed value.
+        self.hash ^ (self.hash >> 32)
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] — zero-sized, deterministic.
+pub type BuildFxHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the engine's fixed-key [`FxHasher`]: iteration
+/// order is unspecified (drain and sort before anything order-sensitive),
+/// but lookups are deterministic and allocation-free per probe.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildFxHasher>;
+
+/// The engine's fixed-key hash of `key` — one [`FxHasher`] pass. The
+/// hot path computes this once per emission and reuses it for both the
+/// reduce partition (low bits via [`Partitioner::partition_of_hash`])
+/// and the combine-table probe, instead of hashing the key twice.
+#[inline]
+pub fn fx_hash<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = FxHasher::default();
     key.hash(&mut h);
-    (h.finish() % partitions as u64) as usize
+    h.finish()
+}
+
+/// Deterministic partitioner: maps a key to one of `partitions` reduce
+/// tasks using the fixed-key [`FxHasher`], so results are reproducible
+/// across runs and processes.
+#[inline]
+pub fn partition_for<K: Hash + ?Sized>(key: &K, partitions: usize) -> usize {
+    Partitioner::new(partitions).partition(key)
+}
+
+/// The reusable form of [`partition_for`]: constructed once per map
+/// attempt, it carries the partition count so the per-pair work is just
+/// the hash fold itself.
+#[derive(Debug, Clone, Copy)]
+pub struct Partitioner {
+    partitions: usize,
+    /// `partitions - 1` when `partitions` is a power of two, else 0.
+    /// For power-of-two counts `hash & mask == hash % partitions`
+    /// bit-for-bit, so the common case (e.g. 4 reducers) skips the
+    /// hardware divide without changing a single assignment.
+    mask: u64,
+}
+
+impl Partitioner {
+    /// A partitioner over `partitions` reduce tasks.
+    #[inline]
+    pub fn new(partitions: usize) -> Self {
+        debug_assert!(partitions > 0);
+        let mask = if partitions.is_power_of_two() {
+            partitions as u64 - 1
+        } else {
+            0
+        };
+        Partitioner { partitions, mask }
+    }
+
+    /// Number of reduce partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// The reduce partition for `key`.
+    #[inline]
+    pub fn partition<K: Hash + ?Sized>(&self, key: &K) -> usize {
+        self.partition_of_hash(fx_hash(key))
+    }
+
+    /// The reduce partition for a key whose [`fx_hash`] is already
+    /// known — the form the map hot path uses, sharing one hash between
+    /// partitioning and the combine-table probe.
+    #[inline]
+    pub fn partition_of_hash(&self, hash: u64) -> usize {
+        if self.mask != 0 {
+            (hash & self.mask) as usize
+        } else {
+            (hash % self.partitions as u64) as usize
+        }
+    }
 }
 
 #[cfg(test)]
@@ -45,6 +197,7 @@ mod tests {
             let p = partition_for(&k, 7);
             assert!(p < 7);
             assert_eq!(p, partition_for(&k, 7));
+            assert_eq!(p, Partitioner::new(7).partition(&k));
         }
     }
 
@@ -56,6 +209,64 @@ mod tests {
         }
         for &c in &counts {
             assert!(c > 500, "unbalanced partitioning: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn partitioner_spreads_string_keys() {
+        let mut counts = vec![0usize; 8];
+        for k in 0..8000u32 {
+            counts[partition_for(&format!("w{k}"), 8)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500, "unbalanced string partitioning: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn string_and_str_keys_hash_identically() {
+        // `String` hashes through `str::hash`, so owned and borrowed
+        // forms of the same word must land on the same partition.
+        for w in ["", "a", "shuffle", "0123456789abcdef"] {
+            assert_eq!(partition_for(w, 13), partition_for(&w.to_string(), 13));
+        }
+    }
+
+    /// Pins the hash algorithm: these values must never change, or
+    /// partition assignments would silently shift between engine
+    /// versions (breaking e.g. cross-version comparison of recorded
+    /// per-partition outputs).
+    #[test]
+    fn fx_hash_values_are_pinned() {
+        fn hash_of<K: Hash + ?Sized>(key: &K) -> u64 {
+            let mut h = FxHasher::default();
+            key.hash(&mut h);
+            h.finish()
+        }
+        assert_eq!(hash_of("the"), 0x1771_ff9d_9514_8e6e);
+        assert_eq!(hash_of(&42u64), 0x5e77_c80c_35e2_747e);
+        assert_eq!(hash_of(&(1u32, 2u32)), 0x6a4b_e67f_93c4_4db7);
+    }
+
+    #[test]
+    fn mask_fast_path_matches_modulo() {
+        // The power-of-two mask must be indistinguishable from the
+        // general modulo — same hash, same assignment.
+        fn hash_of<K: Hash + ?Sized>(key: &K) -> u64 {
+            let mut h = FxHasher::default();
+            key.hash(&mut h);
+            h.finish()
+        }
+        for partitions in [1usize, 2, 4, 8, 64] {
+            let p = Partitioner::new(partitions);
+            for k in 0..500u64 {
+                let key = format!("key{k}");
+                assert_eq!(
+                    p.partition(&key),
+                    (hash_of(&key) % partitions as u64) as usize,
+                    "partitions {partitions} key {key}"
+                );
+            }
         }
     }
 

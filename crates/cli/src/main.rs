@@ -79,6 +79,12 @@ USAGE:
         --blocks N           map tasks per job (default 32)
         --entries N          records per map (default 800)
         --p99-target SECS    admission p99 latency target (default 0.4)
+        --controller MODE    admission feedback law: slo (default, the
+                             SLO-driven dual controller) or aimd (the
+                             legacy additive-increase loop)
+        --slo-bound B        accuracy SLO: worst relative interval
+                             half-width the controller holds (e.g. 0.05);
+                             omit for latency-only control
         --max-drop R         per-job degradation budget (default 0.7)
         --min-sample R       per-job sampling floor (default 0.25)
         --fault-plan SPEC    inject faults into every job's map path
@@ -106,6 +112,28 @@ USAGE:
       (Chrome trace of both phases), --metrics-out FILE
       (Prometheus text) and --obs-addr HOST:PORT (live /metrics,
       /trace and /jobs over HTTP while the test runs).
+
+      With --find-max-tps the harness searches instead of replaying:
+      it hill-climbs the offered arrival rate (double until the SLO
+      breaks, then binary refinement) to the maximum sustainable TPS
+      at the stated SLO, detects underpowered-generator saturation,
+      measures the SLO and AIMD controllers at the knee with the same
+      seeds, and prints a SaturationReport as JSON (exit 2 if no
+      stable operating point exists).
+      search options:
+        --slo-p99 SECS       latency SLO held during the search
+                             (default: --p99-target)
+        --slo-bound B        accuracy SLO (worst relative half-width)
+        --slo-tolerance F    fraction of a step's jobs allowed over the
+                             latency SLO (default 0.1)
+        --start-rate R       first offered rate, jobs/s (default 1)
+        --jobs-per-step N    jobs fired per measurement (default 12)
+        --max-steps N        step budget (default 12)
+        --precision F        stop once the bracket narrows to this
+                             fraction of the knee (default 0.15)
+        --no-knee-compare    skip the at-the-knee SLO-vs-AIMD phase
+        --smoke              seconds-scale search for CI (tiny jobs,
+                             6 jobs/step, 7 steps)
 ";
 
 fn main() {

@@ -138,6 +138,25 @@ fn backend(args: &Args) -> Result<Backend, UsageError> {
     }
 }
 
+/// `--controller aimd|slo` (default: the SLO-driven dual controller).
+fn controller_mode(args: &Args) -> Result<approxhadoop_server::ControllerMode, UsageError> {
+    args.get("controller")
+        .unwrap_or("slo")
+        .parse()
+        .map_err(UsageError)
+}
+
+/// `--slo-bound B`: the accuracy half of the SLO (worst relative
+/// interval half-width), e.g. `0.05` for ±5%.
+fn slo_bound(args: &Args) -> Result<Option<f64>, UsageError> {
+    args.get("slo-bound")
+        .map(|raw| {
+            raw.parse::<f64>()
+                .map_err(|_| UsageError(format!("invalid --slo-bound `{raw}`")))
+        })
+        .transpose()
+}
+
 fn job_config(args: &Args) -> Result<JobConfig, UsageError> {
     let mut config = JobConfig {
         reduce_tasks: args.get_parsed("reduce-tasks", 2usize)?,
@@ -489,6 +508,8 @@ pub fn serve(args: &Args) -> Result<(), UsageError> {
     let sinks = obs_sinks(args)?;
     let admission = AdmissionConfig {
         p99_target_secs: p99_target,
+        max_relative_bound: slo_bound(args)?,
+        mode: controller_mode(args)?,
         ..Default::default()
     };
     // With sinks the service publishes into the CLI's observability
@@ -645,12 +666,17 @@ pub fn serve(args: &Args) -> Result<(), UsageError> {
 }
 
 /// `approxhadoop loadtest` — run the Poisson load harness with the
-/// controller off then on, and print the comparison report as JSON.
+/// controller off then on and print the comparison report as JSON, or
+/// with `--find-max-tps` hill-climb the arrival rate to the service's
+/// maximum sustainable TPS at a stated SLO and print the
+/// `SaturationReport`.
 pub fn loadtest(args: &Args) -> Result<(), UsageError> {
-    use approxhadoop_server::loadgen::{run, run_with_obs, LoadConfig};
+    use approxhadoop_server::loadgen::{
+        find_max_tps, find_max_tps_with_obs, run, run_with_obs, LoadConfig, SatConfig, SloSpec,
+    };
 
     let defaults = LoadConfig::default();
-    let config = LoadConfig {
+    let mut config = LoadConfig {
         slots: args.get_parsed("slots", defaults.slots)?,
         jobs: args.get_parsed("jobs", defaults.jobs)?,
         arrival_rate: args.get_parsed("rate", defaults.arrival_rate)?,
@@ -659,6 +685,8 @@ pub fn loadtest(args: &Args) -> Result<(), UsageError> {
         max_drop_ratio: args.get_parsed("max-drop", defaults.max_drop_ratio)?,
         min_sampling_ratio: args.get_parsed("min-sample", defaults.min_sampling_ratio)?,
         p99_target_secs: args.get_parsed("p99-target", defaults.p99_target_secs)?,
+        max_relative_bound: slo_bound(args)?,
+        mode: controller_mode(args)?,
         seed: args.get_parsed("seed", defaults.seed)?,
         process_workers: match backend(args)? {
             Backend::Threads => 0,
@@ -674,11 +702,87 @@ pub fn loadtest(args: &Args) -> Result<(), UsageError> {
             config.arrival_rate
         )));
     }
+    let sinks = obs_sinks(args)?;
+
+    if args.flag("find-max-tps") {
+        let sat_defaults = SatConfig::default();
+        let smoke = args.flag("smoke");
+        if smoke {
+            // A seconds-scale search for CI: tiny jobs, few steps.
+            config.blocks_per_job = args.get_parsed("blocks", 6u64)?;
+            config.entries_per_block = args.get_parsed("entries", 200u64)?;
+        }
+        let sat = SatConfig {
+            base: config,
+            slo: SloSpec {
+                p99_secs: args.get_parsed("slo-p99", config.p99_target_secs)?,
+                max_relative_bound: config.max_relative_bound,
+                violation_tolerance: args
+                    .get_parsed("slo-tolerance", sat_defaults.slo.violation_tolerance)?,
+            },
+            start_rate: args.get_parsed("start-rate", sat_defaults.start_rate)?,
+            jobs_per_step: args.get_parsed(
+                "jobs-per-step",
+                if smoke { 6 } else { sat_defaults.jobs_per_step },
+            )?,
+            max_steps: args
+                .get_parsed("max-steps", if smoke { 7 } else { sat_defaults.max_steps })?,
+            precision: args.get_parsed("precision", sat_defaults.precision)?,
+            compare_at_knee: !args.flag("no-knee-compare"),
+        };
+        eprintln!(
+            "loadtest --find-max-tps: SLO p99<={}s{}; ramp from {}/s, {} jobs/step, {} steps max",
+            sat.slo.p99_secs,
+            match sat.slo.max_relative_bound {
+                Some(b) => format!(", bound<={b}"),
+                None => String::new(),
+            },
+            sat.start_rate,
+            sat.jobs_per_step,
+            sat.max_steps
+        );
+        let report = match &sinks {
+            Some(s) => find_max_tps_with_obs(&sat, std::sync::Arc::clone(&s.obs)),
+            None => find_max_tps(&sat),
+        };
+        for step in &report.steps {
+            eprintln!(
+                "  [{:?}] offered {:.2}/s achieved {:.2}/s p99 {:.3}s viol {:.0}% degrade {:.2} -> {}",
+                step.phase,
+                step.offered_rate,
+                step.achieved_rate,
+                step.p99_latency_secs,
+                step.violation_rate * 100.0,
+                step.mean_degrade,
+                if step.slo_met { "PASS" } else { "FAIL" }
+            );
+        }
+        eprintln!(
+            "knee {:.2} jobs/s (max sustainable TPS {:.2}), converged={}, generator_saturated={}",
+            report.knee_rate,
+            report.max_sustainable_tps,
+            report.converged,
+            report.generator_saturated
+        );
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| UsageError(format!("{e:?}")))?
+        );
+        if let Some(s) = &sinks {
+            s.write()?;
+        }
+        if !report.converged {
+            return Err(UsageError(
+                "saturation search found no stable operating point at the stated SLO".into(),
+            ));
+        }
+        return Ok(());
+    }
+
     eprintln!(
         "loadtest: {} jobs at {}/s over {} slots, twice (controller off, then on)",
         config.jobs, config.arrival_rate, config.slots
     );
-    let sinks = obs_sinks(args)?;
     let report = match &sinks {
         Some(s) => run_with_obs(&config, std::sync::Arc::clone(&s.obs)),
         None => run(&config),

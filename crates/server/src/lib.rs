@@ -50,6 +50,8 @@ pub mod admission;
 pub mod loadgen;
 pub mod service;
 
-pub use admission::{AdmissionConfig, AdmissionController, ApproxBudget, DegradeDecision};
-pub use loadgen::{LoadConfig, LoadReport};
-pub use service::{JobHandle, JobService, JobSpec};
+pub use admission::{
+    AdmissionConfig, AdmissionController, ApproxBudget, ControllerMode, DegradeDecision,
+};
+pub use loadgen::{LoadConfig, LoadReport, SatConfig, SaturationReport, SloSpec};
+pub use service::{ErrorGoal, JobHandle, JobService, JobSpec};

@@ -9,10 +9,18 @@
 //!
 //! [`run`] executes the same arrival sequence twice — once with the
 //! controller disabled (every job admitted precise) and once enabled
-//! (AIMD degradation inside each job's budget) — and reports
-//! throughput, p50/p99 latency, peak concurrency, per-job achieved
-//! error bounds, and every degradation decision. The two phases share
-//! seeds, so the p99 delta isolates the controller's effect.
+//! (degradation inside each job's budget) — and reports throughput,
+//! p50/p99 latency, peak concurrency, per-job achieved error bounds,
+//! and every degradation decision. The two phases share seeds, so the
+//! p99 delta isolates the controller's effect.
+//!
+//! [`find_max_tps`] instead *searches*: it hill-climbs the offered
+//! arrival rate — multiplicative ramp until the stated [`SloSpec`]
+//! breaks, then binary refinement of the bracket — to find the
+//! service's maximum sustainable TPS at that SLO (the knee), detecting
+//! when the *generator* rather than the service saturates
+//! (scheduled-vs-actual submission lag), and finally measures the
+//! SLO-mode and AIMD-mode controllers at the knee with the same seeds.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -30,7 +38,9 @@ use approxhadoop_workloads::wikilog::{LogEntry, WikiLog};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::admission::{percentile, AdmissionConfig, ApproxBudget, DegradeDecision};
+use crate::admission::{
+    percentile, AdmissionConfig, ApproxBudget, ControllerMode, DegradeDecision,
+};
 use crate::service::{JobService, JobSpec};
 
 /// Knobs of one load-generation run.
@@ -52,6 +62,12 @@ pub struct LoadConfig {
     pub min_sampling_ratio: f64,
     /// The controller's p99 latency target, seconds.
     pub p99_target_secs: f64,
+    /// The controller's accuracy SLO: worst relative interval
+    /// half-width it tries to stay under (`None` = latency only).
+    pub max_relative_bound: Option<f64>,
+    /// The feedback law for the controlled phase (the baseline phase
+    /// always runs with the controller disabled).
+    pub mode: ControllerMode,
     /// Base seed for arrivals and per-job data/sampling.
     pub seed: u64,
     /// `0` (the default) runs jobs on the shared thread pool; a
@@ -72,6 +88,8 @@ impl Default for LoadConfig {
             max_drop_ratio: 0.7,
             min_sampling_ratio: 0.25,
             p99_target_secs: 0.4,
+            max_relative_bound: None,
+            mode: ControllerMode::Slo,
             seed: 0,
             process_workers: 0,
         }
@@ -87,6 +105,11 @@ pub struct JobOutcome {
     pub name: String,
     /// Seconds after phase start the job arrived.
     pub arrival_secs: f64,
+    /// How far behind its scheduled arrival the generator actually
+    /// submitted the job, seconds. A growing lag means the *generator*
+    /// is the bottleneck (underpowered-generator saturation), not the
+    /// service.
+    pub submit_lag_secs: f64,
     /// Degrade factor applied at admission.
     pub degrade: f64,
     /// Admitted drop ratio.
@@ -128,10 +151,20 @@ pub struct PhaseReport {
     pub mean_latency_secs: f64,
     /// Most jobs simultaneously in flight.
     pub peak_concurrency: usize,
+    /// Arrival rate the generator actually achieved, jobs/second over
+    /// the submission span. Falling visibly short of the configured
+    /// rate means the generator saturated before the service did.
+    pub achieved_arrival_rate: f64,
+    /// Mean submission lag behind the open-loop schedule, seconds.
+    pub mean_submit_lag_secs: f64,
     /// Controller updates that saw the service overloaded.
     pub overloaded_observations: u64,
-    /// Every admission decision, in admission order.
+    /// Recent admission decisions, in admission order (ring-capped; see
+    /// `decisions_total` for the lifetime count).
     pub decisions: Vec<DegradeDecision>,
+    /// Lifetime admission-decision count, including any evicted from
+    /// the ring.
+    pub decisions_total: u64,
     /// Per-job outcomes, in completion order.
     pub jobs: Vec<JobOutcome>,
     /// Prometheus text exposition of the observability registry at
@@ -200,11 +233,13 @@ pub fn run_phase_with_obs(
         config.slots,
         AdmissionConfig {
             p99_target_secs: config.p99_target_secs,
+            max_relative_bound: config.max_relative_bound,
             // A backlog deeper than one full round of slots means jobs
             // are already waiting — react at admission, not first
             // completion.
             queue_threshold: config.slots,
             increase_step: 0.35,
+            mode: config.mode,
             enabled: controller_enabled,
             ..Default::default()
         },
@@ -219,6 +254,8 @@ pub fn run_phase_with_obs(
 
     let start = Instant::now();
     let mut waiters = Vec::with_capacity(config.jobs);
+    let mut lag_sum = 0.0;
+    let mut last_submit_secs = 0.0;
     for (j, arrival) in arrivals.iter().copied().enumerate() {
         // Open loop: submit at the scheduled instant no matter how far
         // behind the service is.
@@ -226,6 +263,7 @@ pub fn run_phase_with_obs(
         if let Some(wait) = due.checked_duration_since(Instant::now()) {
             std::thread::sleep(wait);
         }
+        let submit_lag = (start.elapsed().as_secs_f64() - arrival).max(0.0);
         let log = WikiLog {
             days: 1,
             entries_per_block: config.entries_per_block,
@@ -278,6 +316,8 @@ pub fn run_phase_with_obs(
                 )
                 .expect("valid loadgen spec")
         };
+        lag_sum += submit_lag;
+        last_submit_secs = start.elapsed().as_secs_f64();
         let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         peak.fetch_max(now, Ordering::SeqCst);
 
@@ -299,6 +339,7 @@ pub fn run_phase_with_obs(
                         job: id.0,
                         name,
                         arrival_secs: arrival,
+                        submit_lag_secs: submit_lag,
                         degrade,
                         drop_ratio,
                         sampling_ratio,
@@ -331,8 +372,11 @@ pub fn run_phase_with_obs(
         p99_latency_secs: percentile(&latencies, 0.99).unwrap_or(0.0),
         mean_latency_secs: mean,
         peak_concurrency: peak.load(Ordering::SeqCst),
+        achieved_arrival_rate: jobs.len() as f64 / last_submit_secs.max(1e-9),
+        mean_submit_lag_secs: lag_sum / jobs.len().max(1) as f64,
         overloaded_observations: service.controller().overloaded_observations(),
         decisions: service.controller().decisions(),
+        decisions_total: service.controller().decisions_total(),
         jobs,
         prometheus: obs.registry.render_prometheus(),
         metrics: obs.registry.snapshot(),
@@ -361,6 +405,308 @@ pub fn run_with_obs(config: &LoadConfig, obs: Arc<Obs>) -> LoadReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Saturation-seeking search (`loadtest --find-max-tps`)
+// ---------------------------------------------------------------------
+
+/// The service-level objective a saturation search holds the service
+/// to while hunting for its maximum sustainable arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct SloSpec {
+    /// p99 job latency ceiling, seconds.
+    pub p99_secs: f64,
+    /// Worst relative interval half-width ceiling (`None` = latency
+    /// only).
+    pub max_relative_bound: Option<f64>,
+    /// Fraction of a step's jobs allowed over the latency ceiling
+    /// before the step counts as violating.
+    pub violation_tolerance: f64,
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        SloSpec {
+            p99_secs: 0.4,
+            max_relative_bound: None,
+            violation_tolerance: 0.1,
+        }
+    }
+}
+
+/// Knobs of a saturation search.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct SatConfig {
+    /// Template for each measurement step (slots, job shape, budget,
+    /// seed, backend); `arrival_rate`/`jobs`/`p99_target_secs` are
+    /// overridden per step.
+    pub base: LoadConfig,
+    /// The SLO to hold.
+    pub slo: SloSpec,
+    /// First offered arrival rate, jobs/second.
+    pub start_rate: f64,
+    /// Jobs fired per measurement step.
+    pub jobs_per_step: usize,
+    /// Step budget across ramp and refinement.
+    pub max_steps: usize,
+    /// Refinement stops once the bracket narrows to this fraction of
+    /// the passing rate.
+    pub precision: f64,
+    /// Also measure an AIMD-mode and an SLO-mode step at the knee
+    /// (same seeds) for the controller comparison.
+    pub compare_at_knee: bool,
+}
+
+impl Default for SatConfig {
+    fn default() -> Self {
+        SatConfig {
+            base: LoadConfig::default(),
+            slo: SloSpec::default(),
+            start_rate: 1.0,
+            jobs_per_step: 12,
+            max_steps: 12,
+            precision: 0.15,
+            compare_at_knee: true,
+        }
+    }
+}
+
+/// Which stage of the search a step belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum SearchPhase {
+    /// Multiplicative ramp: rate doubles until the SLO breaks.
+    Ramp,
+    /// Binary refinement inside the `[passing, failing]` bracket.
+    Refine,
+    /// Post-search comparison step at the knee.
+    Knee,
+}
+
+/// One measured operating point.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct StepMeasurement {
+    /// Search stage this step ran under.
+    pub phase: SearchPhase,
+    /// Controller mode the step's service ran.
+    pub mode: ControllerMode,
+    /// Offered (scheduled) arrival rate, jobs/second.
+    pub offered_rate: f64,
+    /// Arrival rate the generator actually achieved.
+    pub achieved_rate: f64,
+    /// Completed jobs per second over the step's makespan.
+    pub throughput_jobs_per_sec: f64,
+    /// p99 job latency, seconds.
+    pub p99_latency_secs: f64,
+    /// Fraction of jobs over the latency SLO.
+    pub violation_rate: f64,
+    /// Worst relative bound across the step's jobs, if any reported.
+    pub worst_relative_bound: Option<f64>,
+    /// Mean degrade factor across admissions.
+    pub mean_degrade: f64,
+    /// Whether the step held the SLO.
+    pub slo_met: bool,
+    /// Whether the *generator* fell behind its own schedule (achieved
+    /// rate visibly short of offered): the measurement says nothing
+    /// about the service past this rate.
+    pub generator_saturated: bool,
+}
+
+/// The saturation search's verdict.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SaturationReport {
+    /// The search configuration.
+    pub config: SatConfig,
+    /// Every measured step, in execution order.
+    pub steps: Vec<StepMeasurement>,
+    /// Highest offered arrival rate that held the SLO (the knee), in
+    /// jobs/second; `0` if even the starting rate violated it.
+    pub knee_rate: f64,
+    /// Measured completion throughput at the knee, jobs/second.
+    pub max_sustainable_tps: f64,
+    /// Whether the search found a stable operating point (at least one
+    /// passing step, bracket refined or ramp exhausted).
+    pub converged: bool,
+    /// Whether the ramp stopped because the generator, not the
+    /// service, saturated.
+    pub generator_saturated: bool,
+    /// SLO-mode measurement at the knee (when `compare_at_knee`).
+    pub at_knee_slo: Option<StepMeasurement>,
+    /// AIMD-mode measurement at the knee with the same seeds — the
+    /// fixed-schedule baseline the dual controller is judged against.
+    pub at_knee_aimd: Option<StepMeasurement>,
+}
+
+/// Threshold below which `achieved/offered` marks the generator as the
+/// bottleneck.
+const GENERATOR_SATURATION_FRACTION: f64 = 0.85;
+
+/// Judges one completed phase against the SLO.
+fn judge_step(
+    phase: SearchPhase,
+    mode: ControllerMode,
+    offered_rate: f64,
+    slo: &SloSpec,
+    report: &PhaseReport,
+) -> StepMeasurement {
+    let violations = report
+        .jobs
+        .iter()
+        .filter(|o| o.latency_secs > slo.p99_secs)
+        .count();
+    let violation_rate = violations as f64 / report.jobs.len().max(1) as f64;
+    let worst_bound = report
+        .jobs
+        .iter()
+        .filter_map(|o| o.worst_relative_bound)
+        .fold(None, |acc: Option<f64>, b| {
+            Some(acc.map_or(b, |a| a.max(b)))
+        });
+    let mean_degrade = report.decisions.iter().map(|d| d.degrade).sum::<f64>()
+        / report.decisions.len().max(1) as f64;
+    let bound_ok = match (slo.max_relative_bound, worst_bound) {
+        (Some(max), Some(b)) => b <= max,
+        _ => true,
+    };
+    let slo_met = report.p99_latency_secs <= slo.p99_secs
+        && violation_rate <= slo.violation_tolerance
+        && bound_ok;
+    let generator_saturated =
+        report.achieved_arrival_rate < GENERATOR_SATURATION_FRACTION * offered_rate;
+    StepMeasurement {
+        phase,
+        mode,
+        offered_rate,
+        achieved_rate: report.achieved_arrival_rate,
+        throughput_jobs_per_sec: report.throughput_jobs_per_sec,
+        p99_latency_secs: report.p99_latency_secs,
+        violation_rate,
+        worst_relative_bound: worst_bound,
+        mean_degrade,
+        slo_met,
+        generator_saturated,
+    }
+}
+
+/// The search skeleton with a pluggable step runner, so the hill-climb
+/// logic is testable against a synthetic service with a known knee.
+/// `measure` receives `(offered_rate, phase, mode)` and returns the
+/// measured operating point.
+pub fn find_max_tps_with<F>(cfg: &SatConfig, mut measure: F) -> SaturationReport
+where
+    F: FnMut(f64, SearchPhase, ControllerMode) -> StepMeasurement,
+{
+    let mut steps: Vec<StepMeasurement> = Vec::new();
+    let mut best_pass: Option<StepMeasurement> = None;
+    let mut lo: Option<f64> = None; // highest passing rate
+    let mut hi: Option<f64> = None; // lowest failing rate
+    let mut generator_saturated = false;
+
+    // Phase 1 — multiplicative ramp: double until the SLO breaks, the
+    // generator saturates, or the step budget runs out.
+    let mut rate = cfg.start_rate.max(1e-3);
+    while steps.len() < cfg.max_steps {
+        let m = measure(rate, SearchPhase::Ramp, cfg.base.mode);
+        let passed = m.slo_met;
+        let gen_sat = m.generator_saturated;
+        steps.push(m.clone());
+        if passed {
+            lo = Some(rate);
+            best_pass = Some(m);
+            if gen_sat {
+                // Passing but the generator cannot offer more load:
+                // the knee is at least here; stop ramping.
+                generator_saturated = true;
+                break;
+            }
+            rate *= 2.0;
+        } else {
+            hi = Some(rate);
+            break;
+        }
+    }
+
+    // Phase 2 — binary refinement of the [lo, hi] bracket.
+    if let (Some(mut lo_r), Some(mut hi_r)) = (lo, hi) {
+        while steps.len() < cfg.max_steps && (hi_r - lo_r) > cfg.precision * lo_r {
+            let mid = 0.5 * (lo_r + hi_r);
+            let m = measure(mid, SearchPhase::Refine, cfg.base.mode);
+            let passed = m.slo_met;
+            steps.push(m.clone());
+            if passed {
+                lo_r = mid;
+                best_pass = Some(m);
+            } else {
+                hi_r = mid;
+            }
+        }
+        lo = Some(lo_r);
+    }
+
+    let knee_rate = lo.unwrap_or(0.0);
+    let max_sustainable_tps = best_pass
+        .as_ref()
+        .map(|m| m.throughput_jobs_per_sec)
+        .unwrap_or(0.0);
+    let converged = best_pass.is_some();
+
+    // Phase 3 — the controller comparison at the knee: same rate, same
+    // seeds, SLO mode versus the AIMD baseline.
+    let (at_knee_slo, at_knee_aimd) = if cfg.compare_at_knee && converged {
+        (
+            Some(measure(knee_rate, SearchPhase::Knee, ControllerMode::Slo)),
+            Some(measure(knee_rate, SearchPhase::Knee, ControllerMode::Aimd)),
+        )
+    } else {
+        (None, None)
+    };
+
+    SaturationReport {
+        config: *cfg,
+        steps,
+        knee_rate,
+        max_sustainable_tps,
+        converged,
+        generator_saturated,
+        at_knee_slo,
+        at_knee_aimd,
+    }
+}
+
+/// Runs the saturation search against the real [`JobService`] on the
+/// synthetic wikilog workload, publishing search state into `obs`
+/// (`loadtest_target_tps`, `loadtest_search_phase` — 0 ramp / 1 refine
+/// / 2 knee — and `loadtest_knee_tps`).
+pub fn find_max_tps_with_obs(cfg: &SatConfig, obs: Arc<Obs>) -> SaturationReport {
+    let report = find_max_tps_with(cfg, |rate, phase, mode| {
+        obs.registry.gauge("loadtest_target_tps", &[]).set(rate);
+        obs.registry
+            .gauge("loadtest_search_phase", &[])
+            .set(match phase {
+                SearchPhase::Ramp => 0.0,
+                SearchPhase::Refine => 1.0,
+                SearchPhase::Knee => 2.0,
+            });
+        let step_config = LoadConfig {
+            arrival_rate: rate,
+            jobs: cfg.jobs_per_step,
+            p99_target_secs: cfg.slo.p99_secs,
+            max_relative_bound: cfg.slo.max_relative_bound,
+            mode,
+            ..cfg.base
+        };
+        let phase_report = run_phase_with_obs(&step_config, true, Arc::clone(&obs));
+        judge_step(phase, mode, rate, &cfg.slo, &phase_report)
+    });
+    obs.registry
+        .gauge("loadtest_knee_tps", &[])
+        .set(report.knee_rate);
+    report
+}
+
+/// [`find_max_tps_with_obs`] with a private observability context.
+pub fn find_max_tps(cfg: &SatConfig) -> SaturationReport {
+    find_max_tps_with_obs(cfg, Obs::shared())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +721,125 @@ mod tests {
             p99_target_secs: 1e-6, // force overload immediately
             ..Default::default()
         }
+    }
+
+    /// Synthetic service: holds the SLO up to `knee` offered jobs/s,
+    /// violates above it; the generator cannot exceed `gen_limit`.
+    fn synthetic_step(
+        rate: f64,
+        phase: SearchPhase,
+        mode: ControllerMode,
+        knee: f64,
+        gen_limit: f64,
+    ) -> StepMeasurement {
+        let achieved = rate.min(gen_limit);
+        StepMeasurement {
+            phase,
+            mode,
+            offered_rate: rate,
+            achieved_rate: achieved,
+            throughput_jobs_per_sec: achieved.min(knee),
+            p99_latency_secs: if rate <= knee { 0.1 } else { 1.0 },
+            violation_rate: if rate <= knee { 0.0 } else { 0.5 },
+            worst_relative_bound: None,
+            mean_degrade: 0.0,
+            slo_met: rate <= knee,
+            generator_saturated: achieved < GENERATOR_SATURATION_FRACTION * rate,
+        }
+    }
+
+    #[test]
+    fn search_converges_on_a_synthetic_knee() {
+        let cfg = SatConfig {
+            start_rate: 1.0,
+            max_steps: 20,
+            precision: 0.1,
+            ..Default::default()
+        };
+        let report =
+            find_max_tps_with(&cfg, |r, p, m| synthetic_step(r, p, m, 10.0, f64::INFINITY));
+        assert!(report.converged);
+        assert!(!report.generator_saturated);
+        // The knee is found within the configured precision and never
+        // overshoots the true knee (it is the highest *passing* rate).
+        assert!(report.knee_rate <= 10.0 + 1e-9, "{}", report.knee_rate);
+        assert!(
+            (10.0 - report.knee_rate) <= cfg.precision * 10.0,
+            "knee {} too far from 10.0",
+            report.knee_rate
+        );
+        assert!(report.max_sustainable_tps > 0.0);
+        // The ramp comes first, refinement after; both respect the
+        // step budget (knee-comparison steps are stored separately).
+        assert!(report.steps.len() <= cfg.max_steps);
+        let first_refine = report
+            .steps
+            .iter()
+            .position(|s| s.phase == SearchPhase::Refine)
+            .expect("bracket was refined");
+        assert!(report.steps[..first_refine]
+            .iter()
+            .all(|s| s.phase == SearchPhase::Ramp));
+        // The knee comparison ran both controllers at the same rate.
+        let slo = report.at_knee_slo.expect("slo knee step");
+        let aimd = report.at_knee_aimd.expect("aimd knee step");
+        assert_eq!(slo.mode, ControllerMode::Slo);
+        assert_eq!(aimd.mode, ControllerMode::Aimd);
+        assert_eq!(slo.offered_rate, aimd.offered_rate);
+        assert_eq!(slo.offered_rate, report.knee_rate);
+    }
+
+    #[test]
+    fn underpowered_generator_stops_the_ramp_and_is_reported() {
+        let cfg = SatConfig {
+            start_rate: 1.0,
+            max_steps: 20,
+            ..Default::default()
+        };
+        // Service knee at 10 jobs/s but the generator tops out at 3:
+        // the search must stop at the last honest measurement instead
+        // of crediting the service with rates it never saw.
+        let report = find_max_tps_with(&cfg, |r, p, m| synthetic_step(r, p, m, 10.0, 3.0));
+        assert!(report.converged);
+        assert!(report.generator_saturated);
+        assert!(
+            report.knee_rate < 10.0,
+            "knee {} claims more than the generator could offer",
+            report.knee_rate
+        );
+    }
+
+    #[test]
+    fn search_without_a_passing_step_does_not_converge() {
+        let cfg = SatConfig {
+            start_rate: 1.0,
+            max_steps: 8,
+            ..Default::default()
+        };
+        // Even the starting rate violates the SLO.
+        let report =
+            find_max_tps_with(&cfg, |r, p, m| synthetic_step(r, p, m, 0.25, f64::INFINITY));
+        assert!(!report.converged);
+        assert_eq!(report.knee_rate, 0.0);
+        assert_eq!(report.max_sustainable_tps, 0.0);
+        assert!(report.at_knee_slo.is_none() && report.at_knee_aimd.is_none());
+    }
+
+    #[test]
+    fn ramp_respects_the_step_budget() {
+        let cfg = SatConfig {
+            start_rate: 1.0,
+            max_steps: 3,
+            ..Default::default()
+        };
+        // SLO never breaks: the ramp must stop at the budget with the
+        // best measured rate rather than doubling forever.
+        let report = find_max_tps_with(&cfg, |r, p, m| {
+            synthetic_step(r, p, m, f64::INFINITY, f64::INFINITY)
+        });
+        assert!(report.converged);
+        assert_eq!(report.steps.len(), 3);
+        assert_eq!(report.knee_rate, 4.0); // 1 -> 2 -> 4
     }
 
     #[test]

@@ -9,12 +9,15 @@
 //! caller gets a [`JobHandle`] carrying the admission decision, a
 //! stream of [`JobEvent`]s, a cancellation handle, and the result.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver};
 
+use approxhadoop_core::spec::{ErrorTarget, PilotSpec};
+use approxhadoop_core::target::{SharedApproxState, TargetErrorCoordinator};
 use approxhadoop_ipc::Wire;
 use approxhadoop_obs::Obs;
 use approxhadoop_runtime::engine::{
@@ -23,11 +26,28 @@ use approxhadoop_runtime::engine::{
 use approxhadoop_runtime::event::{CancelHandle, JobEvent, JobId, JobSession};
 use approxhadoop_runtime::input::InputSource;
 use approxhadoop_runtime::mapper::Mapper;
+use approxhadoop_runtime::metrics::JobMetrics;
 use approxhadoop_runtime::pool::SlotPool;
 use approxhadoop_runtime::reducer::Reducer;
 use approxhadoop_runtime::{FaultPlan, FaultPolicy, FixedCoordinator, RuntimeError};
 
 use crate::admission::{AdmissionConfig, AdmissionController, ApproxBudget};
+
+/// The worst *final* relative error bound across the job's reducers, if
+/// any reported a finite one — the accuracy signal fed back into the
+/// admission controller's error loop after every completion.
+fn worst_final_bound(metrics: &JobMetrics) -> Option<f64> {
+    let mut last: HashMap<usize, f64> = HashMap::new();
+    for p in &metrics.bound_series {
+        last.insert(p.reducer, p.relative_bound);
+    }
+    last.values()
+        .copied()
+        .filter(|b| b.is_finite())
+        .fold(None, |acc: Option<f64>, b| {
+            Some(acc.map_or(b, |a| a.max(b)))
+        })
+}
 
 /// What a submitter asks for: identity, fair-share weight, shape, and
 /// the approximation budget the service may spend under load.
@@ -83,6 +103,88 @@ impl Default for JobSpec {
             max_degraded_bound: None,
             workers: engine.workers,
             shuffle_mem_bytes: engine.shuffle_mem_bytes,
+        }
+    }
+}
+
+/// What a target-error submitter asks for: an accuracy goal instead of
+/// mechanism ratios ("±1% relative at 95%"), per EARL and the paper's
+/// Section 4.4. The service picks the mechanism — a
+/// [`TargetErrorCoordinator`] runs a first (or pilot) wave on the shared
+/// pool, plans the cheapest continuation (Eq. 4–7), and drops the
+/// remaining maps the moment every reducer confirms the bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorGoal {
+    /// The error bound the job must reach before stopping early.
+    pub target: ErrorTarget,
+    /// Confidence level for the bound (e.g. `0.95`).
+    pub confidence: f64,
+    /// Optional pilot wave replacing the precise first wave.
+    pub pilot: Option<PilotSpec>,
+    /// How far admission may *relax* the goal under load, as a fraction
+    /// of the target: at degrade factor `d` the effective target becomes
+    /// `target × (1 + d × max_relaxation)`. `0` (the default) keeps the
+    /// goal firm regardless of load — the goal-job analogue of
+    /// [`ApproxBudget::precise`].
+    pub max_relaxation: f64,
+}
+
+impl ErrorGoal {
+    /// A firm relative goal at 95% confidence: "±`relative_error` at
+    /// 95%" (e.g. `0.01` for ±1%).
+    pub fn relative(relative_error: f64) -> Self {
+        ErrorGoal {
+            target: ErrorTarget::Relative(relative_error),
+            confidence: 0.95,
+            pilot: None,
+            max_relaxation: 0.0,
+        }
+    }
+
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        let v = match self.target {
+            ErrorTarget::Relative(x) | ErrorTarget::Absolute(x) => x,
+        };
+        if !(v > 0.0 && v.is_finite()) {
+            return Err(format!("error target must be positive and finite, got {v}"));
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(format!(
+                "confidence must lie in (0, 1), got {}",
+                self.confidence
+            ));
+        }
+        if !(self.max_relaxation >= 0.0 && self.max_relaxation.is_finite()) {
+            return Err(format!(
+                "max_relaxation must be non-negative and finite, got {}",
+                self.max_relaxation
+            ));
+        }
+        if let Some(p) = self.pilot {
+            if p.tasks < 2 {
+                return Err(format!(
+                    "pilot wave needs at least 2 tasks, got {}",
+                    p.tasks
+                ));
+            }
+            if !(p.sampling_ratio > 0.0 && p.sampling_ratio <= 1.0) {
+                return Err(format!(
+                    "pilot sampling ratio must lie in (0, 1], got {}",
+                    p.sampling_ratio
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The goal after admission spends `degrade` of the relaxation
+    /// allowance.
+    fn relaxed(&self, degrade: f64) -> ErrorTarget {
+        let f = 1.0 + degrade.clamp(0.0, 1.0) * self.max_relaxation;
+        match self.target {
+            ErrorTarget::Relative(x) => ErrorTarget::Relative(x * f),
+            ErrorTarget::Absolute(x) => ErrorTarget::Absolute(x * f),
         }
     }
 }
@@ -300,9 +402,185 @@ impl JobService {
                 };
                 pool.unregister_tenant(tenant);
                 // Cancelled jobs say nothing about service health; all
-                // other completions (and failures) feed the controller.
+                // other completions (and failures) feed the controller,
+                // including the achieved error bound when the job's
+                // reducers reported one (the accuracy half of the SLO).
                 if !matches!(outcome, Err(RuntimeError::Cancelled)) {
-                    controller.on_job_complete(submitted.elapsed().as_secs_f64(), pool.queued());
+                    let bound = outcome
+                        .as_ref()
+                        .ok()
+                        .and_then(|r| worst_final_bound(&r.metrics));
+                    controller.on_job_outcome(
+                        submitted.elapsed().as_secs_f64(),
+                        pool.queued(),
+                        bound,
+                    );
+                }
+                if let Ok(r) = &outcome {
+                    let m = &r.metrics;
+                    if m.failed_maps > 0 || m.retried_maps > 0 || m.degraded_to_drop > 0 {
+                        controller.on_job_faults(m.failed_maps, m.retried_maps, m.degraded_to_drop);
+                    }
+                }
+                match &outcome {
+                    Ok(r) => session.emit(JobEvent::Done {
+                        job: id,
+                        wall_secs: r.metrics.wall_secs,
+                    }),
+                    Err(e) => session.emit(JobEvent::Failed {
+                        job: id,
+                        reason: e.to_string(),
+                    }),
+                }
+                let _ = result_tx.send(outcome);
+            })
+            .expect("spawn job tracker thread");
+
+        Ok(JobHandle {
+            id,
+            name: spec.name,
+            degrade: decision.degrade,
+            drop_ratio: decision.drop_ratio,
+            sampling_ratio: decision.sampling_ratio,
+            events: event_rx,
+            cancel,
+            result: result_rx,
+        })
+    }
+
+    /// Submits a **target-error job**: the caller states a goal
+    /// ([`ErrorGoal`], e.g. "±1% relative at 95%") instead of
+    /// drop/sampling ratios, and the service runs it on the shared pool
+    /// through a [`TargetErrorCoordinator`] — a precise (or pilot)
+    /// first wave, a timing-model fit, the Eq. 4–7 plan, and an early
+    /// stop that drops every remaining map once all reducers confirm
+    /// the bound.
+    ///
+    /// `make_reducer` receives the job's [`SharedApproxState`] so it
+    /// can attach a bound monitor (e.g.
+    /// `MultiStageReducer::with_monitor`) — without reducer reports the
+    /// coordinator never confirms the bound and the job degenerates to
+    /// a precise run.
+    ///
+    /// Admission still applies: the decision is recorded, and under
+    /// load the controller may *relax* the goal within
+    /// [`ErrorGoal::max_relaxation`] (the goal-job analogue of
+    /// degrading within an [`ApproxBudget`]). `spec.budget` is ignored
+    /// — the coordinator owns the ratios.
+    pub fn submit_with_goal<S, M, R, FR>(
+        &self,
+        spec: JobSpec,
+        goal: ErrorGoal,
+        input: Arc<S>,
+        mapper: Arc<M>,
+        make_reducer: FR,
+    ) -> Result<JobHandle<R::Output>, RuntimeError>
+    where
+        S: InputSource + 'static,
+        M: Mapper<Item = S::Item> + 'static,
+        R: Reducer<Key = M::Key, Value = M::Value> + Send + 'static,
+        R::Output: Send + 'static,
+        FR: Fn(usize, &Arc<SharedApproxState>) -> R + Send + 'static,
+    {
+        goal.validate().map_err(RuntimeError::invalid)?;
+        if !(spec.weight > 0.0 && spec.weight.is_finite()) {
+            return Err(RuntimeError::invalid(format!(
+                "weight must be positive and finite, got {}",
+                spec.weight
+            )));
+        }
+        // The coordinator decides per-task sampling and the drop point;
+        // the engine config stays precise.
+        let config = JobConfig {
+            map_slots: spec.map_slots,
+            servers: 1,
+            reduce_tasks: spec.reduce_tasks,
+            sampling_ratio: 1.0,
+            drop_ratio: 0.0,
+            seed: spec.seed,
+            combining: true,
+            speculative: false,
+            straggler_factor: 2.0,
+            fault_plan: spec.fault_plan.clone(),
+            fault_policy: FaultPolicy {
+                max_task_retries: spec.max_task_retries,
+                degrade_to_drop: spec.max_task_retries > 0,
+                max_degraded_bound: spec.max_degraded_bound,
+                ..Default::default()
+            },
+            obs: Some(Arc::clone(&self.obs)),
+            workers: spec.workers,
+            shuffle_mem_bytes: spec.shuffle_mem_bytes,
+            spill_dir: None,
+            flight_dir: None,
+        };
+        config.validate()?;
+        let id = JobId(self.next_job.fetch_add(1, Ordering::SeqCst));
+        // Goal jobs carry no ratio budget; the decision still records
+        // the degrade factor, which relaxes the goal within the caller's
+        // allowance.
+        let decision = self
+            .controller
+            .admit(id.0, &ApproxBudget::precise(), self.pool.queued());
+        let effective_target = goal.relaxed(decision.degrade);
+
+        let (event_tx, event_rx) = unbounded();
+        let mut session = JobSession::new(id).with_events(event_tx);
+        if let Some(d) = spec.deadline {
+            session = session.with_deadline(Instant::now() + d);
+        }
+        let cancel = session.cancel_handle();
+        session.emit(JobEvent::Queued { job: id });
+
+        let (result_tx, result_rx) = unbounded();
+        let pool = Arc::clone(&self.pool);
+        let controller = Arc::clone(&self.controller);
+        let submitted = Instant::now();
+        let weight = spec.weight;
+        let wave_size = spec.map_slots;
+        let reduce_tasks = spec.reduce_tasks;
+        let pilot = goal.pilot;
+        let confidence = goal.confidence;
+        std::thread::Builder::new()
+            .name(format!("tracker-{id}"))
+            .spawn(move || {
+                let tenant = pool.register_tenant(weight);
+                let total = input.splits().len();
+                let outcome = if total == 0 {
+                    Err(RuntimeError::invalid("input has no splits"))
+                } else {
+                    let shared = Arc::new(SharedApproxState::new(reduce_tasks));
+                    let mut coordinator = TargetErrorCoordinator::new(
+                        total,
+                        effective_target,
+                        confidence,
+                        wave_size,
+                        pilot,
+                        Arc::clone(&shared),
+                    );
+                    let reducer_shared = Arc::clone(&shared);
+                    run_job_on_pool(
+                        input,
+                        mapper,
+                        move |partition| make_reducer(partition, &reducer_shared),
+                        config,
+                        &mut coordinator,
+                        &pool,
+                        tenant,
+                        &session,
+                    )
+                };
+                pool.unregister_tenant(tenant);
+                if !matches!(outcome, Err(RuntimeError::Cancelled)) {
+                    let bound = outcome
+                        .as_ref()
+                        .ok()
+                        .and_then(|r| worst_final_bound(&r.metrics));
+                    controller.on_job_outcome(
+                        submitted.elapsed().as_secs_f64(),
+                        pool.queued(),
+                        bound,
+                    );
                 }
                 if let Ok(r) = &outcome {
                     let m = &r.metrics;
@@ -414,6 +692,7 @@ impl JobService {
 
         let (result_tx, result_rx) = unbounded();
         let controller = Arc::clone(&self.controller);
+        let pool = Arc::clone(&self.pool);
         let submitted = Instant::now();
         let seed = spec.seed;
         std::thread::Builder::new()
@@ -439,7 +718,20 @@ impl JobService {
                     )
                 };
                 if !matches!(outcome, Err(RuntimeError::Cancelled)) {
-                    controller.on_job_complete(submitted.elapsed().as_secs_f64(), 0);
+                    // Process jobs run beside the shared pool, not on
+                    // it, but in a mixed fleet a backed-up pool is still
+                    // an overload signal this completion should carry —
+                    // a hard-coded depth of 0 blinded the controller to
+                    // it under `--backend process`.
+                    let bound = outcome
+                        .as_ref()
+                        .ok()
+                        .and_then(|r| worst_final_bound(&r.metrics));
+                    controller.on_job_outcome(
+                        submitted.elapsed().as_secs_f64(),
+                        pool.queued(),
+                        bound,
+                    );
                 }
                 if let Ok(r) = &outcome {
                     let m = &r.metrics;

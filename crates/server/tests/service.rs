@@ -313,3 +313,74 @@ fn wave_events_carry_running_bound_when_reducers_report() {
         "final wave of a monitored job must carry the running bound"
     );
 }
+
+#[test]
+fn goal_job_on_shared_pool_stops_early_once_the_bound_is_met() {
+    use approxhadoop_core::multistage::{
+        Aggregation, BoundMonitor, MultiStageMapper, MultiStageReducer,
+    };
+    use approxhadoop_server::service::ErrorGoal;
+
+    // Forty identical clusters (every block sums to the same value):
+    // the between-cluster variance is zero, so the first wave already
+    // proves the bound and the coordinator must drop the whole tail
+    // instead of running the job to completion.
+    let input: Vec<Vec<u32>> = (0..40).map(|_| vec![1u32; 25]).collect();
+    let service = JobService::new(4, AdmissionConfig::default());
+    let spec = JobSpec {
+        map_slots: 4,
+        reduce_tasks: 1,
+        ..Default::default()
+    };
+    let h = service
+        .submit_with_goal(
+            spec,
+            ErrorGoal::relative(0.05), // "±5% at 95%"
+            Arc::new(VecSource::new(input)),
+            Arc::new(MultiStageMapper::new(
+                |x: &u32, emit: &mut dyn FnMut(u8, f64)| emit(0u8, *x as f64),
+            )),
+            // The factory receives the job's shared approximation state;
+            // wiring it into the monitor is what lets the coordinator see
+            // this reducer's running bound and stop the job.
+            |_, shared| {
+                MultiStageReducer::<u8>::new(Aggregation::Sum, 0.95).with_monitor(BoundMonitor {
+                    shared: Arc::clone(shared),
+                    report_absolute: false,
+                    check_every: 1,
+                    freeze_threshold: Some(0.05),
+                    min_maps_before_freeze: 4, // = the wave size
+                })
+            },
+        )
+        .unwrap();
+    let r = h.wait().unwrap();
+    let m = &r.metrics;
+    assert_eq!(m.total_maps, 40);
+    assert!(
+        m.executed_maps < m.total_maps,
+        "goal job never stopped early: executed {} of {}",
+        m.executed_maps,
+        m.total_maps
+    );
+    assert!(m.dropped_maps > 0);
+    assert_eq!(m.executed_maps + m.dropped_maps + m.killed_maps, 40);
+    // The final reported bound meets the stated goal...
+    let final_bound = m
+        .bound_series
+        .iter()
+        .rev()
+        .find(|p| p.relative_bound.is_finite())
+        .map(|p| p.relative_bound)
+        .expect("monitored reducer reported bounds");
+    assert!(final_bound <= 0.05, "final bound {final_bound} over goal");
+    // ...and the estimate still covers the whole input despite the
+    // dropped tail: τ̂ for 40 clusters of 25 ones is 1000.
+    let (_, interval) = &r.outputs[0];
+    assert!(
+        (interval.estimate - 1000.0).abs() / 1000.0 <= 0.05,
+        "estimate {} not within ±5% of 1000",
+        interval.estimate
+    );
+    assert!(interval.contains(1000.0));
+}

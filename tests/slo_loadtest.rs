@@ -1,0 +1,57 @@
+//! Process-backend load-test regression: the blind spot this PR fixes.
+//!
+//! The service's process-backend completion path used to report a
+//! queue depth of `0` to the admission controller — backlog built on
+//! the shared pool but the feedback loop never saw it, so jobs on the
+//! process backend could never trigger backlog-driven degradation.
+//! This test drives a short loadgen phase entirely on worker OS
+//! processes and asserts the controller actually observed overload.
+
+use approxhadoop_server::loadgen::{run_phase, LoadConfig};
+
+/// Referencing the env var makes Cargo build the `approx-worker`
+/// binary before this test runs; `WorkerSpec::sibling` then finds it
+/// next to the test executable.
+const _WORKER: &str = env!("CARGO_BIN_EXE_approx-worker");
+
+#[test]
+fn process_backend_backlog_feeds_the_admission_controller() {
+    let config = LoadConfig {
+        slots: 2,
+        jobs: 6,
+        // Slow enough that later arrivals are admitted after earlier
+        // completions have fed the controller (process jobs here take
+        // tens of milliseconds).
+        arrival_rate: 3.0,
+        blocks_per_job: 4,
+        entries_per_block: 300,
+        p99_target_secs: 1e-6, // every completion is over target
+        process_workers: 1,
+        seed: 11,
+        ..Default::default()
+    };
+    let report = run_phase(&config, true);
+    assert_eq!(report.jobs.len(), 6, "every job must complete");
+    for o in &report.jobs {
+        assert_eq!(o.total_maps, 4);
+        assert_eq!(o.executed_maps + o.dropped_maps, 4);
+    }
+    // The regression: with the completion path reporting `queued = 0`
+    // and an impossible latency target, overload was *only* visible
+    // through the latency window. Now every process-backend completion
+    // carries the real pool depth, and each over-target completion is
+    // an overloaded observation.
+    assert!(
+        report.overloaded_observations > 0,
+        "process-backend completions never registered overload: {:?}",
+        report.decisions
+    );
+    // Overload observed before the last admission must degrade later
+    // jobs (paced arrivals mean the tail admissions happen after some
+    // completions under a 1µs target).
+    assert!(
+        report.decisions.iter().any(|d| d.degrade > 0.0),
+        "controller observed overload but never degraded: {:?}",
+        report.decisions
+    );
+}

@@ -122,18 +122,21 @@ fn scale(args: &Args) -> Result<Scale, UsageError> {
 /// Which executor runs the map side.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Backend {
-    /// In-process task-tracker threads / the shared slot pool.
+    /// In-process scoped task-tracker threads.
     Threads,
+    /// The shared slot pool (the service-mode executor).
+    Pool,
     /// Separate worker OS processes with a spill-capable shuffle.
     Process,
 }
 
 fn backend(args: &Args) -> Result<Backend, UsageError> {
     match args.get("backend").unwrap_or("threads") {
-        "threads" => Ok(Backend::Threads),
+        "threads" | "scoped" => Ok(Backend::Threads),
+        "pool" => Ok(Backend::Pool),
         "process" => Ok(Backend::Process),
         other => Err(UsageError(format!(
-            "unknown --backend `{other}` (expected `threads` or `process`)"
+            "unknown --backend `{other}` (expected `threads`/`scoped`, `pool` or `process`)"
         ))),
     }
 }
@@ -223,6 +226,49 @@ fn print_metrics(m: &JobMetrics, keys: usize) {
     }
 }
 
+/// Runs the two-input approximate join (access log × page catalogue)
+/// on whichever backend `--backend` selected: scoped threads, the
+/// shared slot pool, or worker processes.
+fn run_join(
+    args: &Args,
+    spec: ApproxSpec,
+    config: JobConfig,
+) -> Result<approxhadoop_workloads::join::JoinOutcome, UsageError> {
+    use approxhadoop_runtime::control::DatasetRatios;
+    use approxhadoop_workloads::join;
+
+    let ratios = match spec {
+        ApproxSpec::Precise => DatasetRatios::precise(),
+        ApproxSpec::Ratios {
+            drop_ratio,
+            sampling_ratio,
+        } => DatasetRatios {
+            sampling_ratio,
+            drop_ratio,
+        },
+        ApproxSpec::Target { .. } => {
+            return Err(UsageError("join supports --drop/--sample only".into()))
+        }
+    };
+    let seed = args.get_parsed("seed", 0u64)?;
+    let sc = scale(args)?;
+    let w = join::JoinWorkload::demo(sc.mult, seed);
+    let fail = |e: approxhadoop_core::CoreError| UsageError(e.to_string());
+    match backend(args)? {
+        Backend::Threads => join::join_category_traffic(&w, ratios, config, 0.95).map_err(fail),
+        Backend::Pool => {
+            let slots = args.get_parsed("slots", 4usize)?;
+            join::join_category_traffic_pooled(&w, ratios, config, 0.95, slots).map_err(fail)
+        }
+        Backend::Process => {
+            use approxhadoop_runtime::engine::WorkerSpec;
+            let worker = WorkerSpec::sibling("approx-worker", join::JOIN_JOB)
+                .map_err(|e| UsageError(e.to_string()))?;
+            join::join_category_traffic_process(&w, ratios, config, 0.95, &worker).map_err(fail)
+        }
+    }
+}
+
 /// `approxhadoop run <app> [options]`
 pub fn run_app(args: &Args) -> Result<(), UsageError> {
     let app = args
@@ -261,6 +307,48 @@ pub fn run_app(args: &Args) -> Result<(), UsageError> {
         seed,
     };
     let fail = |e: approxhadoop_core::CoreError| UsageError(e.to_string());
+
+    // The two-input join is the one multi-dataset application; it has
+    // its own runners for all three backends.
+    if app == "join" || app == approxhadoop_workloads::join::JOIN_JOB {
+        let outcome = run_join(args, spec, config)?;
+        println!(
+            "{:>10} | {:>16} | {:>12} | {:>8}",
+            "category", "bytes (est.)", "±95% CI", "rel%"
+        );
+        for (category, iv) in &outcome.categories {
+            println!(
+                "{:>10} | {:>16.0} | {:>12.0} | {:>7.2}%",
+                category,
+                iv.estimate,
+                iv.half_width,
+                iv.relative_error() * 100.0
+            );
+        }
+        println!(
+            "{:>10} | {:>16.0} | {:>12.0} | {:>7.2}%",
+            "TOTAL",
+            outcome.combined.estimate,
+            outcome.combined.half_width,
+            outcome.combined.relative_error() * 100.0
+        );
+        print_metrics(&outcome.metrics, outcome.categories.len());
+        if let Some(s) = &sinks {
+            s.write()?;
+        }
+        return Ok(());
+    }
+
+    // Single-input applications run on scoped threads or worker
+    // processes; the pool executor is reached through `serve` (or the
+    // join above, which drives it directly).
+    if backend(args)? == Backend::Pool {
+        return Err(UsageError(
+            "--backend pool supports only the `join` application; \
+             single-input apps run pooled via `serve`"
+                .into(),
+        ));
+    }
 
     // The process backend dispatches the app by name to worker OS
     // processes started from the sibling `approx-worker` binary.
@@ -553,7 +641,9 @@ pub fn serve(args: &Args) -> Result<(), UsageError> {
             };
             let make_reducer = |_| MultiStageReducer::<u64>::new(Aggregation::Sum, 0.95);
             let handle = match be {
-                Backend::Threads => service
+                // The service always executes on the shared slot pool;
+                // `threads` and `pool` are the same thing here.
+                Backend::Threads | Backend::Pool => service
                     .submit(
                         spec,
                         Arc::new(log.source()),
@@ -689,7 +779,7 @@ pub fn loadtest(args: &Args) -> Result<(), UsageError> {
         mode: controller_mode(args)?,
         seed: args.get_parsed("seed", defaults.seed)?,
         process_workers: match backend(args)? {
-            Backend::Threads => 0,
+            Backend::Threads | Backend::Pool => 0,
             Backend::Process => args.get_parsed("workers", 2usize)?,
         },
     };

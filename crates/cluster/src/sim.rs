@@ -197,6 +197,7 @@ pub fn simulate(
         records: job.records_per_map,
         bytes: 0,
         locations: vec![],
+        dataset: Default::default(),
     };
 
     let mut time = 0.0f64;
@@ -321,6 +322,7 @@ pub fn simulate(
         let sum_sq = m * (job.stats.item_std * job.stats.item_std + sample_mean * sample_mean);
         let meta = MapOutputMeta {
             task: TaskId(fin.task),
+            dataset: Default::default(),
             total_records: job.records_per_map,
             sampled_records: fin.sampled,
             duration_secs: fin.duration,
@@ -340,6 +342,7 @@ pub fn simulate(
         );
         coordinator.on_map_complete(&MapStats {
             task: TaskId(fin.task),
+            dataset: Default::default(),
             total_records: job.records_per_map,
             sampled_records: fin.sampled,
             emitted: 1,

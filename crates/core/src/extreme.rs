@@ -278,6 +278,7 @@ mod tests {
     fn meta(task: usize) -> MapOutputMeta {
         MapOutputMeta {
             task: TaskId(task),
+            dataset: Default::default(),
             total_records: 10,
             sampled_records: 10,
             duration_secs: 0.1,
@@ -293,6 +294,7 @@ mod tests {
         });
         let mctx = MapTaskContext {
             task: TaskId(0),
+            dataset: Default::default(),
             sampling_ratio: 1.0,
             attempt: 0,
         };
@@ -309,6 +311,7 @@ mod tests {
         let m = ExtremeMapper::new(Extreme::Max, |_item: &u32, _emit| {});
         let mctx = MapTaskContext {
             task: TaskId(0),
+            dataset: Default::default(),
             sampling_ratio: 1.0,
             attempt: 0,
         };

@@ -451,6 +451,7 @@ mod tests {
     ) -> Vec<(String, KeyStat)> {
         let mctx = MapTaskContext {
             task: TaskId(0),
+            dataset: Default::default(),
             sampling_ratio: 1.0,
             attempt: 0,
         };
@@ -493,6 +494,7 @@ mod tests {
     fn meta(task: usize, total: u64, sampled: u64) -> MapOutputMeta {
         MapOutputMeta {
             task: TaskId(task),
+            dataset: Default::default(),
             total_records: total,
             sampled_records: sampled,
             duration_secs: 0.01,

@@ -522,6 +522,7 @@ mod tests {
         let stats: Vec<MapStats> = (0..10)
             .map(|i| MapStats {
                 task: TaskId(i),
+                dataset: Default::default(),
                 total_records: 1000,
                 sampled_records: 100,
                 emitted: 0,
@@ -608,6 +609,7 @@ mod tests {
             TargetErrorCoordinator::new(100, ErrorTarget::Relative(0.01), 0.95, 8, None, shared);
         let meta = SplitMeta {
             index: 0,
+            dataset: Default::default(),
             records: 100,
             bytes: 0,
             locations: vec![],
@@ -636,6 +638,7 @@ mod tests {
         );
         let meta = SplitMeta {
             index: 0,
+            dataset: Default::default(),
             records: 100,
             bytes: 0,
             locations: vec![],
@@ -663,6 +666,7 @@ mod tests {
         );
         let meta = SplitMeta {
             index: 0,
+            dataset: Default::default(),
             records: 1000,
             bytes: 0,
             locations: vec![],
@@ -677,6 +681,7 @@ mod tests {
         for t in 0..4 {
             c.on_map_complete(&MapStats {
                 task: TaskId(t),
+                dataset: Default::default(),
                 total_records: 1000,
                 sampled_records: 1000,
                 emitted: 10,

@@ -264,6 +264,7 @@ mod tests {
     fn meta(task: usize, total: u64, sampled: u64) -> MapOutputMeta {
         MapOutputMeta {
             task: TaskId(task),
+            dataset: Default::default(),
             total_records: total,
             sampled_records: sampled,
             duration_secs: 0.0,
@@ -279,6 +280,7 @@ mod tests {
         });
         let mctx = MapTaskContext {
             task: TaskId(0),
+            dataset: Default::default(),
             sampling_ratio: 1.0,
             attempt: 0,
         };

@@ -58,6 +58,58 @@ proptest! {
         }
     }
 
+    // Tagged records — the shape every multi-dataset job shuffles: a
+    // `(dataset_tag, payload)` tuple. The tag must survive next to the
+    // payload bit-exactly, and a stream of tagged records must reject
+    // every truncation rather than resynchronise on the wrong record.
+    #[test]
+    fn tagged_records_roundtrip(tags in prop::collection::vec(0u32..4, 1..24),
+                                xs in prop::collection::vec(0u64..1_000_000, 1..24),
+                                ys in prop::collection::vec(-1.0e6..1.0e6f64, 1..24)) {
+        let records: Vec<(u32, (u64, f64))> = tags
+            .iter()
+            .zip(xs.iter().zip(ys.iter()))
+            .map(|(&t, (&x, &y))| (t, (x, y)))
+            .collect();
+        let bytes = records.to_bytes();
+        let back = Vec::<(u32, (u64, f64))>::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.len(), records.len());
+        for (a, b) in back.iter().zip(records.iter()) {
+            prop_assert_eq!(a.0, b.0, "dataset tag changed in flight");
+            prop_assert_eq!(a.1.0, b.1.0);
+            prop_assert_eq!(a.1.1.to_bits(), b.1.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn tagged_record_truncations_are_rejected(tags in prop::collection::vec(0u32..4, 1..8),
+                                              vals in prop::collection::vec(0u64..u64::MAX, 1..8)) {
+        let records: Vec<(u32, u64)> = tags.into_iter().zip(vals).collect();
+        let bytes = records.to_bytes();
+        for cut in 0..bytes.len() {
+            let r = Vec::<(u32, u64)>::from_bytes(&bytes[..cut]);
+            prop_assert!(r.is_err(), "truncation at {cut} of {} decoded", bytes.len());
+        }
+    }
+
+    #[test]
+    fn corrupt_tagged_frames_never_panic(tags in prop::collection::vec(0u32..4, 1..8),
+                                         vals in prop::collection::vec(0u64..u64::MAX, 1..8),
+                                         flip in 0usize..64) {
+        // Flip one bit anywhere in a tagged-record stream: decoding may
+        // succeed (the flip hit a payload), but it must never panic,
+        // over-allocate, or silently change the record count on a
+        // length-prefix hit without erroring.
+        let records: Vec<(u32, u64)> = tags.into_iter().zip(vals).collect();
+        let mut bytes = records.to_bytes();
+        let pos = flip % (bytes.len() * 8);
+        bytes[pos / 8] ^= 1 << (pos % 8);
+        match Vec::<(u32, u64)>::from_bytes(&bytes) {
+            Ok(decoded) => prop_assert!(decoded.len() <= records.len() + bytes.len()),
+            Err(WireError::Truncated { .. }) | Err(WireError::Corrupt { .. }) => {}
+        }
+    }
+
     #[test]
     fn frame_streams_roundtrip(frames in prop::collection::vec(prop::collection::vec(0u8..255, 0..64), 0..8)) {
         let mut buf = Vec::new();

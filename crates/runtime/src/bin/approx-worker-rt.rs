@@ -7,7 +7,8 @@
 use approxhadoop_ipc::{Decoder, Wire};
 use approxhadoop_runtime::combine::{Combined, SumCombiner};
 use approxhadoop_runtime::engine::process::{worker_main, JobRegistry};
-use approxhadoop_runtime::mapper::{FnMapper, MapTaskContext, Mapper};
+use approxhadoop_runtime::input::DatasetId;
+use approxhadoop_runtime::mapper::{FnMapper, MapTaskContext, Mapper, MultiMapper, TaggedMapper};
 
 /// A mod-8 counting mapper that aborts the whole worker process when it
 /// starts the attempt named in its params — the test harness's stand-in
@@ -31,6 +32,32 @@ impl Mapper for CrashingMapper {
 
     fn map(&self, _state: &mut (), item: u32, emit: &mut dyn FnMut(u8, u64)) {
         emit((item % 8) as u8, 1);
+    }
+}
+
+/// The tagged two-dataset differential's mapper: fact rows (dataset 0)
+/// count one event each, dimension rows (any other dataset) contribute a
+/// small deterministic weight, so the reduce output is sensitive to both
+/// the tags and the per-dataset sampling decisions.
+///
+/// Must stay byte-for-byte in sync with the copy in the runtime crate's
+/// `executor_equivalence` test, which runs the identical job on the
+/// in-process backends.
+struct TagWeigh;
+
+impl MultiMapper for TagWeigh {
+    type Item = u32;
+    type Key = u8;
+    type Value = u64;
+    type TaskState = ();
+
+    fn begin_task(&self, _ctx: &MapTaskContext) -> Self::TaskState {}
+
+    fn map(&self, _state: &mut (), dataset: DatasetId, item: u32, emit: &mut dyn FnMut(u8, u64)) {
+        match dataset.0 {
+            0 => emit((item % 8) as u8, 1),
+            _ => emit((item % 8) as u8, 1_000 + u64::from(item % 7)),
+        }
     }
 }
 
@@ -65,6 +92,13 @@ fn main() {
         Ok(FnMapper::new(
             |v: &u32, emit: &mut dyn FnMut(u32, String)| emit(*v % 16, format!("{v:0>100}")),
         ))
+    });
+
+    // The tagged two-dataset differential: records arrive as
+    // `(DatasetId, u32)` pairs from a `TaggedSource`, routed through one
+    // `MultiMapper` that weighs the datasets differently.
+    registry.register("tagged-weigh", |_params: &[u8]| {
+        Ok(TaggedMapper::new(TagWeigh))
     });
 
     // Worker-crash injection: params = Wire-encoded (task: u64,

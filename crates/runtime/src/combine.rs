@@ -388,6 +388,7 @@ mod tests {
         assert!(m.combiner().is_some());
         let ctx = MapTaskContext {
             task: TaskId(0),
+            dataset: Default::default(),
             sampling_ratio: 1.0,
             attempt: 0,
         };

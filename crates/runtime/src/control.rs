@@ -20,6 +20,7 @@ use approxhadoop_stats::sampling::choose_indices;
 use crate::input::SplitMeta;
 use crate::metrics::MapStats;
 use crate::types::TaskId;
+use crate::RuntimeError;
 
 /// A reduce task's latest error-bound report.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -186,9 +187,131 @@ impl Coordinator for FixedCoordinator {
     }
 }
 
+/// Per-dataset approximation ratios of a multi-input job: dataset `d`
+/// runs with `datasets[d]`'s sampling/drop ratios, independent of every
+/// other dataset. A join can sample its fact table aggressively while
+/// reading its dimension table precisely (`sampling_ratio: 1.0,
+/// drop_ratio: 0.0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetRatios {
+    /// Within-block input sampling ratio in `(0, 1]`.
+    pub sampling_ratio: f64,
+    /// Fraction of this dataset's map tasks dropped, in `[0, 1)`.
+    pub drop_ratio: f64,
+}
+
+impl DatasetRatios {
+    /// Precise execution: no sampling, no drops.
+    pub fn precise() -> Self {
+        DatasetRatios {
+            sampling_ratio: 1.0,
+            drop_ratio: 0.0,
+        }
+    }
+
+    /// Checks the ratio ranges.
+    pub fn validate(&self) -> crate::Result<()> {
+        if !(self.sampling_ratio > 0.0 && self.sampling_ratio <= 1.0) {
+            return Err(RuntimeError::invalid(format!(
+                "dataset sampling_ratio must lie in (0, 1], got {}",
+                self.sampling_ratio
+            )));
+        }
+        if !(0.0..1.0).contains(&self.drop_ratio) {
+            return Err(RuntimeError::invalid(format!(
+                "dataset drop_ratio must lie in [0, 1), got {}",
+                self.drop_ratio
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// [`FixedCoordinator`]'s multi-input sibling: per-dataset fixed ratios,
+/// with the exact-count drop selection performed **within each dataset's
+/// own task set**. Dropping `floor(drop_ratio_d · N_d)` clusters of
+/// dataset `d` — never of a co-scheduled dataset — is what keeps the
+/// per-dataset `N_d (N_d - n_d)` variance terms (Eq. 1–3) and
+/// degrade-to-drop accounting honest when a job reads several inputs.
+#[derive(Debug, Clone)]
+pub struct DatasetFixedCoordinator {
+    /// Per-task sampling ratio (indexed by global task id).
+    sampling_ratios: Vec<f64>,
+    /// Per-task drop flag (indexed by global task id).
+    dropped: Vec<bool>,
+}
+
+impl DatasetFixedCoordinator {
+    /// Builds the policy from the job's split table and per-dataset
+    /// ratios; `ratios[d]` governs every split tagged
+    /// [`DatasetId`](crate::input::DatasetId)`(d)`.
+    /// Rejects (rather than panics on) out-of-range ratios and splits
+    /// referring to datasets missing from the table, so a malformed
+    /// multi-input spec fails the job cleanly.
+    pub fn new(splits: &[SplitMeta], ratios: &[DatasetRatios], seed: u64) -> crate::Result<Self> {
+        for r in ratios {
+            r.validate()?;
+        }
+        let mut per_dataset: Vec<Vec<usize>> = vec![Vec::new(); ratios.len()];
+        for s in splits {
+            let d = s.dataset.0 as usize;
+            let Some(tasks) = per_dataset.get_mut(d) else {
+                return Err(RuntimeError::invalid(format!(
+                    "split {} is tagged {}, but the job declares only {} dataset(s)",
+                    s.index,
+                    s.dataset,
+                    ratios.len()
+                )));
+            };
+            tasks.push(s.index);
+        }
+        let mut sampling_ratios = vec![1.0; splits.len()];
+        let mut dropped = vec![false; splits.len()];
+        for (d, tasks) in per_dataset.iter().enumerate() {
+            let r = ratios[d];
+            for &t in tasks {
+                sampling_ratios[t] = r.sampling_ratio;
+            }
+            // Independent drop draw per dataset: the same xor-mixed seed
+            // family as FixedCoordinator, further mixed with the dataset
+            // id so each dataset's selection is its own deterministic
+            // stream.
+            let k = (r.drop_ratio * tasks.len() as f64).floor() as usize;
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ 0xD20F_F00D ^ (d as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            for i in choose_indices(&mut rng, tasks.len(), k) {
+                dropped[tasks[i]] = true;
+            }
+        }
+        Ok(DatasetFixedCoordinator {
+            sampling_ratios,
+            dropped,
+        })
+    }
+
+    /// The number of tasks this policy will drop, across all datasets.
+    pub fn planned_drops(&self) -> usize {
+        self.dropped.iter().filter(|&&d| d).count()
+    }
+}
+
+impl Coordinator for DatasetFixedCoordinator {
+    fn directive(&mut self, task: TaskId, _meta: &SplitMeta) -> MapDirective {
+        if self.dropped.get(task.0).copied().unwrap_or(false) {
+            MapDirective::Drop
+        } else {
+            MapDirective::Run {
+                sampling_ratio: self.sampling_ratios.get(task.0).copied().unwrap_or(1.0),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::input::DatasetId;
 
     #[test]
     fn job_control_drop_flag() {
@@ -284,6 +407,7 @@ mod tests {
         assert_eq!(c.planned_drops(), 25);
         let meta = SplitMeta {
             index: 0,
+            dataset: DatasetId::default(),
             records: 1,
             bytes: 0,
             locations: vec![],
@@ -310,5 +434,102 @@ mod tests {
     #[should_panic]
     fn fixed_coordinator_rejects_full_drop() {
         FixedCoordinator::new(10, 1.0, 1.0, 1);
+    }
+
+    fn tagged_splits(counts: &[usize]) -> Vec<SplitMeta> {
+        let mut splits = Vec::new();
+        for (d, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                splits.push(SplitMeta {
+                    index: splits.len(),
+                    dataset: DatasetId(d as u32),
+                    records: 10,
+                    bytes: 0,
+                    locations: vec![],
+                });
+            }
+        }
+        splits
+    }
+
+    #[test]
+    fn dataset_coordinator_drops_within_each_dataset() {
+        let splits = tagged_splits(&[40, 10]);
+        let ratios = [
+            DatasetRatios {
+                sampling_ratio: 0.25,
+                drop_ratio: 0.5,
+            },
+            DatasetRatios::precise(),
+        ];
+        let mut c = DatasetFixedCoordinator::new(&splits, &ratios, 7).unwrap();
+        assert_eq!(c.planned_drops(), 20, "half of dataset 0 only");
+        let mut drops_by_dataset = [0usize; 2];
+        for s in &splits {
+            match c.directive(TaskId(s.index), s) {
+                MapDirective::Drop => drops_by_dataset[s.dataset.0 as usize] += 1,
+                MapDirective::Run { sampling_ratio } => {
+                    let expect = ratios[s.dataset.0 as usize].sampling_ratio;
+                    assert!(
+                        (sampling_ratio - expect).abs() < 1e-12,
+                        "task {} ({}) ran at {sampling_ratio}, expected {expect}",
+                        s.index,
+                        s.dataset
+                    );
+                }
+            }
+        }
+        assert_eq!(drops_by_dataset, [20, 0], "the precise dataset never drops");
+    }
+
+    #[test]
+    fn dataset_coordinator_is_deterministic_per_seed() {
+        let splits = tagged_splits(&[30, 30]);
+        let ratios = [
+            DatasetRatios {
+                sampling_ratio: 0.5,
+                drop_ratio: 0.2,
+            },
+            DatasetRatios {
+                sampling_ratio: 0.5,
+                drop_ratio: 0.2,
+            },
+        ];
+        let pick = |seed| {
+            let mut c = DatasetFixedCoordinator::new(&splits, &ratios, seed).unwrap();
+            splits
+                .iter()
+                .map(|s| matches!(c.directive(TaskId(s.index), s), MapDirective::Drop))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pick(3), pick(3));
+        assert_ne!(pick(3), pick(4), "different seed, different drop set");
+        // Same ratios, but each dataset draws from its own stream: the
+        // drop pattern of dataset 0 differs from dataset 1's.
+        let drops = pick(3);
+        assert_ne!(drops[..30], drops[30..]);
+    }
+
+    #[test]
+    fn dataset_coordinator_rejects_malformed_tables() {
+        let splits = tagged_splits(&[4, 4]);
+        // Split tagged beyond the declared dataset table.
+        assert!(matches!(
+            DatasetFixedCoordinator::new(&splits, &[DatasetRatios::precise()], 0),
+            Err(RuntimeError::InvalidJob { .. })
+        ));
+        // Out-of-range ratios.
+        for bad in [
+            DatasetRatios {
+                sampling_ratio: 0.0,
+                drop_ratio: 0.0,
+            },
+            DatasetRatios {
+                sampling_ratio: 1.0,
+                drop_ratio: 1.0,
+            },
+        ] {
+            assert!(DatasetFixedCoordinator::new(&splits, &[bad, bad], 0).is_err());
+        }
     }
 }

@@ -14,7 +14,7 @@ use std::time::Instant;
 use crossbeam::channel::Sender;
 
 use crate::fault::{FaultDecision, FaultPlan};
-use crate::input::InputSource;
+use crate::input::{DatasetId, InputSource};
 use crate::mapper::{MapTaskContext, Mapper};
 use crate::metrics::MapStats;
 use crate::reducer::{MapOutputMeta, ReduceEvent};
@@ -42,6 +42,9 @@ const READ_BATCH: usize = 256;
 pub struct WorkItem {
     /// The map task to run.
     pub task: TaskId,
+    /// The dataset the task's split belongs to (`DatasetId(0)` for
+    /// single-input jobs).
+    pub dataset: DatasetId,
     /// Attempt number (`> 0` for retries and speculative duplicates).
     pub attempt: u32,
     /// Within-block input sampling ratio chosen at schedule time.
@@ -206,6 +209,7 @@ pub(crate) fn run_map_attempt<S, M>(
         let mut read_secs = construct_secs;
         let ctx = MapTaskContext {
             task: work.task,
+            dataset: work.dataset,
             sampling_ratio: work.sampling_ratio,
             attempt: work.attempt,
         };
@@ -273,6 +277,7 @@ pub(crate) fn run_map_attempt<S, M>(
     let duration_secs = t0.elapsed().as_secs_f64();
     let meta = MapOutputMeta {
         task: work.task,
+        dataset: work.dataset,
         total_records,
         sampled_records,
         duration_secs,
@@ -280,6 +285,7 @@ pub(crate) fn run_map_attempt<S, M>(
     let shuffled = shuffle::ship_outputs(reducer_txs, meta, combiner.is_some(), bufs);
     let stats = MapStats {
         task: work.task,
+        dataset: work.dataset,
         total_records,
         sampled_records,
         emitted,
@@ -319,6 +325,7 @@ mod tests {
             (0..4)
                 .map(|i| SplitMeta {
                     index: i,
+                    dataset: Default::default(),
                     records: 1,
                     bytes: 0,
                     locations: vec![],
@@ -423,6 +430,7 @@ mod tests {
         fn splits(&self) -> Vec<SplitMeta> {
             vec![SplitMeta {
                 index: 0,
+                dataset: Default::default(),
                 records: self.items,
                 bytes: 0,
                 locations: vec![],
@@ -464,6 +472,7 @@ mod tests {
         let (msg_tx, msg_rx) = unbounded();
         let work = super::WorkItem {
             task: crate::types::TaskId(0),
+            dataset: Default::default(),
             attempt: 0,
             sampling_ratio: 1.0,
             seed: 0,

@@ -62,6 +62,13 @@ pub struct JobConfig {
     pub sampling_ratio: f64,
     /// Fraction of map tasks dropped by the default policy.
     pub drop_ratio: f64,
+    /// Per-dataset approximation ratios for **multi-input** jobs:
+    /// `datasets[d]` governs every split tagged
+    /// [`DatasetId`](crate::input::DatasetId)` (d)`, overriding the
+    /// job-wide `sampling_ratio`/`drop_ratio` pair. Empty (the default)
+    /// means single-input behaviour: one dataset, the job-wide ratios —
+    /// bit-identical to the pre-multi-input engine.
+    pub datasets: Vec<crate::control::DatasetRatios>,
     /// Seed for task ordering, drop selection and per-task sampling.
     pub seed: u64,
     /// Enable speculative execution of stragglers.
@@ -122,6 +129,7 @@ impl Default for JobConfig {
             reduce_tasks: 1,
             sampling_ratio: 1.0,
             drop_ratio: 0.0,
+            datasets: Vec::new(),
             seed: 0,
             speculative: false,
             straggler_factor: 2.0,
@@ -171,6 +179,10 @@ impl JobConfig {
                 self.drop_ratio
             )));
         }
+        for (d, r) in self.datasets.iter().enumerate() {
+            r.validate()
+                .map_err(|e| RuntimeError::invalid(format!("dataset {d}: {e}")))?;
+        }
         if !(self.straggler_factor.is_finite() && self.straggler_factor >= 1.0) {
             return Err(RuntimeError::invalid(format!(
                 "straggler_factor must be finite and >= 1.0, got {}",
@@ -213,13 +225,25 @@ where
     FR: Fn(usize) -> R + Sync,
 {
     config.validate()?;
-    let total = input.splits().len();
-    if total == 0 {
+    let splits = input.splits();
+    if splits.is_empty() {
         return Err(RuntimeError::invalid("input has no splits"));
     }
-    let mut coordinator =
-        FixedCoordinator::new(total, config.sampling_ratio, config.drop_ratio, config.seed);
-    run_job_with_coordinator(input, mapper, make_reducer, config, &mut coordinator)
+    if config.datasets.is_empty() {
+        let mut coordinator = FixedCoordinator::new(
+            splits.len(),
+            config.sampling_ratio,
+            config.drop_ratio,
+            config.seed,
+        );
+        run_job_with_coordinator(input, mapper, make_reducer, config, &mut coordinator)
+    } else {
+        // Multi-input job: per-dataset ratios, with drop selection
+        // performed within each dataset's own task set.
+        let mut coordinator =
+            crate::control::DatasetFixedCoordinator::new(&splits, &config.datasets, config.seed)?;
+        run_job_with_coordinator(input, mapper, make_reducer, config, &mut coordinator)
+    }
 }
 
 /// Runs a job under an explicit [`Coordinator`] policy (used by the

@@ -428,6 +428,7 @@ impl<K: Key + Wire, V: Value + Wire> ProcessExecutor<K, V> {
                 let stats: crate::metrics::MapStats = stats.into();
                 let meta = MapOutputMeta {
                     task: stats.task,
+                    dataset: stats.dataset,
                     total_records: stats.total_records,
                     sampled_records: stats.sampled_records,
                     duration_secs: stats.duration_secs,
@@ -522,6 +523,7 @@ impl<K: Key + Wire, V: Value + Wire> Executor for ProcessExecutor<K, V> {
         let key = (work.task.0 as u64, work.attempt);
         let frame = ToWorker::Work(WireWorkItem {
             task: key.0,
+            dataset: work.dataset.0,
             attempt: work.attempt,
             sampling_ratio: work.sampling_ratio,
             seed: work.seed,

@@ -46,7 +46,7 @@ mod executor;
 mod registry;
 mod spill;
 
-pub use registry::{worker_main, JobRegistry};
+pub use registry::{worker_main, worker_obs, JobRegistry};
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -194,6 +194,27 @@ impl Drop for ScratchGuard {
 
 /// Snapshots every split into a spool file the workers can `mmap`:
 /// one block per map task, payload = back-to-back item encodings.
+/// Builds the job spec's dataset table from the splits: one
+/// `(dataset, split count)` entry per distinct dataset, in dataset
+/// order. Single-input jobs (every split tagged dataset 0) get an
+/// empty table so their spec bytes are unchanged from before
+/// multi-input support.
+fn dataset_table(splits: &[crate::input::SplitMeta]) -> Vec<(u32, u64)> {
+    let mut table: Vec<(u32, u64)> = Vec::new();
+    for s in splits {
+        match table.iter_mut().find(|(d, _)| *d == s.dataset.0) {
+            Some((_, n)) => *n += 1,
+            None => table.push((s.dataset.0, 1)),
+        }
+    }
+    table.sort_by_key(|&(d, _)| d);
+    if table.len() == 1 && table[0].0 == 0 {
+        Vec::new()
+    } else {
+        table
+    }
+}
+
 fn write_spool<S>(input: &S, total: usize, path: &Path) -> Result<()>
 where
     S: InputSource,
@@ -289,6 +310,7 @@ where
             .as_ref()
             .map(|_| obs_label.to_string())
             .unwrap_or_default(),
+        datasets: dataset_table(&splits),
     })
     .to_bytes();
 

@@ -22,7 +22,7 @@ use approxhadoop_ipc::{read_frame, write_frame, Decoder, Wire};
 use approxhadoop_obs::{DeltaCursor, Obs};
 
 use crate::fault::FaultDecision;
-use crate::input::sample_systematic_indices;
+use crate::input::{sample_systematic_indices, DatasetId};
 use crate::mapper::{MapTaskContext, Mapper};
 use crate::types::{fx_hash, Partitioner, TaskId};
 
@@ -43,7 +43,20 @@ struct WorkerEnv {
     num_reducers: usize,
     shuffle_mem_bytes: usize,
     spill_dir: PathBuf,
+    datasets: Vec<(u32, u64)>,
     telemetry: Option<WorkerTelemetry>,
+}
+
+impl WorkerEnv {
+    /// Whether a work item tagged `dataset` is admitted by the job
+    /// spec's dataset table (an empty table admits only dataset 0).
+    fn admits_dataset(&self, dataset: u32) -> bool {
+        if self.datasets.is_empty() {
+            dataset == 0
+        } else {
+            self.datasets.iter().any(|&(d, _)| d == dataset)
+        }
+    }
 }
 
 /// The worker's own observability context, present when the job spec
@@ -54,6 +67,19 @@ struct WorkerTelemetry {
     obs: Arc<Obs>,
     cursor: Mutex<DeltaCursor>,
     label: String,
+}
+
+/// The worker process's single observability context.
+///
+/// [`Obs::shared`] creates a *fresh* context per call, so a job builder
+/// and the frame loop's telemetry would otherwise hold two unrelated
+/// registries — and builder-attached counters (e.g. a join mapper's
+/// Bloom discard counts) would never reach the parent. Everything in a
+/// worker binary that wants its metrics piggybacked to the parent's
+/// registry must attach them here.
+pub fn worker_obs() -> Arc<Obs> {
+    static OBS: std::sync::OnceLock<Arc<Obs>> = std::sync::OnceLock::new();
+    Arc::clone(OBS.get_or_init(Obs::shared))
 }
 
 /// Object-safe attempt runner; one per registered job, erased over the
@@ -165,6 +191,23 @@ where
                 attempt: work.attempt,
             });
         }
+        // A work item tagged with a dataset the job spec never declared
+        // means the parent and worker disagree about the dataset table.
+        // That is a job error, not a worker crash: fail the attempt so
+        // the parent's retry/degrade machinery sees it, instead of
+        // aborting the process mid-job.
+        if !env.admits_dataset(work.dataset) {
+            return fail(
+                send,
+                WireJobError {
+                    kind: 2,
+                    what: format!(
+                        "work item for {task} tagged {} but the job spec's dataset table does not admit it",
+                        DatasetId(work.dataset)
+                    ),
+                },
+            );
+        }
         // Telemetry setup: stamp the attempt's epoch in the local
         // tracer's clock and discard spans left over from attempts that
         // failed before reporting (their kill/fail paths skip the
@@ -263,6 +306,7 @@ where
             let mut spill_err: Option<String> = None;
             let ctx = MapTaskContext {
                 task,
+                dataset: DatasetId(work.dataset),
                 sampling_ratio: work.sampling_ratio,
                 attempt: work.attempt,
             };
@@ -411,6 +455,7 @@ where
             attempt: work.attempt,
             stats: WireMapStats {
                 task: work.task,
+                dataset: work.dataset,
                 total_records,
                 sampled_records,
                 emitted,
@@ -519,11 +564,12 @@ where
         num_reducers: spec.num_reducers as usize,
         shuffle_mem_bytes: spec.shuffle_mem_bytes as usize,
         spill_dir: PathBuf::from(&spec.spill_dir),
+        datasets: spec.datasets.clone(),
         telemetry: if spec.telemetry_label.is_empty() {
             None
         } else {
             Some(WorkerTelemetry {
-                obs: Obs::shared(),
+                obs: worker_obs(),
                 cursor: Mutex::new(DeltaCursor::new()),
                 label: spec.telemetry_label.clone(),
             })

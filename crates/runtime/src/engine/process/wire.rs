@@ -66,6 +66,25 @@ pub struct WorkerJobSpec {
     /// counters). Empty means telemetry is disabled and the worker
     /// sends no [`FromWorker::Telemetry`] frames.
     pub telemetry_label: String,
+    /// The job's dataset table: `(dataset id, split count)` per dataset,
+    /// in dataset order. Empty means a single-input job (every work item
+    /// must be tagged dataset 0). Workers validate incoming
+    /// [`WireWorkItem::dataset`] tags against this table and reject
+    /// mismatches as job errors rather than aborting the process.
+    pub datasets: Vec<(u32, u64)>,
+}
+
+impl WorkerJobSpec {
+    /// Whether `dataset` is admissible under this spec's dataset table:
+    /// an empty table admits only dataset 0 (single-input job), a
+    /// non-empty table admits exactly its listed ids.
+    pub fn admits_dataset(&self, dataset: u32) -> bool {
+        if self.datasets.is_empty() {
+            dataset == 0
+        } else {
+            self.datasets.iter().any(|&(d, _)| d == dataset)
+        }
+    }
 }
 
 impl Wire for WorkerJobSpec {
@@ -77,6 +96,7 @@ impl Wire for WorkerJobSpec {
         self.shuffle_mem_bytes.encode(out);
         self.spill_dir.encode(out);
         self.telemetry_label.encode(out);
+        self.datasets.encode(out);
     }
 
     fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
@@ -88,6 +108,7 @@ impl Wire for WorkerJobSpec {
             shuffle_mem_bytes: Wire::decode(d)?,
             spill_dir: Wire::decode(d)?,
             telemetry_label: Wire::decode(d)?,
+            datasets: Wire::decode(d)?,
         })
     }
 }
@@ -99,6 +120,8 @@ impl Wire for WorkerJobSpec {
 pub struct WireWorkItem {
     /// Map task index.
     pub task: u64,
+    /// Dataset tag of the task's split (0 for single-input jobs).
+    pub dataset: u32,
     /// Attempt number.
     pub attempt: u32,
     /// Input sampling ratio for this attempt.
@@ -117,6 +140,7 @@ pub struct WireWorkItem {
 impl Wire for WireWorkItem {
     fn encode(&self, out: &mut Vec<u8>) {
         self.task.encode(out);
+        self.dataset.encode(out);
         self.attempt.encode(out);
         self.sampling_ratio.encode(out);
         self.seed.encode(out);
@@ -128,6 +152,7 @@ impl Wire for WireWorkItem {
     fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
         Ok(WireWorkItem {
             task: Wire::decode(d)?,
+            dataset: Wire::decode(d)?,
             attempt: Wire::decode(d)?,
             sampling_ratio: Wire::decode(d)?,
             seed: Wire::decode(d)?,
@@ -198,6 +223,8 @@ impl Wire for ToWorker {
 pub struct WireMapStats {
     /// Map task index.
     pub task: u64,
+    /// Dataset tag of the task's split.
+    pub dataset: u32,
     /// `M_i` — total records in the task's block.
     pub total_records: u64,
     /// `m_i` — records processed after sampling.
@@ -216,6 +243,7 @@ impl From<WireMapStats> for MapStats {
     fn from(w: WireMapStats) -> Self {
         MapStats {
             task: TaskId(w.task as usize),
+            dataset: crate::input::DatasetId(w.dataset),
             total_records: w.total_records,
             sampled_records: w.sampled_records,
             emitted: w.emitted,
@@ -229,6 +257,7 @@ impl From<WireMapStats> for MapStats {
 impl Wire for WireMapStats {
     fn encode(&self, out: &mut Vec<u8>) {
         self.task.encode(out);
+        self.dataset.encode(out);
         self.total_records.encode(out);
         self.sampled_records.encode(out);
         self.emitted.encode(out);
@@ -240,6 +269,7 @@ impl Wire for WireMapStats {
     fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
         Ok(WireMapStats {
             task: Wire::decode(d)?,
+            dataset: Wire::decode(d)?,
             total_records: Wire::decode(d)?,
             sampled_records: Wire::decode(d)?,
             emitted: Wire::decode(d)?,
@@ -493,6 +523,7 @@ mod tests {
     fn work_item_roundtrips_with_fault_plan() {
         let w = WireWorkItem {
             task: 9,
+            dataset: 1,
             attempt: 2,
             sampling_ratio: 0.25,
             seed: 0xDEAD_BEEF,
@@ -541,6 +572,35 @@ mod tests {
                 .into_error();
             assert_eq!(back.to_string(), display);
         }
+    }
+
+    #[test]
+    fn job_spec_dataset_table_roundtrips_and_gates() {
+        let spec = WorkerJobSpec {
+            job: "join".into(),
+            params: vec![1, 2, 3],
+            spool: "/tmp/spool".into(),
+            num_reducers: 2,
+            shuffle_mem_bytes: 1 << 20,
+            spill_dir: "/tmp/spill".into(),
+            telemetry_label: String::new(),
+            datasets: vec![(0, 24), (1, 3)],
+        };
+        let back = match ToWorker::from_bytes(&ToWorker::Job(spec.clone()).to_bytes()).unwrap() {
+            ToWorker::Job(s) => s,
+            other => panic!("wrong frame: {other:?}"),
+        };
+        assert_eq!(back, spec);
+        assert!(spec.admits_dataset(0));
+        assert!(spec.admits_dataset(1));
+        assert!(!spec.admits_dataset(2));
+        // Legacy single-input spec: empty table admits only dataset 0.
+        let legacy = WorkerJobSpec {
+            datasets: vec![],
+            ..spec
+        };
+        assert!(legacy.admits_dataset(0));
+        assert!(!legacy.admits_dataset(1));
     }
 
     #[test]

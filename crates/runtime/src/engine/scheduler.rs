@@ -30,9 +30,9 @@ use approxhadoop_stats::sampling::random_order;
 use crate::control::{Coordinator, JobControl, MapDirective};
 use crate::event::{JobEvent, JobSession};
 use crate::fault::{FaultPlan, FaultPolicy};
-use crate::input::SplitMeta;
+use crate::input::{DatasetId, SplitMeta};
 use crate::instrument::{BoundTracker, EngineObs};
-use crate::metrics::{JobMetrics, MapStats, TaskOutcome, TaskOutcomeRecord};
+use crate::metrics::{DatasetMetrics, JobMetrics, MapStats, TaskOutcome, TaskOutcomeRecord};
 use crate::types::TaskId;
 use crate::{Result, RuntimeError};
 
@@ -115,6 +115,23 @@ impl<'a> JobTracker<'a> {
         let servers = topology.servers();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let pending: VecDeque<usize> = random_order(&mut rng, total).into_iter().collect();
+        // Per-dataset cluster populations `N_d`: one entry per dataset id
+        // appearing in the split table (single-input jobs get exactly one
+        // entry, dataset 0). Tracked so multi-input estimators can widen
+        // the right dataset's interval for drops.
+        let mut datasets: Vec<DatasetMetrics> = Vec::new();
+        for s in splits {
+            let d = s.dataset.0 as usize;
+            while datasets.len() <= d {
+                datasets.push(DatasetMetrics {
+                    dataset: DatasetId(datasets.len() as u32),
+                    total_maps: 0,
+                    executed_maps: 0,
+                    dropped_maps: 0,
+                });
+            }
+            datasets[d].total_maps += 1;
+        }
         let eobs = config
             .obs
             .as_ref()
@@ -136,6 +153,7 @@ impl<'a> JobTracker<'a> {
             pending,
             metrics: JobMetrics {
                 total_maps: total,
+                datasets,
                 ..Default::default()
             },
             running: HashMap::new(),
@@ -275,6 +293,7 @@ impl<'a> JobTracker<'a> {
     fn drop_task(&mut self, exec: &mut dyn Executor, task: usize) {
         self.finished += 1;
         self.metrics.dropped_maps += 1;
+        self.dataset_dropped(task);
         self.flight.record("dropped", format!("task {task}"));
         self.record_outcome(TaskId(task), TaskOutcome::Dropped);
         if self.fatal.is_none() {
@@ -330,6 +349,7 @@ impl<'a> JobTracker<'a> {
                 MapDirective::Drop => {
                     self.finished += 1;
                     self.metrics.dropped_maps += 1;
+                    self.dataset_dropped(t);
                     if let Some(e) = self.eobs.as_ref() {
                         e.directive(false, 0.0);
                     }
@@ -411,6 +431,7 @@ impl<'a> JobTracker<'a> {
         );
         let work = WorkItem {
             task: TaskId(task),
+            dataset: self.splits[task].dataset,
             attempt,
             sampling_ratio,
             seed: read_seed(self.config.seed, task),
@@ -424,6 +445,7 @@ impl<'a> JobTracker<'a> {
             self.busy[server] = self.busy[server].saturating_sub(1);
             self.finished += 1;
             self.metrics.killed_maps += 1;
+            self.dataset_dropped(task);
             self.record_outcome(TaskId(task), TaskOutcome::Killed);
             if self.fatal.is_none() {
                 self.fatal = Some(RuntimeError::invalid(
@@ -543,6 +565,9 @@ impl<'a> JobTracker<'a> {
         if self.completed.insert(stats.task.0) {
             self.finished += 1;
             self.metrics.executed_maps += 1;
+            if let Some(d) = self.dataset_entry(stats.task.0) {
+                d.executed_maps += 1;
+            }
             self.metrics.total_records += stats.total_records;
             self.metrics.sampled_records += stats.sampled_records;
             self.metrics.emitted_pairs += stats.emitted;
@@ -583,6 +608,7 @@ impl<'a> JobTracker<'a> {
         if !self.completed.contains(&task.0) && !sibling_running {
             self.finished += 1;
             self.metrics.killed_maps += 1;
+            self.dataset_dropped(task.0);
             self.record_outcome(task, TaskOutcome::Killed);
             if self.fatal.is_none() {
                 exec.notify_drop(task.0);
@@ -662,6 +688,7 @@ impl<'a> JobTracker<'a> {
         } else if self.policy.degrade_to_drop {
             self.finished += 1;
             self.metrics.degraded_to_drop += 1;
+            self.dataset_dropped(task.0);
             self.flight
                 .record("degraded", format!("task {} dropped after retries", task.0));
             self.record_outcome(task, TaskOutcome::Failed);
@@ -703,6 +730,20 @@ impl<'a> JobTracker<'a> {
     fn release_slot(&mut self, task: usize, attempt: u32) {
         if let Some(ra) = self.running.remove(&(task, attempt)) {
             self.busy[ra.server] = self.busy[ra.server].saturating_sub(1);
+        }
+    }
+
+    /// The per-dataset population entry for `task`'s dataset.
+    fn dataset_entry(&mut self, task: usize) -> Option<&mut DatasetMetrics> {
+        let d = self.splits.get(task)?.dataset.0 as usize;
+        self.metrics.datasets.get_mut(d)
+    }
+
+    /// Accounts `task` as a non-completing cluster (dropped, killed or
+    /// degraded) of its dataset.
+    fn dataset_dropped(&mut self, task: usize) {
+        if let Some(d) = self.dataset_entry(task) {
+            d.dropped_maps += 1;
         }
     }
 

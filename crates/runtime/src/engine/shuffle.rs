@@ -157,6 +157,7 @@ mod tests {
         let (txs, rxs) = reducer_channels::<u32, u64>(2);
         let meta = MapOutputMeta {
             task: TaskId(0),
+            dataset: Default::default(),
             total_records: 3,
             sampled_records: 3,
             duration_secs: 0.0,
@@ -183,6 +184,7 @@ mod tests {
         let (txs, rxs) = reducer_channels::<String, u64>(1);
         let meta = MapOutputMeta {
             task: TaskId(0),
+            dataset: Default::default(),
             total_records: 4,
             sampled_records: 4,
             duration_secs: 0.0,
@@ -215,6 +217,7 @@ mod tests {
         let (txs, _rxs) = reducer_channels::<u32, u64>(1);
         let meta = MapOutputMeta {
             task: TaskId(0),
+            dataset: Default::default(),
             total_records: 64,
             sampled_records: 64,
             duration_secs: 0.0,
@@ -247,6 +250,7 @@ mod tests {
         let (txs, mut rxs) = reducer_channels::<u32, u64>(1);
         let meta = MapOutputMeta {
             task: TaskId(0),
+            dataset: Default::default(),
             total_records: 1,
             sampled_records: 1,
             duration_secs: 0.0,

@@ -6,17 +6,48 @@
 //! block's total record count `M_i` and the number of records actually
 //! returned `m_i`.
 
+use approxhadoop_ipc::{Decoder, Wire, WireError};
 use approxhadoop_stats::sampling::SystematicSampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::Result;
+use crate::{Result, RuntimeError};
+
+/// Identifies one dataset of a (possibly multi-input) job.
+///
+/// Single-input jobs — every job before tagged inputs existed — live
+/// entirely in dataset `0`, which is what [`DatasetId::default`]
+/// returns; the scheduler, wire protocol and estimators treat that case
+/// exactly as before. Multi-input jobs (joins) tag every split, work
+/// item and map output with the dataset it belongs to, so cluster
+/// populations `N`/`n` and the Eq. 1–3 intervals stay correct *per
+/// dataset*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+pub struct DatasetId(pub u32);
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dataset-{}", self.0)
+    }
+}
+
+impl Wire for DatasetId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> std::result::Result<Self, WireError> {
+        Ok(DatasetId(u32::decode(d)?))
+    }
+}
 
 /// Metadata describing one input split (block).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitMeta {
     /// Split index (= map task id).
     pub index: usize,
+    /// The dataset this split belongs to (`DatasetId(0)` for
+    /// single-input jobs).
+    pub dataset: DatasetId,
     /// Total records `M_i` in the split.
     pub records: u64,
     /// Size in bytes (for timing/energy models; `0` if unknown).
@@ -170,37 +201,78 @@ impl<I: Clone + Send + Sync> VecSource<I> {
     ///
     /// # Panics
     ///
-    /// Panics if `blocks` is empty.
+    /// Panics if `blocks` is empty. Use [`VecSource::try_new`] where the
+    /// blocks come from an untrusted boundary (a worker's dataset table,
+    /// a decoded job spec) and a panic would abort the process mid-job.
     pub fn new(blocks: Vec<Vec<I>>) -> Self {
-        assert!(!blocks.is_empty(), "input must contain at least one block");
+        Self::try_new(blocks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`VecSource::new`]: rejects empty inputs with
+    /// [`RuntimeError::InvalidJob`] instead of panicking.
+    pub fn try_new(blocks: Vec<Vec<I>>) -> Result<Self> {
+        if blocks.is_empty() {
+            return Err(RuntimeError::InvalidJob {
+                reason: "input must contain at least one block".into(),
+            });
+        }
         let locations = vec![Vec::new(); blocks.len()];
-        VecSource { blocks, locations }
+        Ok(VecSource { blocks, locations })
     }
 
     /// Attaches replica locations (parallel to the blocks).
     ///
     /// # Panics
     ///
-    /// Panics if `locations.len() != blocks.len()`.
-    pub fn with_locations(mut self, locations: Vec<Vec<usize>>) -> Self {
-        assert_eq!(locations.len(), self.blocks.len());
+    /// Panics if `locations.len() != blocks.len()`. See
+    /// [`VecSource::try_with_locations`].
+    pub fn with_locations(self, locations: Vec<Vec<usize>>) -> Self {
+        self.try_with_locations(locations)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`VecSource::with_locations`].
+    pub fn try_with_locations(mut self, locations: Vec<Vec<usize>>) -> Result<Self> {
+        if locations.len() != self.blocks.len() {
+            return Err(RuntimeError::InvalidJob {
+                reason: format!(
+                    "locations table has {} entries for {} blocks",
+                    locations.len(),
+                    self.blocks.len()
+                ),
+            });
+        }
         self.locations = locations;
-        self
+        Ok(self)
     }
 
     /// Flattens a list of items into equal-size blocks of `per_block`.
     ///
     /// # Panics
     ///
-    /// Panics if `per_block == 0` or `items` is empty.
+    /// Panics if `per_block == 0` or `items` is empty. See
+    /// [`VecSource::try_from_items`].
     pub fn from_items(items: Vec<I>, per_block: usize) -> Self {
-        assert!(per_block > 0, "per_block must be positive");
-        assert!(!items.is_empty(), "input must contain at least one item");
+        Self::try_from_items(items, per_block).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`VecSource::from_items`].
+    pub fn try_from_items(items: Vec<I>, per_block: usize) -> Result<Self> {
+        if per_block == 0 {
+            return Err(RuntimeError::InvalidJob {
+                reason: "per_block must be positive".into(),
+            });
+        }
+        if items.is_empty() {
+            return Err(RuntimeError::InvalidJob {
+                reason: "input must contain at least one item".into(),
+            });
+        }
         let blocks = items
             .chunks(per_block)
             .map(|c| c.to_vec())
             .collect::<Vec<_>>();
-        VecSource::new(blocks)
+        VecSource::try_new(blocks)
     }
 }
 
@@ -213,6 +285,7 @@ impl<I: Clone + Send + Sync + 'static> InputSource for VecSource<I> {
             .enumerate()
             .map(|(i, b)| SplitMeta {
                 index: i,
+                dataset: DatasetId::default(),
                 records: b.len() as u64,
                 bytes: 0,
                 locations: self.locations[i].clone(),
@@ -274,14 +347,23 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if `metas` is empty.
+    /// Panics if `metas` is empty. See [`FnSource::try_new`].
     pub fn new(metas: Vec<SplitMeta>, generator: F) -> Self {
-        assert!(!metas.is_empty(), "input must contain at least one split");
-        FnSource {
+        Self::try_new(metas, generator).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FnSource::new`].
+    pub fn try_new(metas: Vec<SplitMeta>, generator: F) -> Result<Self> {
+        if metas.is_empty() {
+            return Err(RuntimeError::InvalidJob {
+                reason: "input must contain at least one split".into(),
+            });
+        }
+        Ok(FnSource {
             metas,
             generator,
             _marker: std::marker::PhantomData,
-        }
+        })
     }
 }
 
@@ -337,6 +419,128 @@ where
     }
 }
 
+/// A boxed, object-safe input source — the element of a
+/// [`TaggedSource`]'s dataset table.
+pub type BoxedSource<I> = Box<dyn InputSource<Item = I> + 'static>;
+
+/// Combines several [`InputSource`]s into one multi-dataset input whose
+/// records are `(DatasetId, item)` pairs.
+///
+/// Splits of the member sources are flattened into a single global split
+/// index space, in dataset order: dataset `0`'s splits first, then
+/// dataset `1`'s, and so on. Each flattened [`SplitMeta`] carries its
+/// [`DatasetId`], so the scheduler and estimators can keep per-dataset
+/// cluster populations (`N_d`, `n_d`) without any extra plumbing — a
+/// split remains exactly one cluster of exactly one dataset.
+pub struct TaggedSource<I> {
+    sources: Vec<BoxedSource<I>>,
+    /// Global split index → (dataset, local split index).
+    table: Vec<(DatasetId, usize)>,
+    metas: Vec<SplitMeta>,
+}
+
+impl<I: Send + 'static> TaggedSource<I> {
+    /// Builds the tagged union of `sources`; dataset `d` is
+    /// `sources[d]`. Rejects an empty source list and member sources
+    /// without splits ([`RuntimeError::InvalidJob`]), so a malformed
+    /// dataset table surfaces as a job error rather than a panic.
+    pub fn try_new(sources: Vec<BoxedSource<I>>) -> Result<Self> {
+        if sources.is_empty() {
+            return Err(RuntimeError::InvalidJob {
+                reason: "multi-input job must have at least one dataset".into(),
+            });
+        }
+        if sources.len() > u32::MAX as usize {
+            return Err(RuntimeError::InvalidJob {
+                reason: "too many datasets".into(),
+            });
+        }
+        let mut table = Vec::new();
+        let mut metas = Vec::new();
+        for (d, src) in sources.iter().enumerate() {
+            let dataset = DatasetId(d as u32);
+            let local = src.splits();
+            if local.is_empty() {
+                return Err(RuntimeError::InvalidJob {
+                    reason: format!("{dataset} has no splits"),
+                });
+            }
+            for (li, m) in local.into_iter().enumerate() {
+                table.push((dataset, li));
+                metas.push(SplitMeta {
+                    index: metas.len(),
+                    dataset,
+                    records: m.records,
+                    bytes: m.bytes,
+                    locations: m.locations,
+                });
+            }
+        }
+        Ok(TaggedSource {
+            sources,
+            table,
+            metas,
+        })
+    }
+
+    /// Infallible form of [`TaggedSource::try_new`] for trusted callers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty source list or an empty member source.
+    pub fn new(sources: Vec<BoxedSource<I>>) -> Self {
+        Self::try_new(sources).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Number of member datasets.
+    pub fn dataset_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of splits contributed by dataset `d` (0 if out of range).
+    pub fn splits_of(&self, d: DatasetId) -> usize {
+        self.table.iter().filter(|(ds, _)| *ds == d).count()
+    }
+}
+
+impl<I: Send + 'static> InputSource for TaggedSource<I> {
+    type Item = (DatasetId, I);
+
+    fn splits(&self) -> Vec<SplitMeta> {
+        self.metas.clone()
+    }
+
+    fn read_split(
+        &self,
+        index: usize,
+        sampling_ratio: f64,
+        seed: u64,
+    ) -> Result<SampledItems<(DatasetId, I)>> {
+        let (dataset, local) = self.table[index];
+        let read = self.sources[dataset.0 as usize].read_split(local, sampling_ratio, seed)?;
+        Ok(SampledItems {
+            total: read.total,
+            sampled: read.sampled,
+            items: read.items.into_iter().map(|i| (dataset, i)).collect(),
+        })
+    }
+
+    fn stream_split(
+        &self,
+        index: usize,
+        sampling_ratio: f64,
+        seed: u64,
+    ) -> Result<SplitStream<'_, (DatasetId, I)>> {
+        let (dataset, local) = self.table[index];
+        let inner = self.sources[dataset.0 as usize].stream_split(local, sampling_ratio, seed)?;
+        Ok(SplitStream::new(
+            inner.total,
+            inner.sampled,
+            inner.map(move |i| (dataset, i)),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +585,7 @@ mod tests {
         let metas = (0..4)
             .map(|i| SplitMeta {
                 index: i,
+                dataset: DatasetId::default(),
                 records: 10,
                 bytes: 100,
                 locations: vec![],
@@ -433,6 +638,7 @@ mod tests {
         let metas = (0..3)
             .map(|i| SplitMeta {
                 index: i,
+                dataset: DatasetId::default(),
                 records: 50,
                 bytes: 0,
                 locations: vec![],
@@ -451,5 +657,84 @@ mod tests {
     #[should_panic]
     fn vec_source_rejects_empty() {
         VecSource::<i32>::new(vec![]);
+    }
+
+    #[test]
+    fn try_constructors_reject_bad_input_without_panicking() {
+        assert!(VecSource::<i32>::try_new(vec![]).is_err());
+        assert!(VecSource::<i32>::try_from_items(vec![], 4).is_err());
+        assert!(VecSource::<i32>::try_from_items(vec![1], 0).is_err());
+        assert!(VecSource::new(vec![vec![1, 2]])
+            .try_with_locations(vec![vec![0], vec![1]])
+            .is_err());
+        assert!(FnSource::<i32, _>::try_new(vec![], |_| vec![]).is_err());
+        // The happy paths behave exactly like the panicking constructors.
+        let src = VecSource::try_from_items((0..25).collect::<Vec<i32>>(), 10).unwrap();
+        assert_eq!(src.splits().len(), 3);
+        let src = src
+            .try_with_locations(vec![vec![0], vec![1], vec![2]])
+            .unwrap();
+        assert_eq!(src.splits()[1].locations, vec![1]);
+    }
+
+    #[test]
+    fn tagged_source_flattens_and_tags() {
+        let logs = VecSource::new(vec![vec![10, 11, 12], vec![20, 21]]);
+        let meta = VecSource::new(vec![vec![90]]);
+        let src = TaggedSource::try_new(vec![Box::new(logs), Box::new(meta)]).unwrap();
+        assert_eq!(src.dataset_count(), 2);
+        assert_eq!(src.splits_of(DatasetId(0)), 2);
+        assert_eq!(src.splits_of(DatasetId(1)), 1);
+        let splits = src.splits();
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[0].dataset, DatasetId(0));
+        assert_eq!(splits[2].dataset, DatasetId(1));
+        // Global indices are contiguous and self-describing.
+        for (i, s) in splits.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+        let read = src.read_split(1, 1.0, 0).unwrap();
+        assert_eq!(read.items, vec![(DatasetId(0), 20), (DatasetId(0), 21)]);
+        let read = src.read_split(2, 1.0, 0).unwrap();
+        assert_eq!(read.items, vec![(DatasetId(1), 90)]);
+        // Streaming agrees with the materialised read, sampled included.
+        let big = VecSource::new(vec![(0..500).collect::<Vec<i32>>()]);
+        let src = TaggedSource::new(vec![Box::new(big)]);
+        let read = src.read_split(0, 0.2, 9).unwrap();
+        let stream = src.stream_split(0, 0.2, 9).unwrap();
+        assert_eq!(stream.total, read.total);
+        assert_eq!(stream.sampled, read.sampled);
+        assert_eq!(stream.collect::<Vec<_>>(), read.items);
+    }
+
+    #[test]
+    fn tagged_source_rejects_malformed_tables() {
+        assert!(TaggedSource::<i32>::try_new(vec![]).is_err());
+        let ok = VecSource::new(vec![vec![1]]);
+        let empty = FnSource::<i32, _>::new(
+            vec![SplitMeta {
+                index: 0,
+                dataset: DatasetId::default(),
+                records: 0,
+                bytes: 0,
+                locations: vec![],
+            }],
+            |_| vec![],
+        );
+        // A member source is fine as long as it has splits…
+        assert!(
+            TaggedSource::try_new(vec![Box::new(ok) as BoxedSource<i32>, Box::new(empty)]).is_ok()
+        );
+    }
+
+    #[test]
+    fn dataset_id_wire_roundtrip() {
+        for id in [DatasetId(0), DatasetId(1), DatasetId(u32::MAX)] {
+            let bytes = id.to_bytes();
+            assert_eq!(DatasetId::from_bytes(&bytes).unwrap(), id);
+        }
+        let pair = (DatasetId(3), String::from("page"));
+        let bytes = pair.to_bytes();
+        assert_eq!(<(DatasetId, String)>::from_bytes(&bytes).unwrap(), pair);
     }
 }

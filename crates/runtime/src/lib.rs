@@ -91,7 +91,9 @@ pub use combine::{
     CombineTable, Combined, Combiner, FnCombiner, MaxCombiner, MinCombiner, PairSumCombiner,
     SumCombiner,
 };
-pub use control::{Coordinator, FixedCoordinator, JobControl, MapDirective};
+pub use control::{
+    Coordinator, DatasetFixedCoordinator, DatasetRatios, FixedCoordinator, JobControl, MapDirective,
+};
 pub use engine::{
     run_job, run_job_on_pool, run_job_process, run_job_with_coordinator, run_job_with_session,
     Executor, JobConfig, JobResult, RecvOutcome, WorkItem, WorkerMsg, WorkerSpec,

@@ -7,6 +7,7 @@
 //! task before shuffling them.
 
 use crate::combine::Combiner;
+use crate::input::DatasetId;
 use crate::types::{Key, TaskId, Value};
 
 /// Context of one map task attempt, visible to the mapper.
@@ -14,6 +15,9 @@ use crate::types::{Key, TaskId, Value};
 pub struct MapTaskContext {
     /// The task being executed.
     pub task: TaskId,
+    /// The dataset this task's split belongs to (`DatasetId(0)` for
+    /// single-input jobs).
+    pub dataset: DatasetId,
     /// The input sampling ratio the scheduler chose for this task.
     pub sampling_ratio: f64,
     /// Attempt number (`> 0` for speculative duplicates).
@@ -63,6 +67,126 @@ pub trait Mapper: Send + Sync {
     }
 }
 
+/// Map-side user code for multi-input jobs: like [`Mapper`], but each
+/// record arrives with the [`DatasetId`] it was read from, so one map
+/// function can treat, say, access-log tuples and page-metadata tuples
+/// differently (the shape ApproxJoin's Bloom pre-filter needs).
+///
+/// Every plain [`Mapper`] is automatically a `MultiMapper` that ignores
+/// the tag — all existing single-input workloads compile unchanged — and
+/// any `MultiMapper` runs on the existing engine via [`TaggedMapper`],
+/// which packages it as a `Mapper` over `(DatasetId, item)` records.
+pub trait MultiMapper: Send + Sync {
+    /// Input record type (untagged; the tag travels alongside).
+    type Item: Send + 'static;
+    /// Intermediate key type.
+    type Key: Key;
+    /// Intermediate value type.
+    type Value: Value;
+    /// Per-task mutable state.
+    type TaskState: Send;
+
+    /// Creates the state for one map task attempt. `ctx.dataset` names
+    /// the dataset whose split this task reads — a task never mixes
+    /// datasets, because each split belongs to exactly one.
+    fn begin_task(&self, ctx: &MapTaskContext) -> Self::TaskState;
+
+    /// Processes one record of dataset `dataset`.
+    fn map(
+        &self,
+        state: &mut Self::TaskState,
+        dataset: DatasetId,
+        item: Self::Item,
+        emit: &mut dyn FnMut(Self::Key, Self::Value),
+    );
+
+    /// Called at the end of the task; may emit final pairs.
+    fn end_task(&self, state: Self::TaskState, emit: &mut dyn FnMut(Self::Key, Self::Value)) {
+        let _ = (state, emit);
+    }
+
+    /// The map-side combiner, if any (see [`Mapper::combiner`]).
+    fn combiner(&self) -> Option<&dyn Combiner<Self::Key, Self::Value>> {
+        None
+    }
+}
+
+impl<M: Mapper> MultiMapper for M {
+    type Item = M::Item;
+    type Key = M::Key;
+    type Value = M::Value;
+    type TaskState = M::TaskState;
+
+    fn begin_task(&self, ctx: &MapTaskContext) -> Self::TaskState {
+        Mapper::begin_task(self, ctx)
+    }
+
+    fn map(
+        &self,
+        state: &mut Self::TaskState,
+        _dataset: DatasetId,
+        item: Self::Item,
+        emit: &mut dyn FnMut(Self::Key, Self::Value),
+    ) {
+        Mapper::map(self, state, item, emit)
+    }
+
+    fn end_task(&self, state: Self::TaskState, emit: &mut dyn FnMut(Self::Key, Self::Value)) {
+        Mapper::end_task(self, state, emit)
+    }
+
+    fn combiner(&self) -> Option<&dyn Combiner<Self::Key, Self::Value>> {
+        Mapper::combiner(self)
+    }
+}
+
+/// Adapts a [`MultiMapper`] to the engine's [`Mapper`] interface over
+/// tagged `(DatasetId, item)` records — the record type a
+/// [`TaggedSource`](crate::input::TaggedSource) produces.
+pub struct TaggedMapper<M> {
+    inner: M,
+}
+
+impl<M> TaggedMapper<M> {
+    /// Wraps `inner` for execution over a tagged input.
+    pub fn new(inner: M) -> Self {
+        TaggedMapper { inner }
+    }
+
+    /// The wrapped multi-mapper.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: MultiMapper> Mapper for TaggedMapper<M> {
+    type Item = (DatasetId, M::Item);
+    type Key = M::Key;
+    type Value = M::Value;
+    type TaskState = M::TaskState;
+
+    fn begin_task(&self, ctx: &MapTaskContext) -> Self::TaskState {
+        self.inner.begin_task(ctx)
+    }
+
+    fn map(
+        &self,
+        state: &mut Self::TaskState,
+        (dataset, item): (DatasetId, M::Item),
+        emit: &mut dyn FnMut(Self::Key, Self::Value),
+    ) {
+        self.inner.map(state, dataset, item, emit)
+    }
+
+    fn end_task(&self, state: Self::TaskState, emit: &mut dyn FnMut(Self::Key, Self::Value)) {
+        self.inner.end_task(state, emit)
+    }
+
+    fn combiner(&self) -> Option<&dyn Combiner<Self::Key, Self::Value>> {
+        self.inner.combiner()
+    }
+}
+
 /// A stateless mapper from a closure `f(&item, emit)`.
 pub struct FnMapper<I, K, V, F> {
     f: F,
@@ -108,6 +232,7 @@ mod tests {
     fn test_ctx() -> MapTaskContext {
         MapTaskContext {
             task: TaskId(0),
+            dataset: DatasetId::default(),
             sampling_ratio: 1.0,
             attempt: 0,
         }
@@ -119,10 +244,10 @@ mod tests {
             emit(*item % 2, *item);
         });
         let mut out = Vec::new();
-        m.begin_task(&test_ctx());
-        m.map(&mut (), 5, &mut |k, v| out.push((k, v)));
-        m.map(&mut (), 6, &mut |k, v| out.push((k, v)));
-        m.end_task((), &mut |k, v| out.push((k, v)));
+        Mapper::begin_task(&m, &test_ctx());
+        Mapper::map(&m, &mut (), 5, &mut |k, v| out.push((k, v)));
+        Mapper::map(&m, &mut (), 6, &mut |k, v| out.push((k, v)));
+        Mapper::end_task(&m, (), &mut |k, v| out.push((k, v)));
         assert_eq!(out, vec![(1, 5), (0, 6)]);
     }
 
@@ -151,11 +276,63 @@ mod tests {
     fn stateful_mapper_flushes_at_end() {
         let m = CountingMapper;
         let mut out = Vec::new();
-        let mut state = m.begin_task(&test_ctx());
+        let mut state = Mapper::begin_task(&m, &test_ctx());
         for i in 0..5 {
-            m.map(&mut state, i, &mut |k, v| out.push((k, v)));
+            Mapper::map(&m, &mut state, i, &mut |k, v| out.push((k, v)));
         }
-        m.end_task(state, &mut |k, v| out.push((k, v)));
+        Mapper::end_task(&m, state, &mut |k, v| out.push((k, v)));
         assert_eq!(out, vec![("count", 5)]);
+    }
+
+    #[test]
+    fn plain_mapper_is_a_multi_mapper() {
+        // The blanket impl adapts any Mapper: the tag is ignored.
+        let m = CountingMapper;
+        let mut out = Vec::new();
+        let mut state = MultiMapper::begin_task(&m, &test_ctx());
+        MultiMapper::map(&m, &mut state, DatasetId(0), 1, &mut |k, v| {
+            out.push((k, v))
+        });
+        MultiMapper::map(&m, &mut state, DatasetId(7), 2, &mut |k, v| {
+            out.push((k, v))
+        });
+        MultiMapper::end_task(&m, state, &mut |k, v| out.push((k, v)));
+        assert_eq!(out, vec![("count", 2)]);
+    }
+
+    struct TagCounter;
+
+    impl MultiMapper for TagCounter {
+        type Item = u32;
+        type Key = u32;
+        type Value = u64;
+        type TaskState = ();
+
+        fn begin_task(&self, _ctx: &MapTaskContext) {}
+
+        fn map(
+            &self,
+            _state: &mut (),
+            dataset: DatasetId,
+            item: u32,
+            emit: &mut dyn FnMut(u32, u64),
+        ) {
+            emit(dataset.0, u64::from(item));
+        }
+    }
+
+    #[test]
+    fn tagged_mapper_routes_by_dataset() {
+        let m = TaggedMapper::new(TagCounter);
+        let mut out = Vec::new();
+        let mut state = ();
+        Mapper::begin_task(&m, &test_ctx());
+        Mapper::map(&m, &mut state, (DatasetId(0), 5), &mut |k, v| {
+            out.push((k, v))
+        });
+        Mapper::map(&m, &mut state, (DatasetId(1), 9), &mut |k, v| {
+            out.push((k, v))
+        });
+        assert_eq!(out, vec![(0, 5), (1, 9)]);
     }
 }

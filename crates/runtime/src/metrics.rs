@@ -5,6 +5,7 @@
 //! so the engine reports both the read time (scales with `M`) and the
 //! total duration per task.
 
+use crate::input::DatasetId;
 use crate::types::TaskId;
 
 /// Statistics of one *completed* map task attempt.
@@ -12,6 +13,8 @@ use crate::types::TaskId;
 pub struct MapStats {
     /// The task.
     pub task: TaskId,
+    /// The dataset the task's split belongs to.
+    pub dataset: DatasetId,
     /// `M_i` — total records in the task's block.
     pub total_records: u64,
     /// `m_i` — records actually processed after sampling.
@@ -67,6 +70,23 @@ pub struct BoundPoint {
     pub relative_bound: f64,
 }
 
+/// Cluster population of one dataset of a (possibly multi-input) job:
+/// the `N_d`/`n_d` bookkeeping that keeps Eq. 1–3 intervals and
+/// degrade-to-drop correct *per dataset* when a job reads more than one
+/// input. Single-input jobs report exactly one entry (dataset 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct DatasetMetrics {
+    /// The dataset.
+    pub dataset: DatasetId,
+    /// `N_d` — total map tasks (= splits) of this dataset.
+    pub total_maps: usize,
+    /// `n_d` — maps of this dataset that completed and shipped output.
+    pub executed_maps: usize,
+    /// Maps of this dataset that did not complete (dropped before
+    /// launch, killed mid-flight, or degraded to drop after retries).
+    pub dropped_maps: usize,
+}
+
 /// Aggregate metrics of one job execution.
 #[derive(Debug, Clone, Default, serde::Serialize)]
 pub struct JobMetrics {
@@ -103,6 +123,9 @@ pub struct JobMetrics {
     /// Whether the job hit its deadline and finished by dropping the
     /// remaining maps (approximate-on-deadline completion).
     pub deadline_hit: bool,
+    /// Per-dataset cluster populations (one entry per dataset, in
+    /// [`DatasetId`] order).
+    pub datasets: Vec<DatasetMetrics>,
     /// Per-attempt statistics of completed maps.
     pub map_stats: Vec<MapStats>,
     /// Terminal state of every map task (task id → outcome).
@@ -200,6 +223,7 @@ mod tests {
             wall_secs: 0.25,
             map_stats: vec![MapStats {
                 task: TaskId(1),
+                dataset: DatasetId::default(),
                 total_records: 10,
                 sampled_records: 5,
                 emitted: 3,
@@ -220,6 +244,7 @@ mod tests {
     fn mean_map_secs() {
         let mk = |d: f64| MapStats {
             task: TaskId(0),
+            dataset: DatasetId::default(),
             total_records: 1,
             sampled_records: 1,
             emitted: 0,

@@ -11,6 +11,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use crate::control::{BoundReport, JobControl};
+use crate::input::DatasetId;
 use crate::types::{FxHashMap, Key, TaskId, Value};
 
 /// Metadata accompanying one map task's output: exactly the statistics
@@ -19,6 +20,10 @@ use crate::types::{FxHashMap, Key, TaskId, Value};
 pub struct MapOutputMeta {
     /// The producing map task.
     pub task: TaskId,
+    /// The dataset the map's split belongs to (`DatasetId(0)` for
+    /// single-input jobs) — multi-input reducers key their per-dataset
+    /// estimators off this.
+    pub dataset: DatasetId,
     /// `M_i` — total records in the map's block.
     pub total_records: u64,
     /// `m_i` — records the map actually processed.
@@ -217,6 +222,7 @@ mod tests {
     fn meta(task: usize) -> MapOutputMeta {
         MapOutputMeta {
             task: TaskId(task),
+            dataset: DatasetId::default(),
             total_records: 10,
             sampled_records: 10,
             duration_secs: 0.0,

@@ -49,6 +49,7 @@ impl InputSource for TextSource {
                 records: b.records,
                 bytes: b.bytes,
                 locations: locs.iter().map(|n| n.0).collect(),
+                dataset: Default::default(),
             })
             .collect()
     }

@@ -18,11 +18,14 @@ use std::time::Duration;
 use approxhadoop_runtime::engine::{
     run_job_on_pool, run_job_process, run_job_with_session, JobConfig, JobResult, WorkerSpec,
 };
-use approxhadoop_runtime::input::VecSource;
-use approxhadoop_runtime::mapper::FnMapper;
+use approxhadoop_runtime::input::{BoxedSource, DatasetId, InputSource, TaggedSource, VecSource};
+use approxhadoop_runtime::mapper::{FnMapper, MapTaskContext, MultiMapper, TaggedMapper};
 use approxhadoop_runtime::pool::SlotPool;
 use approxhadoop_runtime::reducer::GroupedReducer;
-use approxhadoop_runtime::{FaultPlan, FaultPolicy, FixedCoordinator, JobEvent, JobId, JobSession};
+use approxhadoop_runtime::{
+    DatasetFixedCoordinator, DatasetRatios, FaultPlan, FaultPolicy, FixedCoordinator, JobEvent,
+    JobId, JobSession,
+};
 
 /// The worker binary holding this suite's registered jobs, built by
 /// cargo alongside the test.
@@ -227,6 +230,185 @@ fn event_streams_and_metrics_are_identical_across_backends() {
         assert!(
             ma.retried_maps > 0 || ma.degraded_to_drop > 0,
             "seed {seed}: fault path not exercised"
+        );
+    }
+}
+
+/// The tagged two-dataset differential's mapper: fact rows (dataset 0)
+/// count one event each, dimension rows (any other dataset) contribute a
+/// small deterministic weight, so the reduce output is sensitive to both
+/// the tags and the per-dataset sampling decisions.
+///
+/// Must stay byte-for-byte in sync with the copy registered as
+/// `tagged-weigh` in the `approx-worker-rt` binary.
+struct TagWeigh;
+
+impl MultiMapper for TagWeigh {
+    type Item = u32;
+    type Key = u8;
+    type Value = u64;
+    type TaskState = ();
+
+    fn begin_task(&self, _ctx: &MapTaskContext) -> Self::TaskState {}
+
+    fn map(&self, _state: &mut (), dataset: DatasetId, item: u32, emit: &mut dyn FnMut(u8, u64)) {
+        match dataset.0 {
+            0 => emit((item % 8) as u8, 1),
+            _ => emit((item % 8) as u8, 1_000 + u64::from(item % 7)),
+        }
+    }
+}
+
+/// Two datasets with disjoint value ranges: 16 fact clusters of 40 rows
+/// and 4 dimension clusters of 25 rows, flattened by [`TaggedSource`]
+/// into one 20-split job (fact splits 0..16, dimension splits 16..20).
+fn tagged_input() -> TaggedSource<u32> {
+    let fact: Vec<Vec<u32>> = (0..16u32)
+        .map(|b| (0..40).map(|i| b * 40 + i).collect())
+        .collect();
+    let dim: Vec<Vec<u32>> = (0..4u32)
+        .map(|b| (0..25).map(|i| 9_000 + b * 25 + i).collect())
+        .collect();
+    TaggedSource::try_new(vec![
+        Box::new(VecSource::new(fact)) as BoxedSource<u32>,
+        Box::new(VecSource::new(dim)),
+    ])
+    .unwrap()
+}
+
+/// Fact side sampled and droppable, dimension side precise — the ratio
+/// shape every join-style job uses.
+fn tagged_ratios() -> [DatasetRatios; 2] {
+    [
+        DatasetRatios {
+            sampling_ratio: 0.5,
+            drop_ratio: 0.25,
+        },
+        DatasetRatios::precise(),
+    ]
+}
+
+fn tagged_coordinator(seed: u64) -> DatasetFixedCoordinator {
+    DatasetFixedCoordinator::new(&tagged_input().splits(), &tagged_ratios(), seed).unwrap()
+}
+
+fn run_tagged_scoped(seed: u64) -> Run {
+    let input = tagged_input();
+    let mapper = TaggedMapper::new(TagWeigh);
+    let cfg = config(seed);
+    let mut coordinator = tagged_coordinator(seed);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let session = JobSession::new(JobId(9)).with_events(tx);
+    let result = run_job_with_session(
+        &input,
+        &mapper,
+        |_| GroupedReducer::new(|k: &u8, vs: &[u64]| Some((*k, vs.iter().sum::<u64>()))),
+        cfg,
+        &mut coordinator,
+        &session,
+    )
+    .unwrap();
+    drop(session);
+    Run {
+        result,
+        events: rx.try_iter().collect(),
+    }
+}
+
+fn run_tagged_pool(seed: u64) -> Run {
+    let cfg = config(seed);
+    let mut coordinator = tagged_coordinator(seed);
+    let pool = SlotPool::new(1);
+    let tenant = pool.register_tenant(1.0);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let session = JobSession::new(JobId(9)).with_events(tx);
+    let result = run_job_on_pool(
+        Arc::new(tagged_input()),
+        Arc::new(TaggedMapper::new(TagWeigh)),
+        |_| GroupedReducer::new(|k: &u8, vs: &[u64]| Some((*k, vs.iter().sum::<u64>()))),
+        cfg,
+        &mut coordinator,
+        &pool,
+        tenant,
+        &session,
+    )
+    .unwrap();
+    drop(session);
+    pool.unregister_tenant(tenant);
+    Run {
+        result,
+        events: rx.try_iter().collect(),
+    }
+}
+
+fn run_tagged_process(seed: u64) -> Run {
+    let input = tagged_input();
+    let spec = WorkerSpec::new(worker_bin(), "tagged-weigh");
+    let cfg = JobConfig {
+        workers: 1,
+        ..config(seed)
+    };
+    let mut coordinator = tagged_coordinator(seed);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let session = JobSession::new(JobId(9)).with_events(tx);
+    let result = run_job_process(
+        &input,
+        &spec,
+        |_| GroupedReducer::new(|k: &u8, vs: &[u64]| Some((*k, vs.iter().sum::<u64>()))),
+        cfg,
+        &mut coordinator,
+        &session,
+    )
+    .unwrap();
+    drop(session);
+    Run {
+        result,
+        events: rx.try_iter().collect(),
+    }
+}
+
+/// The multi-input differential: a tagged two-dataset job — sampled fact
+/// side, precise dimension side, seeded io faults — must be
+/// byte-identical across the scoped, pooled and process backends, and
+/// the per-dataset ratios must actually bite (fact clusters dropped,
+/// dimension clusters never).
+#[test]
+fn tagged_two_dataset_runs_are_identical_across_backends() {
+    let n_fact = 16usize;
+    for seed in [5u64, 19, 73] {
+        let a = run_tagged_scoped(seed);
+        let b = run_tagged_pool(seed);
+        let c = run_tagged_process(seed);
+        assert_runs_identical(seed, &a, &b, "tagged scoped vs pool");
+        assert_runs_identical(seed, &a, &c, "tagged scoped vs process");
+
+        let ma = &a.result.metrics;
+        assert_eq!(ma.total_maps, 20, "seed {seed}: 16 fact + 4 dim splits");
+        assert!(
+            ma.dropped_maps > 0,
+            "seed {seed}: fact-side drop path not exercised"
+        );
+        // Dropping is confined to the sampled dataset: the precise
+        // dimension splits (global indices 16..20) are never dropped by
+        // the coordinator; only fault degradation may take one out, and
+        // then identically on every backend (checked above).
+        for rec in &ma.task_outcomes {
+            if rec.task.0 >= n_fact {
+                assert_ne!(
+                    rec.outcome,
+                    approxhadoop_runtime::metrics::TaskOutcome::Dropped,
+                    "seed {seed}: precise dimension split {} was drop-scheduled",
+                    rec.task.0
+                );
+            }
+        }
+        // Fact-side sampling engaged: some attempt read fewer records
+        // than its split holds.
+        assert!(
+            ma.map_stats
+                .iter()
+                .any(|m| m.sampled_records < m.total_records),
+            "seed {seed}: sampling never engaged"
         );
     }
 }

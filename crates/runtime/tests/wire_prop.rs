@@ -16,6 +16,7 @@ use proptest::prelude::*;
 #[allow(clippy::too_many_arguments)]
 fn work_item(
     task: u64,
+    dataset: u32,
     attempt: u32,
     ratio: f64,
     seed: u64,
@@ -26,6 +27,7 @@ fn work_item(
 ) -> WireWorkItem {
     WireWorkItem {
         task,
+        dataset,
         attempt,
         sampling_ratio: ratio,
         seed,
@@ -57,6 +59,7 @@ proptest! {
 
     #[test]
     fn work_frames_roundtrip(task in 0u64..1_000_000,
+                             dataset in 0u32..8,
                              attempt in 0u32..16,
                              ratio in 0.001..1.0f64,
                              seed in 0u64..u64::MAX,
@@ -64,12 +67,13 @@ proptest! {
                              with_fault in 0u8..2,
                              fault_seed in 0u64..u64::MAX,
                              dead in prop::collection::vec(0usize..64, 0..6)) {
-        let w = work_item(task, attempt, ratio, seed, combining == 1, with_fault == 1, fault_seed, dead);
+        let w = work_item(task, dataset, attempt, ratio, seed, combining == 1, with_fault == 1, fault_seed, dead);
         let frame = ToWorker::Work(w.clone()).to_bytes();
         let back = ToWorker::from_bytes(&frame).unwrap();
         match back {
             ToWorker::Work(got) => {
                 prop_assert_eq!(got.task, w.task);
+                prop_assert_eq!(got.dataset, w.dataset);
                 prop_assert_eq!(got.attempt, w.attempt);
                 prop_assert_eq!(got.sampling_ratio.to_bits(), w.sampling_ratio.to_bits());
                 prop_assert_eq!(got.seed, w.seed);
@@ -83,10 +87,11 @@ proptest! {
 
     #[test]
     fn work_frame_truncations_are_rejected(task in 0u64..1000,
+                                           dataset in 0u32..4,
                                            ratio in 0.001..1.0f64,
                                            with_fault in 0u8..2,
                                            dead in prop::collection::vec(0usize..8, 0..4)) {
-        let w = work_item(task, 1, ratio, 7, true, with_fault == 1, 42, dead);
+        let w = work_item(task, dataset, 1, ratio, 7, true, with_fault == 1, 42, dead);
         let frame = ToWorker::Work(w).to_bytes();
         for cut in 0..frame.len() {
             prop_assert!(
@@ -107,6 +112,7 @@ proptest! {
 
     #[test]
     fn done_frames_roundtrip_sampling_counts(task in 0u64..1_000_000,
+                                             dataset in 0u32..8,
                                              total in 0u64..1_000_000,
                                              sampled in 0u64..1_000_000,
                                              spill_runs in 0u64..100,
@@ -115,6 +121,7 @@ proptest! {
             attempt: 3,
             stats: WireMapStats {
                 task,
+                dataset,
                 total_records: total,
                 sampled_records: sampled,
                 emitted: sampled * 2,
@@ -145,7 +152,8 @@ proptest! {
                            spool in "[a-z0-9/._-]{1,48}",
                            reducers in 1u32..64,
                            budget in 1u64..1_000_000_000,
-                           label in "[a-z0-9_]{0,16}") {
+                           label in "[a-z0-9_]{0,16}",
+                           datasets in prop::collection::vec((0u32..8, 1u64..1000), 0..4)) {
         let spec = WorkerJobSpec {
             job,
             params,
@@ -154,9 +162,28 @@ proptest! {
             shuffle_mem_bytes: budget,
             spill_dir: "/tmp/spill".to_string(),
             telemetry_label: label,
+            datasets,
         };
         let frame = ToWorker::Job(spec.clone()).to_bytes();
         prop_assert_eq!(ToWorker::from_bytes(&frame).unwrap(), ToWorker::Job(spec));
+    }
+
+    #[test]
+    fn job_spec_truncations_are_rejected(datasets in prop::collection::vec((0u32..8, 1u64..1000), 1..4)) {
+        let spec = WorkerJobSpec {
+            job: "join".to_string(),
+            params: vec![1, 2, 3],
+            spool: "/tmp/spool".to_string(),
+            num_reducers: 4,
+            shuffle_mem_bytes: 1 << 20,
+            spill_dir: "/tmp/spill".to_string(),
+            telemetry_label: String::new(),
+            datasets,
+        };
+        let frame = ToWorker::Job(spec).to_bytes();
+        for cut in 0..frame.len() {
+            prop_assert!(ToWorker::from_bytes(&frame[..cut]).is_err());
+        }
     }
 
     #[test]
@@ -216,7 +243,7 @@ proptest! {
         // Corrupt a valid Work frame at arbitrary bit positions; both
         // frame directions must fail structurally or decode to
         // something — never panic.
-        let w = work_item(seed % 100, 0, 0.5, seed, true, true, seed, vec![1, 2]);
+        let w = work_item(seed % 100, (seed % 4) as u32, 0, 0.5, seed, true, true, seed, vec![1, 2]);
         let mut frame = ToWorker::Work(w).to_bytes();
         for f in flip {
             let bit = f % (frame.len() * 8);

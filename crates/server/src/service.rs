@@ -29,7 +29,9 @@ use approxhadoop_runtime::mapper::Mapper;
 use approxhadoop_runtime::metrics::JobMetrics;
 use approxhadoop_runtime::pool::SlotPool;
 use approxhadoop_runtime::reducer::Reducer;
-use approxhadoop_runtime::{FaultPlan, FaultPolicy, FixedCoordinator, RuntimeError};
+use approxhadoop_runtime::{
+    DatasetFixedCoordinator, DatasetRatios, FaultPlan, FaultPolicy, FixedCoordinator, RuntimeError,
+};
 
 use crate::admission::{AdmissionConfig, AdmissionController, ApproxBudget};
 
@@ -85,6 +87,14 @@ pub struct JobSpec {
     /// Per-worker in-memory shuffle budget in bytes before map output
     /// spills to sorted on-disk runs (process backend only).
     pub shuffle_mem_bytes: usize,
+    /// Per-dataset approximation ratios for **multi-input** (tagged)
+    /// jobs, indexed by `DatasetId`. Empty (the default) means a
+    /// single-input job whose ratios the admission controller decides
+    /// within `budget`. Non-empty ratios are explicit and used as-is:
+    /// the scheduler samples/drops each dataset independently and
+    /// admission does not degrade them (a join's build side must stay
+    /// precise, which a global degrade factor cannot know).
+    pub datasets: Vec<DatasetRatios>,
 }
 
 impl Default for JobSpec {
@@ -103,6 +113,7 @@ impl Default for JobSpec {
             max_degraded_bound: None,
             workers: engine.workers,
             shuffle_mem_bytes: engine.shuffle_mem_bytes,
+            datasets: Vec::new(),
         }
     }
 }
@@ -349,6 +360,7 @@ impl JobService {
             shuffle_mem_bytes: spec.shuffle_mem_bytes,
             spill_dir: None,
             flight_dir: None,
+            datasets: spec.datasets.clone(),
         };
         provisional.validate()?;
         let id = JobId(self.next_job.fetch_add(1, Ordering::SeqCst));
@@ -379,12 +391,12 @@ impl JobService {
             .name(format!("tracker-{id}"))
             .spawn(move || {
                 let tenant = pool.register_tenant(weight);
-                let total = input.splits().len();
-                let outcome = if total == 0 {
+                let splits = input.splits();
+                let outcome = if splits.is_empty() {
                     Err(RuntimeError::invalid("input has no splits"))
-                } else {
+                } else if config.datasets.is_empty() {
                     let mut coordinator = FixedCoordinator::new(
-                        total,
+                        splits.len(),
                         config.sampling_ratio,
                         config.drop_ratio,
                         seed,
@@ -399,6 +411,22 @@ impl JobService {
                         tenant,
                         &session,
                     )
+                } else {
+                    // A multi-input job: per-dataset ratios, validated
+                    // against the tagged input's actual dataset count.
+                    match DatasetFixedCoordinator::new(&splits, &config.datasets, seed) {
+                        Ok(mut coordinator) => run_job_on_pool(
+                            input,
+                            mapper,
+                            make_reducer,
+                            config,
+                            &mut coordinator,
+                            &pool,
+                            tenant,
+                            &session,
+                        ),
+                        Err(e) => Err(e),
+                    }
                 };
                 pool.unregister_tenant(tenant);
                 // Cancelled jobs say nothing about service health; all
@@ -483,6 +511,15 @@ impl JobService {
         FR: Fn(usize, &Arc<SharedApproxState>) -> R + Send + 'static,
     {
         goal.validate().map_err(RuntimeError::invalid)?;
+        if !spec.datasets.is_empty() {
+            // The target-error coordinator plans over one homogeneous
+            // cluster population; per-dataset ratio planning is a
+            // different (open) problem. Joins submit with explicit
+            // ratios through `submit`/`submit_process` instead.
+            return Err(RuntimeError::invalid(
+                "target-error jobs are single-input (spec.datasets must be empty)",
+            ));
+        }
         if !(spec.weight > 0.0 && spec.weight.is_finite()) {
             return Err(RuntimeError::invalid(format!(
                 "weight must be positive and finite, got {}",
@@ -513,6 +550,7 @@ impl JobService {
             shuffle_mem_bytes: spec.shuffle_mem_bytes,
             spill_dir: None,
             flight_dir: None,
+            datasets: Vec::new(),
         };
         config.validate()?;
         let id = JobId(self.next_job.fetch_add(1, Ordering::SeqCst));
@@ -670,6 +708,7 @@ impl JobService {
             shuffle_mem_bytes: spec.shuffle_mem_bytes,
             spill_dir: None,
             flight_dir: None,
+            datasets: spec.datasets.clone(),
         };
         provisional.validate()?;
         let id = JobId(self.next_job.fetch_add(1, Ordering::SeqCst));
@@ -698,12 +737,12 @@ impl JobService {
         std::thread::Builder::new()
             .name(format!("tracker-{id}"))
             .spawn(move || {
-                let total = input.splits().len();
-                let outcome = if total == 0 {
+                let splits = input.splits();
+                let outcome = if splits.is_empty() {
                     Err(RuntimeError::invalid("input has no splits"))
-                } else {
+                } else if config.datasets.is_empty() {
                     let mut coordinator = FixedCoordinator::new(
-                        total,
+                        splits.len(),
                         config.sampling_ratio,
                         config.drop_ratio,
                         seed,
@@ -716,6 +755,18 @@ impl JobService {
                         &mut coordinator,
                         &session,
                     )
+                } else {
+                    match DatasetFixedCoordinator::new(&splits, &config.datasets, seed) {
+                        Ok(mut coordinator) => run_job_process(
+                            input.as_ref(),
+                            &worker,
+                            make_reducer,
+                            config,
+                            &mut coordinator,
+                            &session,
+                        ),
+                        Err(e) => Err(e),
+                    }
                 };
                 if !matches!(outcome, Err(RuntimeError::Cancelled)) {
                     // Process jobs run beside the shared pool, not on

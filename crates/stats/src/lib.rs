@@ -20,6 +20,12 @@
 //! * **Sampling primitives** ([`sampling`]) — Bernoulli, systematic and
 //!   reservoir samplers plus a bounded Zipf generator used by the
 //!   synthetic workloads.
+//! * **Stratified estimation** ([`stratified`]) — per-stratum two-stage
+//!   estimators with quadrature interval combination, plus a
+//!   deterministic per-stratum systematic sampler; the statistics
+//!   behind approximate joins.
+//! * **Bloom filters** ([`bloom`]) — seeded, bit-reproducible filters
+//!   for map-side join pre-filtering (ApproxJoin's filtering stage).
 //!
 //! # Example: two-stage sampling with error bounds
 //!
@@ -45,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bloom;
 pub mod describe;
 pub mod dist;
 pub mod distinct;
@@ -55,6 +62,7 @@ pub mod multistage;
 pub mod opt;
 pub mod sampling;
 pub mod special;
+pub mod stratified;
 
 pub use error::StatsError;
 pub use interval::Interval;

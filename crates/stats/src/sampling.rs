@@ -446,3 +446,120 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Algorithm R invariant: after any stream, the reservoir holds
+        /// exactly `min(capacity, stream length)` items and every item
+        /// held came from the stream.
+        #[test]
+        fn reservoir_offer_size_invariant(capacity in 1usize..32,
+                                          stream in 0usize..200,
+                                          seed in 0u64..u64::MAX) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r = Reservoir::new(capacity);
+            for i in 0..stream {
+                r.offer(&mut rng, i);
+            }
+            prop_assert_eq!(r.seen(), stream as u64);
+            prop_assert_eq!(r.items().len(), capacity.min(stream));
+            prop_assert!(r.items().iter().all(|&i| i < stream));
+            let mut sorted = r.items().to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), capacity.min(stream), "reservoir held duplicates");
+        }
+
+        /// Inclusion probability of `offer` is uniform: over many seeds,
+        /// each stream position is retained close to `capacity/stream`
+        /// of the time. This is the property that makes the reservoir a
+        /// valid uniform sampler, not just a bounded buffer.
+        #[test]
+        fn reservoir_offer_inclusion_probability_is_uniform(base_seed in 0u64..1_000_000) {
+            let capacity = 8usize;
+            let stream = 64usize;
+            let trials = 600u32;
+            let mut counts = vec![0u32; stream];
+            for t in 0..trials {
+                let mut rng = StdRng::seed_from_u64(base_seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut r = Reservoir::new(capacity);
+                for i in 0..stream {
+                    r.offer(&mut rng, i);
+                }
+                for &i in r.items() {
+                    counts[i] += 1;
+                }
+            }
+            // Expected inclusion count per position: trials · k/n = 75.
+            // A 4-sigma band on Binomial(600, 1/8) is ±~33.
+            let expected = trials as f64 * capacity as f64 / stream as f64;
+            let sigma = (trials as f64 * (capacity as f64 / stream as f64)
+                * (1.0 - capacity as f64 / stream as f64)).sqrt();
+            for (i, &c) in counts.iter().enumerate() {
+                prop_assert!(
+                    (c as f64 - expected).abs() < 4.5 * sigma,
+                    "position {} included {} times, expected {} ± {}",
+                    i, c, expected, 4.5 * sigma
+                );
+            }
+        }
+
+        /// `from_ratio` rounds `1/ratio` to the nearest stride, never
+        /// yields stride 0, and is exact at the edges: ratio 1 keeps
+        /// everything (stride 1) and ratio → 0 grows without pathology.
+        #[test]
+        fn systematic_from_ratio_stride_rounds(ratio in 0.0001f64..=1.0) {
+            let s = SystematicSampler::from_ratio(ratio);
+            prop_assert!(s.stride() >= 1);
+            let exact = 1.0 / ratio;
+            prop_assert!(
+                (s.stride() as f64 - exact).abs() <= 0.5 + 1e-9,
+                "ratio {} gave stride {}, expected round({})",
+                ratio, s.stride(), exact
+            );
+        }
+
+        /// Edge behaviour: ratio = 1 is a census; tiny ratios produce
+        /// strides so large a short stream keeps at most one item.
+        #[test]
+        fn systematic_from_ratio_edges(total in 1usize..500, seed in 0u64..u64::MAX) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let census = SystematicSampler::from_ratio(1.0);
+            prop_assert_eq!(census.stride(), 1);
+            prop_assert_eq!(census.sample_indices(&mut rng, total).len(), total);
+
+            let sparse = SystematicSampler::from_ratio(1e-4);
+            prop_assert_eq!(sparse.stride(), 10_000);
+            let kept = sparse.sample_indices(&mut rng, total);
+            prop_assert!(kept.len() <= 1, "stride 10000 kept {} of {}", kept.len(), total);
+        }
+
+        /// The kept set is an arithmetic progression with the sampler's
+        /// stride, so expansion by `stride` is unbiased for any offset.
+        #[test]
+        fn systematic_sample_is_arithmetic_progression(stride in 1usize..64,
+                                                       total in 0usize..2000,
+                                                       seed in 0u64..u64::MAX) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = SystematicSampler::new(stride);
+            let idx = s.sample_indices(&mut rng, total);
+            if total == 0 {
+                prop_assert!(idx.is_empty());
+            } else {
+                prop_assert!(!idx.is_empty(), "non-empty input must keep at least one item");
+                prop_assert!(idx[0] < stride.min(total));
+                for w in idx.windows(2) {
+                    prop_assert_eq!(w[1] - w[0], stride);
+                }
+            }
+        }
+    }
+}

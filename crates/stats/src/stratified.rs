@@ -1,0 +1,332 @@
+//! Stratified estimation over two-stage cluster samples — the
+//! statistics behind approximate joins.
+//!
+//! A join aggregate grouped by join key (or by any category of the
+//! joining records) is a **stratified** population: each category is a
+//! stratum, estimated independently from the same sampled clusters,
+//! and the whole-join aggregate is the sum of the strata. Because the
+//! per-stratum estimators are (approximately) independent, the
+//! combined error bound adds in quadrature:
+//!
+//! ```text
+//! τ̂ = Σ_k τ̂_k        ε = sqrt(Σ_k ε_k²)
+//! ```
+//!
+//! Each stratum gets its own [`TwoStageEstimator`] fed with
+//! indicator-weighted cluster observations: a sampled unit that does
+//! not belong to stratum `k` counts as a zero-valued unit of stratum
+//! `k`'s estimator, exactly like the paper's treatment of keys a unit
+//! did not emit (Section 3.1). That keeps every stratum's `m_i`/`M_i`
+//! identical to the cluster's and Eq. 1–3 valid per stratum.
+//!
+//! [`StratifiedSampler`] is the matching sampling primitive: a
+//! deterministic per-stratum systematic sampler, so a rare stratum is
+//! sampled at the same ratio as a popular one instead of being starved
+//! by a global stream.
+
+use std::collections::BTreeMap;
+
+use crate::interval::Interval;
+use crate::multistage::{ClusterObservation, TwoStageEstimator};
+use crate::{Result, StatsError};
+
+/// Combines independent per-stratum intervals into one interval for
+/// the population total: estimates add, half-widths add in quadrature.
+///
+/// An empty slice combines to the exact zero interval at the given
+/// confidence. Infinite half-widths (single-cluster strata) propagate
+/// to an infinite combined half-width, as they must.
+pub fn combine_strata(intervals: &[Interval], confidence: f64) -> Interval {
+    let estimate: f64 = intervals.iter().map(|i| i.estimate).sum();
+    let var: f64 = intervals.iter().map(|i| i.half_width * i.half_width).sum();
+    Interval::new(estimate, var.sqrt(), confidence)
+}
+
+/// Stratified two-stage estimator: one [`TwoStageEstimator`] per
+/// stratum over a shared cluster population of `total_clusters`.
+///
+/// Strata are keyed by an ordered key type so iteration (and therefore
+/// output) is deterministic.
+#[derive(Debug, Clone)]
+pub struct StratifiedEstimator<K: Ord + Clone> {
+    total_clusters: u64,
+    strata: BTreeMap<K, TwoStageEstimator>,
+}
+
+impl<K: Ord + Clone> StratifiedEstimator<K> {
+    /// An estimator over a population of `total_clusters` clusters
+    /// (`N` in Eq. 1), shared by every stratum.
+    pub fn new(total_clusters: u64) -> Self {
+        StratifiedEstimator {
+            total_clusters,
+            strata: BTreeMap::new(),
+        }
+    }
+
+    /// Records one cluster observation for `stratum`. The observation's
+    /// `total_units`/`sampled_units` must be the *cluster's* counts —
+    /// units outside the stratum are zero-valued, not absent.
+    pub fn push(&mut self, stratum: K, obs: ClusterObservation) {
+        let n = self.total_clusters;
+        self.strata
+            .entry(stratum)
+            .or_insert_with(|| TwoStageEstimator::new(n))
+            .push(obs);
+    }
+
+    /// Number of strata observed so far.
+    pub fn num_strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// The per-stratum estimators, in key order.
+    pub fn strata(&self) -> impl Iterator<Item = (&K, &TwoStageEstimator)> {
+        self.strata.iter()
+    }
+
+    /// Per-stratum intervals at `confidence`, in key order.
+    pub fn estimate_strata(&self, confidence: f64) -> Result<Vec<(K, Interval)>> {
+        self.strata
+            .iter()
+            .map(|(k, est)| Ok((k.clone(), est.estimate(confidence)?)))
+            .collect()
+    }
+
+    /// The combined interval for the sum over all strata: per-stratum
+    /// estimates added, half-widths added in quadrature. Errors when no
+    /// stratum has been observed.
+    pub fn estimate_combined(&self, confidence: f64) -> Result<Interval> {
+        if self.strata.is_empty() {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        let intervals: Vec<Interval> = self
+            .strata
+            .values()
+            .map(|est| est.estimate(confidence))
+            .collect::<Result<_>>()?;
+        Ok(combine_strata(&intervals, confidence))
+    }
+}
+
+/// FNV-1a over bytes; the stable hash behind the sampler's per-stratum
+/// offsets (the std hasher is not guaranteed stable across releases,
+/// and the offsets must reproduce bit-identically on every backend).
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    // Absorb the seed through the stream (not XORed into the basis, so
+    // nearby seeds still give unrelated offsets).
+    for &b in seed.to_le_bytes().iter().chain(bytes) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic per-stratum systematic sampler: within each stratum's
+/// own item stream, keeps one of every `stride` items starting at an
+/// offset derived from `(seed, stratum)`.
+///
+/// Two properties matter for approximate joins:
+///
+/// * **proportionality** — every stratum is sampled at ratio
+///   `1/stride`, so rare join keys keep the same expansion factor as
+///   popular ones;
+/// * **determinism** — the kept set is a pure function of
+///   `(seed, stride, offer order)`, so re-executed attempts and
+///   different backends select identical samples.
+#[derive(Debug, Clone)]
+pub struct StratifiedSampler<K: Ord + Clone> {
+    stride: u64,
+    seed: u64,
+    /// Per stratum: `(offset, offered so far)`.
+    state: BTreeMap<K, (u64, u64)>,
+}
+
+impl<K: Ord + Clone + AsRef<[u8]>> StratifiedSampler<K> {
+    /// A sampler keeping one of every `stride` items per stratum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn new(stride: u64, seed: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        StratifiedSampler {
+            stride,
+            seed,
+            state: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a sampler from a ratio, i.e. `stride = round(1/ratio)`
+    /// (clamped to at least 1, so `ratio = 1` keeps everything).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ratio <= 1`.
+    pub fn from_ratio(ratio: f64, seed: u64) -> Self {
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "ratio must lie in (0, 1], got {ratio}"
+        );
+        Self::new(((1.0 / ratio).round() as u64).max(1), seed)
+    }
+
+    /// The per-stratum stride `k`.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Offers one item of `stratum`; returns whether it is kept.
+    pub fn offer(&mut self, stratum: &K) -> bool {
+        let stride = self.stride;
+        let seed = self.seed;
+        let (offset, seen) = self
+            .state
+            .entry(stratum.clone())
+            .or_insert_with(|| (fnv1a(seed, stratum.as_ref()) % stride, 0));
+        let keep = *seen % stride == *offset;
+        *seen += 1;
+        keep
+    }
+
+    /// Per-stratum `(offered, kept)` counts in key order — the
+    /// `(M_i, m_i)`-style bookkeeping a caller feeds to
+    /// [`StratifiedEstimator`].
+    pub fn counts(&self) -> Vec<(K, u64, u64)> {
+        self.state
+            .iter()
+            .map(|(k, &(offset, seen))| {
+                let kept = if seen == 0 {
+                    0
+                } else {
+                    (seen + self.stride - 1 - offset) / self.stride
+                };
+                (k.clone(), seen, kept)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(id: u64, total: u64, sampled: u64, sum: f64) -> ClusterObservation {
+        ClusterObservation {
+            cluster_id: id,
+            total_units: total,
+            sampled_units: sampled,
+            sum,
+            sum_sq: sum * sum / sampled.max(1) as f64,
+        }
+    }
+
+    #[test]
+    fn combine_adds_estimates_and_quadratures_errors() {
+        let a = Interval::new(100.0, 3.0, 0.95);
+        let b = Interval::new(50.0, 4.0, 0.95);
+        let c = combine_strata(&[a, b], 0.95);
+        assert_eq!(c.estimate, 150.0);
+        assert!((c.half_width - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_of_nothing_is_exact_zero() {
+        let c = combine_strata(&[], 0.95);
+        assert_eq!(c.estimate, 0.0);
+        assert_eq!(c.half_width, 0.0);
+    }
+
+    #[test]
+    fn combine_propagates_infinite_half_widths() {
+        let a = Interval::new(10.0, f64::INFINITY, 0.95);
+        let b = Interval::new(5.0, 1.0, 0.95);
+        assert!(combine_strata(&[a, b], 0.95).half_width.is_infinite());
+    }
+
+    #[test]
+    fn stratified_census_is_exact_per_stratum_and_combined() {
+        let mut est = StratifiedEstimator::new(2);
+        for cluster in 0..2u64 {
+            est.push("a", obs(cluster, 10, 10, 100.0));
+            est.push("b", obs(cluster, 10, 10, 30.0));
+        }
+        let strata = est.estimate_strata(0.95).unwrap();
+        assert_eq!(strata.len(), 2);
+        for (_, i) in &strata {
+            assert_eq!(i.half_width, 0.0);
+        }
+        let combined = est.estimate_combined(0.95).unwrap();
+        assert_eq!(combined.estimate, 260.0);
+        assert_eq!(combined.half_width, 0.0);
+    }
+
+    #[test]
+    fn stratified_sampling_covers_truth() {
+        // 10 clusters of 100 units; stratum "a" units are worth 2.0,
+        // stratum "b" units worth 5.0, half of each per cluster. Sample
+        // 5 clusters at 50 units each.
+        let mut est = StratifiedEstimator::new(10);
+        for cluster in 0..5u64 {
+            est.push("a", obs(cluster, 100, 50, 2.0 * 25.0));
+            est.push("b", obs(cluster, 100, 50, 5.0 * 25.0));
+        }
+        let combined = est.estimate_combined(0.95).unwrap();
+        let truth = 10.0 * (2.0 * 50.0 + 5.0 * 50.0);
+        assert!(
+            (combined.estimate - truth).abs() <= combined.half_width.max(1e-9),
+            "estimate {} ± {} misses truth {}",
+            combined.estimate,
+            combined.half_width,
+            truth
+        );
+    }
+
+    #[test]
+    fn empty_estimator_errors() {
+        let est: StratifiedEstimator<&str> = StratifiedEstimator::new(4);
+        assert!(est.estimate_combined(0.95).is_err());
+    }
+
+    #[test]
+    fn sampler_keeps_one_in_stride_per_stratum() {
+        let mut s = StratifiedSampler::from_ratio(0.1, 42);
+        assert_eq!(s.stride(), 10);
+        let mut kept_a = 0u64;
+        let mut kept_b = 0u64;
+        for _ in 0..1000 {
+            if s.offer(&"a") {
+                kept_a += 1;
+            }
+        }
+        for _ in 0..50 {
+            if s.offer(&"b") {
+                kept_b += 1;
+            }
+        }
+        assert_eq!(kept_a, 100);
+        assert_eq!(kept_b, 5);
+        let counts = s.counts();
+        assert_eq!(counts, vec![("a", 1000, 100), ("b", 50, 5)]);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_in_seed_and_order() {
+        let run = |seed| {
+            let mut s = StratifiedSampler::new(7, seed);
+            (0..100)
+                .map(|i| s.offer(if i % 3 == 0 { &"x" } else { &"y" }))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds should shift offsets");
+    }
+
+    #[test]
+    fn ratio_one_keeps_everything() {
+        let mut s = StratifiedSampler::from_ratio(1.0, 9);
+        for _ in 0..20 {
+            assert!(s.offer(&"k"));
+        }
+    }
+}

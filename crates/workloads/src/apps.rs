@@ -499,6 +499,7 @@ pub fn kmeans(
                 .min(data.points - b * data.points_per_block),
             bytes: 0,
             locations: vec![],
+            dataset: Default::default(),
         })
         .collect();
     let input =

@@ -168,6 +168,7 @@ impl DeptLog {
                 records: this.requests_per_week,
                 bytes: this.requests_per_week * 48,
                 locations: vec![],
+                dataset: Default::default(),
             })
             .collect();
         FnSource::new(metas, move |i| this.block(i as u32))

@@ -28,6 +28,7 @@ pub mod apps;
 pub mod dcgrid;
 pub mod deptlog;
 pub mod inventory;
+pub mod join;
 pub mod kmeans;
 pub mod video;
 pub mod wikidump;

@@ -129,6 +129,7 @@ impl WikiDump {
                     records: end - start,
                     bytes: (end - start) * 256,
                     locations: vec![],
+                    dataset: Default::default(),
                 }
             })
             .collect();

@@ -159,6 +159,7 @@ impl WikiLog {
                 records: this.entries_per_block,
                 bytes: this.entries_per_block * 64,
                 locations: vec![],
+                dataset: Default::default(),
             })
             .collect();
         FnSource::new(metas, move |i| this.block(i as u64))

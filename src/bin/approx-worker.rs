@@ -9,6 +9,7 @@
 
 use approxhadoop::core::multistage::MultiStageMapper;
 use approxhadoop::runtime::engine::process::{worker_main, JobRegistry};
+use approxhadoop::workloads::join;
 use approxhadoop::workloads::wikilog::LogEntry;
 
 fn main() {
@@ -52,6 +53,11 @@ fn main() {
             |e: &LogEntry, emit: &mut dyn FnMut(u64, f64)| emit(e.page, e.bytes as f64),
         ))
     });
+
+    // The two-input join: the params blob carries the Wire-encoded
+    // `PageCatalog`, from which the worker rebuilds a bit-identical
+    // Bloom filter on its side of the process boundary.
+    join::register_join_job(&mut registry);
 
     worker_main(registry);
 }

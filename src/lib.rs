@@ -7,6 +7,8 @@
 //!
 //! * [`stats`] — multi-stage sampling theory, extreme value theory,
 //!   distributions, optimisers, samplers.
+//! * [`obs`] — metrics registry, tracer and the live HTTP exporter.
+//! * [`ipc`] — the `Wire` encoding and framed pipe protocol.
 //! * [`dfs`] — the block-structured storage substrate.
 //! * [`runtime`] — the multi-threaded MapReduce engine.
 //! * [`core`] — the approximation mechanisms and error-bounded templates
@@ -22,6 +24,8 @@
 pub use approxhadoop_cluster as cluster;
 pub use approxhadoop_core as core;
 pub use approxhadoop_dfs as dfs;
+pub use approxhadoop_ipc as ipc;
+pub use approxhadoop_obs as obs;
 pub use approxhadoop_runtime as runtime;
 pub use approxhadoop_server as server;
 pub use approxhadoop_stats as stats;

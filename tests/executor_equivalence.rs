@@ -163,6 +163,100 @@ fn multistage_intervals_are_identical_across_backends() {
     }
 }
 
+/// The two-input join leg of the differential suite: the tagged
+/// multi-dataset scheduler, the Bloom pre-filter and the per-stratum
+/// estimators produce **bit-identical** outcomes on scoped threads,
+/// the shared slot pool, and worker OS processes — the process leg
+/// additionally proves the catalogue survives the params blob and the
+/// worker rebuilds the same Bloom filter in another address space.
+#[test]
+fn join_outcomes_are_identical_across_backends() {
+    use approxhadoop::runtime::control::DatasetRatios;
+    use approxhadoop::workloads::join::{self, JoinWorkload, PageCatalog};
+    use approxhadoop::workloads::wikilog::WikiLog;
+
+    for seed in [5u64, 23, 91] {
+        let w = JoinWorkload {
+            log: WikiLog {
+                days: 1,
+                entries_per_block: 250,
+                blocks_per_day: 10,
+                pages: 2_000,
+                projects: 10,
+                seed,
+            },
+            catalog: PageCatalog {
+                pages: 1_200,
+                pages_per_block: 400,
+                categories: 4,
+                seed,
+                fpr: 0.01,
+            },
+        };
+        let ratios = DatasetRatios {
+            sampling_ratio: 0.6,
+            drop_ratio: 0.25,
+        };
+        // Faults only on the log side's schedule positions would be
+        // ideal, but the plan is task-indexed and the catalogue must
+        // complete — keep retries generous so io faults never degrade
+        // a build-side cluster to a drop.
+        let cfg = JobConfig {
+            fault_policy: FaultPolicy {
+                max_task_retries: 6,
+                retry_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+                degrade_to_drop: true,
+                blacklist_after: 0,
+                ..Default::default()
+            },
+            ..serial_config(seed)
+        };
+
+        let scoped = join::join_category_traffic(&w, ratios, cfg.clone(), 0.95).unwrap();
+        let pooled = join::join_category_traffic_pooled(&w, ratios, cfg.clone(), 0.95, 1).unwrap();
+        let spec = WorkerSpec::new(env!("CARGO_BIN_EXE_approx-worker"), join::JOIN_JOB);
+        let processed = join::join_category_traffic_process(
+            &w,
+            ratios,
+            JobConfig { workers: 1, ..cfg },
+            0.95,
+            &spec,
+        )
+        .unwrap();
+
+        assert_eq!(
+            scoped.categories, pooled.categories,
+            "seed {seed}: join strata diverged between scoped and pooled"
+        );
+        assert_eq!(
+            scoped.categories, processed.categories,
+            "seed {seed}: join strata diverged between scoped and process"
+        );
+        assert_eq!(scoped.combined, pooled.combined, "seed {seed}");
+        assert_eq!(scoped.combined, processed.combined, "seed {seed}");
+        assert_eq!(
+            scoped.metrics.dropped_maps, pooled.metrics.dropped_maps,
+            "seed {seed}"
+        );
+        assert_eq!(
+            scoped.metrics.dropped_maps, processed.metrics.dropped_maps,
+            "seed {seed}"
+        );
+        assert!(
+            scoped.metrics.dropped_maps > 0,
+            "seed {seed}: log-side drops must be exercised"
+        );
+        assert!(
+            scoped
+                .categories
+                .iter()
+                .all(|(_, iv)| iv.half_width > 0.0 && iv.half_width.is_finite()),
+            "seed {seed}: sampled strata must carry real bounds"
+        );
+    }
+}
+
 /// Run-A policy: deliberately drop a planned set at schedule time, then
 /// request that everything still outstanding be dropped once enough
 /// maps have completed (killing whatever is mid-flight).
